@@ -1,0 +1,37 @@
+# Convenience targets for the MLQ reproduction.
+GO ?= go
+
+.PHONY: all build vet test race bench repro repro-quick fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure of the paper at full workload sizes.
+repro:
+	$(GO) run ./cmd/mlqbench
+
+repro-quick:
+	$(GO) run ./cmd/mlqbench -quick
+
+# 30 seconds of coverage-guided fuzzing per binary decoder.
+fuzz:
+	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/quadtree
+	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/histogram
+	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/catalog
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,393 @@
+// Benchmarks regenerating a representative cell of every figure in the
+// paper's evaluation (run cmd/mlqbench for the full tables), plus
+// micro-benchmarks of the operations whose costs the paper reports (APC,
+// AUC: prediction, insertion, compression).
+package mlq_test
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mlq/internal/core"
+	"mlq/internal/dist"
+	"mlq/internal/engine"
+	"mlq/internal/geom"
+	"mlq/internal/harness"
+	"mlq/internal/histogram"
+	"mlq/internal/leo"
+	"mlq/internal/nncurve"
+	"mlq/internal/quadtree"
+	"mlq/internal/spatialdb"
+	"mlq/internal/synthetic"
+	"mlq/internal/textdb"
+	"mlq/internal/udf"
+)
+
+// benchOpts keeps each figure-cell iteration around a few milliseconds.
+func benchOpts() harness.Options {
+	return harness.Options{Queries: 1000, TrainQueries: 1000, Seed: 1}
+}
+
+var (
+	benchSurfaceOnce sync.Once
+	benchSurface     *synthetic.Surface
+
+	benchUDFsOnce sync.Once
+	benchTextUDF  udf.UDF
+	benchWinUDF   udf.UDF
+)
+
+func surface(b *testing.B) *synthetic.Surface {
+	benchSurfaceOnce.Do(func() {
+		s, err := synthetic.Generate(synthetic.Config{Seed: 1, NumPeaks: 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSurface = s
+	})
+	return benchSurface
+}
+
+func realUDFs(b *testing.B) (udf.UDF, udf.UDF) {
+	benchUDFsOnce.Do(func() {
+		tdb, err := textdb.Generate(textdb.Config{
+			NumDocs: 800, VocabSize: 500, MeanDocLen: 60,
+			PageSize: 1024, CachePages: 32, Seed: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sdb, err := spatialdb.Generate(spatialdb.Config{
+			Extent: 500, NumObjects: 5000, GridSize: 16,
+			PageSize: 1024, CachePages: 32, Seed: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchTextUDF = tdb.UDFs()[0]
+		benchWinUDF = sdb.UDFs()[1]
+	})
+	return benchTextUDF, benchWinUDF
+}
+
+// BenchmarkFig8Cell measures one cell of Figure 8 (synthetic accuracy) per
+// method: a full predict-observe pass over the workload.
+func BenchmarkFig8Cell(b *testing.B) {
+	s := surface(b)
+	for _, m := range harness.Methods() {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.RunSyntheticNAE(m, s, dist.KindUniform, benchOpts()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9Cell measures one real-UDF CPU-accuracy cell of Figure 9,
+// executing the UDF for every query.
+func BenchmarkFig9Cell(b *testing.B) {
+	text, win := realUDFs(b)
+	opts := benchOpts()
+	opts.Queries, opts.TrainQueries = 300, 300
+	for _, u := range []udf.UDF{text, win} {
+		b.Run(u.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.RunRealNAE(harness.MLQE, u, dist.KindUniform, harness.CPUCost, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10Breakdown measures the Figure 10(b) modeling-cost run.
+func BenchmarkFig10Breakdown(b *testing.B) {
+	surface(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig10Synthetic(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11aCell measures one disk-IO accuracy cell of Figure 11(a).
+func BenchmarkFig11aCell(b *testing.B) {
+	_, win := realUDFs(b)
+	opts := benchOpts()
+	opts.Queries, opts.TrainQueries = 300, 300
+	opts.Beta = 10
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.RunRealNAE(harness.MLQE, win, dist.KindUniform, harness.IOCost, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11bCell measures one noise-probability cell of Figure 11(b).
+func BenchmarkFig11bCell(b *testing.B) {
+	s := surface(b)
+	noisy, err := synthetic.NewNoisy(s, 0.3, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := benchOpts()
+	opts.Beta = 10
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.RunSyntheticNAE(harness.MLQE, noisy, dist.KindUniform, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12Curves measures the Figure 12 learning-curve run.
+func BenchmarkFig12Curves(b *testing.B) {
+	surface(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig12Synthetic(10, benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblateGamma measures one ablation sweep point (γ).
+func BenchmarkAblateGamma(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Ablate("gamma", []float64{0.01}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks: the operations behind APC and AUC (Fig. 10). ---
+
+func newBenchTree(b *testing.B, strat quadtree.Strategy, memNodes int) *quadtree.Tree {
+	t, err := quadtree.New(quadtree.Config{
+		Region:      geom.MustRect(geom.Point{0, 0, 0, 0}, geom.Point{1000, 1000, 1000, 1000}),
+		Strategy:    strat,
+		MemoryLimit: memNodes * quadtree.DefaultNodeBytes,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
+func randPoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000}
+	}
+	return pts
+}
+
+// BenchmarkInsert measures a single model update (IC + amortized CC) under
+// the paper's 1.8 KB budget, for both strategies.
+func BenchmarkInsert(b *testing.B) {
+	for _, strat := range []quadtree.Strategy{quadtree.Eager, quadtree.Lazy} {
+		b.Run(strat.String(), func(b *testing.B) {
+			t := newBenchTree(b, strat, 92)
+			pts := randPoints(4096, 7)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := t.Insert(pts[i%len(pts)], float64(i%10000)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPredict measures a single prediction (the paper's APC) on a tree
+// at its memory limit.
+func BenchmarkPredict(b *testing.B) {
+	t := newBenchTree(b, quadtree.Eager, 92)
+	pts := randPoints(4096, 8)
+	for i := 0; i < 20000; i++ {
+		t.Insert(pts[i%len(pts)], float64(i%10000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.PredictBeta(pts[i%len(pts)], 1)
+	}
+}
+
+// BenchmarkCompress measures one full compression pass over a large tree.
+func BenchmarkCompress(b *testing.B) {
+	pts := randPoints(8192, 9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		t := newBenchTree(b, quadtree.Eager, 1<<20)
+		for j := 0; j < 8192; j++ {
+			t.Insert(pts[j], float64(j%10000))
+		}
+		b.StartTimer()
+		t.Compress()
+	}
+}
+
+// BenchmarkHistogram measures SH training and prediction.
+func BenchmarkHistogram(b *testing.B) {
+	region := geom.MustRect(geom.Point{0, 0, 0, 0}, geom.Point{1000, 1000, 1000, 1000})
+	pts := randPoints(5000, 10)
+	samples := make([]histogram.Sample, len(pts))
+	for i, p := range pts {
+		samples[i] = histogram.Sample{Point: p, Value: float64(i % 1000)}
+	}
+	b.Run("Train", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := histogram.Train(histogram.EquiHeight, histogram.Config{Region: region}, samples); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	h, err := histogram.Train(histogram.EquiHeight, histogram.Config{Region: region}, samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Predict", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.Predict(pts[i%len(pts)])
+		}
+	})
+}
+
+// BenchmarkUDFExecution measures the substrate UDFs themselves — the
+// denominator of Figure 10's normalization.
+func BenchmarkUDFExecution(b *testing.B) {
+	text, win := realUDFs(b)
+	for _, u := range []udf.UDF{text, win} {
+		b.Run(u.Name(), func(b *testing.B) {
+			region := u.Region()
+			src := dist.NewUniform(region, 11)
+			pts := make([]geom.Point, 256)
+			for i := range pts {
+				pts[i] = src.Next()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u.Execute(pts[i%len(pts)])
+			}
+		})
+	}
+}
+
+// BenchmarkOptimizerQuery measures the end-to-end engine demo: predicate
+// ordering with live cost-model feedback.
+func BenchmarkOptimizerQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	table := &engine.Table{Name: "t"}
+	for i := 0; i < 500; i++ {
+		table.Rows = append(table.Rows, engine.Row{rng.Float64() * 100, rng.Float64() * 100})
+	}
+	for i := 0; i < b.N; i++ {
+		m, err := core.NewMLQ(quadtree.Config{
+			Region:      geom.MustRect(geom.Point{0}, geom.Point{100}),
+			MemoryLimit: 1843,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		preds := []*engine.Predicate{
+			{
+				Name:  "expensive",
+				Exec:  func(r engine.Row) (bool, float64) { return true, 100 + r[0] },
+				Point: func(r engine.Row) geom.Point { return geom.Point{r[0]} },
+				Model: m,
+			},
+			{
+				Name: "cheap",
+				Exec: func(r engine.Row) (bool, float64) { return r[1] < 20, 1 },
+			},
+		}
+		if _, err := engine.ExecuteQuery(table, preds, engine.OrderByRank); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNNTrain measures the neural-network baseline's a-priori training
+// cost (the paper's "very slow to train" claim, quantified).
+func BenchmarkNNTrain(b *testing.B) {
+	region := geom.MustRect(geom.Point{0, 0, 0, 0}, geom.Point{1000, 1000, 1000, 1000})
+	pts := randPoints(1000, 21)
+	samples := make([]histogram.Sample, len(pts))
+	for i, p := range pts {
+		samples[i] = histogram.Sample{Point: p, Value: p[0] + p[1]}
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := nncurve.Train(nncurve.Config{
+			Region: region, MemoryLimit: 1843, Epochs: 50, Seed: 1,
+		}, samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLEOObserve measures the LEO-style model's per-feedback cost
+// (log append plus amortized analysis pass).
+func BenchmarkLEOObserve(b *testing.B) {
+	region := geom.MustRect(geom.Point{0, 0, 0, 0}, geom.Point{1000, 1000, 1000, 1000})
+	m, err := leo.New(leo.Config{Region: region})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := randPoints(4096, 22)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Observe(pts[i%len(pts)], float64(i%1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSerialize measures model persistence (catalog writes at
+// optimizer checkpoint time).
+func BenchmarkSerialize(b *testing.B) {
+	t := newBenchTree(b, quadtree.Eager, 92)
+	pts := randPoints(4096, 23)
+	for i := 0; i < 20000; i++ {
+		t.Insert(pts[i%len(pts)], float64(i%10000))
+	}
+	b.Run("WriteTo", func(b *testing.B) {
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if _, err := t.WriteTo(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	var buf bytes.Buffer
+	if _, err := t.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	blob := buf.Bytes()
+	b.Run("Read", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := quadtree.Read(bytes.NewReader(blob)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkClone measures the snapshot cost for lock-free reader patterns.
+func BenchmarkClone(b *testing.B) {
+	t := newBenchTree(b, quadtree.Eager, 92)
+	pts := randPoints(4096, 24)
+	for i := 0; i < 20000; i++ {
+		t.Insert(pts[i%len(pts)], float64(i%10000))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Clone()
+	}
+}

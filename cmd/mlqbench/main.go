@@ -1,0 +1,233 @@
+// Command mlqbench regenerates the paper's evaluation (§5): every figure's
+// table is printed from a fresh run of the corresponding experiment.
+//
+// Usage:
+//
+//	mlqbench [-exp all|fig8|fig9|fig10|fig11|fig12|ablate] [-quick] [-seed N]
+//
+// Figures 9, 10(a), 11(a) and 12 execute the six "real" UDFs — the text and
+// spatial search engines built in this repository — for every query, so a
+// full run takes a few minutes; -quick shrinks the workloads ~10x while
+// preserving the qualitative shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mlq/internal/dist"
+	"mlq/internal/harness"
+	"mlq/internal/spatialdb"
+	"mlq/internal/textdb"
+	"mlq/internal/udf"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, fig8, fig9, fig10, fig11, fig12, shift, nn, leo, memcurve, cache, ablate")
+	seed := flag.Int64("seed", 1, "random seed")
+	quick := flag.Bool("quick", false, "shrink workloads ~10x for a fast smoke run")
+	queries := flag.Int("queries", 0, "override the test-workload length (0 = paper's values)")
+	mem := flag.Int("mem", 0, "override the model memory limit in bytes (0 = paper's 1.8 KB)")
+	trials := flag.Int("trials", 1, "replicate accuracy cells across N seeds (fig8 reports mean±std)")
+	flag.Parse()
+
+	if err := run(*exp, *seed, *quick, *queries, *mem, *trials); err != nil {
+		fmt.Fprintln(os.Stderr, "mlqbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, seed int64, quick bool, queries, mem, trials int) error {
+	synthOpts := harness.Options{Seed: seed, Queries: 5000, MemoryLimit: mem, Trials: trials}
+	realOpts := harness.Options{Seed: seed, Queries: 2500, MemoryLimit: mem}
+	if quick {
+		synthOpts.Queries, realOpts.Queries = 600, 400
+	}
+	if queries > 0 {
+		synthOpts.Queries, realOpts.Queries = queries, queries
+	}
+
+	needReal := exp == "all" || exp == "fig9" || exp == "fig10" || exp == "fig11" || exp == "fig12"
+	var udfs []udf.UDF
+	var winUDF udf.UDF
+	if needReal {
+		fmt.Fprintln(os.Stderr, "building text corpus and spatial map...")
+		start := time.Now()
+		tdb, err := textdb.Generate(textdb.Config{Seed: seed})
+		if err != nil {
+			return err
+		}
+		sdb, err := spatialdb.Generate(spatialdb.Config{Seed: seed + 1})
+		if err != nil {
+			return err
+		}
+		udfs = append(tdb.UDFs(), sdb.UDFs()...)
+		winUDF = sdb.UDFs()[1]
+		fmt.Fprintf(os.Stderr, "substrates ready in %v (%d docs, %d objects, %d disk pages)\n\n",
+			time.Since(start).Round(time.Millisecond), tdb.NumDocs(), sdb.NumObjects(),
+			tdb.Store().NumPages()+sdb.Store().NumPages())
+	}
+
+	did := false
+	runExp := func(name string, fn func() error) error {
+		if exp != "all" && exp != name {
+			return nil
+		}
+		did = true
+		start := time.Now()
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if err := runExp("fig8", func() error {
+		rows, err := harness.Fig8(nil, synthOpts)
+		if err != nil {
+			return err
+		}
+		harness.RenderFig8(os.Stdout, rows)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := runExp("fig9", func() error {
+		rows, err := harness.Fig9(udfs, realOpts)
+		if err != nil {
+			return err
+		}
+		harness.RenderFig9(os.Stdout, "Figure 9: prediction accuracy (NAE), real UDFs, CPU cost", rows)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := runExp("fig10", func() error {
+		real, err := harness.Fig10Real(winUDF, realOpts)
+		if err != nil {
+			return err
+		}
+		harness.RenderFig10(os.Stdout, "Figure 10(a): modeling costs, real UDF (WIN), uniform queries", real)
+		fmt.Println()
+		synth, err := harness.Fig10Synthetic(synthOpts)
+		if err != nil {
+			return err
+		}
+		harness.RenderFig10(os.Stdout, "Figure 10(b): modeling costs, synthetic UDF, uniform queries", synth)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := runExp("fig11", func() error {
+		real, err := harness.Fig11a(udfs, realOpts)
+		if err != nil {
+			return err
+		}
+		harness.RenderFig9(os.Stdout, "Figure 11(a): prediction accuracy (NAE), real UDFs, disk IO cost, beta=10", real)
+		fmt.Println()
+		synth, err := harness.Fig11b(nil, synthOpts)
+		if err != nil {
+			return err
+		}
+		harness.RenderFig11b(os.Stdout, synth)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := runExp("fig12", func() error {
+		synth, err := harness.Fig12Synthetic(25, synthOpts)
+		if err != nil {
+			return err
+		}
+		harness.RenderFig12(os.Stdout, "Figure 12: prediction error vs data points processed (synthetic, uniform)", synth)
+		fmt.Println()
+		real, err := harness.Fig12Real(winUDF, 25, realOpts)
+		if err != nil {
+			return err
+		}
+		harness.RenderFig12(os.Stdout, "Figure 12: prediction error vs data points processed (WIN, uniform)", real)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := runExp("shift", func() error {
+		series, err := harness.Shift(16, synthOpts)
+		if err != nil {
+			return err
+		}
+		harness.RenderShift(os.Stdout, series)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := runExp("nn", func() error {
+		rows, err := harness.NNComparison(dist.KindGaussianRandom, synthOpts)
+		if err != nil {
+			return err
+		}
+		harness.RenderNN(os.Stdout, dist.KindGaussianRandom.String(), rows)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := runExp("cache", func() error {
+		rows, err := harness.CachePolicies(realOpts)
+		if err != nil {
+			return err
+		}
+		harness.RenderCachePolicies(os.Stdout, rows)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := runExp("memcurve", func() error {
+		rows, err := harness.MemCurve(nil, dist.KindGaussianRandom, synthOpts)
+		if err != nil {
+			return err
+		}
+		harness.RenderMemCurve(os.Stdout, dist.KindGaussianRandom.String(), rows)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := runExp("leo", func() error {
+		rows, err := harness.LEOComparison(dist.KindGaussianRandom, synthOpts)
+		if err != nil {
+			return err
+		}
+		harness.RenderLEO(os.Stdout, dist.KindGaussianRandom.String(), rows)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := runExp("ablate", func() error {
+		for _, param := range harness.AblationParams() {
+			rows, err := harness.Ablate(param, nil, synthOpts)
+			if err != nil {
+				return err
+			}
+			harness.RenderAblation(os.Stdout, rows)
+			fmt.Println()
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if !did {
+		return fmt.Errorf("unknown experiment %q (want all, fig8, fig9, fig10, fig11, fig12, shift, nn, leo, memcurve, cache, ablate)", exp)
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+// The experiment plumbing is covered in internal/harness; these tests pin
+// the CLI wiring: every experiment name resolves and runs end to end on a
+// tiny workload.
+func TestRunEachExperiment(t *testing.T) {
+	for _, exp := range []string{"fig8", "fig10", "fig12", "shift", "nn", "leo", "ablate"} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			if err := run(exp, 1, true, 120, 0, 1); err != nil {
+				t.Fatalf("run(%q): %v", exp, err)
+			}
+		})
+	}
+}
+
+func TestRunRealExperimentsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the full substrates")
+	}
+	for _, exp := range []string{"fig9", "fig11"} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			if err := run(exp, 1, true, 60, 0, 1); err != nil {
+				t.Fatalf("run(%q): %v", exp, err)
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nonsense", 1, true, 50, 0, 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunMemoryOverride(t *testing.T) {
+	if err := run("fig8", 2, true, 100, 4096, 2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"testing"
+
+	"mlq/internal/engine"
+)
+
+func TestRunDefaultQuery(t *testing.T) {
+	if err := run(defaultQuery, 300, 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadQuery(t *testing.T) {
+	if err := run("SELECT * FROM nope", 50, 1, false); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if err := run("not sql at all", 50, 1, false); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestAllRegisteredUDFsExecute(t *testing.T) {
+	db, err := buildDB(120, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT * FROM requests WHERE win_count(x, y, area) >= 0",
+		"SELECT * FROM requests WHERE range_count(x, y, r) >= 0",
+		"SELECT * FROM requests WHERE knn_dist(x, y, k) >= 0",
+		"SELECT * FROM requests WHERE doc_count(rank, n) >= 0",
+		"SELECT * FROM requests WHERE thresh_count(rank, m) >= 0",
+		"SELECT * FROM requests WHERE prox_count(rank, w) >= 0",
+	}
+	for _, q := range queries {
+		res, err := db.Exec(q, engine.OrderByRank)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if len(res.Rows) != 120 {
+			t.Errorf("%s: selected %d of 120 with an always-true predicate", q, len(res.Rows))
+		}
+		if res.Stats.TotalCost <= 0 {
+			t.Errorf("%s: no UDF cost recorded", q)
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if got := sqrtPos(0); got != 1 {
+		t.Errorf("sqrtPos(0) = %g, want 1 (clamped)", got)
+	}
+	if got := sqrtPos(10000); got != 100 {
+		t.Errorf("sqrtPos(10000) = %g", got)
+	}
+	if maxF(2, 3) != 3 || maxF(4, 1) != 4 {
+		t.Error("maxF broken")
+	}
+}

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlq/internal/catalog"
+	"mlq/internal/core"
+	"mlq/internal/geom"
+	"mlq/internal/histogram"
+)
+
+// This file adds static-histogram training and catalog management:
+//
+//	mlqtool train-sh -model m.shh -data obs.csv -lo ... -hi ... [-height]
+//	mlqtool catalog put  -catalog c.cat -name WIN -cpu m1.mlq [-io m2.mlq]
+//	mlqtool catalog list -catalog c.cat
+//	mlqtool catalog rm   -catalog c.cat -name WIN
+
+func cmdTrainSH(args []string) error {
+	fs := flag.NewFlagSet("train-sh", flag.ExitOnError)
+	modelPath := fs.String("model", "", "output model file")
+	dataPath := fs.String("data", "", "training CSV: x1,...,xd,cost")
+	loStr := fs.String("lo", "", "lower bounds, comma separated")
+	hiStr := fs.String("hi", "", "upper bounds, comma separated")
+	height := fs.Bool("height", false, "equi-height (SH-H) instead of equi-width (SH-W)")
+	mem := fs.Int("mem", 1843, "memory limit in bytes")
+	fs.Parse(args)
+	if *modelPath == "" || *dataPath == "" || *loStr == "" || *hiStr == "" {
+		return fmt.Errorf("train-sh requires -model, -data, -lo and -hi")
+	}
+	lo, err := parsePoint(*loStr)
+	if err != nil {
+		return fmt.Errorf("-lo: %w", err)
+	}
+	hi, err := parsePoint(*hiStr)
+	if err != nil {
+		return fmt.Errorf("-hi: %w", err)
+	}
+	region, err := geom.NewRect(lo, hi)
+	if err != nil {
+		return err
+	}
+	var samples []histogram.Sample
+	err = readRows(*dataPath, region.Dims()+1, func(rec []float64) error {
+		samples = append(samples, histogram.Sample{
+			Point: geom.Point(rec[:len(rec)-1]).Clone(),
+			Value: rec[len(rec)-1],
+		})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	kind := histogram.EquiWidth
+	if *height {
+		kind = histogram.EquiHeight
+	}
+	h, err := histogram.Train(kind, histogram.Config{Region: region, MemoryLimit: *mem}, samples)
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if _, err := h.WriteTo(out); err != nil {
+		return err
+	}
+	fmt.Printf("trained %s on %d samples: %d intervals/dim, %d buckets, %d B\n",
+		h.Name(), len(samples), h.Intervals(), h.Buckets(), h.MemoryUsed())
+	return nil
+}
+
+// loadAnyModel loads either an MLQ model or a histogram by sniffing magic.
+func loadAnyModel(path string) (core.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if m, err := core.ReadMLQ(f); err == nil {
+		return m, nil
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	h, err := histogram.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s is neither an MLQ model nor a histogram: %w", path, err)
+	}
+	return h, nil
+}
+
+// loadCatalog reads a catalog file, returning an empty catalog for a
+// missing file so `put` can bootstrap one.
+func loadCatalog(path string) (*catalog.Catalog, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return catalog.New(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return catalog.Read(f)
+}
+
+func saveCatalog(path string, c *catalog.Catalog) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = c.WriteTo(f)
+	return err
+}
+
+func cmdCatalog(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("catalog requires a subcommand: put, list, rm")
+	}
+	switch args[0] {
+	case "put":
+		return cmdCatalogPut(args[1:])
+	case "list":
+		return cmdCatalogList(args[1:])
+	case "rm":
+		return cmdCatalogRm(args[1:])
+	default:
+		return fmt.Errorf("unknown catalog subcommand %q (want put, list, rm)", args[0])
+	}
+}
+
+func cmdCatalogPut(args []string) error {
+	fs := flag.NewFlagSet("catalog put", flag.ExitOnError)
+	catPath := fs.String("catalog", "", "catalog file (created if missing)")
+	name := fs.String("name", "", "UDF name")
+	cpuPath := fs.String("cpu", "", "CPU cost model file")
+	ioPath := fs.String("io", "", "IO cost model file (optional)")
+	fs.Parse(args)
+	if *catPath == "" || *name == "" || *cpuPath == "" {
+		return fmt.Errorf("catalog put requires -catalog, -name and -cpu")
+	}
+	c, err := loadCatalog(*catPath)
+	if err != nil {
+		return err
+	}
+	cpu, err := loadAnyModel(*cpuPath)
+	if err != nil {
+		return err
+	}
+	var ioModel core.Model
+	if *ioPath != "" {
+		if ioModel, err = loadAnyModel(*ioPath); err != nil {
+			return err
+		}
+	}
+	if err := c.Put(*name, cpu, ioModel); err != nil {
+		return err
+	}
+	if err := saveCatalog(*catPath, c); err != nil {
+		return err
+	}
+	fmt.Printf("catalog now holds %d UDF(s)\n", c.Len())
+	return nil
+}
+
+func cmdCatalogList(args []string) error {
+	fs := flag.NewFlagSet("catalog list", flag.ExitOnError)
+	catPath := fs.String("catalog", "", "catalog file")
+	fs.Parse(args)
+	if *catPath == "" {
+		return fmt.Errorf("catalog list requires -catalog")
+	}
+	c, err := loadCatalog(*catPath)
+	if err != nil {
+		return err
+	}
+	for _, name := range c.Names() {
+		e, _ := c.Get(name)
+		cpu, io := "-", "-"
+		if e.CPU != nil {
+			cpu = e.CPU.Name()
+			if m, ok := e.CPU.(*core.MLQ); ok {
+				cpu = fmt.Sprintf("%s (%d nodes)", cpu, m.Tree().NodeCount())
+			}
+		}
+		if e.IO != nil {
+			io = e.IO.Name()
+		}
+		fmt.Printf("%-20s cpu=%-20s io=%s\n", name, cpu, io)
+	}
+	return nil
+}
+
+func cmdCatalogRm(args []string) error {
+	fs := flag.NewFlagSet("catalog rm", flag.ExitOnError)
+	catPath := fs.String("catalog", "", "catalog file")
+	name := fs.String("name", "", "UDF name")
+	fs.Parse(args)
+	if *catPath == "" || *name == "" {
+		return fmt.Errorf("catalog rm requires -catalog and -name")
+	}
+	c, err := loadCatalog(*catPath)
+	if err != nil {
+		return err
+	}
+	if _, ok := c.Get(*name); !ok {
+		return fmt.Errorf("catalog has no entry %q", *name)
+	}
+	c.Delete(*name)
+	return saveCatalog(*catPath, c)
+}

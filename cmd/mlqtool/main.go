@@ -1,0 +1,264 @@
+// Command mlqtool trains, inspects, and queries MLQ cost models from the
+// command line. Models are stored in the compact binary format of
+// internal/quadtree, so a model trained here can be loaded by any program
+// using the library.
+//
+// Usage:
+//
+//	mlqtool train   -model m.mlq -data obs.csv -lo 0,0 -hi 1000,1000 [-lazy] [-mem 1843]
+//	mlqtool predict -model m.mlq -data queries.csv [-beta 1]
+//	mlqtool stats   -model m.mlq
+//	mlqtool dump    -model m.mlq
+//
+// CSV rows are "x1,...,xd,cost" for train and "x1,...,xd" for predict;
+// lines starting with '#' are skipped.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"mlq/internal/core"
+	"mlq/internal/geom"
+	"mlq/internal/quadtree"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "train-sh":
+		err = cmdTrainSH(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "dump":
+		err = cmdDump(os.Args[2:])
+	case "catalog":
+		err = cmdCatalog(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlqtool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mlqtool <train|train-sh|predict|stats|dump|catalog> [flags]
+  train    -model FILE -data CSV -lo a,b,... -hi a,b,... [-lazy] [-mem N] [-depth N] [-alpha F] [-beta N] [-gamma F]
+  train-sh -model FILE -data CSV -lo a,b,... -hi a,b,... [-height] [-mem N]
+  predict  -model FILE -data CSV [-beta N]
+  stats    -model FILE
+  dump     -model FILE
+  catalog  put -catalog FILE -name UDF -cpu FILE [-io FILE]
+  catalog  list -catalog FILE
+  catalog  rm -catalog FILE -name UDF`)
+}
+
+// parsePoint parses a comma-separated coordinate list.
+func parsePoint(s string) (geom.Point, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty coordinate list")
+	}
+	parts := strings.Split(s, ",")
+	p := make(geom.Point, len(parts))
+	for i, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("coordinate %d: %w", i, err)
+		}
+		p[i] = v
+	}
+	return p, nil
+}
+
+// readRows streams CSV records of the expected width, skipping comments.
+func readRows(path string, width int, fn func(rec []float64) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.Comment = '#'
+	r.FieldsPerRecord = width
+	line := 0
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		line++
+		vals := make([]float64, len(rec))
+		for i, c := range rec {
+			v, err := strconv.ParseFloat(strings.TrimSpace(c), 64)
+			if err != nil {
+				return fmt.Errorf("record %d field %d: %w", line, i, err)
+			}
+			vals[i] = v
+		}
+		if err := fn(vals); err != nil {
+			return err
+		}
+	}
+}
+
+func loadModel(path string) (*core.MLQ, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.ReadMLQ(f)
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	modelPath := fs.String("model", "", "output model file")
+	dataPath := fs.String("data", "", "training CSV: x1,...,xd,cost")
+	loStr := fs.String("lo", "", "lower bounds, comma separated")
+	hiStr := fs.String("hi", "", "upper bounds, comma separated")
+	lazy := fs.Bool("lazy", false, "use lazy insertion (MLQ-L) instead of eager (MLQ-E)")
+	mem := fs.Int("mem", 1843, "memory limit in bytes")
+	depth := fs.Int("depth", 6, "maximum tree depth (lambda)")
+	alpha := fs.Float64("alpha", 0.05, "lazy threshold scale")
+	beta := fs.Int("beta", 1, "default prediction beta")
+	gamma := fs.Float64("gamma", 0.001, "compression fraction")
+	fs.Parse(args)
+	if *modelPath == "" || *dataPath == "" || *loStr == "" || *hiStr == "" {
+		return fmt.Errorf("train requires -model, -data, -lo and -hi")
+	}
+	lo, err := parsePoint(*loStr)
+	if err != nil {
+		return fmt.Errorf("-lo: %w", err)
+	}
+	hi, err := parsePoint(*hiStr)
+	if err != nil {
+		return fmt.Errorf("-hi: %w", err)
+	}
+	region, err := geom.NewRect(lo, hi)
+	if err != nil {
+		return err
+	}
+	strat := quadtree.Eager
+	if *lazy {
+		strat = quadtree.Lazy
+	}
+	model, err := core.NewMLQ(quadtree.Config{
+		Region: region, Strategy: strat, MaxDepth: *depth,
+		Alpha: *alpha, Beta: *beta, Gamma: *gamma, MemoryLimit: *mem,
+	})
+	if err != nil {
+		return err
+	}
+	n := 0
+	err = readRows(*dataPath, region.Dims()+1, func(rec []float64) error {
+		n++
+		return model.Observe(geom.Point(rec[:len(rec)-1]), rec[len(rec)-1])
+	})
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if _, err := model.WriteTo(out); err != nil {
+		return err
+	}
+	st := model.Tree().Stats()
+	fmt.Printf("trained %s on %d observations: %d nodes, %d B, %d compressions\n",
+		model.Name(), n, st.Nodes, st.MemoryBytes, st.Compressions)
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	modelPath := fs.String("model", "", "model file")
+	dataPath := fs.String("data", "", "query CSV: x1,...,xd")
+	beta := fs.Int("beta", 0, "override prediction beta (0 = model default)")
+	fs.Parse(args)
+	if *modelPath == "" || *dataPath == "" {
+		return fmt.Errorf("predict requires -model and -data")
+	}
+	model, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	dims := model.Tree().Config().Region.Dims()
+	return readRows(*dataPath, dims, func(rec []float64) error {
+		var v float64
+		var ok bool
+		if *beta > 0 {
+			v, ok = model.PredictBeta(geom.Point(rec), *beta)
+		} else {
+			v, ok = model.Predict(geom.Point(rec))
+		}
+		if !ok {
+			fmt.Println("NA")
+			return nil
+		}
+		fmt.Printf("%g\n", v)
+		return nil
+	})
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	modelPath := fs.String("model", "", "model file")
+	fs.Parse(args)
+	if *modelPath == "" {
+		return fmt.Errorf("stats requires -model")
+	}
+	model, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	cfg := model.Tree().Config()
+	st := model.Tree().Stats()
+	fmt.Printf("method:        %s\n", model.Name())
+	fmt.Printf("region:        %v\n", cfg.Region)
+	fmt.Printf("lambda:        %d\n", cfg.MaxDepth)
+	fmt.Printf("alpha:         %g\n", cfg.Alpha)
+	fmt.Printf("beta:          %d\n", cfg.Beta)
+	fmt.Printf("gamma:         %g\n", cfg.Gamma)
+	fmt.Printf("memory:        %d / %d bytes\n", st.MemoryBytes, cfg.MemoryLimit)
+	fmt.Printf("nodes:         %d (%d leaves, depth %d)\n", st.Nodes, st.Leaves, st.MaxDepth)
+	fmt.Printf("inserts:       %d\n", st.Inserts)
+	fmt.Printf("compressions:  %d (%d nodes removed)\n", st.Compressions, st.RemovedNodes)
+	fmt.Printf("TSSENC:        %g\n", st.TSSENC)
+	return nil
+}
+
+func cmdDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	modelPath := fs.String("model", "", "model file")
+	fs.Parse(args)
+	if *modelPath == "" {
+		return fmt.Errorf("dump requires -model")
+	}
+	model, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	model.Tree().Dump(os.Stdout)
+	return nil
+}

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mlq/internal/geom"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParsePoint(t *testing.T) {
+	p, err := parsePoint("1, 2.5,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 3 || p[0] != 1 || p[1] != 2.5 || p[2] != 3 {
+		t.Errorf("parsePoint = %v", p)
+	}
+	if _, err := parsePoint(""); err == nil {
+		t.Error("empty list accepted")
+	}
+	if _, err := parsePoint("1,x"); err == nil {
+		t.Error("garbage coordinate accepted")
+	}
+}
+
+func TestTrainPredictStatsDump(t *testing.T) {
+	dir := t.TempDir()
+	train := writeFile(t, dir, "train.csv", "# x,y,cost\n1,1,5\n2,2,10\n8,8,50\n8,9,60\n")
+	queries := writeFile(t, dir, "q.csv", "1,1\n8,8\n")
+	model := filepath.Join(dir, "m.mlq")
+
+	if err := cmdTrain([]string{"-model", model, "-data", train, "-lo", "0,0", "-hi", "10,10", "-lazy"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Fatal("model file not written")
+	}
+	if err := cmdPredict([]string{"-model", model, "-data", queries}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPredict([]string{"-model", model, "-data", queries, "-beta", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStats([]string{"-model", model}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDump([]string{"-model", model}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The persisted model must make the expected predictions.
+	m, err := loadModel(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "MLQ-L" {
+		t.Errorf("model name %q, want MLQ-L (trained with -lazy)", m.Name())
+	}
+	if got, _ := m.Predict(geom.Point{1, 1}); got != 5 {
+		t.Errorf("predict(1,1) = %g, want 5", got)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	dir := t.TempDir()
+	train := writeFile(t, dir, "train.csv", "1,1,5\n")
+	model := filepath.Join(dir, "m.mlq")
+	cases := [][]string{
+		{},
+		{"-model", model},
+		{"-model", model, "-data", train},
+		{"-model", model, "-data", train, "-lo", "0,0"},
+		{"-model", model, "-data", train, "-lo", "0,0", "-hi", "bad"},
+		{"-model", model, "-data", train, "-lo", "1,1", "-hi", "0,0"},
+		{"-model", model, "-data", filepath.Join(dir, "missing.csv"), "-lo", "0,0", "-hi", "1,1"},
+	}
+	for i, args := range cases {
+		if err := cmdTrain(args); err == nil {
+			t.Errorf("case %d: bad train args accepted: %v", i, args)
+		}
+	}
+	// Wrong CSV width.
+	bad := writeFile(t, dir, "bad.csv", "1,2\n")
+	if err := cmdTrain([]string{"-model", model, "-data", bad, "-lo", "0,0", "-hi", "10,10"}); err == nil {
+		t.Error("wrong-width CSV accepted")
+	}
+	// Non-numeric field.
+	nonNum := writeFile(t, dir, "nonnum.csv", "1,2,x\n")
+	if err := cmdTrain([]string{"-model", model, "-data", nonNum, "-lo", "0,0", "-hi", "10,10"}); err == nil {
+		t.Error("non-numeric CSV accepted")
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdPredict([]string{}); err == nil {
+		t.Error("missing flags accepted")
+	}
+	garbage := writeFile(t, dir, "bad.mlq", "not a model at all")
+	q := writeFile(t, dir, "q.csv", "1,1\n")
+	if err := cmdPredict([]string{"-model", garbage, "-data", q}); err == nil {
+		t.Error("garbage model accepted")
+	}
+	if err := cmdStats([]string{"-model", garbage}); err == nil {
+		t.Error("garbage model accepted by stats")
+	}
+	if err := cmdDump([]string{"-model", garbage}); err == nil {
+		t.Error("garbage model accepted by dump")
+	}
+	if err := cmdStats([]string{}); err == nil || !strings.Contains(err.Error(), "-model") {
+		t.Error("stats without -model accepted")
+	}
+	if err := cmdDump([]string{}); err == nil {
+		t.Error("dump without -model accepted")
+	}
+}
+
+func TestTrainSHAndCatalog(t *testing.T) {
+	dir := t.TempDir()
+	train := writeFile(t, dir, "train.csv", "1,1,5\n2,2,10\n8,8,50\n")
+	mlqModel := filepath.Join(dir, "m.mlq")
+	shModel := filepath.Join(dir, "m.shh")
+	cat := filepath.Join(dir, "models.cat")
+
+	if err := cmdTrain([]string{"-model", mlqModel, "-data", train, "-lo", "0,0", "-hi", "10,10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTrainSH([]string{"-model", shModel, "-data", train, "-lo", "0,0", "-hi", "10,10", "-height"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both model kinds load through the sniffing loader.
+	m1, err := loadAnyModel(mlqModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Name() != "MLQ-E" {
+		t.Errorf("mlq model name %q", m1.Name())
+	}
+	m2, err := loadAnyModel(shModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Name() != "SH-H" {
+		t.Errorf("sh model name %q", m2.Name())
+	}
+
+	// Catalog round trip through the CLI.
+	if err := cmdCatalog([]string{"put", "-catalog", cat, "-name", "WIN", "-cpu", mlqModel, "-io", shModel}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCatalog([]string{"put", "-catalog", cat, "-name", "KNN", "-cpu", shModel}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCatalog([]string{"list", "-catalog", cat}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := loadCatalog(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("catalog holds %d entries, want 2", c.Len())
+	}
+	e, ok := c.Get("WIN")
+	if !ok || e.CPU.Name() != "MLQ-E" || e.IO.Name() != "SH-H" {
+		t.Fatal("WIN entry malformed after CLI round trip")
+	}
+	if err := cmdCatalog([]string{"rm", "-catalog", cat, "-name", "KNN"}); err != nil {
+		t.Fatal(err)
+	}
+	c, _ = loadCatalog(cat)
+	if c.Len() != 1 {
+		t.Errorf("catalog holds %d entries after rm, want 1", c.Len())
+	}
+}
+
+func TestCatalogCLIValidation(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdCatalog(nil); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+	if err := cmdCatalog([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := cmdCatalogPut([]string{}); err == nil {
+		t.Error("put without flags accepted")
+	}
+	if err := cmdCatalogList([]string{}); err == nil {
+		t.Error("list without flags accepted")
+	}
+	if err := cmdCatalogRm([]string{"-catalog", filepath.Join(dir, "none.cat"), "-name", "X"}); err == nil {
+		t.Error("rm of missing entry accepted")
+	}
+	garbage := writeFile(t, dir, "bad.bin", "garbage")
+	if _, err := loadAnyModel(garbage); err == nil {
+		t.Error("garbage model accepted by sniffing loader")
+	}
+	if err := cmdTrainSH([]string{}); err == nil {
+		t.Error("train-sh without flags accepted")
+	}
+}

@@ -1,0 +1,36 @@
+// Package mlq is a from-scratch Go reproduction of "Self-tuning UDF Cost
+// Modeling Using the Memory-Limited Quadtree" (He, Lee, Snapp — EDBT 2004).
+//
+// The library implements the paper's contribution — the memory-limited
+// quadtree (MLQ), a self-tuning UDF execution-cost model that learns from
+// query feedback under a strict memory budget — together with every
+// substrate its evaluation depends on: the static-histogram baselines, the
+// synthetic workload generators, a simulated ORDBMS (page store, LRU buffer
+// cache, text-search and spatial-search engines exposing the paper's six
+// "real" UDFs), a predicate-ordering query optimizer, and an experiment
+// harness that regenerates every figure of the evaluation section.
+//
+// Layout:
+//
+//	internal/quadtree    the MLQ data structure (§4)
+//	internal/core        cost-model API: Model, Estimator, instrumentation
+//	internal/histogram   SH-W and SH-H baselines
+//	internal/synthetic   peak/decay synthetic cost surfaces (§5.1)
+//	internal/dist        query-point distributions (§5.1)
+//	internal/workload    query streams and SH training-set collection
+//	internal/metrics     NAE, learning curves, APC/AUC support
+//	internal/pagestore   simulated disk pages
+//	internal/buffercache LRU buffer cache (the IO-noise source)
+//	internal/textdb      keyword-search engine: SIMPLE, THRESH, PROX
+//	internal/spatialdb   spatial engine: KNN, WIN, RANGE
+//	internal/engine      mini ORDBMS executor with the Fig. 1 feedback loop
+//	internal/optimizer   rank ordering of expensive predicates
+//	internal/harness     Experiments 1-4 and parameter ablations
+//	cmd/mlqbench         regenerate every figure
+//	cmd/mlqtool          train/predict/inspect models from CSV
+//	cmd/udfsim           end-to-end self-tuning optimizer demo
+//	examples/...         runnable API tours
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package mlq

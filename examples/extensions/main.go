@@ -1,0 +1,104 @@
+// Extensions: the features the paper defers to future work (§3), built on
+// the same MLQ machinery — nominal (categorical) UDF arguments, ordinal
+// arguments with unknown ranges, and a persistent model catalog.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mlq/internal/catalog"
+	"mlq/internal/core"
+	"mlq/internal/geom"
+	"mlq/internal/quadtree"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+
+	// --- 1. Nominal arguments -------------------------------------------
+	// A UDF decode(format, size): cost depends on size ordinally but on
+	// format categorically — "png" costs 20x "jpeg" at the same size.
+	fmt.Println("== categorical arguments ==")
+	factory := func() (core.Model, error) {
+		return core.NewMLQ(quadtree.Config{
+			Region:      geom.MustRect(geom.Point{0}, geom.Point{100}),
+			MemoryLimit: 1843,
+		})
+	}
+	cat, err := core.NewCategorical(factory, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	costOf := map[string]float64{"jpeg": 1, "png": 20, "tiff": 7}
+	for i := 0; i < 6000; i++ {
+		size := rng.Float64() * 100
+		for format, scale := range costOf {
+			if err := cat.Observe(format, geom.Point{size}, scale*size); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	for _, format := range cat.Categories() {
+		pred, _ := cat.Predict(format, geom.Point{50})
+		fmt.Printf("decode(%-4s, size=50): predicted %7.1f  (true %7.1f)\n",
+			format, pred, costOf[format]*50)
+	}
+
+	// --- 2. Unknown argument ranges --------------------------------------
+	// The model starts with a tiny guessed region and grows as larger
+	// arguments arrive, keeping what it learned via a reservoir replay.
+	fmt.Println("\n== unknown ranges (auto-expanding region) ==")
+	ar, err := core.NewAutoRange(quadtree.Config{
+		Region:      geom.MustRect(geom.Point{0}, geom.Point{10}),
+		MemoryLimit: 1843,
+	}, 512, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cost := func(x float64) float64 { return 2 * x }
+	for i := 0; i < 5000; i++ {
+		// Arguments grow over time far beyond the initial [0, 10) guess.
+		x := rng.Float64() * float64(10*(1+i/500))
+		if err := ar.Observe(geom.Point{x}, cost(x)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("region grew to %v after %d expansions\n", ar.Region(), ar.Rebuilds())
+	for _, x := range []float64{5, 50, 90} {
+		pred, _ := ar.Predict(geom.Point{x})
+		fmt.Printf("cost(%4.0f): predicted %6.1f (true %6.1f)\n", x, pred, cost(x))
+	}
+
+	// --- 3. Model catalog -------------------------------------------------
+	// Persist every UDF's CPU+IO models in one stream, as a DBMS catalog
+	// would across restarts.
+	fmt.Println("\n== model catalog ==")
+	cpu, _ := factory()
+	io, _ := factory()
+	for i := 0; i < 1000; i++ {
+		x := rng.Float64() * 100
+		cpu.Observe(geom.Point{x}, x*x/10)
+		io.Observe(geom.Point{x}, x/5)
+	}
+	c := catalog.New()
+	if err := c.Put("SimilarityDistance", cpu, io); err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := catalog.Read(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	entry, _ := reloaded.Get("SimilarityDistance")
+	p := geom.Point{60}
+	pc, _ := entry.CPU.Predict(p)
+	pi, _ := entry.IO.Predict(p)
+	fmt.Printf("catalog persisted %d UDF(s); after reload: cpu(60)=%.1f io(60)=%.1f\n",
+		reloaded.Len(), pc, pi)
+}

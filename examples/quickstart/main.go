@@ -1,0 +1,73 @@
+// Quickstart: build a memory-limited quadtree cost model, feed it UDF
+// execution feedback, make predictions, and persist it — the minimal tour
+// of the library's public API.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math"
+
+	"mlq/internal/core"
+	"mlq/internal/geom"
+	"mlq/internal/quadtree"
+)
+
+func main() {
+	// A UDF with two model variables, each ranging over [0, 100).
+	// The model is allowed 1.8 KB of memory — the paper's budget.
+	model, err := core.NewMLQ(quadtree.Config{
+		Region:      geom.MustRect(geom.Point{0, 0}, geom.Point{100, 100}),
+		Strategy:    quadtree.Lazy, // MLQ-L; quadtree.Eager gives MLQ-E
+		MemoryLimit: 1843,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate the query feedback loop: each UDF execution reports its
+	// actual cost, here cost(x, y) = x*y/10 + 5.
+	cost := func(x, y float64) float64 { return x*y/10 + 5 }
+	for i := 0; i < 20000; i++ {
+		x, y := float64(i%100), float64((i*37)%100)
+		if err := model.Observe(geom.Point{x, y}, cost(x, y)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Predict at a few points and compare with the truth.
+	fmt.Println("point          predicted    actual")
+	for _, p := range []geom.Point{{10, 10}, {50, 50}, {90, 90}} {
+		pred, ok := model.Predict(p)
+		if !ok {
+			log.Fatal("model has no data")
+		}
+		fmt.Printf("%-12v   %8.1f   %8.1f\n", p, pred, cost(p[0], p[1]))
+	}
+
+	// The model stayed within its memory budget throughout.
+	st := model.Tree().Stats()
+	fmt.Printf("\nmemory: %d bytes (%d nodes, %d compressions over %d inserts)\n",
+		st.MemoryBytes, st.Nodes, st.Compressions, st.Inserts)
+	if st.MemoryBytes > 1843 {
+		log.Fatal("memory limit violated")
+	}
+
+	// Persist and reload: predictions survive byte-for-byte.
+	var buf bytes.Buffer
+	size, err := model.WriteTo(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := core.ReadMLQ(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, _ := model.Predict(geom.Point{42, 42})
+	b, _ := reloaded.Predict(geom.Point{42, 42})
+	if math.Abs(a-b) > 1e-12 {
+		log.Fatalf("reloaded model diverged: %g vs %g", a, b)
+	}
+	fmt.Printf("serialized to %d bytes; reloaded model agrees (%.1f)\n", size, b)
+}

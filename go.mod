@@ -1,0 +1,3 @@
+module mlq
+
+go 1.22

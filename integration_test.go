@@ -1,0 +1,162 @@
+// Whole-system integration test: the complete Figure-1 loop over the real
+// substrates, across a simulated DBMS restart. An optimizer session runs
+// UDF-predicate queries against the text and spatial engines with
+// self-tuning cost models, persists the models in a catalog, "restarts",
+// reloads the catalog, and keeps planning with the retained knowledge.
+package mlq_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mlq/internal/catalog"
+	"mlq/internal/core"
+	"mlq/internal/engine"
+	"mlq/internal/geom"
+	"mlq/internal/quadtree"
+	"mlq/internal/spatialdb"
+	"mlq/internal/textdb"
+)
+
+func TestEndToEndSelfTuningAcrossRestart(t *testing.T) {
+	tdb, err := textdb.Generate(textdb.Config{
+		NumDocs: 600, VocabSize: 400, MeanDocLen: 50,
+		PageSize: 512, CachePages: 32, Seed: 101,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdb, err := spatialdb.Generate(spatialdb.Config{
+		Extent: 400, NumObjects: 3000, GridSize: 12,
+		PageSize: 512, CachePages: 32, Seed: 102,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	newModel := func(lo, hi geom.Point) *core.MLQ {
+		m, err := core.NewMLQ(quadtree.Config{
+			Region:      geom.MustRect(lo, hi),
+			Strategy:    quadtree.Lazy,
+			MemoryLimit: 1843,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	buildPreds := func(winModel, textModel core.Model) []*engine.Predicate {
+		return []*engine.Predicate{
+			{
+				Name: "NearUrbanArea",
+				Exec: func(row engine.Row) (bool, float64) {
+					objs, stats, err := sdb.Window(row[0]-15, row[1]-15, 30, 30)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return len(objs) > 0, stats.CPU + 10*stats.IO
+				},
+				Point: func(row engine.Row) geom.Point { return geom.Point{row[0], row[1]} },
+				Model: winModel,
+			},
+			{
+				Name: "HasKeyword",
+				Exec: func(row engine.Row) (bool, float64) {
+					w := tdb.VocabSize()/2 + int(row[2])/2
+					docs, stats, err := tdb.SearchSimple([]int{w})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return len(docs) > 0, stats.CPU + 10*stats.IO
+				},
+				Point: func(row engine.Row) geom.Point { return geom.Point{row[2]} },
+				Model: textModel,
+			},
+		}
+	}
+
+	table := &engine.Table{Name: "requests"}
+	rng := rand.New(rand.NewSource(103))
+	for i := 0; i < 800; i++ {
+		table.Rows = append(table.Rows, engine.Row{
+			rng.Float64() * 400, rng.Float64() * 400,
+			rng.Float64() * float64(tdb.VocabSize()),
+		})
+	}
+
+	// --- Session 1: run with fresh models, then checkpoint the catalog.
+	winModel := newModel(geom.Point{0, 0}, geom.Point{400, 400})
+	textModel := newModel(geom.Point{0}, geom.Point{float64(tdb.VocabSize())})
+	res1, err := engine.ExecuteQuery(table, buildPreds(winModel, textModel), engine.OrderByRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Selected == 0 {
+		t.Fatal("query selected nothing; fixture broken")
+	}
+	if winModel.Tree().Inserts() == 0 || textModel.Tree().Inserts() == 0 {
+		t.Fatal("feedback loop did not train the models")
+	}
+
+	cat := catalog.New()
+	if err := cat.Put("NearUrbanArea", winModel, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Put("HasKeyword", textModel, nil); err != nil {
+		t.Fatal(err)
+	}
+	var checkpoint bytes.Buffer
+	if _, err := cat.WriteTo(&checkpoint); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- "Restart": reload models from the catalog blob.
+	restored, err := catalog.Read(&checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	winEntry, ok := restored.Get("NearUrbanArea")
+	if !ok {
+		t.Fatal("NearUrbanArea lost across restart")
+	}
+	textEntry, _ := restored.Get("HasKeyword")
+	winRestored := winEntry.CPU.(*core.MLQ)
+	textRestored := textEntry.CPU.(*core.MLQ)
+	if winRestored.Tree().Inserts() != winModel.Tree().Inserts() {
+		t.Fatal("training history lost across restart")
+	}
+
+	// The restored models predict identically to the pre-restart ones.
+	for i := 0; i < 100; i++ {
+		p := geom.Point{rng.Float64() * 400, rng.Float64() * 400}
+		a, _ := winModel.Predict(p)
+		b, _ := winRestored.Predict(p)
+		if a != b {
+			t.Fatalf("restored model diverged at %v: %g vs %g", p, a, b)
+		}
+	}
+
+	// --- Session 2: the warm-started plan must not cost more than the
+	// cold-started one did (knowledge carried over; both plans must agree
+	// on results).
+	res2, err := engine.ExecuteQuery(table, buildPreds(winRestored, textRestored), engine.OrderByRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Selected != res1.Selected {
+		t.Fatalf("restarted session selected %d rows, first session %d", res2.Selected, res1.Selected)
+	}
+	if res2.TotalCost > res1.TotalCost*1.1 {
+		t.Errorf("warm-started session cost %.0f, cold session %.0f; knowledge not reused",
+			res2.TotalCost, res1.TotalCost)
+	}
+	// Models kept learning in session 2.
+	if winRestored.Tree().Inserts() <= winModel.Tree().Inserts() {
+		t.Error("restored model did not continue learning")
+	}
+	if err := winRestored.Tree().Validate(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package buffercache implements the LRU database buffer cache between query
+// execution and the simulated disk. It reproduces the mechanism the paper
+// identifies as the source of disk-IO cost noise (§4.3, Experiment 3): the
+// number of physical reads a query performs depends on what earlier queries
+// left in the cache, so identical queries observe fluctuating IO costs.
+package buffercache
+
+import (
+	"container/list"
+	"fmt"
+
+	"mlq/internal/pagestore"
+)
+
+// Policy selects the cache's replacement algorithm. The policy shapes the
+// *noise characteristics* of disk-IO costs (which pages survive between
+// repeated queries), so it is configurable for experiments.
+type Policy int
+
+const (
+	// LRU evicts the least recently used page (the default; what the
+	// paper's Oracle setup approximates).
+	LRU Policy = iota
+	// FIFO evicts the oldest-loaded page regardless of use.
+	FIFO
+	// Clock is the second-chance approximation of LRU.
+	Clock
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case Clock:
+		return "clock"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Cache is a fixed-capacity page cache over a pagestore.Store.
+// It is not safe for concurrent use.
+type Cache struct {
+	store    *pagestore.Store
+	capacity int
+	policy   Policy
+	order    *list.List // front = most recent (LRU) / newest (FIFO, Clock)
+	byID     map[pagestore.PageID]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+type entry struct {
+	id   pagestore.PageID
+	data []byte
+	ref  bool // Clock's second-chance bit
+}
+
+// New returns an LRU cache holding up to capacity pages.
+func New(store *pagestore.Store, capacity int) (*Cache, error) {
+	return NewWithPolicy(store, capacity, LRU)
+}
+
+// NewWithPolicy returns a cache with an explicit replacement policy.
+func NewWithPolicy(store *pagestore.Store, capacity int, policy Policy) (*Cache, error) {
+	if store == nil {
+		return nil, fmt.Errorf("buffercache: store is required")
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("buffercache: capacity must be >= 1 page, got %d", capacity)
+	}
+	switch policy {
+	case LRU, FIFO, Clock:
+	default:
+		return nil, fmt.Errorf("buffercache: unknown policy %d", int(policy))
+	}
+	return &Cache{
+		store:    store,
+		capacity: capacity,
+		policy:   policy,
+		order:    list.New(),
+		byID:     make(map[pagestore.PageID]*list.Element, capacity),
+	}, nil
+}
+
+// Policy returns the cache's replacement policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Get returns the contents of page id, reading through the cache. A hit
+// costs nothing; a miss performs one physical read and may evict a page
+// per the replacement policy. The returned slice must not be modified.
+func (c *Cache) Get(id pagestore.PageID) ([]byte, error) {
+	if el, ok := c.byID[id]; ok {
+		c.hits++
+		e := el.Value.(*entry)
+		switch c.policy {
+		case LRU:
+			c.order.MoveToFront(el)
+		case Clock:
+			e.ref = true
+		}
+		return e.data, nil
+	}
+	data, err := c.store.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	c.misses++
+	if c.order.Len() >= c.capacity {
+		c.evict()
+	}
+	c.byID[id] = c.order.PushFront(&entry{id: id, data: data})
+	return data, nil
+}
+
+// evict removes one page per the replacement policy.
+func (c *Cache) evict() {
+	switch c.policy {
+	case LRU, FIFO:
+		// LRU keeps recency order by moving hits to the front, so the
+		// back is the least recently used; under FIFO the back is
+		// simply the oldest-loaded page.
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.byID, back.Value.(*entry).id)
+	case Clock:
+		// Sweep from the oldest end, granting one second chance to
+		// referenced pages.
+		for {
+			back := c.order.Back()
+			e := back.Value.(*entry)
+			if e.ref {
+				e.ref = false
+				c.order.MoveToFront(back)
+				continue
+			}
+			c.order.Remove(back)
+			delete(c.byID, e.id)
+			return
+		}
+	}
+}
+
+// Hits returns the number of cache hits served.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses returns the number of physical reads performed (the IO cost unit).
+func (c *Cache) Misses() int64 { return c.misses }
+
+// Len returns the number of cached pages.
+func (c *Cache) Len() int { return c.order.Len() }
+
+// Capacity returns the cache capacity in pages.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Invalidate drops every cached page, as after a restart; counters persist.
+func (c *Cache) Invalidate() {
+	c.order.Init()
+	c.byID = make(map[pagestore.PageID]*list.Element, c.capacity)
+}
+
+// Meter measures the IO cost of one query: snapshot before, Delta after.
+type Meter struct {
+	cache  *Cache
+	misses int64
+}
+
+// NewMeter snapshots the cache's miss counter.
+func (c *Cache) NewMeter() Meter { return Meter{cache: c, misses: c.misses} }
+
+// Delta returns the physical reads performed since the snapshot.
+func (m Meter) Delta() int64 { return m.cache.misses - m.misses }

@@ -1,0 +1,224 @@
+package buffercache
+
+import (
+	"testing"
+
+	"mlq/internal/pagestore"
+)
+
+func newStore(t *testing.T, pages int) *pagestore.Store {
+	t.Helper()
+	s, err := pagestore.New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pages; i++ {
+		id := s.Alloc()
+		if err := s.Write(id, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	s := newStore(t, 1)
+	if _, err := New(nil, 4); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := New(s, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestHitMissAccounting(t *testing.T) {
+	s := newStore(t, 3)
+	c, err := New(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d, want 1,1", c.Hits(), c.Misses())
+	}
+	if s.Reads() != 1 {
+		t.Errorf("physical reads = %d, want 1", s.Reads())
+	}
+	data, _ := c.Get(0)
+	if data[0] != 0 {
+		t.Error("wrong page content")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := newStore(t, 3)
+	c, _ := New(s, 2)
+	c.Get(0)
+	c.Get(1)
+	c.Get(0) // page 0 now MRU; page 1 is LRU
+	c.Get(2) // evicts page 1
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	before := c.Misses()
+	c.Get(0) // should still be cached
+	if c.Misses() != before {
+		t.Error("page 0 was evicted but should have been retained")
+	}
+	c.Get(1) // must be a miss
+	if c.Misses() != before+1 {
+		t.Error("page 1 should have been evicted")
+	}
+}
+
+func TestGetPropagatesStoreErrors(t *testing.T) {
+	s := newStore(t, 1)
+	c, _ := New(s, 2)
+	if _, err := c.Get(99); err == nil {
+		t.Error("unallocated page accepted")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	s := newStore(t, 2)
+	c, _ := New(s, 2)
+	c.Get(0)
+	c.Get(1)
+	c.Invalidate()
+	if c.Len() != 0 {
+		t.Errorf("Len = %d after invalidate", c.Len())
+	}
+	before := c.Misses()
+	c.Get(0)
+	if c.Misses() != before+1 {
+		t.Error("invalidated page served from cache")
+	}
+}
+
+func TestMeter(t *testing.T) {
+	s := newStore(t, 4)
+	c, _ := New(s, 4)
+	c.Get(0)
+	m := c.NewMeter()
+	c.Get(0) // hit: free
+	c.Get(1) // miss
+	c.Get(2) // miss
+	if m.Delta() != 2 {
+		t.Errorf("meter delta = %d, want 2", m.Delta())
+	}
+}
+
+// The noise property the paper relies on: the same query costs different IO
+// depending on cache state left by interleaved queries.
+func TestIOCostFluctuatesWithCacheState(t *testing.T) {
+	s := newStore(t, 10)
+	c, _ := New(s, 3)
+	query := func(pages ...pagestore.PageID) int64 {
+		m := c.NewMeter()
+		for _, p := range pages {
+			if _, err := c.Get(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m.Delta()
+	}
+	cold := query(0, 1, 2)
+	warm := query(0, 1, 2)
+	if cold != 3 || warm != 0 {
+		t.Fatalf("cold=%d warm=%d, want 3,0", cold, warm)
+	}
+	query(7, 8, 9) // pollute the cache
+	again := query(0, 1, 2)
+	if again != 3 {
+		t.Errorf("post-pollution cost = %d, want 3", again)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "lru" || FIFO.String() != "fifo" || Clock.String() != "clock" {
+		t.Error("policy names wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy must render")
+	}
+}
+
+func TestNewWithPolicyValidation(t *testing.T) {
+	s := newStore(t, 1)
+	if _, err := NewWithPolicy(s, 4, Policy(9)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	c, err := NewWithPolicy(s, 4, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Policy() != FIFO {
+		t.Errorf("Policy = %v", c.Policy())
+	}
+}
+
+func TestFIFOIgnoresRecency(t *testing.T) {
+	s := newStore(t, 4)
+	c, _ := NewWithPolicy(s, 2, FIFO)
+	c.Get(0) // oldest
+	c.Get(1)
+	c.Get(0) // hit: FIFO does not refresh page 0's age
+	c.Get(2) // evicts page 0 (oldest-loaded) despite its recent hit
+	before := c.Misses()
+	c.Get(1) // still cached
+	if c.Misses() != before {
+		t.Error("page 1 evicted; FIFO should have evicted page 0")
+	}
+	c.Get(0) // must miss
+	if c.Misses() != before+1 {
+		t.Error("page 0 retained; FIFO ignored load order")
+	}
+}
+
+func TestClockGrantsSecondChance(t *testing.T) {
+	s := newStore(t, 4)
+	c, _ := NewWithPolicy(s, 2, Clock)
+	c.Get(0)
+	c.Get(1)
+	c.Get(0) // sets page 0's reference bit
+	c.Get(2) // sweep: page 0 gets a second chance, page 1 evicted
+	before := c.Misses()
+	c.Get(0)
+	if c.Misses() != before {
+		t.Error("referenced page 0 was evicted; Clock must grant a second chance")
+	}
+	c.Get(1)
+	if c.Misses() != before+1 {
+		t.Error("page 1 survived; Clock should have evicted it")
+	}
+}
+
+// All policies must still enforce capacity and produce identical hit rates
+// on a strictly sequential scan (no reuse: every access misses).
+func TestPoliciesOnSequentialScan(t *testing.T) {
+	for _, p := range []Policy{LRU, FIFO, Clock} {
+		s := newStore(t, 20)
+		c, err := NewWithPolicy(s, 4, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 3; round++ {
+			for id := 0; id < 20; id++ {
+				if _, err := c.Get(pagestore.PageID(id)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if c.Len() > 4 {
+			t.Errorf("%v: cache grew to %d pages", p, c.Len())
+		}
+		if c.Hits() != 0 {
+			t.Errorf("%v: %d hits on a capacity-busting sequential scan, want 0", p, c.Hits())
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package catalog stores the cost models of many UDFs the way a DBMS
+// catalog would: keyed by UDF name, one CPU-cost and one IO-cost model per
+// UDF (§1: "the query optimizer needs to keep two cost estimators for each
+// UDF"), persisted to a single stream so the optimizer's accumulated
+// knowledge survives restarts.
+//
+// Both model families of this library serialize: self-tuning MLQ models
+// (*core.MLQ) and static histograms (*histogram.Histogram).
+package catalog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"mlq/internal/core"
+	"mlq/internal/histogram"
+)
+
+// Entry holds one UDF's pair of cost models. Either slot may be nil.
+type Entry struct {
+	CPU core.Model
+	IO  core.Model
+}
+
+// Catalog is an in-memory model catalog with stream persistence. It is not
+// safe for concurrent use; wrap accesses with a lock in a multi-session
+// server.
+type Catalog struct {
+	entries map[string]*Entry
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{entries: make(map[string]*Entry)}
+}
+
+// persistable verifies that a model is of a serializable concrete type.
+func persistable(m core.Model) error {
+	switch m.(type) {
+	case nil, *core.MLQ, *histogram.Histogram:
+		return nil
+	default:
+		return fmt.Errorf("catalog: model type %T is not serializable (want *core.MLQ or *histogram.Histogram)", m)
+	}
+}
+
+// Put registers (or replaces) a UDF's models. Models must be persistable.
+func (c *Catalog) Put(name string, cpu, io core.Model) error {
+	if name == "" {
+		return fmt.Errorf("catalog: UDF name must be non-empty")
+	}
+	if err := persistable(cpu); err != nil {
+		return err
+	}
+	if err := persistable(io); err != nil {
+		return err
+	}
+	c.entries[name] = &Entry{CPU: cpu, IO: io}
+	return nil
+}
+
+// Get returns a UDF's entry.
+func (c *Catalog) Get(name string) (*Entry, bool) {
+	e, ok := c.entries[name]
+	return e, ok
+}
+
+// Delete removes a UDF's entry, if present.
+func (c *Catalog) Delete(name string) { delete(c.entries, name) }
+
+// Len returns the number of registered UDFs.
+func (c *Catalog) Len() int { return len(c.entries) }
+
+// Names returns the registered UDF names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+const (
+	catalogMagic   = 0x4d4c5143 // "MLQC"
+	catalogVersion = 1
+
+	slotNil       = 0
+	slotMLQ       = 1
+	slotHistogram = 2
+)
+
+// encodeModel renders one model slot as (tag, length, blob).
+func encodeModel(w io.Writer, m core.Model) error {
+	var tag uint8
+	var blob bytes.Buffer
+	switch v := m.(type) {
+	case nil:
+		tag = slotNil
+	case *core.MLQ:
+		tag = slotMLQ
+		if _, err := v.WriteTo(&blob); err != nil {
+			return err
+		}
+	case *histogram.Histogram:
+		tag = slotHistogram
+		if _, err := v.WriteTo(&blob); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("catalog: model type %T is not serializable", m)
+	}
+	if err := binary.Write(w, binary.LittleEndian, tag); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(blob.Len())); err != nil {
+		return err
+	}
+	_, err := w.Write(blob.Bytes())
+	return err
+}
+
+// decodeModel parses one model slot.
+func decodeModel(r *bufio.Reader) (core.Model, error) {
+	var tag uint8
+	var size uint32
+	if err := binary.Read(r, binary.LittleEndian, &tag); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &size); err != nil {
+		return nil, err
+	}
+	if size > 1<<28 {
+		return nil, fmt.Errorf("catalog: implausible model size %d", size)
+	}
+	blob := make([]byte, size)
+	if _, err := io.ReadFull(r, blob); err != nil {
+		return nil, err
+	}
+	switch tag {
+	case slotNil:
+		if size != 0 {
+			return nil, fmt.Errorf("catalog: nil slot with %d payload bytes", size)
+		}
+		return nil, nil
+	case slotMLQ:
+		return core.ReadMLQ(bytes.NewReader(blob))
+	case slotHistogram:
+		return histogram.Read(bytes.NewReader(blob))
+	default:
+		return nil, fmt.Errorf("catalog: unknown model tag %d", tag)
+	}
+}
+
+// WriteTo persists the whole catalog. It implements io.WriterTo.
+func (c *Catalog) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	write := func(vs ...interface{}) {
+		for _, v := range vs {
+			binary.Write(&buf, binary.LittleEndian, v) // bytes.Buffer never errors
+		}
+	}
+	write(uint32(catalogMagic), uint32(catalogVersion), uint32(len(c.entries)))
+	for _, name := range c.Names() {
+		write(uint32(len(name)))
+		buf.WriteString(name)
+		e := c.entries[name]
+		if err := encodeModel(&buf, e.CPU); err != nil {
+			return 0, err
+		}
+		if err := encodeModel(&buf, e.IO); err != nil {
+			return 0, err
+		}
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// Read loads a catalog previously written with WriteTo.
+func Read(r io.Reader) (*Catalog, error) {
+	br := bufio.NewReader(r)
+	var magic, version, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("catalog: reading header: %w", err)
+	}
+	if magic != catalogMagic {
+		return nil, fmt.Errorf("catalog: bad magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("catalog: reading header: %w", err)
+	}
+	if version != catalogVersion {
+		return nil, fmt.Errorf("catalog: unsupported version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("catalog: reading header: %w", err)
+	}
+	if count > 1<<20 {
+		return nil, fmt.Errorf("catalog: implausible entry count %d", count)
+	}
+	c := New()
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, fmt.Errorf("catalog: entry %d: %w", i, err)
+		}
+		if nameLen == 0 || nameLen > 4096 {
+			return nil, fmt.Errorf("catalog: entry %d: implausible name length %d", i, nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("catalog: entry %d: %w", i, err)
+		}
+		cpu, err := decodeModel(br)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: entry %q cpu: %w", name, err)
+		}
+		ioModel, err := decodeModel(br)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: entry %q io: %w", name, err)
+		}
+		c.entries[string(name)] = &Entry{CPU: cpu, IO: ioModel}
+	}
+	return c, nil
+}

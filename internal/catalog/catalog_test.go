@@ -1,0 +1,194 @@
+package catalog
+
+import (
+	"bytes"
+	"testing"
+
+	"mlq/internal/core"
+	"mlq/internal/geom"
+	"mlq/internal/histogram"
+	"mlq/internal/quadtree"
+)
+
+func trainedMLQ(t *testing.T) *core.MLQ {
+	t.Helper()
+	m, err := core.NewMLQ(quadtree.Config{
+		Region:      geom.MustRect(geom.Point{0, 0}, geom.Point{100, 100}),
+		MemoryLimit: 1843,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		m.Observe(geom.Point{float64(i % 100), float64((i * 13) % 100)}, float64(i%77))
+	}
+	return m
+}
+
+func trainedSH(t *testing.T) *histogram.Histogram {
+	t.Helper()
+	h, err := histogram.Train(histogram.EquiWidth, histogram.Config{
+		Region: geom.MustRect(geom.Point{0, 0}, geom.Point{100, 100}),
+	}, []histogram.Sample{
+		{Point: geom.Point{10, 10}, Value: 5},
+		{Point: geom.Point{90, 90}, Value: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+type fakeModel struct{}
+
+func (fakeModel) Predict(geom.Point) (float64, bool) { return 0, false }
+func (fakeModel) Observe(geom.Point, float64) error  { return nil }
+func (fakeModel) Name() string                       { return "fake" }
+
+func TestPutValidation(t *testing.T) {
+	c := New()
+	if err := c.Put("", trainedMLQ(t), nil); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := c.Put("f", fakeModel{}, nil); err == nil {
+		t.Error("unserializable model accepted")
+	}
+	if err := c.Put("f", nil, fakeModel{}); err == nil {
+		t.Error("unserializable io model accepted")
+	}
+}
+
+func TestCatalogCRUD(t *testing.T) {
+	c := New()
+	if err := c.Put("WIN", trainedMLQ(t), trainedMLQ(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("SIMPLE", trainedSH(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "SIMPLE" || names[1] != "WIN" {
+		t.Errorf("Names = %v", names)
+	}
+	e, ok := c.Get("WIN")
+	if !ok || e.CPU == nil || e.IO == nil {
+		t.Fatal("Get(WIN) broken")
+	}
+	if _, ok := c.Get("NOPE"); ok {
+		t.Error("missing entry found")
+	}
+	c.Delete("WIN")
+	if c.Len() != 1 {
+		t.Error("Delete failed")
+	}
+	c.Delete("WIN") // idempotent
+}
+
+func TestCatalogRoundTrip(t *testing.T) {
+	c := New()
+	mlqCPU := trainedMLQ(t)
+	mlqIO := trainedMLQ(t)
+	sh := trainedSH(t)
+	if err := c.Put("WIN", mlqCPU, mlqIO); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("SIMPLE", sh, nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := c.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("Len = %d after reload", got.Len())
+	}
+	win, ok := got.Get("WIN")
+	if !ok {
+		t.Fatal("WIN lost")
+	}
+	p := geom.Point{42, 17}
+	a, _ := mlqCPU.Predict(p)
+	b, _ := win.CPU.Predict(p)
+	if a != b {
+		t.Errorf("WIN cpu prediction diverged: %g vs %g", a, b)
+	}
+	if win.CPU.Name() != "MLQ-E" {
+		t.Errorf("cpu model name %q", win.CPU.Name())
+	}
+	simple, _ := got.Get("SIMPLE")
+	if simple.IO != nil {
+		t.Error("nil IO slot became non-nil")
+	}
+	if simple.CPU.Name() != "SH-W" {
+		t.Errorf("histogram slot name %q", simple.CPU.Name())
+	}
+	sp, _ := sh.Predict(geom.Point{10, 10})
+	gp, _ := simple.CPU.Predict(geom.Point{10, 10})
+	if sp != gp {
+		t.Errorf("histogram prediction diverged: %g vs %g", sp, gp)
+	}
+}
+
+func TestCatalogEmptyRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := New().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Error("empty catalog grew entries")
+	}
+}
+
+func TestReadRejectsCorruptCatalog(t *testing.T) {
+	c := New()
+	if err := c.Put("X", trainedMLQ(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[0] ^= 0xff
+		if _, err := Read(bytes.NewReader(b)); err == nil {
+			t.Error("bad magic accepted")
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[4] = 9
+		if _, err := Read(bytes.NewReader(b)); err == nil {
+			t.Error("bad version accepted")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{0, 8, 14, len(good) / 2, len(good) - 1} {
+			if _, err := Read(bytes.NewReader(good[:cut])); err == nil {
+				t.Errorf("truncation at %d accepted", cut)
+			}
+		}
+	})
+	t.Run("garbage", func(t *testing.T) {
+		if _, err := Read(bytes.NewReader([]byte("hello world, not a catalog"))); err == nil {
+			t.Error("garbage accepted")
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package catalog
+
+import (
+	"bytes"
+	"testing"
+
+	"mlq/internal/core"
+	"mlq/internal/geom"
+	"mlq/internal/quadtree"
+)
+
+// FuzzRead feeds arbitrary bytes to the catalog decoder: it must never
+// panic, and anything it accepts must be usable.
+func FuzzRead(f *testing.F) {
+	m, err := core.NewMLQ(quadtree.Config{Region: geom.UnitCube(2), MemoryLimit: 1843})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		m.Observe(geom.Point{float64(i%10) / 10, float64(i%7) / 7}, float64(i))
+	}
+	c := New()
+	if err := c.Put("U", m, nil); err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if _, err := c.WriteTo(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add(valid.Bytes()[:12])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, name := range got.Names() {
+			e, ok := got.Get(name)
+			if !ok || e == nil {
+				t.Fatal("Names/Get inconsistent after decode")
+			}
+			if e.CPU != nil {
+				e.CPU.Predict(geom.Point{0.5, 0.5})
+			}
+		}
+	})
+}

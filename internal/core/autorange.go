@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlq/internal/geom"
+	"mlq/internal/quadtree"
+)
+
+// AutoRange handles ordinal input arguments whose ranges are not known in
+// advance — the second extension the paper defers to future work (§3: "we
+// assume the input arguments are ordinal and their ranges are given").
+//
+// It wraps an MLQ model with a grow-on-demand region: observations are kept
+// in a fixed-size reservoir sample, and when a point lands outside the
+// current region the region is expanded (with slack, so expansions are
+// O(log range) rather than per-point) and the model is rebuilt over the new
+// region by replaying the reservoir. Between expansions it behaves exactly
+// like the wrapped MLQ.
+type AutoRange struct {
+	cfg       quadtree.Config
+	model     *MLQ
+	reservoir []obs
+	seen      int64
+	rebuilds  int64
+	rng       *rand.Rand
+}
+
+type obs struct {
+	p geom.Point
+	v float64
+}
+
+var _ Model = (*AutoRange)(nil)
+
+// NewAutoRange wraps an MLQ configuration whose Region is only an initial
+// guess. reservoirSize bounds the memory spent remembering observations for
+// replay (a few hundred is plenty); seed drives reservoir sampling.
+func NewAutoRange(cfg quadtree.Config, reservoirSize int, seed int64) (*AutoRange, error) {
+	if reservoirSize < 1 {
+		return nil, fmt.Errorf("core: reservoirSize must be >= 1, got %d", reservoirSize)
+	}
+	m, err := NewMLQ(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &AutoRange{
+		cfg:       m.Tree().Config(),
+		model:     m,
+		reservoir: make([]obs, 0, reservoirSize),
+		rng:       rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Predict implements Model. Points outside the current region are clamped
+// onto it, like the underlying MLQ.
+func (a *AutoRange) Predict(p geom.Point) (float64, bool) { return a.model.Predict(p) }
+
+// Name implements Model.
+func (a *AutoRange) Name() string { return a.model.Name() + "+autorange" }
+
+// Observe implements Model: it grows the region if needed, then feeds the
+// observation to the wrapped model and the reservoir.
+func (a *AutoRange) Observe(p geom.Point, actual float64) error {
+	if len(p) != a.cfg.Region.Dims() {
+		return fmt.Errorf("core: point has %d dims, model has %d", len(p), a.cfg.Region.Dims())
+	}
+	if !a.cfg.Region.Contains(p) {
+		if err := a.expandTo(p); err != nil {
+			return err
+		}
+	}
+	if err := a.model.Observe(p, actual); err != nil {
+		return err
+	}
+	a.sample(obs{p: p.Clone(), v: actual})
+	return nil
+}
+
+// sample implements reservoir sampling (algorithm R).
+func (a *AutoRange) sample(o obs) {
+	a.seen++
+	if len(a.reservoir) < cap(a.reservoir) {
+		a.reservoir = append(a.reservoir, o)
+		return
+	}
+	if j := a.rng.Int63n(a.seen); int(j) < len(a.reservoir) {
+		a.reservoir[j] = o
+	}
+}
+
+// expandTo grows the region to cover p with 25% slack on every violated
+// side, then rebuilds the model over the new region, replaying the
+// reservoir so accumulated knowledge survives (at reservoir resolution).
+func (a *AutoRange) expandTo(p geom.Point) error {
+	lo := a.cfg.Region.Lo.Clone()
+	hi := a.cfg.Region.Hi.Clone()
+	for i := range p {
+		span := hi[i] - lo[i]
+		if p[i] < lo[i] {
+			lo[i] = p[i] - 0.25*(span+(lo[i]-p[i]))
+		}
+		if p[i] >= hi[i] {
+			hi[i] = p[i] + 0.25*(span+(p[i]-hi[i]))
+			if hi[i] <= p[i] { // degenerate span guard
+				hi[i] = p[i] + 1
+			}
+		}
+	}
+	region, err := geom.NewRect(lo, hi)
+	if err != nil {
+		return fmt.Errorf("core: expanding region: %w", err)
+	}
+	cfg := a.cfg
+	cfg.Region = region
+	m, err := NewMLQ(cfg)
+	if err != nil {
+		return err
+	}
+	for _, o := range a.reservoir {
+		if err := m.Observe(o.p, o.v); err != nil {
+			return err
+		}
+	}
+	a.cfg = cfg
+	a.model = m
+	a.rebuilds++
+	return nil
+}
+
+// Region returns the current (possibly expanded) region.
+func (a *AutoRange) Region() geom.Rect { return a.cfg.Region.Clone() }
+
+// Rebuilds returns how many region expansions have occurred.
+func (a *AutoRange) Rebuilds() int64 { return a.rebuilds }
+
+// Model returns the current wrapped MLQ (replaced on every rebuild).
+func (a *AutoRange) Model() *MLQ { return a.model }

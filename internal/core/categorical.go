@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mlq/internal/geom"
+)
+
+// Categorical models a UDF that takes nominal (categorical) input arguments
+// alongside ordinal ones — the extension the paper defers to future work
+// (§3: "we assume the input arguments are ordinal ... while leaving it to
+// future work to incorporate nominal arguments"). It maintains one
+// sub-model per distinct category value; since nominal values have no
+// spatial order, giving each its own quadtree is the natural lifting of the
+// MLQ approach.
+//
+// The number of materialized sub-models is capped. Categories beyond the
+// cap share a single overflow model, so memory stays bounded at
+// (maxCategories + 1) x the per-model budget however many distinct values
+// appear.
+type Categorical struct {
+	factory       func() (Model, error)
+	models        map[string]Model
+	overflow      Model
+	maxCategories int
+	observed      map[string]int64
+}
+
+// NewCategorical builds a categorical model family. factory constructs one
+// sub-model (typically a small NewMLQ closure); maxCategories caps the
+// number of per-category models materialized before values fall into the
+// shared overflow model.
+func NewCategorical(factory func() (Model, error), maxCategories int) (*Categorical, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("core: Categorical requires a model factory")
+	}
+	if maxCategories < 1 {
+		return nil, fmt.Errorf("core: maxCategories must be >= 1, got %d", maxCategories)
+	}
+	return &Categorical{
+		factory:       factory,
+		models:        make(map[string]Model),
+		maxCategories: maxCategories,
+		observed:      make(map[string]int64),
+	}, nil
+}
+
+// modelFor returns the sub-model for a category, materializing it on first
+// use or routing to the overflow model when the cap is reached.
+func (c *Categorical) modelFor(category string) (Model, error) {
+	if m, ok := c.models[category]; ok {
+		return m, nil
+	}
+	if len(c.models) < c.maxCategories {
+		m, err := c.factory()
+		if err != nil {
+			return nil, err
+		}
+		c.models[category] = m
+		return m, nil
+	}
+	if c.overflow == nil {
+		m, err := c.factory()
+		if err != nil {
+			return nil, err
+		}
+		c.overflow = m
+	}
+	return c.overflow, nil
+}
+
+// Predict estimates the cost of executing the UDF with the given nominal
+// category and ordinal point. ok is false when no data has been seen for
+// the category's model.
+func (c *Categorical) Predict(category string, p geom.Point) (float64, bool) {
+	m, ok := c.models[category]
+	if !ok {
+		m = c.overflow
+	}
+	if m == nil {
+		return 0, false
+	}
+	return m.Predict(p)
+}
+
+// Observe feeds back the actual cost of an execution with the given nominal
+// category and ordinal point.
+func (c *Categorical) Observe(category string, p geom.Point, actual float64) error {
+	m, err := c.modelFor(category)
+	if err != nil {
+		return err
+	}
+	c.observed[category]++
+	return m.Observe(p, actual)
+}
+
+// Categories returns the distinct category values observed so far, sorted.
+func (c *Categorical) Categories() []string {
+	out := make([]string, 0, len(c.observed))
+	for k := range c.observed {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Materialized returns how many per-category models exist (excluding the
+// overflow model).
+func (c *Categorical) Materialized() int { return len(c.models) }
+
+// HasOverflow reports whether the shared overflow model has been created.
+func (c *Categorical) HasOverflow() bool { return c.overflow != nil }

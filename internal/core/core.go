@@ -1,0 +1,272 @@
+// Package core defines the UDF cost-modeling API of the paper's Figure 1:
+// a Model interface shared by the self-tuning MLQ methods and the static SH
+// baselines, an instrumented MLQ implementation that tracks the paper's
+// prediction and model-update costs (APC, AUC), an Estimator that binds a
+// model to a UDF's argument-to-model-variable transformation T, and a
+// DualEstimator that maintains the paper's separate CPU and disk-IO models.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"mlq/internal/geom"
+	"mlq/internal/quadtree"
+)
+
+// Model is a UDF execution-cost model. A query optimizer calls Predict to
+// estimate the cost of executing a UDF at a point in model-variable space;
+// the execution engine calls Observe with the actual cost afterwards
+// (the query feedback loop of Fig. 1). Static models ignore Observe.
+type Model interface {
+	// Predict estimates the cost at p. ok is false when the model has no
+	// information at all (e.g. an untrained, empty model).
+	Predict(p geom.Point) (value float64, ok bool)
+	// Observe feeds back the actual cost of an execution at p.
+	Observe(p geom.Point, actual float64) error
+	// Name identifies the method ("MLQ-E", "MLQ-L", "SH-H", "SH-W").
+	Name() string
+}
+
+// MLQ is the paper's memory-limited-quadtree cost model with the
+// instrumentation needed by Experiment 2: it accumulates wall time spent in
+// prediction, insertion and compression so APC and AUC (Eq. 1, 2) can be
+// reported. MLQ is not safe for concurrent use; see Synchronized.
+type MLQ struct {
+	tree *quadtree.Tree
+
+	predTime    time.Duration
+	predCount   int64
+	updateTime  time.Duration // insertion including in-line compression
+	updateCount int64
+}
+
+var _ Model = (*MLQ)(nil)
+
+// NewMLQ builds an empty MLQ model. The quadtree.Config carries the paper's
+// parameters: Strategy (MLQ-E or MLQ-L), λ, α, β, γ, and the memory limit.
+func NewMLQ(cfg quadtree.Config) (*MLQ, error) {
+	t, err := quadtree.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &MLQ{tree: t}, nil
+}
+
+// NewMLQFrom wraps an existing tree (e.g. one deserialized from a catalog).
+func NewMLQFrom(t *quadtree.Tree) *MLQ { return &MLQ{tree: t} }
+
+// Predict implements Model using the tree's configured β.
+func (m *MLQ) Predict(p geom.Point) (float64, bool) {
+	start := time.Now()
+	v, ok := m.tree.Predict(p)
+	m.predTime += time.Since(start)
+	m.predCount++
+	return v, ok
+}
+
+// PredictBeta predicts with an explicit β, overriding the configured one.
+func (m *MLQ) PredictBeta(p geom.Point, beta int) (float64, bool) {
+	start := time.Now()
+	v, ok := m.tree.PredictBeta(p, beta)
+	m.predTime += time.Since(start)
+	m.predCount++
+	return v, ok
+}
+
+// Observe implements Model: it inserts the observed execution as a new data
+// point, compressing if the memory limit is exceeded.
+func (m *MLQ) Observe(p geom.Point, actual float64) error {
+	start := time.Now()
+	err := m.tree.Insert(p, actual)
+	m.updateTime += time.Since(start)
+	m.updateCount++
+	return err
+}
+
+// Name implements Model ("MLQ-E" or "MLQ-L").
+func (m *MLQ) Name() string { return m.tree.Config().Strategy.String() }
+
+// Tree exposes the underlying quadtree for inspection and serialization.
+func (m *MLQ) Tree() *quadtree.Tree { return m.tree }
+
+// MemoryUsed returns the model's current memory charge in bytes.
+func (m *MLQ) MemoryUsed() int { return m.tree.MemoryUsed() }
+
+// WriteTo persists the model's tree. It implements io.WriterTo.
+func (m *MLQ) WriteTo(w io.Writer) (int64, error) { return m.tree.WriteTo(w) }
+
+// ReadMLQ loads a model previously persisted with WriteTo.
+func ReadMLQ(r io.Reader) (*MLQ, error) {
+	t, err := quadtree.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewMLQFrom(t), nil
+}
+
+// Costs is the paper's modeling-cost breakdown (Experiment 2, Fig. 10):
+// cumulative wall time spent predicting (PC), inserting (IC) and
+// compressing (CC), plus the counter denominators.
+type Costs struct {
+	PredictTime  time.Duration // PC
+	InsertTime   time.Duration // IC (excludes compression)
+	CompressTime time.Duration // CC
+	Predictions  int64
+	Inserts      int64
+	Compressions int64
+}
+
+// UpdateTime returns the model-update cost MUC = IC + CC.
+func (c Costs) UpdateTime() time.Duration { return c.InsertTime + c.CompressTime }
+
+// APC returns the average prediction cost (Eq. 1).
+func (c Costs) APC() time.Duration {
+	if c.Predictions == 0 {
+		return 0
+	}
+	return c.PredictTime / time.Duration(c.Predictions)
+}
+
+// AUC returns the average model-update cost (Eq. 2): total insertion plus
+// compression time normalized by the number of predictions.
+func (c Costs) AUC() time.Duration {
+	if c.Predictions == 0 {
+		return 0
+	}
+	return c.UpdateTime() / time.Duration(c.Predictions)
+}
+
+// Costs returns the model's accumulated cost breakdown.
+func (m *MLQ) Costs() Costs {
+	cc := m.tree.CompressTime()
+	ic := m.updateTime - cc
+	if ic < 0 {
+		ic = 0
+	}
+	return Costs{
+		PredictTime:  m.predTime,
+		InsertTime:   ic,
+		CompressTime: cc,
+		Predictions:  m.predCount,
+		Inserts:      m.updateCount,
+		Compressions: m.tree.Compressions(),
+	}
+}
+
+// Transform is the paper's optional transformation T: it maps a UDF's input
+// arguments to the (usually lower-dimensional) model variables. A nil
+// Transform uses the arguments directly.
+type Transform func(args []float64) geom.Point
+
+// Estimator binds a cost model to a UDF via its transformation, giving the
+// optimizer a call-shaped API: estimate from raw arguments, feed back from
+// raw arguments.
+type Estimator struct {
+	model     Model
+	transform Transform
+}
+
+// NewEstimator returns an estimator over model; transform may be nil.
+func NewEstimator(model Model, transform Transform) *Estimator {
+	return &Estimator{model: model, transform: transform}
+}
+
+// point applies the transformation.
+func (e *Estimator) point(args []float64) geom.Point {
+	if e.transform == nil {
+		return geom.Point(args)
+	}
+	return e.transform(args)
+}
+
+// Estimate predicts the execution cost of the UDF called with args.
+func (e *Estimator) Estimate(args ...float64) (float64, bool) {
+	return e.model.Predict(e.point(args))
+}
+
+// Feedback records the actual cost of the UDF called with args.
+func (e *Estimator) Feedback(args []float64, actual float64) error {
+	return e.model.Observe(e.point(args), actual)
+}
+
+// Model returns the wrapped model.
+func (e *Estimator) Model() Model { return e.model }
+
+// DualEstimator keeps the paper's two models per UDF — one for CPU cost and
+// one for disk-IO cost — typically configured with different β values
+// (β=1 for CPU, β=10 for the noisier IO cost; §5.1).
+type DualEstimator struct {
+	CPU *Estimator
+	IO  *Estimator
+}
+
+// NewDualEstimator pairs CPU and IO models under one transformation.
+func NewDualEstimator(cpu, io Model, transform Transform) *DualEstimator {
+	return &DualEstimator{
+		CPU: NewEstimator(cpu, transform),
+		IO:  NewEstimator(io, transform),
+	}
+}
+
+// Estimate predicts both cost components. Either ok flag may be false for
+// untrained models.
+func (d *DualEstimator) Estimate(args ...float64) (cpu, io float64, cpuOK, ioOK bool) {
+	cpu, cpuOK = d.CPU.Estimate(args...)
+	io, ioOK = d.IO.Estimate(args...)
+	return cpu, io, cpuOK, ioOK
+}
+
+// Feedback records both actual cost components.
+func (d *DualEstimator) Feedback(args []float64, cpu, io float64) error {
+	if err := d.CPU.Feedback(args, cpu); err != nil {
+		return fmt.Errorf("core: cpu model: %w", err)
+	}
+	if err := d.IO.Feedback(args, io); err != nil {
+		return fmt.Errorf("core: io model: %w", err)
+	}
+	return nil
+}
+
+// Synchronized wraps a model with a mutex so concurrent optimizer threads
+// can share it. The paper's setting is single-threaded; this wrapper exists
+// for use inside a real multi-session DBMS.
+type Synchronized struct {
+	mu sync.Mutex
+	m  Model
+}
+
+var _ Model = (*Synchronized)(nil)
+
+// NewSynchronized wraps m.
+func NewSynchronized(m Model) *Synchronized { return &Synchronized{m: m} }
+
+// Predict implements Model.
+func (s *Synchronized) Predict(p geom.Point) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Predict(p)
+}
+
+// Observe implements Model.
+func (s *Synchronized) Observe(p geom.Point, actual float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Observe(p, actual)
+}
+
+// Name implements Model.
+func (s *Synchronized) Name() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Name()
+}
+
+// Unwrap returns the inner model.
+func (s *Synchronized) Unwrap() Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m
+}

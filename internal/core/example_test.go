@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"fmt"
+
+	"mlq/internal/core"
+	"mlq/internal/geom"
+	"mlq/internal/quadtree"
+)
+
+// ExampleEstimator shows a transformation T mapping UDF arguments to model
+// variables (§3): a UDF over (start, end) modeled by elapsed = end − start.
+func ExampleEstimator() {
+	model, err := core.NewMLQ(quadtree.Config{
+		Region:      geom.MustRect(geom.Point{0}, geom.Point{1000}),
+		MemoryLimit: 1843,
+	})
+	if err != nil {
+		panic(err)
+	}
+	elapsed := func(args []float64) geom.Point { return geom.Point{args[1] - args[0]} }
+	est := core.NewEstimator(model, elapsed)
+
+	// Feedback from one execution: process(100, 350) took 25 cost units.
+	if err := est.Feedback([]float64{100, 350}, 25); err != nil {
+		panic(err)
+	}
+	// A different call with the same elapsed time maps to the same model
+	// point, so the knowledge transfers.
+	cost, ok := est.Estimate(500, 750)
+	fmt.Printf("%.0f %v\n", cost, ok)
+	// Output: 25 true
+}
+
+// ExampleDualEstimator models CPU and disk IO separately, with the paper's
+// recommended β values (β=1 for CPU, β=10 for noisy IO).
+func ExampleDualEstimator() {
+	mk := func(beta int) core.Model {
+		m, err := core.NewMLQ(quadtree.Config{
+			Region:      geom.MustRect(geom.Point{0}, geom.Point{100}),
+			Beta:        beta,
+			MemoryLimit: 1843,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+	dual := core.NewDualEstimator(mk(1), mk(10), nil)
+	if err := dual.Feedback([]float64{42}, 7, 120); err != nil {
+		panic(err)
+	}
+	cpu, io, _, _ := dual.Estimate(42)
+	fmt.Printf("cpu=%.0f io=%.0f\n", cpu, io)
+	// Output: cpu=7 io=120
+}

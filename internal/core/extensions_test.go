@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mlq/internal/geom"
+	"mlq/internal/quadtree"
+)
+
+func smallFactory(t *testing.T) func() (Model, error) {
+	t.Helper()
+	return func() (Model, error) {
+		return NewMLQ(quadtree.Config{
+			Region:      geom.MustRect(geom.Point{0}, geom.Point{100}),
+			MemoryLimit: 40 * quadtree.DefaultNodeBytes,
+		})
+	}
+}
+
+func TestNewCategoricalValidation(t *testing.T) {
+	if _, err := NewCategorical(nil, 4); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if _, err := NewCategorical(smallFactory(t), 0); err == nil {
+		t.Error("zero cap accepted")
+	}
+}
+
+func TestCategoricalSeparatesCategories(t *testing.T) {
+	c, err := NewCategorical(smallFactory(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same ordinal point, wildly different costs per category — the case
+	// a single ordinal model cannot represent.
+	p := geom.Point{50}
+	if err := c.Observe("jpeg", p, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Observe("tiff", p, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Predict("jpeg", p); !ok || v != 10 {
+		t.Errorf("jpeg = %g, %v; want 10", v, ok)
+	}
+	if v, ok := c.Predict("tiff", p); !ok || v != 1000 {
+		t.Errorf("tiff = %g, %v; want 1000", v, ok)
+	}
+	if _, ok := c.Predict("png", p); ok {
+		t.Error("unseen category predicted without any model")
+	}
+	cats := c.Categories()
+	if len(cats) != 2 || cats[0] != "jpeg" || cats[1] != "tiff" {
+		t.Errorf("Categories = %v", cats)
+	}
+}
+
+func TestCategoricalOverflowSharing(t *testing.T) {
+	c, err := NewCategorical(smallFactory(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geom.Point{10}
+	for i, cat := range []string{"a", "b", "c", "d"} {
+		if err := c.Observe(cat, p, float64(100*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Materialized() != 2 {
+		t.Errorf("materialized %d models, want 2", c.Materialized())
+	}
+	if !c.HasOverflow() {
+		t.Fatal("overflow model not created")
+	}
+	// "c" and "d" share the overflow model: prediction is their pooled
+	// average (300+400)/2.
+	if v, _ := c.Predict("c", p); v != 350 {
+		t.Errorf("overflow predict = %g, want pooled 350", v)
+	}
+	// Unseen categories also route to the overflow model once it exists.
+	if v, ok := c.Predict("zzz", p); !ok || v != 350 {
+		t.Errorf("unseen category = %g, %v; want 350, true", v, ok)
+	}
+	// Capped categories keep their dedicated models.
+	if v, _ := c.Predict("a", p); v != 100 {
+		t.Errorf("dedicated model polluted: a = %g", v)
+	}
+}
+
+func TestCategoricalFactoryErrorPropagates(t *testing.T) {
+	bad := func() (Model, error) { return nil, fmt.Errorf("boom") }
+	c, err := NewCategorical(bad, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Observe("x", geom.Point{1}, 1); err == nil {
+		t.Error("factory error swallowed")
+	}
+}
+
+func autoRangeCfg() quadtree.Config {
+	return quadtree.Config{
+		Region:      geom.MustRect(geom.Point{0, 0}, geom.Point{10, 10}),
+		MemoryLimit: 1 << 16,
+	}
+}
+
+func TestNewAutoRangeValidation(t *testing.T) {
+	if _, err := NewAutoRange(autoRangeCfg(), 0, 1); err == nil {
+		t.Error("zero reservoir accepted")
+	}
+	if _, err := NewAutoRange(quadtree.Config{}, 10, 1); err == nil {
+		t.Error("invalid inner config accepted")
+	}
+}
+
+func TestAutoRangeExpandsAndRetainsKnowledge(t *testing.T) {
+	a, err := NewAutoRange(autoRangeCfg(), 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train inside the initial region.
+	for i := 0; i < 200; i++ {
+		p := geom.Point{float64(i % 10), float64((i * 3) % 10)}
+		if err := a.Observe(p, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Rebuilds() != 0 {
+		t.Fatalf("rebuilt %d times inside the initial region", a.Rebuilds())
+	}
+	// A far-outside point triggers expansion.
+	if err := a.Observe(geom.Point{500, 500}, 90); err != nil {
+		t.Fatal(err)
+	}
+	if a.Rebuilds() != 1 {
+		t.Fatalf("Rebuilds = %d, want 1", a.Rebuilds())
+	}
+	r := a.Region()
+	if !r.Contains(geom.Point{500, 500}) {
+		t.Fatalf("expanded region %v does not contain the new point", r)
+	}
+	if !r.Contains(geom.Point{5, 5}) {
+		t.Fatalf("expanded region %v dropped the original space", r)
+	}
+	// Old knowledge survives the rebuild via the reservoir: the original
+	// hot region still predicts ~5, not the new point's 90.
+	if v, ok := a.Predict(geom.Point{5, 5}); !ok || v > 20 {
+		t.Errorf("old region prediction = %g, %v; want ~5", v, ok)
+	}
+	if a.Name() == "" || a.Model() == nil {
+		t.Error("accessors broken")
+	}
+}
+
+func TestAutoRangeNegativeDirectionAndDims(t *testing.T) {
+	a, err := NewAutoRange(autoRangeCfg(), 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Observe(geom.Point{1}, 1); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if err := a.Observe(geom.Point{-100, 5}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Region().Contains(geom.Point{-100, 5}) {
+		t.Error("region did not grow downward")
+	}
+	if v, ok := a.Predict(geom.Point{-100, 5}); !ok || v != 7 {
+		t.Errorf("prediction after downward growth = %g, %v", v, ok)
+	}
+}
+
+func TestAutoRangeExpansionCountLogarithmic(t *testing.T) {
+	// Feeding points that double in magnitude must trigger O(log range)
+	// rebuilds thanks to the 25% slack, not one per point.
+	a, err := NewAutoRange(autoRangeCfg(), 256, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		mag := float64(uint(1) << uint(i%20))
+		p := geom.Point{rng.Float64() * mag, rng.Float64() * mag}
+		if err := a.Observe(p, mag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Rebuilds() > 120 {
+		t.Errorf("rebuilt %d times over 2000 observations; slack not working", a.Rebuilds())
+	}
+	if err := a.Model().Tree().Validate(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,296 @@
+// Package dist provides the seeded random distributions used throughout the
+// evaluation: a Zipf sampler for peak heights and vocabulary frequencies, and
+// the three query-point distributions of the paper's §5.1 (uniform,
+// Gaussian-random, Gaussian-sequential).
+//
+// Everything in this package is deterministic given a seed, which makes the
+// reproduced experiments repeatable run-to-run.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mlq/internal/geom"
+)
+
+// Zipf ranks values 1..N with probability proportional to 1/rank^s.
+// Rank 1 is the most probable / the tallest peak.
+type Zipf struct {
+	n       int
+	s       float64
+	weights []float64 // cumulative, normalized
+}
+
+// NewZipf returns a Zipf distribution over ranks 1..n with exponent s.
+// The paper uses s = 1 (its "Zipf parameter z").
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dist: Zipf needs n > 0, got %d", n)
+	}
+	if s < 0 || math.IsNaN(s) {
+		return nil, fmt.Errorf("dist: Zipf needs s >= 0, got %g", s)
+	}
+	z := &Zipf{n: n, s: s, weights: make([]float64, n)}
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		z.weights[i] = total
+	}
+	for i := range z.weights {
+		z.weights[i] /= total
+	}
+	return z, nil
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return z.n }
+
+// Weight returns the probability mass of the given rank (1-based).
+func (z *Zipf) Weight(rank int) float64 {
+	if rank < 1 || rank > z.n {
+		return 0
+	}
+	if rank == 1 {
+		return z.weights[0]
+	}
+	return z.weights[rank-1] - z.weights[rank-2]
+}
+
+// Sample draws a rank in 1..N.
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.weights[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// Height returns the cost height assigned to the peak of the given rank,
+// scaled so rank 1 has height max: max / rank^s.
+func (z *Zipf) Height(rank int, max float64) float64 {
+	return max / math.Pow(float64(rank), z.s)
+}
+
+// PointSource generates a stream of query points inside a region. The three
+// implementations correspond to the paper's query distributions.
+type PointSource interface {
+	// Next returns the next query point. Points always lie inside the
+	// region the source was constructed with.
+	Next() geom.Point
+	// Name returns the distribution's short name as used in the paper's
+	// figures ("UNIFORM", "GAUSS-RAND", "GAUSS-SEQ").
+	Name() string
+}
+
+// Uniform generates points uniformly over the region.
+type Uniform struct {
+	region geom.Rect
+	rng    *rand.Rand
+}
+
+// NewUniform returns a uniform point source over region.
+func NewUniform(region geom.Rect, seed int64) *Uniform {
+	return &Uniform{region: region.Clone(), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements PointSource.
+func (u *Uniform) Next() geom.Point {
+	p := make(geom.Point, u.region.Dims())
+	for i := range p {
+		p[i] = u.region.Lo[i] + u.rng.Float64()*(u.region.Hi[i]-u.region.Lo[i])
+	}
+	return u.region.Clamp(p)
+}
+
+// Name implements PointSource.
+func (u *Uniform) Name() string { return "UNIFORM" }
+
+// gaussianAround draws a point from an isotropic Gaussian centred at c with
+// per-dimension standard deviation sigma (expressed as a fraction of the
+// dimension's range), clamped into the region.
+func gaussianAround(rng *rand.Rand, region geom.Rect, c geom.Point, sigma float64) geom.Point {
+	p := make(geom.Point, region.Dims())
+	for i := range p {
+		scale := region.Hi[i] - region.Lo[i]
+		p[i] = c[i] + rng.NormFloat64()*sigma*scale
+	}
+	return region.Clamp(p)
+}
+
+// randomCentroids draws c uniform centroids inside the region.
+func randomCentroids(rng *rand.Rand, region geom.Rect, c int) []geom.Point {
+	cs := make([]geom.Point, c)
+	for i := range cs {
+		p := make(geom.Point, region.Dims())
+		for j := range p {
+			p[j] = region.Lo[j] + rng.Float64()*(region.Hi[j]-region.Lo[j])
+		}
+		cs[i] = p
+	}
+	return cs
+}
+
+// GaussianRandom implements the paper's "Gaussian-random" distribution:
+// c uniform centroids are fixed up front; each query picks a centroid at
+// random and samples a Gaussian around it.
+//
+// The centroid layout and the per-query draws are seeded independently, so a
+// static model can be trained on an independent sample of the *same*
+// distribution (same centroids, fresh points) — the paper's SH training
+// protocol.
+type GaussianRandom struct {
+	region    geom.Rect
+	centroids []geom.Point
+	sigma     float64
+	rng       *rand.Rand
+}
+
+// NewGaussianRandom returns a Gaussian-random source with c centroids and the
+// given fractional standard deviation (the paper uses c=3, sigma=0.05).
+// The single seed drives both the centroid layout and the point draws; use
+// NewGaussianRandomSeeded to separate them.
+func NewGaussianRandom(region geom.Rect, c int, sigma float64, seed int64) (*GaussianRandom, error) {
+	return NewGaussianRandomSeeded(region, c, sigma, seed, seed)
+}
+
+// NewGaussianRandomSeeded is NewGaussianRandom with the centroid layout and
+// the point draws seeded independently.
+func NewGaussianRandomSeeded(region geom.Rect, c int, sigma float64, centroidSeed, pointSeed int64) (*GaussianRandom, error) {
+	if c <= 0 {
+		return nil, fmt.Errorf("dist: GaussianRandom needs c > 0, got %d", c)
+	}
+	return &GaussianRandom{
+		region:    region.Clone(),
+		centroids: randomCentroids(rand.New(rand.NewSource(centroidSeed)), region, c),
+		sigma:     sigma,
+		rng:       rand.New(rand.NewSource(pointSeed)),
+	}, nil
+}
+
+// Next implements PointSource.
+func (g *GaussianRandom) Next() geom.Point {
+	c := g.centroids[g.rng.Intn(len(g.centroids))]
+	return gaussianAround(g.rng, g.region, c, g.sigma)
+}
+
+// Name implements PointSource.
+func (g *GaussianRandom) Name() string { return "GAUSS-RAND" }
+
+// GaussianSequential implements the paper's "Gaussian-sequential"
+// distribution: queries are generated in c consecutive batches, each batch
+// clustered around one freshly drawn centroid. This is the workload that
+// shifts over time and therefore stresses self-tuning the most.
+type GaussianSequential struct {
+	region      geom.Rect
+	sigma       float64
+	centroidRng *rand.Rand
+	pointRng    *rand.Rand
+	perBatch    int
+	emitted     int
+	centroid    geom.Point
+}
+
+// NewGaussianSequential returns a Gaussian-sequential source that switches to
+// a new uniform-random centroid every n/c queries (the paper uses c=3,
+// sigma=0.05, n=5000 synthetic / 2500 real). The single seed drives both the
+// centroid walk and the point draws; use NewGaussianSequentialSeeded to
+// separate them.
+func NewGaussianSequential(region geom.Rect, c, n int, sigma float64, seed int64) (*GaussianSequential, error) {
+	return NewGaussianSequentialSeeded(region, c, n, sigma, seed, seed+1)
+}
+
+// NewGaussianSequentialSeeded is NewGaussianSequential with the centroid walk
+// and the point draws seeded independently, so a training stream can follow
+// the same sequence of hot regions as a test stream without replaying its
+// exact points.
+func NewGaussianSequentialSeeded(region geom.Rect, c, n int, sigma float64, centroidSeed, pointSeed int64) (*GaussianSequential, error) {
+	if c <= 0 || n <= 0 {
+		return nil, fmt.Errorf("dist: GaussianSequential needs c > 0 and n > 0, got c=%d n=%d", c, n)
+	}
+	perBatch := n / c
+	if perBatch == 0 {
+		perBatch = 1
+	}
+	return &GaussianSequential{
+		region:      region.Clone(),
+		sigma:       sigma,
+		centroidRng: rand.New(rand.NewSource(centroidSeed)),
+		pointRng:    rand.New(rand.NewSource(pointSeed)),
+		perBatch:    perBatch,
+	}, nil
+}
+
+// Next implements PointSource.
+func (g *GaussianSequential) Next() geom.Point {
+	if g.centroid == nil || g.emitted%g.perBatch == 0 {
+		g.centroid = randomCentroids(g.centroidRng, g.region, 1)[0]
+	}
+	g.emitted++
+	return gaussianAround(g.pointRng, g.region, g.centroid, g.sigma)
+}
+
+// Name implements PointSource.
+func (g *GaussianSequential) Name() string { return "GAUSS-SEQ" }
+
+// Kind names one of the three query distributions.
+type Kind int
+
+// The three query-point distributions of §5.1.
+const (
+	KindUniform Kind = iota
+	KindGaussianRandom
+	KindGaussianSequential
+)
+
+// String returns the figure label for the distribution.
+func (k Kind) String() string {
+	switch k {
+	case KindUniform:
+		return "UNIFORM"
+	case KindGaussianRandom:
+		return "GAUSS-RAND"
+	case KindGaussianSequential:
+		return "GAUSS-SEQ"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists all three distributions in the order the paper's figures use.
+func Kinds() []Kind {
+	return []Kind{KindUniform, KindGaussianRandom, KindGaussianSequential}
+}
+
+// NewSource constructs the named distribution with the paper's defaults
+// (c=3 centroids, sigma=0.05) over the region; n is the planned number of
+// queries (used by Gaussian-sequential to size its batches).
+func NewSource(k Kind, region geom.Rect, n int, seed int64) (PointSource, error) {
+	return NewSourceSeeded(k, region, n, seed, seed+1)
+}
+
+// NewSourceSeeded is NewSource with the distribution's shape (centroid
+// layout / walk) and its point draws seeded independently. Two sources
+// sharing a centroidSeed but differing in pointSeed sample the same
+// distribution independently — how the paper trains its static baselines on
+// "a set of queries that has the same distribution as the set used for
+// testing" (§5.1).
+func NewSourceSeeded(k Kind, region geom.Rect, n int, centroidSeed, pointSeed int64) (PointSource, error) {
+	switch k {
+	case KindUniform:
+		return NewUniform(region, pointSeed), nil
+	case KindGaussianRandom:
+		return NewGaussianRandomSeeded(region, 3, 0.05, centroidSeed, pointSeed)
+	case KindGaussianSequential:
+		return NewGaussianSequentialSeeded(region, 3, n, 0.05, centroidSeed, pointSeed)
+	default:
+		return nil, fmt.Errorf("dist: unknown distribution kind %d", int(k))
+	}
+}

@@ -1,0 +1,295 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlq/internal/geom"
+)
+
+func TestNewZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Error("NewZipf(0, 1) should fail")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Error("NewZipf(10, -1) should fail")
+	}
+	if _, err := NewZipf(10, math.NaN()); err == nil {
+		t.Error("NewZipf(10, NaN) should fail")
+	}
+}
+
+func TestZipfWeightsSumToOne(t *testing.T) {
+	z, err := NewZipf(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for r := 1; r <= z.N(); r++ {
+		sum += z.Weight(r)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %g, want 1", sum)
+	}
+	if z.Weight(0) != 0 || z.Weight(51) != 0 {
+		t.Error("out-of-range ranks must have zero weight")
+	}
+}
+
+func TestZipfMonotoneWeights(t *testing.T) {
+	z, _ := NewZipf(20, 1)
+	for r := 2; r <= 20; r++ {
+		if z.Weight(r) > z.Weight(r-1)+1e-15 {
+			t.Fatalf("weight(%d)=%g > weight(%d)=%g", r, z.Weight(r), r-1, z.Weight(r-1))
+		}
+	}
+}
+
+func TestZipfSampleDistribution(t *testing.T) {
+	z, _ := NewZipf(10, 1)
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, 11)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(rng)]++
+	}
+	for r := 1; r <= 10; r++ {
+		got := float64(counts[r]) / n
+		want := z.Weight(r)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("rank %d: empirical %g, want %g", r, got, want)
+		}
+	}
+}
+
+func TestZipfHeight(t *testing.T) {
+	z, _ := NewZipf(10, 1)
+	if h := z.Height(1, 10000); h != 10000 {
+		t.Errorf("Height(1) = %g, want 10000", h)
+	}
+	if h := z.Height(2, 10000); h != 5000 {
+		t.Errorf("Height(2) = %g, want 5000 with s=1", h)
+	}
+}
+
+func TestZipfZeroExponentIsUniform(t *testing.T) {
+	z, _ := NewZipf(4, 0)
+	for r := 1; r <= 4; r++ {
+		if math.Abs(z.Weight(r)-0.25) > 1e-12 {
+			t.Errorf("s=0 weight(%d) = %g, want 0.25", r, z.Weight(r))
+		}
+	}
+}
+
+func region4() geom.Rect {
+	return geom.MustRect(geom.Point{0, 0, 0, 0}, geom.Point{1000, 1000, 1000, 1000})
+}
+
+func TestUniformInRegion(t *testing.T) {
+	r := region4()
+	u := NewUniform(r, 1)
+	for i := 0; i < 1000; i++ {
+		p := u.Next()
+		if !r.Contains(p) {
+			t.Fatalf("uniform point %v escaped region", p)
+		}
+	}
+	if u.Name() != "UNIFORM" {
+		t.Errorf("Name = %q", u.Name())
+	}
+}
+
+func TestUniformCoversSpace(t *testing.T) {
+	r := geom.MustRect(geom.Point{0}, geom.Point{1})
+	u := NewUniform(r, 2)
+	var lowHalf int
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if u.Next()[0] < 0.5 {
+			lowHalf++
+		}
+	}
+	frac := float64(lowHalf) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("lower-half fraction %g, want ~0.5", frac)
+	}
+}
+
+func TestGaussianRandomClustering(t *testing.T) {
+	r := region4()
+	g, err := NewGaussianRandom(r, 3, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "GAUSS-RAND" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	// Every point must be near one of the three centroids.
+	for i := 0; i < 2000; i++ {
+		p := g.Next()
+		if !r.Contains(p) {
+			t.Fatalf("point %v escaped region", p)
+		}
+		nearest := math.Inf(1)
+		for _, c := range g.centroids {
+			if d := geom.Dist(p, c); d < nearest {
+				nearest = d
+			}
+		}
+		// 0.05 sigma on a 1000-range: 6 sigma in 4-d is 600, generous bound.
+		if nearest > 600 {
+			t.Fatalf("point %v is %g away from all centroids", p, nearest)
+		}
+	}
+}
+
+func TestGaussianRandomValidation(t *testing.T) {
+	if _, err := NewGaussianRandom(region4(), 0, 0.05, 1); err == nil {
+		t.Error("c=0 should fail")
+	}
+}
+
+func TestGaussianSequentialBatches(t *testing.T) {
+	r := region4()
+	const n, c = 900, 3
+	g, err := NewGaussianSequential(r, c, n, 0.05, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "GAUSS-SEQ" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = g.Next()
+		if !r.Contains(pts[i]) {
+			t.Fatalf("point %v escaped region", pts[i])
+		}
+	}
+	// Within a batch, points cluster; the batch means should differ between
+	// batches with overwhelming probability.
+	mean := func(ps []geom.Point) geom.Point {
+		m := make(geom.Point, len(ps[0]))
+		for _, p := range ps {
+			for i, v := range p {
+				m[i] += v
+			}
+		}
+		for i := range m {
+			m[i] /= float64(len(ps))
+		}
+		return m
+	}
+	m0 := mean(pts[:300])
+	m1 := mean(pts[300:600])
+	m2 := mean(pts[600:])
+	if geom.Dist(m0, m1) < 1 && geom.Dist(m1, m2) < 1 {
+		t.Error("batch means nearly identical; centroids did not move")
+	}
+	// Spread within a batch should be small relative to the region.
+	var spread float64
+	for _, p := range pts[:300] {
+		spread += geom.Dist(p, m0)
+	}
+	spread /= 300
+	if spread > 250 {
+		t.Errorf("average within-batch spread %g too large for sigma=0.05", spread)
+	}
+}
+
+func TestGaussianSequentialValidation(t *testing.T) {
+	if _, err := NewGaussianSequential(region4(), 0, 100, 0.05, 1); err == nil {
+		t.Error("c=0 should fail")
+	}
+	if _, err := NewGaussianSequential(region4(), 3, 0, 0.05, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	// c > n degenerates to one point per batch but must not panic.
+	g, err := NewGaussianSequential(region4(), 10, 5, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		g.Next()
+	}
+}
+
+func TestNewSourceAllKinds(t *testing.T) {
+	r := region4()
+	for _, k := range Kinds() {
+		src, err := NewSource(k, r, 100, 9)
+		if err != nil {
+			t.Fatalf("NewSource(%v): %v", k, err)
+		}
+		if src.Name() != k.String() {
+			t.Errorf("kind %v: source name %q", k, src.Name())
+		}
+		for i := 0; i < 50; i++ {
+			if p := src.Next(); !r.Contains(p) {
+				t.Fatalf("kind %v emitted out-of-region point %v", k, p)
+			}
+		}
+	}
+	if _, err := NewSource(Kind(99), r, 100, 9); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	r := region4()
+	for _, k := range Kinds() {
+		a, _ := NewSource(k, r, 100, 42)
+		b, _ := NewSource(k, r, 100, 42)
+		for i := 0; i < 100; i++ {
+			pa, pb := a.Next(), b.Next()
+			for j := range pa {
+				if pa[j] != pb[j] {
+					t.Fatalf("kind %v not deterministic at query %d", k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("unexpected: %q", Kind(99).String())
+	}
+}
+
+func TestSeededSourcesShareDistribution(t *testing.T) {
+	r := region4()
+	// Same centroid seed, different point seeds: same hot regions,
+	// different points.
+	for _, k := range []Kind{KindGaussianRandom, KindGaussianSequential} {
+		a, err := NewSourceSeeded(k, r, 300, 7, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewSourceSeeded(k, r, 300, 7, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var meanDist, identical float64
+		for i := 0; i < 300; i++ {
+			pa, pb := a.Next(), b.Next()
+			d := geom.Dist(pa, pb)
+			meanDist += d
+			if d == 0 {
+				identical++
+			}
+		}
+		meanDist /= 300
+		// Points differ (independent draws) but stay near the shared
+		// centroids (sigma=0.05 on a 1000 range -> same-centroid pairs
+		// are typically within ~200; different GAUSS-RAND centroids
+		// would average >400 apart).
+		if identical > 10 {
+			t.Errorf("%v: %g identical points; point seeds not independent", k, identical)
+		}
+		if k == KindGaussianSequential && meanDist > 300 {
+			t.Errorf("%v: mean pairwise distance %g; centroid walks diverged", k, meanDist)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package engine is a miniature ORDBMS execution engine demonstrating the
+// paper's Figure 1 end to end: a query with expensive UDF predicates is
+// planned using the cost estimators, executed with short-circuit AND
+// semantics, and every UDF execution's actual cost is fed back into its
+// model — so the plans improve as the system runs.
+package engine
+
+import (
+	"fmt"
+
+	"mlq/internal/core"
+	"mlq/internal/geom"
+	"mlq/internal/optimizer"
+)
+
+// Row is one tuple of a table; columns are numeric for simplicity.
+type Row []float64
+
+// Table is a named collection of rows.
+type Table struct {
+	Name string
+	Rows []Row
+}
+
+// Predicate is one UDF predicate of a conjunctive WHERE clause.
+type Predicate struct {
+	// Name labels the UDF in results.
+	Name string
+	// Exec executes the UDF against a row, returning whether the row
+	// passes and the measured execution cost.
+	Exec func(row Row) (pass bool, cost float64)
+	// Point maps a row to the UDF's model variables (the transformation
+	// T applied to this invocation's arguments).
+	Point func(row Row) geom.Point
+	// Model predicts per-invocation cost; its feedback loop is driven by
+	// the engine. Nil disables cost modeling for this predicate.
+	Model core.Model
+	// SelModel, when set, predicts per-invocation selectivity with the
+	// same feedback machinery: every execution observes 1 (pass) or 0
+	// (fail) at the row's point, so the block averages the quadtree
+	// maintains are exactly regional pass rates. This lets the rank
+	// ordering react to predicates whose selectivity varies across the
+	// data space, not just their global average.
+	SelModel core.Model
+
+	evaluated int64
+	passed    int64
+	costSum   float64
+}
+
+// Selectivity returns the observed pass fraction, or 0.5 before any
+// evaluation (the optimizer's uninformed prior).
+func (p *Predicate) Selectivity() float64 {
+	if p.evaluated == 0 {
+		return 0.5
+	}
+	return float64(p.passed) / float64(p.evaluated)
+}
+
+// MeanCost returns the observed average execution cost, or 1 before any
+// evaluation.
+func (p *Predicate) MeanCost() float64 {
+	if p.evaluated == 0 {
+		return 1
+	}
+	return p.costSum / float64(p.evaluated)
+}
+
+// Evaluated returns how many times the predicate has executed.
+func (p *Predicate) Evaluated() int64 { return p.evaluated }
+
+// OrderPolicy selects how the executor orders predicates.
+type OrderPolicy int
+
+const (
+	// OrderAsGiven evaluates predicates in the order supplied — the
+	// naive plan a cost-model-less optimizer produces.
+	OrderAsGiven OrderPolicy = iota
+	// OrderByRank re-plans per row: each predicate's cost is predicted
+	// by its model at that row's point and predicates run in ascending
+	// rank (selectivity−1)/cost. This is the paper's motivating use.
+	OrderByRank
+)
+
+// String names the policy.
+func (o OrderPolicy) String() string {
+	switch o {
+	case OrderAsGiven:
+		return "as-given"
+	case OrderByRank:
+		return "rank"
+	default:
+		return fmt.Sprintf("OrderPolicy(%d)", int(o))
+	}
+}
+
+// Result summarizes one query execution.
+type Result struct {
+	// Selected is the number of rows passing every predicate.
+	Selected int
+	// Rows are the selected rows, in table order. They alias the table's
+	// rows; callers must not mutate them.
+	Rows []Row
+	// TotalCost is the summed actual cost of every UDF execution.
+	TotalCost float64
+	// Evaluations counts UDF executions per predicate name.
+	Evaluations map[string]int64
+}
+
+// ExecuteQuery runs SELECT * FROM table WHERE p1 AND p2 AND ... with the
+// given ordering policy, feeding every actual UDF cost back into the
+// predicate's model.
+func ExecuteQuery(table *Table, preds []*Predicate, policy OrderPolicy) (Result, error) {
+	if table == nil {
+		return Result{}, fmt.Errorf("engine: table is required")
+	}
+	for i, p := range preds {
+		if p == nil || p.Exec == nil {
+			return Result{}, fmt.Errorf("engine: predicate %d is missing its Exec", i)
+		}
+	}
+	res := Result{Evaluations: make(map[string]int64, len(preds))}
+	order := make([]int, len(preds))
+	for i := range order {
+		order[i] = i
+	}
+	cands := make([]optimizer.Candidate, len(preds))
+	for _, row := range table.Rows {
+		if policy == OrderByRank {
+			for i, p := range preds {
+				cost := p.MeanCost()
+				sel := p.Selectivity()
+				if p.Point != nil {
+					pt := p.Point(row)
+					if p.Model != nil {
+						if v, ok := p.Model.Predict(pt); ok {
+							cost = v
+						}
+					}
+					if p.SelModel != nil {
+						if v, ok := p.SelModel.Predict(pt); ok {
+							sel = clamp01(v)
+						}
+					}
+				}
+				cands[i] = optimizer.Candidate{Cost: cost, Selectivity: sel}
+			}
+			order = optimizer.Order(cands)
+		}
+		pass := true
+		for _, i := range order {
+			p := preds[i]
+			ok, cost := p.Exec(row)
+			p.evaluated++
+			p.costSum += cost
+			if ok {
+				p.passed++
+			}
+			res.TotalCost += cost
+			res.Evaluations[p.Name]++
+			if p.Point != nil {
+				pt := p.Point(row)
+				if p.Model != nil {
+					if err := p.Model.Observe(pt, cost); err != nil {
+						return res, fmt.Errorf("engine: feedback for %s: %w", p.Name, err)
+					}
+				}
+				if p.SelModel != nil {
+					outcome := 0.0
+					if ok {
+						outcome = 1
+					}
+					if err := p.SelModel.Observe(pt, outcome); err != nil {
+						return res, fmt.Errorf("engine: selectivity feedback for %s: %w", p.Name, err)
+					}
+				}
+			}
+			if !ok {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			res.Selected++
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,280 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlq/internal/core"
+	"mlq/internal/geom"
+	"mlq/internal/quadtree"
+)
+
+func newModel(t *testing.T) *core.MLQ {
+	t.Helper()
+	m, err := core.NewMLQ(quadtree.Config{
+		Region:      geom.MustRect(geom.Point{0}, geom.Point{100}),
+		MemoryLimit: 1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// costlyPred builds a predicate whose cost depends on the row's col value
+// and whose pass/fail is thresholded on another column.
+func costlyPred(t *testing.T, name string, costCol, selCol int, selThresh float64, costScale float64) *Predicate {
+	t.Helper()
+	return &Predicate{
+		Name: name,
+		Exec: func(row Row) (bool, float64) {
+			return row[selCol] < selThresh, costScale * (1 + row[costCol])
+		},
+		Point: func(row Row) geom.Point { return geom.Point{row[costCol]} },
+		Model: newModel(t),
+	}
+}
+
+func randomTable(seed int64, n int) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	tb := &Table{Name: "t"}
+	for i := 0; i < n; i++ {
+		tb.Rows = append(tb.Rows, Row{rng.Float64() * 99, rng.Float64() * 99, rng.Float64() * 99})
+	}
+	return tb
+}
+
+func TestExecuteQueryValidation(t *testing.T) {
+	if _, err := ExecuteQuery(nil, nil, OrderAsGiven); err == nil {
+		t.Error("nil table accepted")
+	}
+	if _, err := ExecuteQuery(&Table{}, []*Predicate{nil}, OrderAsGiven); err == nil {
+		t.Error("nil predicate accepted")
+	}
+	if _, err := ExecuteQuery(&Table{}, []*Predicate{{Name: "x"}}, OrderAsGiven); err == nil {
+		t.Error("predicate without Exec accepted")
+	}
+}
+
+func TestExecuteQuerySemantics(t *testing.T) {
+	tb := randomTable(1, 500)
+	// p1 passes rows with col1 < 50 (about half); p2 passes col2 < 20.
+	p1 := costlyPred(t, "p1", 0, 1, 50, 1)
+	p2 := costlyPred(t, "p2", 0, 2, 20, 1)
+	res, err := ExecuteQuery(tb, []*Predicate{p1, p2}, OrderAsGiven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, row := range tb.Rows {
+		if row[1] < 50 && row[2] < 20 {
+			want++
+		}
+	}
+	if res.Selected != want {
+		t.Errorf("Selected = %d, want %d", res.Selected, want)
+	}
+	// Short-circuit: p2 runs only on rows p1 passed.
+	if res.Evaluations["p1"] != 500 {
+		t.Errorf("p1 evaluated %d times, want 500", res.Evaluations["p1"])
+	}
+	if res.Evaluations["p2"] != p1.passed {
+		t.Errorf("p2 evaluated %d times, want %d (rows surviving p1)", res.Evaluations["p2"], p1.passed)
+	}
+	if res.TotalCost <= 0 {
+		t.Error("no cost recorded")
+	}
+	// Observed selectivity approximates the true pass rate.
+	if s := p1.Selectivity(); s < 0.4 || s > 0.6 {
+		t.Errorf("p1 selectivity %g, want ~0.5", s)
+	}
+}
+
+func TestFeedbackTrainsModels(t *testing.T) {
+	tb := randomTable(2, 300)
+	p := costlyPred(t, "p", 0, 1, 200, 3) // always passes; cost = 3*(1+col0)
+	if _, err := ExecuteQuery(tb, []*Predicate{p}, OrderAsGiven); err != nil {
+		t.Fatal(err)
+	}
+	// The model must now predict the cost surface cost(x) = 3(1+x).
+	m := p.Model.(*core.MLQ)
+	for _, x := range []float64{10, 50, 90} {
+		got, ok := m.Predict(geom.Point{x})
+		if !ok {
+			t.Fatalf("model untrained at %g", x)
+		}
+		want := 3 * (1 + x)
+		if got < want*0.5 || got > want*1.5 {
+			t.Errorf("prediction at %g = %g, want ~%g", x, got, want)
+		}
+	}
+}
+
+func TestRankOrderingBeatsNaiveOrder(t *testing.T) {
+	// An expensive unselective predicate listed first: the naive plan
+	// pays its cost on every row; the self-tuned rank plan learns to run
+	// the cheap selective predicate first.
+	mk := func() []*Predicate {
+		expensive := &Predicate{
+			Name:  "expensive",
+			Exec:  func(row Row) (bool, float64) { return true, 100 },
+			Point: func(row Row) geom.Point { return geom.Point{row[0]} },
+			Model: newModel(t),
+		}
+		cheap := &Predicate{
+			Name:  "cheap",
+			Exec:  func(row Row) (bool, float64) { return row[1] < 10, 1 },
+			Point: func(row Row) geom.Point { return geom.Point{row[0]} },
+			Model: newModel(t),
+		}
+		return []*Predicate{expensive, cheap}
+	}
+	tb := randomTable(3, 2000)
+
+	naive, err := ExecuteQuery(tb, mk(), OrderAsGiven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := ExecuteQuery(tb, mk(), OrderByRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Selected != tuned.Selected {
+		t.Fatalf("plans disagree on results: %d vs %d", naive.Selected, tuned.Selected)
+	}
+	// Naive: 2000*100 + pass1*1. Tuned should approach 2000*1 + ~200*100,
+	// far cheaper. Allow slack for the warm-up rows.
+	if tuned.TotalCost >= naive.TotalCost*0.5 {
+		t.Errorf("tuned cost %g not well below naive %g", tuned.TotalCost, naive.TotalCost)
+	}
+}
+
+func TestPredicateDefaults(t *testing.T) {
+	p := &Predicate{}
+	if p.Selectivity() != 0.5 {
+		t.Errorf("prior selectivity = %g, want 0.5", p.Selectivity())
+	}
+	if p.MeanCost() != 1 {
+		t.Errorf("prior mean cost = %g, want 1", p.MeanCost())
+	}
+	if p.Evaluated() != 0 {
+		t.Error("fresh predicate has evaluations")
+	}
+}
+
+func TestOrderPolicyString(t *testing.T) {
+	if OrderAsGiven.String() != "as-given" || OrderByRank.String() != "rank" {
+		t.Error("policy names wrong")
+	}
+	if OrderPolicy(9).String() == "" {
+		t.Error("unknown policy must render")
+	}
+}
+
+func TestQueryWithoutModels(t *testing.T) {
+	// Predicates without models must still execute under both policies.
+	tb := randomTable(4, 100)
+	mk := func() []*Predicate {
+		return []*Predicate{{
+			Name: "plain",
+			Exec: func(row Row) (bool, float64) { return row[0] < 50, 2 },
+		}}
+	}
+	for _, policy := range []OrderPolicy{OrderAsGiven, OrderByRank} {
+		res, err := ExecuteQuery(tb, mk(), policy)
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if res.Evaluations["plain"] != 100 {
+			t.Errorf("%v: evaluated %d, want 100", policy, res.Evaluations["plain"])
+		}
+	}
+}
+
+func TestSelectivityModelLearnsRegionalPassRates(t *testing.T) {
+	tb := randomTable(7, 2000)
+	p := &Predicate{
+		Name: "regional",
+		// Passes only in the right half of the space.
+		Exec:     func(row Row) (bool, float64) { return row[0] > 50, 1 },
+		Point:    func(row Row) geom.Point { return geom.Point{row[0]} },
+		SelModel: newModel(t),
+	}
+	if _, err := ExecuteQuery(tb, []*Predicate{p}, OrderAsGiven); err != nil {
+		t.Fatal(err)
+	}
+	left, okL := p.SelModel.Predict(geom.Point{20})
+	right, okR := p.SelModel.Predict(geom.Point{80})
+	if !okL || !okR {
+		t.Fatal("selectivity model untrained")
+	}
+	if left > 0.2 {
+		t.Errorf("left-half selectivity = %g, want ~0", left)
+	}
+	if right < 0.8 {
+		t.Errorf("right-half selectivity = %g, want ~1", right)
+	}
+}
+
+func TestPerRowSelectivityImprovesOrdering(t *testing.T) {
+	// Two equal-cost predicates. p1's selectivity depends on region: it
+	// kills every left-half row and passes every right-half row. p2
+	// passes half the rows everywhere. Globally both look ~50% selective
+	// (a tie for the rank order), but per-row selectivity lets the
+	// engine run p1 first on left-half rows (free kill) and p2 first on
+	// right-half rows.
+	mk := func(withSelModel bool) []*Predicate {
+		p1 := &Predicate{
+			Name:  "regional",
+			Exec:  func(row Row) (bool, float64) { return row[0] > 50, 10 },
+			Point: func(row Row) geom.Point { return geom.Point{row[0]} },
+			Model: newModel(t),
+		}
+		p2 := &Predicate{
+			Name:  "coin",
+			Exec:  func(row Row) (bool, float64) { return row[1] < 50, 10 },
+			Point: func(row Row) geom.Point { return geom.Point{row[0]} },
+			Model: newModel(t),
+		}
+		if withSelModel {
+			p1.SelModel = newModel(t)
+			p2.SelModel = newModel(t)
+		}
+		return []*Predicate{p1, p2}
+	}
+	tb := randomTable(8, 4000)
+	global, err := ExecuteQuery(tb, mk(false), OrderByRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRow, err := ExecuteQuery(tb, mk(true), OrderByRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if global.Selected != perRow.Selected {
+		t.Fatalf("plans disagree: %d vs %d", global.Selected, perRow.Selected)
+	}
+	if perRow.TotalCost >= global.TotalCost {
+		t.Errorf("per-row selectivity cost %g not below global-selectivity cost %g",
+			perRow.TotalCost, global.TotalCost)
+	}
+}
+
+func TestResultRowsMatchSelected(t *testing.T) {
+	tb := randomTable(9, 400)
+	p := costlyPred(t, "p", 0, 1, 50, 1)
+	for _, policy := range []OrderPolicy{OrderAsGiven, OrderByRank} {
+		res, err := ExecuteQuery(tb, []*Predicate{p}, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != res.Selected {
+			t.Fatalf("%v: %d rows vs Selected=%d", policy, len(res.Rows), res.Selected)
+		}
+		for _, row := range res.Rows {
+			if row[1] >= 50 {
+				t.Fatalf("%v: selected row %v fails the predicate", policy, row)
+			}
+		}
+	}
+}

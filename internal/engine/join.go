@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"fmt"
+
+	"mlq/internal/optimizer"
+)
+
+// This file implements the second plan decision the paper's introduction
+// raises: "whether a join should be performed before UDF execution depends
+// on the cost of the UDFs and the selectivity of the UDF predicates" (§1).
+// A query joins two tables and filters the left side with expensive UDF
+// predicates; the executor either runs the UDFs first (shrinking the join
+// input) or the join first (shrinking the UDF input), and the cost-based
+// policy picks between them using the UDF cost models.
+
+// Join describes an equi-join between two tables on one column each.
+type Join struct {
+	Left, Right       *Table
+	LeftCol, RightCol int
+}
+
+// JoinPolicy selects the plan for a join-plus-UDF query.
+type JoinPolicy int
+
+const (
+	// UDFFirst evaluates the UDF predicates on every left row, then
+	// joins the survivors.
+	UDFFirst JoinPolicy = iota
+	// JoinFirst joins first, then evaluates the UDF predicates only on
+	// left rows that found at least one join partner.
+	JoinFirst
+	// CostBased picks UDFFirst or JoinFirst by comparing the two plans'
+	// expected costs from the UDF cost models, observed selectivities,
+	// and the join's estimated match rate.
+	CostBased
+)
+
+// String names the policy.
+func (p JoinPolicy) String() string {
+	switch p {
+	case UDFFirst:
+		return "udf-first"
+	case JoinFirst:
+		return "join-first"
+	case CostBased:
+		return "cost-based"
+	default:
+		return fmt.Sprintf("JoinPolicy(%d)", int(p))
+	}
+}
+
+// JoinResult summarizes a join query execution.
+type JoinResult struct {
+	// Pairs is the number of joined (left, right) row pairs passing all
+	// predicates.
+	Pairs int
+	// UDFCost is the summed actual cost of every UDF execution.
+	UDFCost float64
+	// ProbeCost is the number of hash probes performed (join work).
+	ProbeCost float64
+	// Chosen is the plan actually executed (resolves CostBased).
+	Chosen JoinPolicy
+}
+
+// TotalCost returns the plan's total charged cost; each hash probe is
+// charged one work unit against the UDFs' measured work units.
+func (r JoinResult) TotalCost() float64 { return r.UDFCost + r.ProbeCost }
+
+// ExecuteJoin runs SELECT * FROM L JOIN R ON L.c = R.c WHERE p1(L) AND ...
+// under the given policy, feeding every actual UDF cost back into its model
+// (the Fig. 1 loop). UDF predicates apply to left rows only.
+func ExecuteJoin(j Join, preds []*Predicate, policy JoinPolicy) (JoinResult, error) {
+	if j.Left == nil || j.Right == nil {
+		return JoinResult{}, fmt.Errorf("engine: join requires both tables")
+	}
+	for i, p := range preds {
+		if p == nil || p.Exec == nil {
+			return JoinResult{}, fmt.Errorf("engine: predicate %d is missing its Exec", i)
+		}
+	}
+	// Build the hash side once; both plans probe it.
+	hash := make(map[float64][]Row, len(j.Right.Rows))
+	for _, row := range j.Right.Rows {
+		if j.RightCol >= len(row) {
+			return JoinResult{}, fmt.Errorf("engine: right column %d out of range", j.RightCol)
+		}
+		k := row[j.RightCol]
+		hash[k] = append(hash[k], row)
+	}
+
+	chosen := policy
+	if policy == CostBased {
+		chosen = chooseJoinPlan(j, preds, hash)
+	}
+
+	var res JoinResult
+	res.Chosen = chosen
+	evalPreds := func(row Row) (bool, error) {
+		for _, p := range preds {
+			ok, cost := p.Exec(row)
+			p.evaluated++
+			p.costSum += cost
+			if ok {
+				p.passed++
+			}
+			res.UDFCost += cost
+			if p.Model != nil && p.Point != nil {
+				if err := p.Model.Observe(p.Point(row), cost); err != nil {
+					return false, fmt.Errorf("engine: feedback for %s: %w", p.Name, err)
+				}
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	for _, row := range j.Left.Rows {
+		if j.LeftCol >= len(row) {
+			return res, fmt.Errorf("engine: left column %d out of range", j.LeftCol)
+		}
+		switch chosen {
+		case UDFFirst:
+			pass, err := evalPreds(row)
+			if err != nil {
+				return res, err
+			}
+			if !pass {
+				continue
+			}
+			res.ProbeCost++
+			res.Pairs += len(hash[row[j.LeftCol]])
+		case JoinFirst:
+			res.ProbeCost++
+			matches := hash[row[j.LeftCol]]
+			if len(matches) == 0 {
+				continue
+			}
+			pass, err := evalPreds(row)
+			if err != nil {
+				return res, err
+			}
+			if pass {
+				res.Pairs += len(matches)
+			}
+		default:
+			return res, fmt.Errorf("engine: unknown join policy %d", int(chosen))
+		}
+	}
+	return res, nil
+}
+
+// chooseJoinPlan compares the two plans' expected per-left-row costs.
+//
+//	UDF-first:  udfChainCost                + udfSel · probeCost
+//	Join-first: probeCost + matchRate · udfChainCost
+//
+// where udfChainCost and udfSel come from the rank-ordered predicate chain
+// (optimizer.PlanCost semantics) with per-predicate costs predicted by the
+// UDF cost models at the table's centroid, and matchRate is the fraction of
+// left join keys present on the hash side.
+func chooseJoinPlan(j Join, preds []*Predicate, hash map[float64][]Row) JoinPolicy {
+	const probeCost = 1.0
+	// Sample the left table to estimate model-predicted UDF costs and the
+	// join match rate without executing anything.
+	sample := j.Left.Rows
+	const maxSample = 200
+	if len(sample) > maxSample {
+		sample = sample[:maxSample]
+	}
+	if len(sample) == 0 {
+		return UDFFirst
+	}
+	matched := 0
+	cands := make([]optimizer.Candidate, len(preds))
+	for i, p := range preds {
+		cost := p.MeanCost()
+		if p.Model != nil && p.Point != nil {
+			var sum float64
+			n := 0
+			for _, row := range sample {
+				if v, ok := p.Model.Predict(p.Point(row)); ok {
+					sum += v
+					n++
+				}
+			}
+			if n > 0 {
+				cost = sum / float64(n)
+			}
+		}
+		cands[i] = optimizer.Candidate{Cost: cost, Selectivity: p.Selectivity()}
+	}
+	for _, row := range sample {
+		if len(hash[row[j.LeftCol]]) > 0 {
+			matched++
+		}
+	}
+	matchRate := float64(matched) / float64(len(sample))
+
+	order := optimizer.Order(cands)
+	chainCost, err := optimizer.PlanCost(cands, order)
+	if err != nil {
+		return UDFFirst
+	}
+	chainSel := 1.0
+	for _, c := range cands {
+		chainSel *= clamp01(c.Selectivity)
+	}
+
+	udfFirst := chainCost + chainSel*probeCost
+	joinFirst := probeCost + matchRate*chainCost
+	if joinFirst < udfFirst {
+		return JoinFirst
+	}
+	return UDFFirst
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

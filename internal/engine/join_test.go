@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlq/internal/geom"
+)
+
+// joinFixture builds a left table of n rows (col 0: udf input, col 1: join
+// key) and a right table whose keys cover matchFrac of the left keys.
+func joinFixture(seed int64, n int, matchFrac float64) (left, right *Table) {
+	rng := rand.New(rand.NewSource(seed))
+	left = &Table{Name: "L"}
+	right = &Table{Name: "R"}
+	for i := 0; i < n; i++ {
+		key := float64(i)
+		left.Rows = append(left.Rows, Row{rng.Float64() * 99, key})
+		if rng.Float64() < matchFrac {
+			right.Rows = append(right.Rows, Row{key, rng.Float64()})
+		}
+	}
+	return left, right
+}
+
+func joinOf(left, right *Table) Join {
+	return Join{Left: left, Right: right, LeftCol: 1, RightCol: 0}
+}
+
+func TestExecuteJoinValidation(t *testing.T) {
+	l, r := joinFixture(1, 10, 1)
+	if _, err := ExecuteJoin(Join{Left: l}, nil, UDFFirst); err == nil {
+		t.Error("missing right table accepted")
+	}
+	if _, err := ExecuteJoin(joinOf(l, r), []*Predicate{nil}, UDFFirst); err == nil {
+		t.Error("nil predicate accepted")
+	}
+	if _, err := ExecuteJoin(Join{Left: l, Right: r, LeftCol: 9}, nil, UDFFirst); err == nil {
+		t.Error("out-of-range left column accepted")
+	}
+	if _, err := ExecuteJoin(Join{Left: l, Right: r, RightCol: 9}, nil, UDFFirst); err == nil {
+		t.Error("out-of-range right column accepted")
+	}
+	if _, err := ExecuteJoin(joinOf(l, r), nil, JoinPolicy(9)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestJoinPlansAgreeOnResults(t *testing.T) {
+	mkPred := func() *Predicate {
+		return &Predicate{
+			Name: "p",
+			Exec: func(row Row) (bool, float64) { return row[0] < 60, 10 },
+		}
+	}
+	l, r := joinFixture(2, 500, 0.3)
+	a, err := ExecuteJoin(joinOf(l, r), []*Predicate{mkPred()}, UDFFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExecuteJoin(joinOf(l, r), []*Predicate{mkPred()}, JoinFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Pairs != b.Pairs {
+		t.Fatalf("plans disagree: udf-first %d pairs, join-first %d", a.Pairs, b.Pairs)
+	}
+	if a.Pairs == 0 {
+		t.Fatal("fixture produced no joined pairs")
+	}
+	// Brute-force check.
+	want := 0
+	keys := map[float64]int{}
+	for _, row := range r.Rows {
+		keys[row[0]]++
+	}
+	for _, row := range l.Rows {
+		if row[0] < 60 {
+			want += keys[row[1]]
+		}
+	}
+	if a.Pairs != want {
+		t.Errorf("pairs = %d, brute force %d", a.Pairs, want)
+	}
+	if a.Chosen != UDFFirst || b.Chosen != JoinFirst {
+		t.Error("Chosen must echo the executed plan")
+	}
+}
+
+func TestJoinPlanCostTradeoff(t *testing.T) {
+	// Expensive unselective UDF + low join match rate: join-first is far
+	// cheaper because most rows never reach the UDF.
+	mkPred := func() *Predicate {
+		return &Predicate{
+			Name: "expensive",
+			Exec: func(row Row) (bool, float64) { return true, 100 },
+		}
+	}
+	l, r := joinFixture(3, 1000, 0.05)
+	uf, err := ExecuteJoin(joinOf(l, r), []*Predicate{mkPred()}, UDFFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf, err := ExecuteJoin(joinOf(l, r), []*Predicate{mkPred()}, JoinFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jf.TotalCost() >= uf.TotalCost()/2 {
+		t.Errorf("join-first (%g) not clearly cheaper than udf-first (%g) at 5%% match",
+			jf.TotalCost(), uf.TotalCost())
+	}
+}
+
+func TestCostBasedPicksJoinFirstOnLowMatchRate(t *testing.T) {
+	model := newModel(t)
+	// Warm the model so CostBased has predictions: expensive everywhere.
+	for i := 0; i < 200; i++ {
+		model.Observe(geom.Point{float64(i % 100)}, 100)
+	}
+	pred := &Predicate{
+		Name:  "expensive",
+		Exec:  func(row Row) (bool, float64) { return true, 100 },
+		Point: func(row Row) geom.Point { return geom.Point{row[0]} },
+		Model: model,
+	}
+	pred.evaluated, pred.passed = 100, 95 // observed: unselective
+	l, r := joinFixture(4, 800, 0.05)
+	res, err := ExecuteJoin(joinOf(l, r), []*Predicate{pred}, CostBased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chosen != JoinFirst {
+		t.Errorf("cost-based chose %v; want join-first for a 100-unit unselective UDF at 5%% match", res.Chosen)
+	}
+}
+
+func TestCostBasedPicksUDFFirstOnCheapSelectiveUDF(t *testing.T) {
+	model := newModel(t)
+	for i := 0; i < 200; i++ {
+		model.Observe(geom.Point{float64(i % 100)}, 0.01)
+	}
+	pred := &Predicate{
+		Name:  "cheap",
+		Exec:  func(row Row) (bool, float64) { return row[0] < 5, 0.01 },
+		Point: func(row Row) geom.Point { return geom.Point{row[0]} },
+		Model: model,
+	}
+	pred.evaluated, pred.passed = 100, 5 // observed: very selective
+	l, r := joinFixture(5, 800, 0.95)
+	res, err := ExecuteJoin(joinOf(l, r), []*Predicate{pred}, CostBased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chosen != UDFFirst {
+		t.Errorf("cost-based chose %v; want udf-first for a near-free selective UDF at 95%% match", res.Chosen)
+	}
+}
+
+func TestJoinFeedbackTrainsModel(t *testing.T) {
+	model := newModel(t)
+	pred := &Predicate{
+		Name:  "p",
+		Exec:  func(row Row) (bool, float64) { return true, 3 * row[0] },
+		Point: func(row Row) geom.Point { return geom.Point{row[0]} },
+		Model: model,
+	}
+	l, r := joinFixture(6, 400, 1)
+	if _, err := ExecuteJoin(joinOf(l, r), []*Predicate{pred}, UDFFirst); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := model.Predict(geom.Point{50})
+	if !ok {
+		t.Fatal("model untrained after join execution")
+	}
+	if got < 75 || got > 225 {
+		t.Errorf("prediction at 50 = %g, want ~150", got)
+	}
+}
+
+func TestJoinPolicyString(t *testing.T) {
+	if UDFFirst.String() != "udf-first" || JoinFirst.String() != "join-first" || CostBased.String() != "cost-based" {
+		t.Error("policy names wrong")
+	}
+	if JoinPolicy(9).String() == "" {
+		t.Error("unknown policy must render")
+	}
+}
+
+func TestJoinEmptyLeftTable(t *testing.T) {
+	res, err := ExecuteJoin(Join{Left: &Table{}, Right: &Table{}}, nil, CostBased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs != 0 || res.TotalCost() != 0 {
+		t.Errorf("empty join produced %+v", res)
+	}
+}

@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"fmt"
+
+	"mlq/internal/core"
+	"mlq/internal/dist"
+	"mlq/internal/metrics"
+	"mlq/internal/quadtree"
+	"mlq/internal/synthetic"
+)
+
+// AblationRow is one point of a one-at-a-time parameter sweep: the accuracy
+// and compression behaviour of one MLQ method at one parameter value.
+type AblationRow struct {
+	Param        string
+	Value        float64
+	Method       Method
+	NAE          float64
+	Compressions int64
+}
+
+// AblationParams lists the sweepable MLQ parameters: the four tuning knobs
+// of §4, the memory budget, and the compression-policy ablation that
+// quantifies what the SSEG victim ordering buys over count-based and random
+// eviction. The numeric sweeps reproduce the parameter study the paper
+// defers to its technical report [18].
+func AblationParams() []string {
+	return []string{"alpha", "beta", "gamma", "lambda", "memory", "policy"}
+}
+
+// DefaultAblationValues returns a sensible sweep range for each parameter.
+func DefaultAblationValues(param string) []float64 {
+	switch param {
+	case "alpha":
+		return []float64{0.01, 0.05, 0.1, 0.2, 0.5}
+	case "beta":
+		return []float64{1, 2, 5, 10, 20}
+	case "gamma":
+		return []float64{0.001, 0.01, 0.05, 0.1, 0.25}
+	case "lambda":
+		return []float64{2, 4, 6, 8}
+	case "memory":
+		return []float64{512, 1024, 1843, 4096, 8192}
+	case "policy":
+		return []float64{
+			float64(quadtree.CompressSSEG),
+			float64(quadtree.CompressCount),
+			float64(quadtree.CompressRandom),
+		}
+	default:
+		return nil
+	}
+}
+
+// Ablate sweeps one MLQ parameter over the synthetic workload, holding
+// everything else at the paper's defaults. The β sweep runs under 20%
+// observation noise, since β exists to absorb noise (§4.3). The policy
+// sweep runs under the Gaussian-random distribution, because the SSEG
+// ordering's rationale — frequently queried regions are likely to be
+// queried again (§4.4) — only has bite on a skewed workload. All other
+// sweeps use uniform queries, noise-free.
+func Ablate(param string, values []float64, opts Options) ([]AblationRow, error) {
+	opts = opts.withDefaults()
+	if len(values) == 0 {
+		values = DefaultAblationValues(param)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("harness: unknown ablation parameter %q (want one of %v)", param, AblationParams())
+	}
+	surface, err := synthetic.Generate(synthetic.Config{Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	var cost synthetic.CostFunc = surface
+	kind := dist.KindUniform
+	if param == "beta" {
+		if cost, err = synthetic.NewNoisy(surface, 0.2, opts.Seed+1); err != nil {
+			return nil, err
+		}
+	}
+	if param == "policy" {
+		kind = dist.KindGaussianRandom
+	}
+	methods := []Method{MLQE, MLQL}
+	if param == "alpha" {
+		methods = []Method{MLQL} // alpha only affects lazy insertion
+	}
+	var rows []AblationRow
+	for _, v := range values {
+		o := opts
+		switch param {
+		case "alpha":
+			o.Alpha = v
+		case "beta":
+			o.Beta = int(v)
+		case "gamma":
+			o.Gamma = v
+		case "lambda":
+			o.Lambda = int(v)
+		case "memory":
+			o.MemoryLimit = int(v)
+		case "policy":
+			o.Policy = quadtree.CompressionPolicy(int(v))
+		default:
+			return nil, fmt.Errorf("harness: unknown ablation parameter %q", param)
+		}
+		for _, m := range methods {
+			nae, comps, err := runInstrumented(m, cost, kind, o)
+			if err != nil {
+				return nil, fmt.Errorf("ablate %s=%g %v: %w", param, v, m, err)
+			}
+			rows = append(rows, AblationRow{
+				Param: param, Value: v, Method: m,
+				NAE: nae, Compressions: comps,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// runInstrumented is RunSyntheticNAE for MLQ methods, additionally
+// reporting the compression count.
+func runInstrumented(m Method, cost synthetic.CostFunc, kind dist.Kind, opts Options) (float64, int64, error) {
+	model, err := NewModel(m, cost.Region(), opts, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	mlq, ok := model.(*core.MLQ)
+	if !ok {
+		return 0, 0, fmt.Errorf("harness: ablation needs an MLQ method, got %v", m)
+	}
+	src, err := dist.NewSourceSeeded(kind, cost.Region(), opts.Queries, opts.Seed, opts.Seed+1)
+	if err != nil {
+		return 0, 0, err
+	}
+	var nae metrics.NAE
+	for i := 0; i < opts.Queries; i++ {
+		p := src.Next()
+		pred, _ := mlq.Predict(p)
+		actual := cost.Cost(p)
+		truth := actual
+		if tc, isNoisy := cost.(*synthetic.Noisy); isNoisy {
+			truth = tc.TrueCost(p)
+		}
+		nae.Add(pred, truth)
+		if err := mlq.Observe(p, actual); err != nil {
+			return 0, 0, err
+		}
+	}
+	return nae.Value(), mlq.Costs().Compressions, nil
+}

@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"mlq/internal/buffercache"
+	"mlq/internal/dist"
+	"mlq/internal/spatialdb"
+)
+
+// CachePolicyRow is one replacement policy's IO-cost modeling result.
+type CachePolicyRow struct {
+	Policy buffercache.Policy
+	NAE    map[Method]float64
+}
+
+// CachePolicies measures how the buffer cache's replacement policy shapes
+// the disk-IO cost noise the models face (Experiment 3's mechanism): the
+// same WIN workload runs against databases differing only in cache policy,
+// and the table reports IO-cost prediction accuracy (β=10) per method.
+func CachePolicies(opts Options) ([]CachePolicyRow, error) {
+	opts = opts.withDefaults()
+	if opts.Beta == 1 {
+		opts.Beta = 10
+	}
+	var rows []CachePolicyRow
+	for _, policy := range []buffercache.Policy{buffercache.LRU, buffercache.FIFO, buffercache.Clock} {
+		sdb, err := spatialdb.Generate(spatialdb.Config{
+			Seed:        opts.Seed,
+			CachePolicy: policy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		win := sdb.UDFs()[1]
+		row := CachePolicyRow{Policy: policy, NAE: make(map[Method]float64, 2)}
+		for _, m := range []Method{MLQE, SHH} {
+			v, err := RunRealNAE(m, win, dist.KindGaussianRandom, IOCost, opts)
+			if err != nil {
+				return nil, err
+			}
+			row.NAE[m] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"mlq/internal/core"
+	"mlq/internal/dist"
+	"mlq/internal/leo"
+	"mlq/internal/metrics"
+	"mlq/internal/synthetic"
+)
+
+// LEORow is one model's result in the LEO comparison.
+type LEORow struct {
+	Name string
+	NAE  float64
+	// PeakMemory is the model's worst-case working set in bytes: for MLQ
+	// the fixed budget, for LEO the adjustment table plus a full
+	// pre-analysis log.
+	PeakMemory int
+}
+
+// LEOComparison quantifies the paper's §2.2 claim that "MLQ is more storage
+// efficient than LEO": both self-tuning approaches run the same clustered
+// workload, and the table reports accuracy next to peak working-set memory.
+// LEO pays for its log of (estimate, actual) records between analysis
+// passes; MLQ folds feedback directly into its summaries.
+func LEOComparison(kind dist.Kind, opts Options) ([]LEORow, error) {
+	opts = opts.withDefaults()
+	surface, err := synthetic.Generate(synthetic.Config{Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	region := surface.Region()
+
+	run := func(model core.Model) (float64, error) {
+		src, err := dist.NewSourceSeeded(kind, region, opts.Queries, opts.Seed, opts.Seed+1)
+		if err != nil {
+			return 0, err
+		}
+		var nae metrics.NAE
+		for i := 0; i < opts.Queries; i++ {
+			p := src.Next()
+			pred, _ := model.Predict(p)
+			actual := surface.Cost(p)
+			nae.Add(pred, actual)
+			if err := model.Observe(p, actual); err != nil {
+				return 0, err
+			}
+		}
+		return nae.Value(), nil
+	}
+
+	var rows []LEORow
+
+	mlq, err := NewModel(MLQE, region, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	nae, err := run(mlq)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, LEORow{Name: "MLQ-E", NAE: nae, PeakMemory: opts.MemoryLimit})
+
+	lm, err := leo.New(leo.Config{Region: region})
+	if err != nil {
+		return nil, err
+	}
+	nae, err = run(lm)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, LEORow{Name: "LEO", NAE: nae, PeakMemory: lm.PeakMemory()})
+
+	return rows, nil
+}

@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"mlq/internal/dist"
+	"mlq/internal/synthetic"
+)
+
+// MemCurveRow is one memory-budget step: every method's NAE at that budget.
+type MemCurveRow struct {
+	MemoryBytes int
+	NAE         map[Method]float64
+}
+
+// MemCurve measures the accuracy-vs-memory trade-off of all four methods on
+// the synthetic workload: the paper fixes 1.8 KB throughout (§5.1); this
+// sweep shows where that budget sits on each method's curve and whether the
+// methods' ranking is budget-sensitive.
+func MemCurve(budgets []int, kind dist.Kind, opts Options) ([]MemCurveRow, error) {
+	opts = opts.withDefaults()
+	if len(budgets) == 0 {
+		budgets = []int{512, 1024, 1843, 4096, 8192, 16384}
+	}
+	surface, err := synthetic.Generate(synthetic.Config{Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	var rows []MemCurveRow
+	for _, b := range budgets {
+		o := opts
+		o.MemoryLimit = b
+		row := MemCurveRow{MemoryBytes: b, NAE: make(map[Method]float64, 4)}
+		for _, m := range Methods() {
+			mean, _, err := replicate(o, func(o Options) (float64, error) {
+				return RunSyntheticNAE(m, surface, kind, o)
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.NAE[m] = mean
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

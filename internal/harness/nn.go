@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"mlq/internal/core"
+	"mlq/internal/dist"
+	"mlq/internal/metrics"
+	"mlq/internal/nncurve"
+	"mlq/internal/synthetic"
+	"mlq/internal/workload"
+)
+
+// NNRow is one method's result in the neural-network comparison.
+type NNRow struct {
+	Name string
+	NAE  float64
+	// TrainTime is the a-priori training cost (zero for the self-tuning
+	// MLQ methods, which have none).
+	TrainTime time.Duration
+	// RunTime is the wall time of the predict/observe pass over the test
+	// workload.
+	RunTime time.Duration
+}
+
+// NNComparison quantifies the paper's §2.1 argument for excluding the
+// neural-network curve-fitting approach of Boulos et al.: it compares NN,
+// MLQ-E and SH-H on a synthetic workload at the same memory budget,
+// reporting accuracy alongside training cost. The paper's claim is that NN
+// is "very slow to train" and, like SH, cannot self-tune.
+func NNComparison(kind dist.Kind, opts Options) ([]NNRow, error) {
+	opts = opts.withDefaults()
+	surface, err := synthetic.Generate(synthetic.Config{Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	region := surface.Region()
+
+	runTest := func(model core.Model) (float64, time.Duration, error) {
+		src, err := dist.NewSourceSeeded(kind, region, opts.Queries, opts.Seed, opts.Seed+1)
+		if err != nil {
+			return 0, 0, err
+		}
+		stream, err := workload.New(src, surface, opts.Queries)
+		if err != nil {
+			return 0, 0, err
+		}
+		var nae metrics.NAE
+		start := time.Now()
+		for {
+			q, ok := stream.Next()
+			if !ok {
+				break
+			}
+			pred, _ := model.Predict(q.Point)
+			nae.Add(pred, q.True)
+			if err := model.Observe(q.Point, q.Observed); err != nil {
+				return 0, 0, err
+			}
+		}
+		return nae.Value(), time.Since(start), nil
+	}
+
+	var rows []NNRow
+
+	// Static methods share one a-priori training set.
+	training, err := trainingFor(SHH, kind, surface, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	nnStart := time.Now()
+	nn, err := nncurve.Train(nncurve.Config{
+		Region:      region,
+		MemoryLimit: opts.MemoryLimit,
+		Seed:        opts.Seed,
+	}, training)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %w", err)
+	}
+	nnTrain := time.Since(nnStart)
+	nae, run, err := runTest(nn)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, NNRow{Name: "NN", NAE: nae, TrainTime: nnTrain, RunTime: run})
+
+	shStart := time.Now()
+	sh, err := NewModel(SHH, region, opts, training)
+	if err != nil {
+		return nil, err
+	}
+	shTrain := time.Since(shStart)
+	nae, run, err = runTest(sh)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, NNRow{Name: "SH-H", NAE: nae, TrainTime: shTrain, RunTime: run})
+
+	mlq, err := NewModel(MLQE, region, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	nae, run, err = runTest(mlq)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, NNRow{Name: "MLQ-E", NAE: nae, RunTime: run})
+
+	return rows, nil
+}

@@ -1,0 +1,253 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"mlq/internal/quadtree"
+)
+
+// Table is a simple aligned text table for experiment output.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint writes the table to w with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Header)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total-2))
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// f4 formats a float with four decimals.
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// pct formats a fraction as a percentage with four decimals.
+func pct(v float64) string { return fmt.Sprintf("%.4f%%", v*100) }
+
+// RenderFig8 prints Figure 8's rows; replicated runs show mean±std.
+func RenderFig8(w io.Writer, rows []Fig8Row) {
+	t := Table{
+		Title:  "Figure 8: prediction accuracy (NAE) vs number of peaks, synthetic UDFs",
+		Header: []string{"dist", "peaks", "MLQ-E", "MLQ-L", "SH-H", "SH-W"},
+	}
+	cell := func(r Fig8Row, m Method) string {
+		if r.StdDev[m] > 0 {
+			return fmt.Sprintf("%.4f±%.3f", r.NAE[m], r.StdDev[m])
+		}
+		return f4(r.NAE[m])
+	}
+	for _, r := range rows {
+		t.AddRow(r.Dist.String(), fmt.Sprint(r.Peaks),
+			cell(r, MLQE), cell(r, MLQL), cell(r, SHH), cell(r, SHW))
+	}
+	t.Fprint(w)
+}
+
+// RenderFig9 prints Figure 9's (or 11(a)'s) rows.
+func RenderFig9(w io.Writer, title string, rows []Fig9Row) {
+	t := Table{
+		Title:  title,
+		Header: []string{"udf", "dist", "MLQ-E", "MLQ-L", "SH-H", "SH-W"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.UDF, r.Dist.String(),
+			f4(r.NAE[MLQE]), f4(r.NAE[MLQL]), f4(r.NAE[SHH]), f4(r.NAE[SHW]))
+	}
+	t.Fprint(w)
+}
+
+// RenderFig10 prints Figure 10's modeling-cost breakdowns.
+func RenderFig10(w io.Writer, title string, rows []CostBreakdown) {
+	t := Table{
+		Title:  title,
+		Header: []string{"workload", "method", "PC", "IC", "CC", "MUC", "compressions"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Workload, r.Method.String(),
+			pct(r.PC), pct(r.IC), pct(r.CC), pct(r.MUC), fmt.Sprint(r.Compressions))
+	}
+	t.Fprint(w)
+}
+
+// RenderFig11b prints Figure 11(b)'s noise sweep.
+func RenderFig11b(w io.Writer, rows []Fig11bRow) {
+	t := Table{
+		Title:  "Figure 11(b): prediction accuracy (NAE) vs noise probability, synthetic UDFs, beta=10",
+		Header: []string{"noiseP", "MLQ-E", "MLQ-L", "SH-H", "SH-W"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%.2f", r.NoiseP),
+			f4(r.NAE[MLQE]), f4(r.NAE[MLQL]), f4(r.NAE[SHH]), f4(r.NAE[SHW]))
+	}
+	t.Fprint(w)
+}
+
+// RenderFig12 prints Figure 12's learning curves, one column per series.
+func RenderFig12(w io.Writer, title string, series []Fig12Series) {
+	if len(series) == 0 {
+		return
+	}
+	header := []string{"queries"}
+	for _, s := range series {
+		header = append(header, fmt.Sprintf("%s/%s", s.Workload, s.Method))
+	}
+	t := Table{Title: title, Header: header}
+	for i := 0; i < len(series[0].Points); i++ {
+		row := []string{fmt.Sprint(series[0].Points[i].N)}
+		for _, s := range series {
+			if i < len(s.Points) {
+				row = append(row, f4(s.Points[i].NAE))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Fprint(w)
+}
+
+// RenderAblation prints a parameter sweep.
+func RenderAblation(w io.Writer, rows []AblationRow) {
+	if len(rows) == 0 {
+		return
+	}
+	workload := "uniform queries"
+	switch rows[0].Param {
+	case "policy":
+		workload = "Gaussian-random queries"
+	case "beta":
+		workload = "uniform queries, 20% noise"
+	}
+	t := Table{
+		Title:  fmt.Sprintf("Ablation: %s sweep (synthetic, %s)", rows[0].Param, workload),
+		Header: []string{"value", "method", "NAE", "compressions"},
+	}
+	for _, r := range rows {
+		value := fmt.Sprintf("%g", r.Value)
+		if r.Param == "policy" {
+			value = quadtree.CompressionPolicy(int(r.Value)).String()
+		}
+		t.AddRow(value, r.Method.String(), f4(r.NAE), fmt.Sprint(r.Compressions))
+	}
+	t.Fprint(w)
+}
+
+// RenderShift prints the workload-shift experiment: per-window error curves
+// and before/after aggregates for every method.
+func RenderShift(w io.Writer, series []ShiftSeries) {
+	if len(series) == 0 {
+		return
+	}
+	header := []string{"queries"}
+	for _, s := range series {
+		header = append(header, s.Method.String())
+	}
+	t := Table{Title: "Workload shift: NAE per window (clusters move at the midpoint)", Header: header}
+	for i := 0; i < len(series[0].Points); i++ {
+		row := []string{fmt.Sprint(series[0].Points[i].N)}
+		for _, s := range series {
+			if i < len(s.Points) {
+				row = append(row, f4(s.Points[i].NAE))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Fprint(w)
+	agg := Table{Title: "\nAggregate NAE before/after the shift", Header: []string{"method", "before", "after"}}
+	for _, s := range series {
+		agg.AddRow(s.Method.String(), f4(s.Before), f4(s.After))
+	}
+	agg.Fprint(w)
+}
+
+// RenderNN prints the neural-network comparison.
+func RenderNN(w io.Writer, kind string, rows []NNRow) {
+	t := Table{
+		Title:  fmt.Sprintf("Neural-network baseline (Boulos et al.) vs SH-H and MLQ-E (synthetic, %s)", kind),
+		Header: []string{"method", "NAE", "train time", "run time"},
+	}
+	for _, r := range rows {
+		train := "-"
+		if r.TrainTime > 0 {
+			train = r.TrainTime.Round(time.Millisecond).String()
+		}
+		t.AddRow(r.Name, f4(r.NAE), train, r.RunTime.Round(time.Millisecond).String())
+	}
+	t.Fprint(w)
+}
+
+// RenderLEO prints the LEO storage-efficiency comparison.
+func RenderLEO(w io.Writer, kind string, rows []LEORow) {
+	t := Table{
+		Title:  fmt.Sprintf("LEO-style learning optimizer vs MLQ-E (synthetic, %s)", kind),
+		Header: []string{"method", "NAE", "peak memory (bytes)"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Name, f4(r.NAE), fmt.Sprint(r.PeakMemory))
+	}
+	t.Fprint(w)
+}
+
+// RenderMemCurve prints the accuracy-vs-memory sweep.
+func RenderMemCurve(w io.Writer, kind string, rows []MemCurveRow) {
+	t := Table{
+		Title:  fmt.Sprintf("Accuracy vs memory budget (synthetic, %s)", kind),
+		Header: []string{"bytes", "MLQ-E", "MLQ-L", "SH-H", "SH-W"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprint(r.MemoryBytes),
+			f4(r.NAE[MLQE]), f4(r.NAE[MLQL]), f4(r.NAE[SHH]), f4(r.NAE[SHW]))
+	}
+	t.Fprint(w)
+}
+
+// RenderCachePolicies prints the cache-policy IO-noise experiment.
+func RenderCachePolicies(w io.Writer, rows []CachePolicyRow) {
+	t := Table{
+		Title:  "IO-cost prediction accuracy (NAE) by buffer-cache replacement policy (WIN, GAUSS-RAND, beta=10)",
+		Header: []string{"policy", "MLQ-E", "SH-H"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Policy.String(), f4(r.NAE[MLQE]), f4(r.NAE[SHH]))
+	}
+	t.Fprint(w)
+}

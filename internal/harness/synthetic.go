@@ -1,0 +1,245 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"mlq/internal/core"
+	"mlq/internal/dist"
+	"mlq/internal/metrics"
+	"mlq/internal/synthetic"
+	"mlq/internal/workload"
+)
+
+// RunSyntheticNAE runs one (method, surface, distribution) cell of the
+// synthetic accuracy experiments: the model predicts every query's cost,
+// then receives the observed cost as feedback. Accuracy is the NAE against
+// the noise-free ground truth (see DESIGN.md §2 on scoring under noise).
+func RunSyntheticNAE(m Method, cost synthetic.CostFunc, kind dist.Kind, opts Options) (float64, error) {
+	opts = opts.withDefaults()
+	training, err := trainingFor(m, kind, cost, opts)
+	if err != nil {
+		return 0, err
+	}
+	model, err := NewModel(m, cost.Region(), opts, training)
+	if err != nil {
+		return 0, err
+	}
+	src, err := dist.NewSourceSeeded(kind, cost.Region(), opts.Queries, opts.Seed, opts.Seed+1)
+	if err != nil {
+		return 0, err
+	}
+	stream, err := workload.New(src, cost, opts.Queries)
+	if err != nil {
+		return 0, err
+	}
+	var nae metrics.NAE
+	for {
+		q, ok := stream.Next()
+		if !ok {
+			break
+		}
+		pred, _ := model.Predict(q.Point) // untrained models predict 0
+		nae.Add(pred, q.True)
+		if err := model.Observe(q.Point, q.Observed); err != nil {
+			return 0, err
+		}
+	}
+	return nae.Value(), nil
+}
+
+// Fig8Row is one group of Figure 8: the NAE of every method at one peak
+// count under one query distribution. With Options.Trials > 1 the NAE is a
+// mean over independent seeds and StdDev carries the spread.
+type Fig8Row struct {
+	Peaks  int
+	Dist   dist.Kind
+	NAE    map[Method]float64
+	StdDev map[Method]float64
+}
+
+// Fig8 reproduces Figure 8: prediction accuracy on synthetic UDFs for a
+// varying number of peaks, one panel per query distribution.
+func Fig8(peakCounts []int, opts Options) ([]Fig8Row, error) {
+	opts = opts.withDefaults()
+	if len(peakCounts) == 0 {
+		peakCounts = []int{1, 10, 50, 100}
+	}
+	var rows []Fig8Row
+	for _, kind := range dist.Kinds() {
+		for _, n := range peakCounts {
+			row := Fig8Row{
+				Peaks: n, Dist: kind,
+				NAE:    make(map[Method]float64, 4),
+				StdDev: make(map[Method]float64, 4),
+			}
+			for _, m := range Methods() {
+				mean, std, err := replicate(opts, func(o Options) (float64, error) {
+					surface, err := synthetic.Generate(synthetic.Config{NumPeaks: n, Seed: o.Seed + int64(n)})
+					if err != nil {
+						return 0, err
+					}
+					return RunSyntheticNAE(m, surface, kind, o)
+				})
+				if err != nil {
+					return nil, fmt.Errorf("fig8 %v peaks=%d %v: %w", kind, n, m, err)
+				}
+				row.NAE[m] = mean
+				row.StdDev[m] = std
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig11bRow is one noise-probability step of Figure 11(b).
+type Fig11bRow struct {
+	NoiseP float64
+	NAE    map[Method]float64
+}
+
+// Fig11b reproduces Figure 11(b): prediction accuracy on synthetic data as
+// the noise probability grows, under the uniform query distribution and the
+// paper's IO-cost β (10).
+func Fig11b(noiseLevels []float64, opts Options) ([]Fig11bRow, error) {
+	opts = opts.withDefaults()
+	if opts.Beta == 1 {
+		opts.Beta = 10 // the paper's disk-IO setting
+	}
+	if len(noiseLevels) == 0 {
+		noiseLevels = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	}
+	surface, err := synthetic.Generate(synthetic.Config{Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig11bRow
+	for _, p := range noiseLevels {
+		noisy, err := synthetic.NewNoisy(surface, p, opts.Seed+int64(p*1000))
+		if err != nil {
+			return nil, err
+		}
+		row := Fig11bRow{NoiseP: p, NAE: make(map[Method]float64, 4)}
+		for _, m := range Methods() {
+			v, err := RunSyntheticNAE(m, noisy, dist.KindUniform, opts)
+			if err != nil {
+				return nil, err
+			}
+			row.NAE[m] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CostBreakdown is one bar group of Figure 10: the modeling costs of one MLQ
+// method, each normalized against the total UDF execution cost.
+type CostBreakdown struct {
+	Workload string
+	Method   Method
+	// PC, IC, CC, MUC are fractions of the total UDF execution cost
+	// (MUC = IC + CC).
+	PC, IC, CC, MUC float64
+	Compressions    int64
+}
+
+// breakdownFrom normalizes a model's cost counters by the workload's total
+// execution time.
+func breakdownFrom(name string, m Method, costs core.Costs, totalExec time.Duration) CostBreakdown {
+	t := float64(totalExec)
+	if t <= 0 {
+		t = 1
+	}
+	return CostBreakdown{
+		Workload:     name,
+		Method:       m,
+		PC:           float64(costs.PredictTime) / t,
+		IC:           float64(costs.InsertTime) / t,
+		CC:           float64(costs.CompressTime) / t,
+		MUC:          float64(costs.UpdateTime()) / t,
+		Compressions: costs.Compressions,
+	}
+}
+
+// SyntheticExecUnit is the simulated execution time per synthetic cost unit,
+// used to normalize Figure 10(b): the synthetic surface returns abstract
+// cost values, which the paper's setup treats as execution time. One unit
+// = one microsecond.
+const SyntheticExecUnit = time.Microsecond
+
+// Fig10Synthetic reproduces Figure 10(b): the modeling-cost breakdown of
+// MLQ-E and MLQ-L on the synthetic workload under uniform queries.
+func Fig10Synthetic(opts Options) ([]CostBreakdown, error) {
+	opts = opts.withDefaults()
+	surface, err := synthetic.Generate(synthetic.Config{Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	var out []CostBreakdown
+	for _, m := range []Method{MLQE, MLQL} {
+		model, err := NewModel(m, surface.Region(), opts, nil)
+		if err != nil {
+			return nil, err
+		}
+		mlq := model.(*core.MLQ)
+		src := dist.NewUniform(surface.Region(), opts.Seed)
+		var totalExec time.Duration
+		for i := 0; i < opts.Queries; i++ {
+			p := src.Next()
+			mlq.Predict(p)
+			actual := surface.Cost(p)
+			totalExec += time.Duration(actual * float64(SyntheticExecUnit))
+			if err := mlq.Observe(p, actual); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, breakdownFrom("SYNTH", m, mlq.Costs(), totalExec))
+	}
+	return out, nil
+}
+
+// Fig12Series is one learning curve of Figure 12.
+type Fig12Series struct {
+	Workload string
+	Method   Method
+	Points   []metrics.CurvePoint
+}
+
+// Fig12Synthetic reproduces the synthetic panel of Figure 12: windowed NAE
+// of MLQ-E and MLQ-L as the number of processed query points grows, under
+// uniform queries.
+func Fig12Synthetic(windows int, opts Options) ([]Fig12Series, error) {
+	opts = opts.withDefaults()
+	if windows <= 0 {
+		windows = 25
+	}
+	surface, err := synthetic.Generate(synthetic.Config{Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig12Series
+	for _, m := range []Method{MLQE, MLQL} {
+		model, err := NewModel(m, surface.Region(), opts, nil)
+		if err != nil {
+			return nil, err
+		}
+		curve, err := metrics.NewCurve(opts.Queries / windows)
+		if err != nil {
+			return nil, err
+		}
+		src := dist.NewUniform(surface.Region(), opts.Seed)
+		for i := 0; i < opts.Queries; i++ {
+			p := src.Next()
+			pred, _ := model.Predict(p)
+			actual := surface.Cost(p)
+			curve.Add(pred, actual)
+			if err := model.Observe(p, actual); err != nil {
+				return nil, err
+			}
+		}
+		curve.Flush()
+		out = append(out, Fig12Series{Workload: "SYNTH", Method: m, Points: curve.Points()})
+	}
+	return out, nil
+}

@@ -1,0 +1,37 @@
+package histogram
+
+import (
+	"bytes"
+	"testing"
+
+	"mlq/internal/geom"
+)
+
+// FuzzRead feeds arbitrary bytes to the histogram decoder: it must never
+// panic, and anything it accepts must predict without crashing.
+func FuzzRead(f *testing.F) {
+	h, err := Train(EquiHeight, Config{Region: geom.MustRect(geom.Point{0, 0}, geom.Point{10, 10})},
+		[]Sample{
+			{Point: geom.Point{1, 1}, Value: 5},
+			{Point: geom.Point{9, 9}, Value: 50},
+		})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if _, err := h.WriteTo(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add(valid.Bytes()[:10])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		got.Predict(geom.Point{5, 5})
+		got.Predict(geom.Point{-100, 100})
+	})
+}

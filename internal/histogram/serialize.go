@@ -1,0 +1,142 @@
+package histogram
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mlq/internal/geom"
+)
+
+// Serialization mirrors internal/quadtree's: a trained SH model persists in
+// the catalog and reloads at optimizer startup. Little-endian, versioned.
+
+const (
+	serialMagic   = 0x4d4c5148 // "MLQH"
+	serialVersion = 1
+)
+
+// WriteTo serializes the histogram. It implements io.WriterTo.
+func (h *Histogram) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(vs ...interface{}) error {
+		for _, v := range vs {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+			n += int64(binary.Size(v))
+		}
+		return nil
+	}
+	d := h.region.Dims()
+	if err := write(
+		uint32(serialMagic), uint32(serialVersion),
+		uint32(h.kind), uint32(d), uint32(h.n),
+		uint32(h.bucketB), uint32(h.boundaryB),
+		h.global, h.seen,
+	); err != nil {
+		return n, err
+	}
+	for i := 0; i < d; i++ {
+		if err := write(h.region.Lo[i], h.region.Hi[i]); err != nil {
+			return n, err
+		}
+	}
+	if h.kind == EquiHeight {
+		for _, bounds := range h.bounds {
+			for _, b := range bounds {
+				if err := write(b); err != nil {
+					return n, err
+				}
+			}
+		}
+	}
+	for i := range h.sums {
+		if err := write(h.sums[i], h.counts[i]); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read deserializes a histogram previously written with WriteTo.
+func Read(r io.Reader) (*Histogram, error) {
+	br := bufio.NewReader(r)
+	read := func(vs ...interface{}) error {
+		for _, v := range vs {
+			if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var magic, version, kind, dims, n, bucketB, boundaryB uint32
+	var global float64
+	var seen int64
+	if err := read(&magic, &version, &kind, &dims, &n, &bucketB, &boundaryB, &global, &seen); err != nil {
+		return nil, fmt.Errorf("histogram: reading header: %w", err)
+	}
+	if magic != serialMagic {
+		return nil, fmt.Errorf("histogram: bad magic %#x", magic)
+	}
+	if version != serialVersion {
+		return nil, fmt.Errorf("histogram: unsupported version %d", version)
+	}
+	if Kind(kind) != EquiWidth && Kind(kind) != EquiHeight {
+		return nil, fmt.Errorf("histogram: corrupt kind %d", kind)
+	}
+	if dims == 0 || dims > 20 || n == 0 || n > 1<<20 {
+		return nil, fmt.Errorf("histogram: corrupt shape dims=%d n=%d", dims, n)
+	}
+	lo := make(geom.Point, dims)
+	hi := make(geom.Point, dims)
+	for i := range lo {
+		if err := read(&lo[i], &hi[i]); err != nil {
+			return nil, fmt.Errorf("histogram: reading region: %w", err)
+		}
+	}
+	region, err := geom.NewRect(lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("histogram: corrupt region: %w", err)
+	}
+	buckets := 1
+	for i := uint32(0); i < dims; i++ {
+		buckets *= int(n)
+		if buckets > 1<<28 {
+			return nil, fmt.Errorf("histogram: implausible bucket count")
+		}
+	}
+	h := &Histogram{
+		kind:      Kind(kind),
+		region:    region,
+		n:         int(n),
+		sums:      make([]float64, buckets),
+		counts:    make([]int32, buckets),
+		global:    global,
+		seen:      seen,
+		bucketB:   int(bucketB),
+		boundaryB: int(boundaryB),
+	}
+	if h.kind == EquiHeight {
+		h.bounds = make([][]float64, dims)
+		for dim := range h.bounds {
+			h.bounds[dim] = make([]float64, n-1)
+			for i := range h.bounds[dim] {
+				if err := read(&h.bounds[dim][i]); err != nil {
+					return nil, fmt.Errorf("histogram: reading bounds: %w", err)
+				}
+			}
+		}
+	}
+	for i := range h.sums {
+		if err := read(&h.sums[i], &h.counts[i]); err != nil {
+			return nil, fmt.Errorf("histogram: reading buckets: %w", err)
+		}
+		if h.counts[i] < 0 {
+			return nil, fmt.Errorf("histogram: negative bucket count at %d", i)
+		}
+	}
+	return h, nil
+}

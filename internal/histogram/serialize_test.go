@@ -1,0 +1,123 @@
+package histogram
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mlq/internal/geom"
+)
+
+func trainedHist(t *testing.T, kind Kind) *Histogram {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	var samples []Sample
+	for i := 0; i < 800; i++ {
+		p := geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		samples = append(samples, Sample{Point: p, Value: p[0] + 2*p[1]})
+	}
+	h, err := Train(kind, Config{Region: region2()}, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHistogramSerializeRoundTrip(t *testing.T) {
+	for _, kind := range []Kind{EquiWidth, EquiHeight} {
+		t.Run(kind.String(), func(t *testing.T) {
+			h := trainedHist(t, kind)
+			var buf bytes.Buffer
+			n, err := h.WriteTo(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != int64(buf.Len()) {
+				t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+			}
+			got, err := Read(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Kind() != h.Kind() || got.Intervals() != h.Intervals() ||
+				got.Buckets() != h.Buckets() || got.TrainingSize() != h.TrainingSize() {
+				t.Fatal("shape lost in round trip")
+			}
+			if got.MemoryUsed() != h.MemoryUsed() {
+				t.Errorf("memory accounting changed: %d vs %d", got.MemoryUsed(), h.MemoryUsed())
+			}
+			rng := rand.New(rand.NewSource(10))
+			for i := 0; i < 300; i++ {
+				p := geom.Point{rng.Float64() * 120, rng.Float64() * 120}
+				a, aok := h.Predict(p)
+				b, bok := got.Predict(p)
+				if a != b || aok != bok {
+					t.Fatalf("prediction diverged at %v: (%g,%v) vs (%g,%v)", p, a, aok, b, bok)
+				}
+			}
+		})
+	}
+}
+
+func TestHistogramSerializeEmpty(t *testing.T) {
+	h, err := Train(EquiWidth, Config{Region: region2()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.Predict(geom.Point{1, 1}); ok {
+		t.Error("empty histogram must stay untrained after round trip")
+	}
+}
+
+func TestHistogramReadRejectsCorruptInput(t *testing.T) {
+	h := trainedHist(t, EquiHeight)
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[0] ^= 0xff
+		if _, err := Read(bytes.NewReader(b)); err == nil {
+			t.Error("bad magic accepted")
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[4] = 77
+		if _, err := Read(bytes.NewReader(b)); err == nil {
+			t.Error("bad version accepted")
+		}
+	})
+	t.Run("bad kind", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[8] = 9
+		if _, err := Read(bytes.NewReader(b)); err == nil {
+			t.Error("bad kind accepted")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{0, 10, len(good) / 2, len(good) - 2} {
+			if _, err := Read(bytes.NewReader(good[:cut])); err == nil {
+				t.Errorf("truncation at %d accepted", cut)
+			}
+		}
+	})
+	t.Run("huge intervals", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[16], b[17], b[18], b[19] = 0xff, 0xff, 0xff, 0x7f
+		if _, err := Read(bytes.NewReader(b)); err == nil {
+			t.Error("implausible interval count accepted")
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package leo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlq/internal/geom"
+)
+
+func region2() geom.Rect { return geom.MustRect(geom.Point{0, 0}, geom.Point{100, 100}) }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing region accepted")
+	}
+	if _, err := New(Config{Region: region2(), GridSize: -1}); err == nil {
+		t.Error("negative grid accepted")
+	}
+	if _, err := New(Config{Region: geom.UnitCube(16), GridSize: 10}); err == nil {
+		t.Error("10^16-cell table accepted")
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	m, err := New(Config{Region: region2()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Observe(geom.Point{1}, 1); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if err := m.Observe(geom.Point{1, 1}, math.NaN()); err == nil {
+		t.Error("NaN cost accepted")
+	}
+	if _, ok := m.Predict(geom.Point{1, 1}); ok {
+		t.Error("empty model predicted")
+	}
+}
+
+func TestLearnsRegionalAdjustments(t *testing.T) {
+	m, err := New(Config{Region: region2(), GridSize: 2, AnalyzeEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left half costs 10, right half costs 1000.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		x := rng.Float64() * 100
+		y := rng.Float64() * 100
+		cost := 10.0
+		if x >= 50 {
+			cost = 1000
+		}
+		if err := m.Observe(geom.Point{x, y}, cost); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Analyses() == 0 {
+		t.Fatal("no analysis passes ran")
+	}
+	left, _ := m.Predict(geom.Point{10, 50})
+	right, _ := m.Predict(geom.Point{90, 50})
+	if left > 100 {
+		t.Errorf("left prediction %g, want ~10", left)
+	}
+	if right < 500 {
+		t.Errorf("right prediction %g, want ~1000", right)
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	m, err := New(Config{Region: region2(), GridSize: 3, AnalyzeEvery: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := 9 * 16
+	if m.MemoryUsed() != table {
+		t.Errorf("empty model memory %d, want table-only %d", m.MemoryUsed(), table)
+	}
+	for i := 0; i < 49; i++ {
+		m.Observe(geom.Point{1, 1}, 5)
+	}
+	// 49 records x (2 dims + 2) x 8 bytes on top of the table.
+	want := table + 49*4*8
+	if m.MemoryUsed() != want {
+		t.Errorf("memory %d, want %d with a 49-record log", m.MemoryUsed(), want)
+	}
+	if m.PeakMemory() != table+50*4*8 {
+		t.Errorf("peak memory %d", m.PeakMemory())
+	}
+	if m.PeakLogRecords() != 50 {
+		t.Errorf("peak log records %d", m.PeakLogRecords())
+	}
+	// The analysis pass drains the log.
+	m.Observe(geom.Point{1, 1}, 5)
+	if m.MemoryUsed() != table {
+		t.Errorf("memory %d after analysis, want %d", m.MemoryUsed(), table)
+	}
+}
+
+func TestAdjustmentsBlendWithEvidence(t *testing.T) {
+	m, err := New(Config{Region: region2(), GridSize: 1, AnalyzeEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		m.Observe(geom.Point{50, 50}, 10)
+	}
+	// With one cell and constant costs, ratio converges to 1 and the
+	// prediction to the true constant.
+	got, ok := m.Predict(geom.Point{50, 50})
+	if !ok || math.Abs(got-10) > 0.5 {
+		t.Errorf("constant-cost prediction %g, want ~10", got)
+	}
+	if m.Name() != "LEO" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}

@@ -1,0 +1,200 @@
+// Package metrics implements the paper's evaluation metrics: the normalized
+// absolute error (NAE, Eq. 10) used for all accuracy comparisons, a windowed
+// error series for the learning curves of Experiment 4, and general
+// mean/variance accumulators.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NAE accumulates the normalized absolute error of Eq. 10:
+//
+//	NAE(Q) = Σ |PC(q) − AC(q)| / Σ AC(q)
+//
+// The paper chose NAE over relative error (not robust when costs are low)
+// and over unnormalized absolute error (not comparable across datasets).
+type NAE struct {
+	absErr float64
+	actual float64
+	n      int64
+}
+
+// Add records one prediction/actual pair.
+func (e *NAE) Add(predicted, actual float64) {
+	e.absErr += math.Abs(predicted - actual)
+	e.actual += math.Abs(actual)
+	e.n++
+}
+
+// Value returns the accumulated NAE. It returns 0 before any observation and
+// +Inf when predictions erred against an all-zero actual stream.
+func (e *NAE) Value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.actual == 0 {
+		if e.absErr == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return e.absErr / e.actual
+}
+
+// Count returns the number of observations.
+func (e *NAE) Count() int64 { return e.n }
+
+// Reset clears the accumulator.
+func (e *NAE) Reset() { *e = NAE{} }
+
+// String renders the current value compactly.
+func (e *NAE) String() string { return fmt.Sprintf("NAE=%.4f (n=%d)", e.Value(), e.n) }
+
+// CurvePoint is one sample of a learning curve: the windowed NAE measured
+// after processing N query points.
+type CurvePoint struct {
+	N   int64
+	NAE float64
+}
+
+// Curve builds the Experiment 4 learning curves: it maintains a tumbling
+// window of the last Window observations and emits one CurvePoint per full
+// window, showing how prediction error falls as the model sees more data.
+type Curve struct {
+	window int
+	cur    NAE
+	total  int64
+	points []CurvePoint
+}
+
+// NewCurve returns a curve with the given tumbling-window size.
+func NewCurve(window int) (*Curve, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("metrics: window must be > 0, got %d", window)
+	}
+	return &Curve{window: window}, nil
+}
+
+// Add records one prediction/actual pair, closing the window if full.
+func (c *Curve) Add(predicted, actual float64) {
+	c.cur.Add(predicted, actual)
+	c.total++
+	if c.cur.Count() >= int64(c.window) {
+		c.points = append(c.points, CurvePoint{N: c.total, NAE: c.cur.Value()})
+		c.cur.Reset()
+	}
+}
+
+// Points returns the completed windows' curve points.
+func (c *Curve) Points() []CurvePoint { return c.points }
+
+// Flush closes a partially filled final window, if any.
+func (c *Curve) Flush() {
+	if c.cur.Count() > 0 {
+		c.points = append(c.points, CurvePoint{N: c.total, NAE: c.cur.Value()})
+		c.cur.Reset()
+	}
+}
+
+// Welford accumulates running mean and variance with Welford's algorithm,
+// used by tests and the harness for summarizing repeated trials.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add records one value.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Mean returns the running mean (0 before any value).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running population variance.
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Count returns the number of values seen.
+func (w *Welford) Count() int64 { return w.n }
+
+// Quantiles accumulates a bounded sample of absolute prediction errors and
+// reports order statistics (median, tail quantiles). NAE summarizes the
+// error mass; quantiles reveal its distribution — a model can have a fine
+// NAE yet a terrible p95, which matters to an optimizer that must not pick
+// catastrophic plans. Uses reservoir sampling, so memory is bounded no
+// matter how long the stream runs.
+type Quantiles struct {
+	cap    int
+	sample []float64
+	seen   int64
+	rng    *rand.Rand
+	sorted bool
+}
+
+// NewQuantiles returns an accumulator keeping at most capacity samples.
+func NewQuantiles(capacity int, seed int64) (*Quantiles, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("metrics: capacity must be >= 1, got %d", capacity)
+	}
+	return &Quantiles{
+		cap: capacity,
+		rng: rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Add records one prediction/actual pair's absolute error.
+func (q *Quantiles) Add(predicted, actual float64) {
+	q.AddValue(math.Abs(predicted - actual))
+}
+
+// AddValue records a raw value.
+func (q *Quantiles) AddValue(v float64) {
+	q.seen++
+	q.sorted = false
+	if len(q.sample) < q.cap {
+		q.sample = append(q.sample, v)
+		return
+	}
+	if j := q.rng.Int63n(q.seen); int(j) < q.cap {
+		q.sample[j] = v
+	}
+}
+
+// Quantile returns the p-quantile (p in [0, 1]) of the sampled values,
+// or 0 before any observation.
+func (q *Quantiles) Quantile(p float64) float64 {
+	if len(q.sample) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	if !q.sorted {
+		sort.Float64s(q.sample)
+		q.sorted = true
+	}
+	idx := int(p * float64(len(q.sample)-1))
+	return q.sample[idx]
+}
+
+// Count returns the number of observations seen (not the sample size).
+func (q *Quantiles) Count() int64 { return q.seen }

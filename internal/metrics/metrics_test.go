@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNAEKnownValue(t *testing.T) {
+	var e NAE
+	e.Add(10, 20) // |err| 10
+	e.Add(30, 20) // |err| 10
+	// total abs err 20, total actual 40 -> 0.5
+	if got := e.Value(); got != 0.5 {
+		t.Errorf("NAE = %g, want 0.5", got)
+	}
+	if e.Count() != 2 {
+		t.Errorf("Count = %d", e.Count())
+	}
+}
+
+func TestNAEPerfectPrediction(t *testing.T) {
+	var e NAE
+	for i := 1; i <= 10; i++ {
+		e.Add(float64(i), float64(i))
+	}
+	if got := e.Value(); got != 0 {
+		t.Errorf("perfect NAE = %g, want 0", got)
+	}
+}
+
+func TestNAEEdgeCases(t *testing.T) {
+	var e NAE
+	if e.Value() != 0 {
+		t.Error("empty NAE must be 0")
+	}
+	e.Add(5, 0)
+	if !math.IsInf(e.Value(), 1) {
+		t.Error("error against all-zero actuals must be +Inf")
+	}
+	e.Reset()
+	e.Add(0, 0)
+	if e.Value() != 0 {
+		t.Error("zero error against zero actuals must be 0")
+	}
+	if !strings.Contains(e.String(), "NAE=") {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+// Property: NAE is invariant under a positive scaling of both predictions
+// and actuals — the point of normalization.
+func TestNAEScaleInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var a, b NAE
+		k := 1 + rng.Float64()*100
+		for i := 0; i < 50; i++ {
+			p := rng.Float64() * 100
+			v := 1 + rng.Float64()*100
+			a.Add(p, v)
+			b.Add(p*k, v*k)
+		}
+		return math.Abs(a.Value()-b.Value()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewCurveValidation(t *testing.T) {
+	if _, err := NewCurve(0); err == nil {
+		t.Error("window 0 accepted")
+	}
+}
+
+func TestCurveWindows(t *testing.T) {
+	c, err := NewCurve(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		c.Add(0, 10) // constant NAE of 1
+	}
+	pts := c.Points()
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2 full windows", len(pts))
+	}
+	if pts[0].N != 10 || pts[1].N != 20 {
+		t.Errorf("window boundaries: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.NAE != 1 {
+			t.Errorf("window NAE = %g, want 1", p.NAE)
+		}
+	}
+	c.Flush()
+	pts = c.Points()
+	if len(pts) != 3 || pts[2].N != 25 {
+		t.Errorf("after flush: %+v", pts)
+	}
+	c.Flush() // idempotent on empty window
+	if len(c.Points()) != 3 {
+		t.Error("Flush on empty window added a point")
+	}
+}
+
+func TestCurveShowsImprovement(t *testing.T) {
+	c, _ := NewCurve(100)
+	// Error shrinks by half each window.
+	errScale := 1.0
+	for w := 0; w < 5; w++ {
+		for i := 0; i < 100; i++ {
+			c.Add(100+100*errScale, 100)
+		}
+		errScale /= 2
+	}
+	pts := c.Points()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].NAE >= pts[i-1].NAE {
+			t.Errorf("curve not decreasing: %+v", pts)
+		}
+	}
+}
+
+func TestWelfordAgainstDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var w Welford
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 7
+		xs = append(xs, x)
+		w.Add(x)
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var variance float64
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	variance /= float64(len(xs))
+	if math.Abs(w.Mean()-mean) > 1e-9 {
+		t.Errorf("mean %g, want %g", w.Mean(), mean)
+	}
+	if math.Abs(w.Variance()-variance) > 1e-9 {
+		t.Errorf("variance %g, want %g", w.Variance(), variance)
+	}
+	if math.Abs(w.StdDev()-math.Sqrt(variance)) > 1e-9 {
+		t.Errorf("stddev %g", w.StdDev())
+	}
+	if w.Count() != 1000 {
+		t.Errorf("count %d", w.Count())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdDev() != 0 {
+		t.Error("empty Welford must be all zeros")
+	}
+}
+
+func TestNewQuantilesValidation(t *testing.T) {
+	if _, err := NewQuantiles(0, 1); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestQuantilesExactSmallSample(t *testing.T) {
+	q, err := NewQuantiles(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Quantile(0.5) != 0 {
+		t.Error("empty accumulator must return 0")
+	}
+	// Errors 1..100 (fits entirely in the sample: exact quantiles).
+	for i := 1; i <= 100; i++ {
+		q.Add(float64(i), 0)
+	}
+	if got := q.Quantile(0); got != 1 {
+		t.Errorf("p0 = %g, want 1", got)
+	}
+	if got := q.Quantile(1); got != 100 {
+		t.Errorf("p1 = %g, want 100", got)
+	}
+	med := q.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Errorf("median = %g, want ~50", med)
+	}
+	p95 := q.Quantile(0.95)
+	if p95 < 90 || p95 > 100 {
+		t.Errorf("p95 = %g, want ~95", p95)
+	}
+	if q.Count() != 100 {
+		t.Errorf("Count = %d", q.Count())
+	}
+	// Out-of-range p clamps.
+	if q.Quantile(-1) != 1 || q.Quantile(2) != 100 {
+		t.Error("p clamping broken")
+	}
+}
+
+func TestQuantilesReservoirApproximation(t *testing.T) {
+	q, _ := NewQuantiles(500, 2)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		q.AddValue(rng.Float64()) // uniform [0,1): p-quantile ~= p
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		got := q.Quantile(p)
+		if math.Abs(got-p) > 0.08 {
+			t.Errorf("quantile(%g) = %g, want ~%g", p, got, p)
+		}
+	}
+	if q.Count() != 100000 {
+		t.Errorf("Count = %d", q.Count())
+	}
+	// Interleaving adds after a quantile read must keep working.
+	q.AddValue(0.5)
+	if q.Quantile(0.5) == 0 {
+		t.Error("accumulator broke after interleaved add")
+	}
+}

@@ -1,0 +1,52 @@
+package minisql_test
+
+import (
+	"fmt"
+	"log"
+
+	"mlq/internal/core"
+	"mlq/internal/engine"
+	"mlq/internal/geom"
+	"mlq/internal/minisql"
+	"mlq/internal/quadtree"
+)
+
+// Example runs a UDF-predicate query with a self-tuning cost model bound to
+// the UDF, the way the paper's Figure 1 wires an optimizer.
+func Example() {
+	table := &engine.Table{Name: "images"}
+	for i := 0; i < 100; i++ {
+		table.Rows = append(table.Rows, engine.Row{float64(i), float64(i % 10)})
+	}
+	db := minisql.NewDB()
+	if err := db.AddTable(table, "size", "quality"); err != nil {
+		log.Fatal(err)
+	}
+	model, err := core.NewMLQ(quadtree.Config{
+		Region:      geom.MustRect(geom.Point{0}, geom.Point{100}),
+		MemoryLimit: 1843,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.AddFunc(&minisql.Func{
+		Name:  "SnowCoverage",
+		Arity: 1,
+		Eval: func(args []float64) (float64, float64) {
+			return args[0] / 2, 1 + args[0] // value, measured cost
+		},
+		Model: model,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Exec("SELECT * FROM images WHERE SnowCoverage(size) < 20 AND quality >= 5", engine.OrderByRank)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selected %d rows\n", len(res.Rows))
+	pred, _ := model.Predict(geom.Point{50})
+	fmt.Printf("learned cost at size=50 is near 51: %t\n", pred > 40 && pred < 62)
+	// Output:
+	// selected 20 rows
+	// learned cost at size=50 is near 51: true
+}

@@ -1,0 +1,179 @@
+package minisql
+
+import (
+	"fmt"
+	"strings"
+
+	"mlq/internal/core"
+	"mlq/internal/engine"
+	"mlq/internal/geom"
+)
+
+// Func is a registered UDF: a scalar function over numeric arguments whose
+// execution reports its cost, optionally carrying self-tuning cost and
+// selectivity models (fed back by the executor on every call).
+type Func struct {
+	// Name is the SQL-visible function name (case-insensitive).
+	Name string
+	// Arity is the required argument count.
+	Arity int
+	// Eval executes the UDF, returning its value and its measured
+	// execution cost.
+	Eval func(args []float64) (value, cost float64)
+	// Model predicts execution cost at the argument point; optional.
+	Model core.Model
+	// SelModel predicts the enclosing predicate's selectivity at the
+	// argument point; optional.
+	SelModel core.Model
+}
+
+// DB binds tables and UDFs for query execution.
+type DB struct {
+	tables  map[string]*engine.Table
+	columns map[string]map[string]int // table -> column name -> index
+	funcs   map[string]*Func
+}
+
+// NewDB returns an empty minisql database.
+func NewDB() *DB {
+	return &DB{
+		tables:  make(map[string]*engine.Table),
+		columns: make(map[string]map[string]int),
+		funcs:   make(map[string]*Func),
+	}
+}
+
+// AddTable registers a table with named columns (index i names row[i]).
+func (db *DB) AddTable(t *engine.Table, columns ...string) error {
+	if t == nil || t.Name == "" {
+		return fmt.Errorf("minisql: table must be non-nil and named")
+	}
+	if len(columns) == 0 {
+		return fmt.Errorf("minisql: table %s needs at least one column name", t.Name)
+	}
+	key := strings.ToLower(t.Name)
+	if _, dup := db.tables[key]; dup {
+		return fmt.Errorf("minisql: duplicate table %s", t.Name)
+	}
+	cols := make(map[string]int, len(columns))
+	for i, c := range columns {
+		lc := strings.ToLower(c)
+		if _, dup := cols[lc]; dup {
+			return fmt.Errorf("minisql: duplicate column %s in table %s", c, t.Name)
+		}
+		cols[lc] = i
+	}
+	db.tables[key] = t
+	db.columns[key] = cols
+	return nil
+}
+
+// AddFunc registers a UDF.
+func (db *DB) AddFunc(f *Func) error {
+	if f == nil || f.Name == "" || f.Eval == nil {
+		return fmt.Errorf("minisql: func must be named and have Eval")
+	}
+	if f.Arity < 0 {
+		return fmt.Errorf("minisql: %s: negative arity", f.Name)
+	}
+	key := strings.ToLower(f.Name)
+	if _, dup := db.funcs[key]; dup {
+		return fmt.Errorf("minisql: duplicate function %s", f.Name)
+	}
+	db.funcs[key] = f
+	return nil
+}
+
+// compile turns a parsed predicate into an engine predicate over the table.
+func (db *DB) compile(table string, p Pred) (*engine.Predicate, error) {
+	cols := db.columns[table]
+	if p.UDF == "" {
+		idx, ok := cols[strings.ToLower(p.Col)]
+		if !ok {
+			return nil, fmt.Errorf("minisql: unknown column %q in table %s", p.Col, table)
+		}
+		op, value := p.Op, p.Value
+		return &engine.Predicate{
+			Name: p.String(),
+			Exec: func(row engine.Row) (bool, float64) {
+				ok, _ := compare(row[idx], op, value)
+				return ok, 0 // plain comparisons are free
+			},
+		}, nil
+	}
+	f, ok := db.funcs[strings.ToLower(p.UDF)]
+	if !ok {
+		return nil, fmt.Errorf("minisql: unknown function %q", p.UDF)
+	}
+	if len(p.Args) != f.Arity {
+		return nil, fmt.Errorf("minisql: %s takes %d argument(s), got %d", f.Name, f.Arity, len(p.Args))
+	}
+	argIdx := make([]int, len(p.Args))
+	for i, a := range p.Args {
+		idx, ok := cols[strings.ToLower(a)]
+		if !ok {
+			return nil, fmt.Errorf("minisql: unknown column %q in table %s", a, table)
+		}
+		argIdx[i] = idx
+	}
+	op, value := p.Op, p.Value
+	argsOf := func(row engine.Row) []float64 {
+		args := make([]float64, len(argIdx))
+		for i, idx := range argIdx {
+			args[i] = row[idx]
+		}
+		return args
+	}
+	return &engine.Predicate{
+		Name: p.String(),
+		Exec: func(row engine.Row) (bool, float64) {
+			v, cost := f.Eval(argsOf(row))
+			ok, _ := compare(v, op, value)
+			return ok, cost
+		},
+		Point:    func(row engine.Row) geom.Point { return geom.Point(argsOf(row)) },
+		Model:    f.Model,
+		SelModel: f.SelModel,
+	}, nil
+}
+
+// Result is a query execution result.
+type Result struct {
+	// Rows are the selected rows (aliases into the table; do not mutate).
+	Rows []engine.Row
+	// Stats is the engine's execution summary.
+	Stats engine.Result
+	// Plan lists the predicates in the order the optimizer would run
+	// them for an average row (informational; rank ordering is per-row).
+	Plan []string
+}
+
+// Exec parses and runs a query with rank-ordered UDF predicates and
+// cost-model feedback. policy selects naive or rank ordering.
+func (db *DB) Exec(sql string, policy engine.OrderPolicy) (*Result, error) {
+	q, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	key := strings.ToLower(q.Table)
+	table, ok := db.tables[key]
+	if !ok {
+		return nil, fmt.Errorf("minisql: unknown table %q", q.Table)
+	}
+	preds := make([]*engine.Predicate, len(q.Preds))
+	for i, p := range q.Preds {
+		if preds[i], err = db.compile(key, p); err != nil {
+			return nil, err
+		}
+	}
+
+	res, err := engine.ExecuteQuery(table, preds, policy)
+	if err != nil {
+		return nil, err
+	}
+	plan := make([]string, len(preds))
+	for i, p := range preds {
+		plan[i] = p.Name
+	}
+	return &Result{Rows: res.Rows, Stats: res, Plan: plan}, nil
+}

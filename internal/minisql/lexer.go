@@ -1,0 +1,109 @@
+// Package minisql is a small SQL dialect for the engine: conjunctive
+// single-table SELECTs whose WHERE clause mixes UDF predicates and plain
+// column comparisons — the query shape of the paper's introduction, e.g.
+//
+//	SELECT * FROM map
+//	WHERE Contained(x, y) AND SnowCoverage(img) < 20
+//
+// Parsed queries compile to engine predicates; registered UDFs carry their
+// MLQ cost models, so execution plans predicates by rank and feeds actual
+// costs back (Fig. 1).
+package minisql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokStar
+	tokComma
+	tokLParen
+	tokRParen
+	tokOp // < <= > >= = !=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits the input into tokens. SQL keywords come out as tokIdent and
+// are matched case-insensitively by the parser.
+func lex(input string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '*':
+			out = append(out, token{tokStar, "*", i})
+			i++
+		case c == ',':
+			out = append(out, token{tokComma, ",", i})
+			i++
+		case c == '(':
+			out = append(out, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			out = append(out, token{tokRParen, ")", i})
+			i++
+		case c == '<' || c == '>':
+			op := string(c)
+			if i+1 < len(input) && input[i+1] == '=' {
+				op += "="
+				i++
+			}
+			out = append(out, token{tokOp, op, i})
+			i++
+		case c == '=':
+			out = append(out, token{tokOp, "=", i})
+			i++
+		case c == '!':
+			if i+1 >= len(input) || input[i+1] != '=' {
+				return nil, fmt.Errorf("minisql: stray '!' at position %d", i)
+			}
+			out = append(out, token{tokOp, "!=", i})
+			i += 2
+		case unicode.IsDigit(c) || c == '-' || c == '.':
+			start := i
+			i++
+			for i < len(input) && (unicode.IsDigit(rune(input[i])) || input[i] == '.' || input[i] == 'e' ||
+				input[i] == 'E' || ((input[i] == '+' || input[i] == '-') && (input[i-1] == 'e' || input[i-1] == 'E'))) {
+				i++
+			}
+			text := input[start:i]
+			if _, err := strconv.ParseFloat(text, 64); err != nil {
+				return nil, fmt.Errorf("minisql: bad number %q at position %d", text, start)
+			}
+			out = append(out, token{tokNumber, text, start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(input) && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			out = append(out, token{tokIdent, input[start:i], start})
+		default:
+			return nil, fmt.Errorf("minisql: unexpected character %q at position %d", c, i)
+		}
+	}
+	out = append(out, token{tokEOF, "", len(input)})
+	return out, nil
+}
+
+// isKeyword matches an identifier token against a keyword,
+// case-insensitively.
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,277 @@
+package minisql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mlq/internal/core"
+	"mlq/internal/engine"
+	"mlq/internal/geom"
+	"mlq/internal/quadtree"
+)
+
+func TestLex(t *testing.T) {
+	toks, err := lex("SELECT * FROM t WHERE f(a, b) <= -1.5e2 AND c != 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+	}
+	want := []tokenKind{
+		tokIdent, tokStar, tokIdent, tokIdent, tokIdent,
+		tokIdent, tokLParen, tokIdent, tokComma, tokIdent, tokRParen, tokOp, tokNumber,
+		tokIdent, tokIdent, tokOp, tokNumber, tokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(kinds), len(want))
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d: kind %d, want %d (%q)", i, kinds[i], want[i], toks[i].text)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{"a ! b", "x @ y", "n 1.2.3"} {
+		if _, err := lex(bad); err == nil {
+			t.Errorf("lex(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	q, err := Parse("select * from Map where Contained(x, y) = 1 and SnowCoverage(img) < 20 and size >= 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Table != "Map" || len(q.Preds) != 3 {
+		t.Fatalf("parsed %+v", q)
+	}
+	p0 := q.Preds[0]
+	if p0.UDF != "Contained" || len(p0.Args) != 2 || p0.Op != "=" || p0.Value != 1 {
+		t.Errorf("pred 0: %+v", p0)
+	}
+	p2 := q.Preds[2]
+	if p2.UDF != "" || p2.Col != "size" || p2.Op != ">=" || p2.Value != 5 {
+		t.Errorf("pred 2: %+v", p2)
+	}
+	if !strings.Contains(p0.String(), "Contained(x, y)") {
+		t.Errorf("String = %q", p0.String())
+	}
+	// No WHERE clause is fine.
+	q, err = Parse("SELECT * FROM t")
+	if err != nil || len(q.Preds) != 0 {
+		t.Errorf("bare select: %+v, %v", q, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DELETE * FROM t",
+		"SELECT x FROM t",
+		"SELECT * t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE f(",
+		"SELECT * FROM t WHERE f(a",
+		"SELECT * FROM t WHERE f(a) <",
+		"SELECT * FROM t WHERE f(a) < x",
+		"SELECT * FROM t WHERE a < 1 OR b < 2",
+		"SELECT * FROM t WHERE a < 1 AND",
+		"SELECT * FROM t WHERE f(a,) < 1",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func newTestDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	rng := rand.New(rand.NewSource(1))
+	table := &engine.Table{Name: "images"}
+	for i := 0; i < 1000; i++ {
+		table.Rows = append(table.Rows, engine.Row{
+			rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100,
+		})
+	}
+	if err := db.AddTable(table, "size", "snow", "sim"); err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.NewMLQ(quadtree.Config{
+		Region:      geom.MustRect(geom.Point{0}, geom.Point{100}),
+		MemoryLimit: 1843,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddFunc(&Func{
+		Name:  "SnowCoverage",
+		Arity: 1,
+		Eval: func(args []float64) (float64, float64) {
+			return args[0], 5 + args[0] // value = snow column; cost grows with it
+		},
+		Model: model,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddFunc(&Func{
+		Name:  "SimilarityDistance",
+		Arity: 1,
+		Eval: func(args []float64) (float64, float64) {
+			return args[0], 100 // expensive constant cost
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestRegistrationValidation(t *testing.T) {
+	db := NewDB()
+	if err := db.AddTable(nil); err == nil {
+		t.Error("nil table accepted")
+	}
+	if err := db.AddTable(&engine.Table{Name: "t"}); err == nil {
+		t.Error("table without columns accepted")
+	}
+	if err := db.AddTable(&engine.Table{Name: "t"}, "a", "A"); err == nil {
+		t.Error("duplicate (case-folded) columns accepted")
+	}
+	if err := db.AddTable(&engine.Table{Name: "t"}, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddTable(&engine.Table{Name: "T"}, "a"); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if err := db.AddFunc(nil); err == nil {
+		t.Error("nil func accepted")
+	}
+	if err := db.AddFunc(&Func{Name: "f"}); err == nil {
+		t.Error("func without Eval accepted")
+	}
+	f := func(args []float64) (float64, float64) { return 0, 0 }
+	if err := db.AddFunc(&Func{Name: "f", Arity: -1, Eval: f}); err == nil {
+		t.Error("negative arity accepted")
+	}
+	if err := db.AddFunc(&Func{Name: "f", Eval: f}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddFunc(&Func{Name: "F", Eval: f}); err == nil {
+		t.Error("duplicate func accepted")
+	}
+}
+
+func TestExecCorrectness(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec("SELECT * FROM images WHERE SnowCoverage(snow) < 20 AND size >= 50", engine.OrderAsGiven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := db.tables["images"]
+	want := 0
+	for _, row := range table.Rows {
+		if row[1] < 20 && row[0] >= 50 {
+			want++
+		}
+	}
+	if len(res.Rows) != want || res.Stats.Selected != want {
+		t.Fatalf("selected %d rows, want %d", len(res.Rows), want)
+	}
+	for _, row := range res.Rows {
+		if !(row[1] < 20 && row[0] >= 50) {
+			t.Fatalf("row %v does not satisfy the query", row)
+		}
+	}
+	if len(res.Plan) != 2 {
+		t.Errorf("plan: %v", res.Plan)
+	}
+	if res.Stats.TotalCost <= 0 {
+		t.Error("no cost recorded")
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	db := newTestDB(t)
+	bad := []string{
+		"garbage",
+		"SELECT * FROM nope",
+		"SELECT * FROM images WHERE missing > 1",
+		"SELECT * FROM images WHERE NoSuchUDF(size) > 1",
+		"SELECT * FROM images WHERE SnowCoverage(size, snow) > 1", // wrong arity
+		"SELECT * FROM images WHERE SnowCoverage(missing) > 1",
+	}
+	for _, s := range bad {
+		if _, err := db.Exec(s, engine.OrderAsGiven); err == nil {
+			t.Errorf("Exec(%q) accepted", s)
+		}
+	}
+}
+
+func TestRankOrderingThroughSQL(t *testing.T) {
+	// The intro's scenario: an expensive unselective UDF written first and
+	// a cheap selective one second. Rank ordering must recover the cheap
+	// plan; both plans agree on results.
+	query := "SELECT * FROM images WHERE SimilarityDistance(sim) >= 0 AND SnowCoverage(snow) < 10"
+	naiveDB := newTestDB(t)
+	naive, err := naiveDB.Exec(query, engine.OrderAsGiven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tunedDB := newTestDB(t)
+	tuned, err := tunedDB.Exec(query, engine.OrderByRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(naive.Rows) != len(tuned.Rows) {
+		t.Fatalf("plans disagree: %d vs %d rows", len(naive.Rows), len(tuned.Rows))
+	}
+	if tuned.Stats.TotalCost >= naive.Stats.TotalCost*0.7 {
+		t.Errorf("rank-ordered cost %.0f not well below naive %.0f",
+			tuned.Stats.TotalCost, naive.Stats.TotalCost)
+	}
+	// The UDF's cost model learned the surface cost(x) = 5 + x.
+	// (SnowCoverage carries the model in newTestDB.)
+	f := tunedDB.funcs["snowcoverage"]
+	if v, ok := f.Model.Predict(geom.Point{50}); !ok || v < 30 || v > 80 {
+		t.Errorf("model prediction at 50 = %g, want ~55", v)
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	db := newTestDB(t)
+	res, err := db.Exec("select * from IMAGES where snowcoverage(SNOW) < 50", engine.OrderAsGiven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("case-insensitive query selected nothing")
+	}
+}
+
+func TestCompareOperators(t *testing.T) {
+	cases := []struct {
+		op   string
+		l, r float64
+		want bool
+	}{
+		{"<", 1, 2, true}, {"<=", 2, 2, true}, {">", 3, 2, true},
+		{">=", 2, 3, false}, {"=", 2, 2, true}, {"!=", 2, 2, false},
+	}
+	for _, c := range cases {
+		got, err := compare(c.l, c.op, c.r)
+		if err != nil || got != c.want {
+			t.Errorf("compare(%g %s %g) = %v, %v", c.l, c.op, c.r, got, err)
+		}
+	}
+	if _, err := compare(1, "~", 2); err == nil {
+		t.Error("unknown operator accepted")
+	}
+}

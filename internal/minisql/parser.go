@@ -1,0 +1,178 @@
+package minisql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Query is a parsed conjunctive SELECT.
+type Query struct {
+	// Table is the FROM table name.
+	Table string
+	// Preds are the AND-ed WHERE predicates in source order.
+	Preds []Pred
+}
+
+// Pred is one predicate: either a UDF call compared to a constant
+// (UDF != "") or a plain column comparison.
+type Pred struct {
+	// UDF is the called function's name, empty for a plain comparison.
+	UDF string
+	// Args are the column names passed to the UDF.
+	Args []string
+	// Col is the compared column for a plain comparison.
+	Col string
+	// Op is one of < <= > >= = !=.
+	Op string
+	// Value is the right-hand constant.
+	Value float64
+}
+
+// String renders the predicate back to SQL-ish text.
+func (p Pred) String() string {
+	lhs := p.Col
+	if p.UDF != "" {
+		lhs = p.UDF + "("
+		for i, a := range p.Args {
+			if i > 0 {
+				lhs += ", "
+			}
+			lhs += a
+		}
+		lhs += ")"
+	}
+	return fmt.Sprintf("%s %s %g", lhs, p.Op, p.Value)
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.cur().isKeyword(kw) {
+		return fmt.Errorf("minisql: expected %s at position %d, got %q", kw, p.cur().pos, p.cur().text)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	if p.cur().kind != kind {
+		return token{}, fmt.Errorf("minisql: expected %s at position %d, got %q", what, p.cur().pos, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+// Parse parses "SELECT * FROM <table> [WHERE <pred> [AND <pred>]...]".
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokStar, "'*'"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expect(tokIdent, "table name")
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{Table: tbl.text}
+	if p.cur().kind == tokEOF {
+		return q, nil
+	}
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return nil, err
+	}
+	for {
+		pred, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		q.Preds = append(q.Preds, pred)
+		if p.cur().kind == tokEOF {
+			return q, nil
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// parsePred parses "ident(...) op number" or "ident op number".
+func (p *parser) parsePred() (Pred, error) {
+	name, err := p.expect(tokIdent, "column or UDF name")
+	if err != nil {
+		return Pred{}, err
+	}
+	var pred Pred
+	if p.cur().kind == tokLParen {
+		p.next()
+		pred.UDF = name.text
+		for {
+			if p.cur().kind == tokRParen && len(pred.Args) == 0 {
+				break // zero-arg UDF
+			}
+			arg, err := p.expect(tokIdent, "column name")
+			if err != nil {
+				return Pred{}, err
+			}
+			pred.Args = append(pred.Args, arg.text)
+			if p.cur().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return Pred{}, err
+		}
+	} else {
+		pred.Col = name.text
+	}
+	op, err := p.expect(tokOp, "comparison operator")
+	if err != nil {
+		return Pred{}, err
+	}
+	pred.Op = op.text
+	num, err := p.expect(tokNumber, "numeric constant")
+	if err != nil {
+		return Pred{}, err
+	}
+	pred.Value, err = strconv.ParseFloat(num.text, 64)
+	if err != nil {
+		return Pred{}, err
+	}
+	return pred, nil
+}
+
+// compare applies a parsed operator.
+func compare(lhs float64, op string, rhs float64) (bool, error) {
+	switch op {
+	case "<":
+		return lhs < rhs, nil
+	case "<=":
+		return lhs <= rhs, nil
+	case ">":
+		return lhs > rhs, nil
+	case ">=":
+		return lhs >= rhs, nil
+	case "=":
+		return lhs == rhs, nil
+	case "!=":
+		return lhs != rhs, nil
+	default:
+		return false, fmt.Errorf("minisql: unknown operator %q", op)
+	}
+}

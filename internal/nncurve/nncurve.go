@@ -1,0 +1,265 @@
+// Package nncurve implements the neural-network curve-fitting UDF cost
+// model of Boulos et al. (Trans. IPSJ 1997), the other prior approach the
+// paper discusses (§2.1). It is a small multi-layer perceptron trained by
+// stochastic gradient descent on an a-priori sample of UDF executions —
+// static, like the SH baselines.
+//
+// The paper excludes it from its comparison because "neural networks
+// techniques are complex to implement and very slow to train"; having a
+// real implementation lets the harness quantify that claim (training time
+// vs accuracy against MLQ and SH at the same memory budget — a parameter is
+// charged 8 bytes, so 1.8 KB buys roughly a 4-16-8-1 network).
+package nncurve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"mlq/internal/geom"
+	"mlq/internal/histogram"
+)
+
+// Config parameterizes network construction and training.
+type Config struct {
+	// Region is the input domain, used to normalize inputs to [-1, 1].
+	Region geom.Rect
+	// Hidden lists the hidden-layer widths. Default {16, 8}.
+	Hidden []int
+	// LearningRate for SGD. Default 0.02.
+	LearningRate float64
+	// Momentum for SGD. Default 0.9.
+	Momentum float64
+	// Epochs over the training set. Default 200.
+	Epochs int
+	// MemoryLimit in bytes; each weight costs 8. Zero disables the
+	// check. The harness passes the paper's 1843.
+	MemoryLimit int
+	// Seed drives weight initialization and sample shuffling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden == nil {
+		c.Hidden = []int{16, 8}
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.02
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 200
+	}
+	return c
+}
+
+// layer is one fully connected layer: out = act(W·in + b).
+type layer struct {
+	in, out   int
+	w         []float64 // out x in, row-major
+	b         []float64
+	vw, vb    []float64 // momentum buffers
+	hiddenAct bool      // tanh for hidden layers, identity for output
+}
+
+// Network is a trained feed-forward cost model. It satisfies core.Model;
+// Observe is a no-op because the approach is static.
+type Network struct {
+	cfg      Config
+	layers   []*layer
+	outScale float64 // costs are trained as y/outScale
+	trained  bool
+	trainDur time.Duration
+}
+
+// Params returns the total number of weights and biases.
+func (n *Network) Params() int {
+	total := 0
+	for _, l := range n.layers {
+		total += len(l.w) + len(l.b)
+	}
+	return total
+}
+
+// MemoryUsed returns the model's memory charge (8 bytes per parameter).
+func (n *Network) MemoryUsed() int { return n.Params() * 8 }
+
+// TrainingTime returns how long Train spent fitting the network.
+func (n *Network) TrainingTime() time.Duration { return n.trainDur }
+
+// newNetwork builds the layer stack with small random weights.
+func newNetwork(cfg Config, rng *rand.Rand) *Network {
+	sizes := append([]int{cfg.Region.Dims()}, cfg.Hidden...)
+	sizes = append(sizes, 1)
+	n := &Network{cfg: cfg, outScale: 1}
+	for i := 0; i+1 < len(sizes); i++ {
+		l := &layer{
+			in:        sizes[i],
+			out:       sizes[i+1],
+			w:         make([]float64, sizes[i+1]*sizes[i]),
+			b:         make([]float64, sizes[i+1]),
+			vw:        make([]float64, sizes[i+1]*sizes[i]),
+			vb:        make([]float64, sizes[i+1]),
+			hiddenAct: i+2 < len(sizes),
+		}
+		scale := math.Sqrt(2 / float64(l.in))
+		for j := range l.w {
+			l.w[j] = rng.NormFloat64() * scale
+		}
+		n.layers = append(n.layers, l)
+	}
+	return n
+}
+
+// normalize maps a clamped input point to [-1, 1] per dimension.
+func (n *Network) normalize(p geom.Point) []float64 {
+	p = n.cfg.Region.Clamp(p)
+	x := make([]float64, len(p))
+	for i := range p {
+		lo, hi := n.cfg.Region.Lo[i], n.cfg.Region.Hi[i]
+		x[i] = 2*(p[i]-lo)/(hi-lo) - 1
+	}
+	return x
+}
+
+// forward runs the network, returning every layer's activations (index 0 is
+// the input) for use by backprop.
+func (n *Network) forward(x []float64) [][]float64 {
+	acts := make([][]float64, 0, len(n.layers)+1)
+	acts = append(acts, x)
+	cur := x
+	for _, l := range n.layers {
+		next := make([]float64, l.out)
+		for o := 0; o < l.out; o++ {
+			sum := l.b[o]
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i, v := range cur {
+				sum += row[i] * v
+			}
+			if l.hiddenAct {
+				sum = math.Tanh(sum)
+			}
+			next[o] = sum
+		}
+		acts = append(acts, next)
+		cur = next
+	}
+	return acts
+}
+
+// step performs one SGD update toward target y (already output-scaled).
+func (n *Network) step(x []float64, y float64) {
+	acts := n.forward(x)
+	// Output delta (squared error, linear output).
+	pred := acts[len(acts)-1][0]
+	delta := []float64{pred - y}
+	// Backward pass.
+	for li := len(n.layers) - 1; li >= 0; li-- {
+		l := n.layers[li]
+		in := acts[li]
+		var prevDelta []float64
+		if li > 0 {
+			prevDelta = make([]float64, l.in)
+			for o := 0; o < l.out; o++ {
+				row := l.w[o*l.in : (o+1)*l.in]
+				for i := range prevDelta {
+					prevDelta[i] += delta[o] * row[i]
+				}
+			}
+			// Derivative of the previous layer's tanh.
+			for i := range prevDelta {
+				a := in[i]
+				prevDelta[i] *= 1 - a*a
+			}
+		}
+		lr := n.cfg.LearningRate
+		for o := 0; o < l.out; o++ {
+			g := delta[o]
+			row := l.w[o*l.in : (o+1)*l.in]
+			vrow := l.vw[o*l.in : (o+1)*l.in]
+			for i, v := range in {
+				vrow[i] = n.cfg.Momentum*vrow[i] - lr*g*v
+				row[i] += vrow[i]
+			}
+			l.vb[o] = n.cfg.Momentum*l.vb[o] - lr*g
+			l.b[o] += l.vb[o]
+		}
+		delta = prevDelta
+	}
+}
+
+// Train fits a network to the a-priori samples (the Boulos protocol).
+func Train(cfg Config, samples []histogram.Sample) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Region.Dims() == 0 {
+		return nil, fmt.Errorf("nncurve: Config.Region must be set")
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("nncurve: training requires at least one sample")
+	}
+	for _, h := range cfg.Hidden {
+		if h < 1 {
+			return nil, fmt.Errorf("nncurve: hidden widths must be >= 1, got %v", cfg.Hidden)
+		}
+	}
+	if cfg.Epochs < 1 || cfg.LearningRate <= 0 {
+		return nil, fmt.Errorf("nncurve: Epochs must be >= 1 and LearningRate > 0")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := newNetwork(cfg, rng)
+	if cfg.MemoryLimit > 0 && n.MemoryUsed() > cfg.MemoryLimit {
+		return nil, fmt.Errorf("nncurve: network needs %d bytes, limit is %d (shrink Hidden)",
+			n.MemoryUsed(), cfg.MemoryLimit)
+	}
+
+	// Output normalization: train on y / max|y|.
+	for _, s := range samples {
+		if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+			return nil, fmt.Errorf("nncurve: sample value must be finite, got %g", s.Value)
+		}
+		if a := math.Abs(s.Value); a > n.outScale {
+			n.outScale = a
+		}
+	}
+	xs := make([][]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		if len(s.Point) != cfg.Region.Dims() {
+			return nil, fmt.Errorf("nncurve: sample %d has %d dims, region has %d",
+				i, len(s.Point), cfg.Region.Dims())
+		}
+		xs[i] = n.normalize(s.Point)
+		ys[i] = s.Value / n.outScale
+	}
+
+	start := time.Now()
+	order := rng.Perm(len(xs))
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			n.step(xs[i], ys[i])
+		}
+	}
+	n.trainDur = time.Since(start)
+	n.trained = true
+	return n, nil
+}
+
+// Predict implements core.Model.
+func (n *Network) Predict(p geom.Point) (float64, bool) {
+	if !n.trained {
+		return 0, false
+	}
+	acts := n.forward(n.normalize(p))
+	return acts[len(acts)-1][0] * n.outScale, true
+}
+
+// Observe implements core.Model as a no-op: the curve-fitting approach is
+// static and "does not adapt to changing query distributions" (§2.1).
+func (n *Network) Observe(geom.Point, float64) error { return nil }
+
+// Name implements core.Model.
+func (n *Network) Name() string { return "NN" }

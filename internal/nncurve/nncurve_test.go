@@ -1,0 +1,180 @@
+package nncurve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlq/internal/geom"
+	"mlq/internal/histogram"
+)
+
+func region1() geom.Rect { return geom.MustRect(geom.Point{0}, geom.Point{100}) }
+
+func samplesFor(f func(geom.Point) float64, region geom.Rect, n int, seed int64) []histogram.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]histogram.Sample, n)
+	for i := range out {
+		p := make(geom.Point, region.Dims())
+		for j := range p {
+			p[j] = region.Lo[j] + rng.Float64()*(region.Hi[j]-region.Lo[j])
+		}
+		out[i] = histogram.Sample{Point: p, Value: f(p)}
+	}
+	return out
+}
+
+func nae(t *testing.T, n *Network, f func(geom.Point) float64, region geom.Rect, seed int64) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var absErr, total float64
+	for i := 0; i < 500; i++ {
+		p := make(geom.Point, region.Dims())
+		for j := range p {
+			p[j] = region.Lo[j] + rng.Float64()*(region.Hi[j]-region.Lo[j])
+		}
+		pred, ok := n.Predict(p)
+		if !ok {
+			t.Fatal("trained network refused to predict")
+		}
+		absErr += math.Abs(pred - f(p))
+		total += math.Abs(f(p))
+	}
+	return absErr / total
+}
+
+func TestTrainValidation(t *testing.T) {
+	good := samplesFor(func(p geom.Point) float64 { return p[0] }, region1(), 10, 1)
+	if _, err := Train(Config{}, good); err == nil {
+		t.Error("missing region accepted")
+	}
+	if _, err := Train(Config{Region: region1()}, nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := Train(Config{Region: region1(), Hidden: []int{0}}, good); err == nil {
+		t.Error("zero-width hidden layer accepted")
+	}
+	if _, err := Train(Config{Region: region1(), Epochs: -1}, good); err == nil {
+		t.Error("negative epochs accepted")
+	}
+	bad := []histogram.Sample{{Point: geom.Point{1, 2}, Value: 1}}
+	if _, err := Train(Config{Region: region1()}, bad); err == nil {
+		t.Error("dimension-mismatched sample accepted")
+	}
+	nan := []histogram.Sample{{Point: geom.Point{1}, Value: math.NaN()}}
+	if _, err := Train(Config{Region: region1()}, nan); err == nil {
+		t.Error("NaN sample accepted")
+	}
+}
+
+func TestMemoryLimitEnforced(t *testing.T) {
+	good := samplesFor(func(p geom.Point) float64 { return p[0] }, region1(), 10, 1)
+	if _, err := Train(Config{Region: region1(), Hidden: []int{500, 500}, MemoryLimit: 1843}, good); err == nil {
+		t.Error("oversized network accepted under memory limit")
+	}
+	// The paper-budget network must fit.
+	n, err := Train(Config{Region: region1(), Hidden: []int{16, 8}, MemoryLimit: 1843, Epochs: 1}, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.MemoryUsed() > 1843 {
+		t.Errorf("memory %d over limit", n.MemoryUsed())
+	}
+	if n.Params() != 16*1+16+16*8+8+8*1+1 {
+		t.Errorf("param count %d unexpected", n.Params())
+	}
+}
+
+func TestLearnsLinearFunction(t *testing.T) {
+	f := func(p geom.Point) float64 { return 3*p[0] + 10 }
+	n, err := Train(Config{Region: region1(), Seed: 1}, samplesFor(f, region1(), 600, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nae(t, n, f, region1(), 3); got > 0.05 {
+		t.Errorf("NAE on linear function = %g, want < 0.05", got)
+	}
+	if n.TrainingTime() <= 0 {
+		t.Error("training time not recorded")
+	}
+}
+
+func TestLearnsNonlinearSurface(t *testing.T) {
+	region := geom.MustRect(geom.Point{0, 0}, geom.Point{10, 10})
+	f := func(p geom.Point) float64 { return p[0]*p[1] + 5 }
+	n, err := Train(Config{Region: region, Seed: 4, Epochs: 400}, samplesFor(f, region, 1200, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nae(t, n, f, region, 6); got > 0.15 {
+		t.Errorf("NAE on x*y surface = %g, want < 0.15", got)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	f := func(p geom.Point) float64 { return p[0] * 2 }
+	s := samplesFor(f, region1(), 200, 7)
+	a, err := Train(Config{Region: region1(), Seed: 9, Epochs: 20}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(Config{Region: region1(), Seed: 9, Epochs: 20}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.0; x < 100; x += 7 {
+		va, _ := a.Predict(geom.Point{x})
+		vb, _ := b.Predict(geom.Point{x})
+		if va != vb {
+			t.Fatal("same seed produced different networks")
+		}
+	}
+}
+
+func TestObserveIsNoOp(t *testing.T) {
+	f := func(p geom.Point) float64 { return p[0] }
+	n, err := Train(Config{Region: region1(), Seed: 1, Epochs: 10}, samplesFor(f, region1(), 100, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := n.Predict(geom.Point{50})
+	for i := 0; i < 100; i++ {
+		if err := n.Observe(geom.Point{50}, 99999); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, _ := n.Predict(geom.Point{50})
+	if before != after {
+		t.Error("static network changed after Observe")
+	}
+	if n.Name() != "NN" {
+		t.Errorf("Name = %q", n.Name())
+	}
+}
+
+func TestUntrainedNetworkRefuses(t *testing.T) {
+	n := newNetwork(Config{Region: region1()}.withDefaults(), rand.New(rand.NewSource(1)))
+	if _, ok := n.Predict(geom.Point{5}); ok {
+		t.Error("untrained network predicted")
+	}
+}
+
+func TestPredictClampsOutOfRange(t *testing.T) {
+	f := func(p geom.Point) float64 { return p[0] }
+	n, err := Train(Config{Region: region1(), Seed: 1}, samplesFor(f, region1(), 400, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5000 clamps to just below 100, so its prediction must match the
+	// near-boundary prediction (small tolerance: the clamped coordinate
+	// is not exactly 99.99).
+	inside, _ := n.Predict(geom.Point{99.99})
+	outside, _ := n.Predict(geom.Point{5000})
+	if math.Abs(inside-outside) > 0.1 {
+		t.Errorf("out-of-range prediction %g differs from boundary %g", outside, inside)
+	}
+	farOut, _ := n.Predict(geom.Point{1e12})
+	if farOut != outside {
+		t.Error("all over-range inputs must clamp to the same boundary prediction")
+	}
+}

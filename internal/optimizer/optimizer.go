@@ -1,0 +1,73 @@
+// Package optimizer implements the query-optimization decision the paper's
+// cost models exist to serve (§1): ordering expensive UDF predicates in a
+// conjunctive WHERE clause. It uses the classic rank-ordering result of
+// predicate migration (Hellerstein & Stonebraker): evaluating predicates in
+// ascending rank = (selectivity − 1) / cost-per-tuple minimizes the expected
+// total evaluation cost per tuple.
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Candidate describes one UDF predicate for ordering purposes.
+type Candidate struct {
+	// Cost is the predicted execution cost per tuple (from a core.Model).
+	Cost float64
+	// Selectivity is the predicted fraction of tuples that pass, in [0,1].
+	Selectivity float64
+}
+
+// Rank returns the predicate's rank metric (selectivity − 1) / cost.
+// Cheaper and more selective predicates have more negative ranks and should
+// run earlier. A non-positive cost is treated as a tiny epsilon so free
+// predicates sort first without dividing by zero.
+func (c Candidate) Rank() float64 {
+	cost := c.Cost
+	if cost <= 0 {
+		cost = 1e-12
+	}
+	return (c.Selectivity - 1) / cost
+}
+
+// Order returns the indices of cands in optimal evaluation order
+// (ascending rank).
+func Order(cands []Candidate) []int {
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return cands[idx[a]].Rank() < cands[idx[b]].Rank()
+	})
+	return idx
+}
+
+// PlanCost returns the expected per-tuple cost of evaluating the predicates
+// in the given order with short-circuit AND semantics: each predicate's cost
+// is paid only by the tuples that survived all earlier predicates.
+func PlanCost(cands []Candidate, order []int) (float64, error) {
+	if len(order) != len(cands) {
+		return 0, fmt.Errorf("optimizer: order has %d entries for %d candidates", len(order), len(cands))
+	}
+	seen := make([]bool, len(cands))
+	survive := 1.0
+	var total float64
+	for _, i := range order {
+		if i < 0 || i >= len(cands) || seen[i] {
+			return 0, fmt.Errorf("optimizer: order is not a permutation (index %d)", i)
+		}
+		seen[i] = true
+		total += survive * cands[i].Cost
+		s := cands[i].Selectivity
+		if s < 0 {
+			s = 0
+		}
+		if s > 1 {
+			s = 1
+		}
+		survive *= s
+	}
+	return total, nil
+}

@@ -1,0 +1,120 @@
+package optimizer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRank(t *testing.T) {
+	// Selective & cheap -> very negative; unselective & expensive -> near 0.
+	a := Candidate{Cost: 1, Selectivity: 0.1}
+	b := Candidate{Cost: 100, Selectivity: 0.9}
+	if a.Rank() >= b.Rank() {
+		t.Errorf("rank(a)=%g should be below rank(b)=%g", a.Rank(), b.Rank())
+	}
+	// Zero cost must not divide by zero and sorts first.
+	free := Candidate{Cost: 0, Selectivity: 0.5}
+	if math.IsInf(free.Rank(), 0) == false && free.Rank() > a.Rank() {
+		t.Errorf("free predicate rank %g should not sort after %g", free.Rank(), a.Rank())
+	}
+}
+
+func TestOrderSimple(t *testing.T) {
+	cands := []Candidate{
+		{Cost: 100, Selectivity: 0.9}, // expensive, unselective: last
+		{Cost: 1, Selectivity: 0.1},   // cheap, selective: first
+		{Cost: 10, Selectivity: 0.5},
+	}
+	order := Order(cands)
+	if order[0] != 1 || order[2] != 0 {
+		t.Errorf("order = %v, want [1 2 0]", order)
+	}
+}
+
+func TestPlanCostShortCircuit(t *testing.T) {
+	cands := []Candidate{
+		{Cost: 10, Selectivity: 0.5},
+		{Cost: 20, Selectivity: 0.1},
+	}
+	// Order [0,1]: 10 + 0.5*20 = 20. Order [1,0]: 20 + 0.1*10 = 21.
+	c01, err := PlanCost(cands, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c10, _ := PlanCost(cands, []int{1, 0})
+	if c01 != 20 || c10 != 21 {
+		t.Errorf("plan costs %g, %g; want 20, 21", c01, c10)
+	}
+}
+
+func TestPlanCostValidation(t *testing.T) {
+	cands := []Candidate{{Cost: 1, Selectivity: 0.5}}
+	if _, err := PlanCost(cands, []int{0, 0}); err == nil {
+		t.Error("wrong-length order accepted")
+	}
+	if _, err := PlanCost(cands, []int{5}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := PlanCost([]Candidate{{Cost: 1}, {Cost: 2}}, []int{0, 0}); err == nil {
+		t.Error("duplicate index accepted")
+	}
+}
+
+// permutations generates all permutations of 0..n-1.
+func permutations(n int) [][]int {
+	if n == 1 {
+		return [][]int{{0}}
+	}
+	var out [][]int
+	for _, p := range permutations(n - 1) {
+		for pos := 0; pos <= len(p); pos++ {
+			q := make([]int, 0, n)
+			q = append(q, p[:pos]...)
+			q = append(q, n-1)
+			q = append(q, p[pos:]...)
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Property: rank ordering is optimal — for random candidate sets, no
+// permutation has lower plan cost than the rank order (the predicate
+// migration theorem, verified exhaustively for small n).
+func TestRankOrderIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(4)
+		cands := make([]Candidate, n)
+		for i := range cands {
+			cands[i] = Candidate{
+				Cost:        0.1 + rng.Float64()*100,
+				Selectivity: rng.Float64(),
+			}
+		}
+		rankCost, err := PlanCost(cands, Order(cands))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, perm := range permutations(n) {
+			c, err := PlanCost(cands, perm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c < rankCost-1e-9 {
+				t.Fatalf("trial %d: permutation %v costs %g < rank order %g (cands %+v)",
+					trial, perm, c, rankCost, cands)
+			}
+		}
+	}
+}
+
+func TestOrderEmpty(t *testing.T) {
+	if got := Order(nil); len(got) != 0 {
+		t.Errorf("Order(nil) = %v", got)
+	}
+	if c, err := PlanCost(nil, nil); err != nil || c != 0 {
+		t.Errorf("PlanCost(nil) = %g, %v", c, err)
+	}
+}

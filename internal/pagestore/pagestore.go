@@ -1,0 +1,81 @@
+// Package pagestore simulates the page-addressed disk underneath the text
+// and spatial databases. It stands in for Oracle's data files in the paper's
+// setup: every index and data structure is serialized onto fixed-size pages,
+// and physical reads are counted so disk-IO cost can be measured per query.
+package pagestore
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// PageID addresses one page in a store.
+type PageID uint32
+
+// DefaultPageSize matches a small DBMS page (2 KB).
+const DefaultPageSize = 2048
+
+// Store is an append-allocated collection of fixed-size pages with physical
+// read accounting. It is safe for concurrent reads after loading.
+type Store struct {
+	pageSize int
+	pages    [][]byte
+	reads    atomic.Int64
+}
+
+// New returns an empty store with the given page size (0 means
+// DefaultPageSize).
+func New(pageSize int) (*Store, error) {
+	if pageSize == 0 {
+		pageSize = DefaultPageSize
+	}
+	if pageSize < 16 {
+		return nil, fmt.Errorf("pagestore: page size must be >= 16 bytes, got %d", pageSize)
+	}
+	return &Store{pageSize: pageSize}, nil
+}
+
+// PageSize returns the store's page size in bytes.
+func (s *Store) PageSize() int { return s.pageSize }
+
+// NumPages returns the number of allocated pages.
+func (s *Store) NumPages() int { return len(s.pages) }
+
+// Alloc allocates a new zeroed page and returns its ID.
+func (s *Store) Alloc() PageID {
+	s.pages = append(s.pages, make([]byte, s.pageSize))
+	return PageID(len(s.pages) - 1)
+}
+
+// Write replaces the contents of page id. The data must fit in one page.
+func (s *Store) Write(id PageID, data []byte) error {
+	if int(id) >= len(s.pages) {
+		return fmt.Errorf("pagestore: write to unallocated page %d (have %d)", id, len(s.pages))
+	}
+	if len(data) > s.pageSize {
+		return fmt.Errorf("pagestore: %d bytes exceed page size %d", len(data), s.pageSize)
+	}
+	page := s.pages[id]
+	copy(page, data)
+	for i := len(data); i < s.pageSize; i++ {
+		page[i] = 0
+	}
+	return nil
+}
+
+// Read performs a physical page read: it counts toward Reads and returns the
+// page contents. The returned slice is the store's own buffer; callers must
+// not modify it.
+func (s *Store) Read(id PageID) ([]byte, error) {
+	if int(id) >= len(s.pages) {
+		return nil, fmt.Errorf("pagestore: read of unallocated page %d (have %d)", id, len(s.pages))
+	}
+	s.reads.Add(1)
+	return s.pages[id], nil
+}
+
+// Reads returns the number of physical page reads performed.
+func (s *Store) Reads() int64 { return s.reads.Load() }
+
+// ResetReads zeroes the physical read counter.
+func (s *Store) ResetReads() { s.reads.Store(0) }

@@ -1,0 +1,89 @@
+package pagestore
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(8); err == nil {
+		t.Error("tiny page size accepted")
+	}
+	s, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PageSize() != DefaultPageSize {
+		t.Errorf("default page size = %d", s.PageSize())
+	}
+}
+
+func TestAllocWriteRead(t *testing.T) {
+	s, _ := New(64)
+	id := s.Alloc()
+	if s.NumPages() != 1 {
+		t.Fatalf("NumPages = %d", s.NumPages())
+	}
+	payload := []byte("hello pages")
+	if err := s.Write(id, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(payload)], payload) {
+		t.Errorf("read back %q", got[:len(payload)])
+	}
+	if len(got) != 64 {
+		t.Errorf("page length %d, want full page", len(got))
+	}
+	if s.Reads() != 1 {
+		t.Errorf("Reads = %d, want 1", s.Reads())
+	}
+}
+
+func TestWriteClearsStalePageTail(t *testing.T) {
+	s, _ := New(32)
+	id := s.Alloc()
+	s.Write(id, bytes.Repeat([]byte{0xff}, 32))
+	s.Write(id, []byte{1, 2})
+	got, _ := s.Read(id)
+	if got[0] != 1 || got[1] != 2 {
+		t.Error("prefix wrong")
+	}
+	for i := 2; i < 32; i++ {
+		if got[i] != 0 {
+			t.Fatalf("stale byte at %d", i)
+		}
+	}
+}
+
+func TestBoundsErrors(t *testing.T) {
+	s, _ := New(32)
+	if err := s.Write(0, nil); err == nil {
+		t.Error("write to unallocated page accepted")
+	}
+	if _, err := s.Read(5); err == nil {
+		t.Error("read of unallocated page accepted")
+	}
+	id := s.Alloc()
+	if err := s.Write(id, make([]byte, 33)); err == nil {
+		t.Error("oversized write accepted")
+	}
+}
+
+func TestReadCounting(t *testing.T) {
+	s, _ := New(32)
+	id := s.Alloc()
+	for i := 0; i < 10; i++ {
+		s.Read(id)
+	}
+	if s.Reads() != 10 {
+		t.Errorf("Reads = %d", s.Reads())
+	}
+	s.ResetReads()
+	if s.Reads() != 0 {
+		t.Error("ResetReads did not zero the counter")
+	}
+}

@@ -1,0 +1,122 @@
+package quadtree
+
+import (
+	"container/heap"
+	"time"
+)
+
+// heapItem pairs a leaf candidate with its (fixed) SSEG key. SSEG values do
+// not change while compression runs — removing a leaf leaves every other
+// node's summary, and therefore every other SSEG, untouched — so keys are
+// computed once at push time.
+type heapItem struct {
+	n    *node
+	sseg float64
+}
+
+// leafHeap is a min-heap of removal candidates ordered by SSEG.
+type leafHeap []heapItem
+
+func (h leafHeap) Len() int            { return len(h) }
+func (h leafHeap) Less(i, j int) bool  { return h[i].sseg < h[j].sseg }
+func (h leafHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *leafHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *leafHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// victimKey returns the ordering key for compression victims under the
+// configured policy: SSEG (the paper's), point count, or a deterministic
+// pseudo-random key (for ablations — see harness.Ablate("policy", ...)).
+func (t *Tree) victimKey() func(*node) float64 {
+	switch t.cfg.Policy {
+	case CompressCount:
+		return func(n *node) float64 { return float64(n.count) }
+	case CompressRandom:
+		seq := uint64(t.compressions)*2654435761 + 1
+		return func(n *node) float64 {
+			seq = seq*6364136223846793005 + 1442695040888963407
+			return float64(seq >> 11)
+		}
+	default:
+		return (*node).sseg
+	}
+}
+
+// Compress runs one compression pass immediately, regardless of current
+// memory use. Insert calls this automatically when the memory limit is
+// exceeded; exposing it lets callers shrink a model ahead of a known burst.
+func (t *Tree) Compress() { t.compress() }
+
+// compress implements the algorithm of Fig. 6. It removes leaves in
+// ascending SSEG order — the nodes with the fewest points and the averages
+// closest to their parents' — until at least γ of the allocated memory has
+// been freed and usage is back under the limit. Parents that become leaves
+// join the candidate queue, making the pass incremental bottom-up.
+//
+// Summaries of surviving nodes are untouched: every ancestor already counts
+// the removed leaf's points, so predictions simply fall back to coarser
+// resolutions (the minimal increase in TSSENC the SSEG ordering guarantees).
+func (t *Tree) compress() {
+	start := time.Now()
+	defer func() {
+		t.compressTime += time.Since(start)
+		t.compressions++
+		if t.cfg.Strategy == Lazy {
+			// Re-snapshot th_SSE = α·SSE(root) (Eq. 7). Before the
+			// first compression the threshold is zero, so lazy
+			// behaves eagerly until memory first fills up.
+			t.thSSE = t.cfg.Alpha * t.root.sse()
+		}
+	}()
+
+	key := t.victimKey()
+	h := make(leafHeap, 0, t.nodeCount)
+	var collect func(n *node)
+	collect = func(n *node) {
+		if n.isLeaf() {
+			if n.parent != nil {
+				h = append(h, heapItem{n: n, sseg: key(n)})
+			}
+			return
+		}
+		for _, c := range n.kids {
+			collect(c.n)
+		}
+	}
+	collect(t.root)
+	heap.Init(&h)
+
+	needFree := int(t.cfg.Gamma * float64(t.cfg.MemoryLimit))
+	if needFree < t.cfg.NodeBytes {
+		needFree = t.cfg.NodeBytes // always make progress
+	}
+	freed := 0
+	for h.Len() > 0 {
+		if freed >= needFree && t.MemoryUsed() <= t.cfg.MemoryLimit {
+			break
+		}
+		it := heap.Pop(&h).(heapItem)
+		leaf := it.n
+		parent := leaf.parent
+		// Unlink. The parent's child slice holds the only other
+		// reference to the leaf.
+		for _, c := range parent.kids {
+			if c.n == leaf {
+				parent.removeChild(c.idx)
+				break
+			}
+		}
+		leaf.parent = nil
+		t.nodeCount--
+		t.removedNodes++
+		freed += t.cfg.NodeBytes
+		if parent != t.root && parent.isLeaf() {
+			heap.Push(&h, heapItem{n: parent, sseg: key(parent)})
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package quadtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlq/internal/geom"
+)
+
+// smallCfg returns a config whose memory limit forces frequent compression.
+func smallCfg(strategy Strategy) Config {
+	return Config{
+		Region:      geom.MustRect(geom.Point{0, 0}, geom.Point{1000, 1000}),
+		Strategy:    strategy,
+		MaxDepth:    6,
+		MemoryLimit: 40 * DefaultNodeBytes,
+	}
+}
+
+func TestMemoryLimitEnforced(t *testing.T) {
+	for _, strat := range []Strategy{Eager, Lazy} {
+		t.Run(strat.String(), func(t *testing.T) {
+			tr := mustTree(t, smallCfg(strat))
+			rng := rand.New(rand.NewSource(3))
+			for i := 0; i < 3000; i++ {
+				p := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+				if err := tr.Insert(p, rng.Float64()*10000); err != nil {
+					t.Fatal(err)
+				}
+				if tr.MemoryUsed() > tr.Config().MemoryLimit {
+					t.Fatalf("insert %d left memory at %d, limit %d",
+						i, tr.MemoryUsed(), tr.Config().MemoryLimit)
+				}
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if tr.Compressions() == 0 {
+				t.Error("expected at least one compression")
+			}
+			if tr.RemovedNodes() == 0 {
+				t.Error("expected removed nodes")
+			}
+			if tr.CompressTime() <= 0 {
+				t.Error("compression time not recorded")
+			}
+			// Predictions must still work after heavy compression.
+			if _, ok := tr.Predict(geom.Point{500, 500}); !ok {
+				t.Error("prediction failed after compression")
+			}
+		})
+	}
+}
+
+func TestCompressNeverRemovesRoot(t *testing.T) {
+	tr := mustTree(t, Config{
+		Region:      geom.UnitCube(2),
+		MaxDepth:    4,
+		MemoryLimit: DefaultNodeBytes, // room for the root only
+	})
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		tr.Insert(geom.Point{rng.Float64(), rng.Float64()}, rng.Float64())
+	}
+	if tr.NodeCount() != 1 {
+		t.Errorf("node count %d, want 1 (root only fits)", tr.NodeCount())
+	}
+	if tr.root.count != 200 {
+		t.Errorf("root count %d, want 200 (summaries survive compression)", tr.root.count)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressRemovesLowestSSEGFirst(t *testing.T) {
+	// Build: root with two leaf children. Left child's average equals the
+	// root's (SSEG 0); right child's differs a lot. A single-node
+	// compression must remove the left child.
+	tr := mustTree(t, Config{Region: geom.UnitCube(1), MaxDepth: 1, MemoryLimit: 1 << 20})
+	tr.Insert(geom.Point{0.1}, 100) // left
+	tr.Insert(geom.Point{0.9}, 300) // right
+	tr.Insert(geom.Point{0.2}, 300) // left again -> left avg 200 = root avg
+	// left: count 2 avg 200; right: count 1 avg 300; root avg 700/3≈233.
+	// SSEG(left) = 2*(233.3-200)^2 ≈ 2222; SSEG(right) = 1*(233.3-300)^2 ≈ 4444.
+	// So left goes first.
+	tr.cfg.Gamma = 1e-9 // free the minimum (one node)
+	before := tr.TSSENC()
+	tr.Compress()
+	after := tr.TSSENC()
+	if tr.NodeCount() != 2 {
+		t.Fatalf("node count %d after compression, want 2", tr.NodeCount())
+	}
+	if got, _ := tr.PredictBeta(geom.Point{0.9}, 1); got != 300 {
+		t.Errorf("right leaf removed instead of left: predict(0.9) = %g, want 300", got)
+	}
+	if got, _ := tr.PredictBeta(geom.Point{0.1}, 1); !approxEq(got, 700.0/3, 1e-9) {
+		t.Errorf("left query should fall back to root avg, got %g", got)
+	}
+	if after < before-1e-9 {
+		t.Errorf("TSSENC decreased from %g to %g; leaf removal can only grow it", before, after)
+	}
+}
+
+func TestCompressCascadesToParents(t *testing.T) {
+	// A deep single chain: removing the deepest leaf makes its parent a
+	// leaf, which must enter the queue, so a large gamma collapses the
+	// whole chain in one pass.
+	tr := mustTree(t, Config{Region: geom.UnitCube(1), MaxDepth: 5, MemoryLimit: 1 << 20, Gamma: 1})
+	tr.Insert(geom.Point{0.01}, 5)
+	if tr.NodeCount() != 6 {
+		t.Fatalf("setup: node count %d, want 6", tr.NodeCount())
+	}
+	tr.Compress()
+	if tr.NodeCount() != 1 {
+		t.Errorf("node count %d after gamma=1 compression, want 1", tr.NodeCount())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLazyThresholdSetAfterCompression(t *testing.T) {
+	tr := mustTree(t, smallCfg(Lazy))
+	rng := rand.New(rand.NewSource(17))
+	if tr.Threshold() != 0 {
+		t.Fatal("lazy threshold must start at 0")
+	}
+	for i := 0; i < 2000; i++ {
+		tr.Insert(geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}, rng.Float64()*10000)
+	}
+	if tr.Compressions() == 0 {
+		t.Fatal("setup: no compression happened")
+	}
+	if tr.Threshold() <= 0 {
+		t.Error("lazy threshold must be positive after compression with noisy data")
+	}
+	want := tr.Config().Alpha * tr.root.sse()
+	// The threshold was snapshotted at the last compression; root SSE has
+	// moved since, so only check it is in a plausible range.
+	if tr.Threshold() > want*10 {
+		t.Errorf("threshold %g wildly exceeds alpha*SSE(root) = %g", tr.Threshold(), want)
+	}
+}
+
+func TestEagerThresholdAlwaysZero(t *testing.T) {
+	tr := mustTree(t, smallCfg(Eager))
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 2000; i++ {
+		tr.Insert(geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}, rng.Float64()*10000)
+	}
+	if tr.Threshold() != 0 {
+		t.Errorf("eager threshold = %g, want 0", tr.Threshold())
+	}
+}
+
+func TestLazyCompressesLessOftenThanEager(t *testing.T) {
+	// The paper's Experiment 2 headline: MLQ-L delays reaching the memory
+	// limit and therefore compresses less frequently than MLQ-E.
+	mk := func(s Strategy) *Tree { return mustTree(t, smallCfg(s)) }
+	eager, lazy := mk(Eager), mk(Lazy)
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 5000; i++ {
+		p := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+		v := rng.Float64() * 10000
+		eager.Insert(p, v)
+		lazy.Insert(p, v)
+	}
+	if lazy.Compressions() >= eager.Compressions() {
+		t.Errorf("lazy compressed %d times, eager %d; expected lazy < eager",
+			lazy.Compressions(), eager.Compressions())
+	}
+}
+
+func TestCompressionPreservesRootSummary(t *testing.T) {
+	tr := mustTree(t, smallCfg(Eager))
+	rng := rand.New(rand.NewSource(31))
+	var sum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		v := rng.Float64() * 100
+		sum += v
+		tr.Insert(geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}, v)
+	}
+	if tr.root.count != n {
+		t.Errorf("root count %d, want %d", tr.root.count, n)
+	}
+	if !approxEq(tr.root.sum, sum, 1e-6) {
+		t.Errorf("root sum %g, want %g", tr.root.sum, sum)
+	}
+}
+
+func TestCompressOnEmptyTree(t *testing.T) {
+	tr := mustTree(t, unitCfg(2))
+	tr.Compress() // must not panic
+	if tr.NodeCount() != 1 {
+		t.Errorf("node count %d, want 1", tr.NodeCount())
+	}
+	if tr.Compressions() != 1 {
+		t.Errorf("compressions %d, want 1", tr.Compressions())
+	}
+}
+
+func TestSSEGRootInfinite(t *testing.T) {
+	tr := mustTree(t, unitCfg(1))
+	tr.Insert(geom.Point{0.5}, 1)
+	if !math.IsInf(tr.root.sseg(), 1) {
+		t.Error("root SSEG must be +Inf so it is never a removal candidate")
+	}
+}
+
+func TestCompressionPolicyString(t *testing.T) {
+	if CompressSSEG.String() != "sseg" || CompressCount.String() != "count" || CompressRandom.String() != "random" {
+		t.Error("policy names wrong")
+	}
+	if CompressionPolicy(9).String() == "" {
+		t.Error("unknown policy must render")
+	}
+}
+
+func TestCompressionPolicyValidation(t *testing.T) {
+	cfg := smallCfg(Eager)
+	cfg.Policy = CompressionPolicy(9)
+	if _, err := New(cfg); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestCompressCountPolicyRemovesSmallLeavesFirst(t *testing.T) {
+	cfg := Config{Region: geom.UnitCube(1), MaxDepth: 1, MemoryLimit: 1 << 20,
+		Policy: CompressCount, Gamma: 1e-9}
+	tr := mustTree(t, cfg)
+	// Left leaf: 1 point whose avg equals the root's (SSEG 0 under the
+	// paper's policy). Right leaf: 3 points far from the root average.
+	tr.Insert(geom.Point{0.9}, 100)
+	tr.Insert(geom.Point{0.9}, 100)
+	tr.Insert(geom.Point{0.9}, 100)
+	tr.Insert(geom.Point{0.1}, 100)
+	tr.Compress()
+	// Count policy removes the 1-point left leaf even though both have
+	// SSEG 0; what matters is that the 3-point leaf survives.
+	if tr.NodeCount() != 2 {
+		t.Fatalf("node count %d, want 2", tr.NodeCount())
+	}
+	if got, _ := tr.PredictBeta(geom.Point{0.9}, 1); got != 100 {
+		t.Error("large leaf was removed under count policy")
+	}
+	if _, depth, _ := tr.PredictDepth(geom.Point{0.1}, 1); depth != 0 {
+		t.Error("small leaf survived under count policy")
+	}
+}
+
+func TestCompressRandomPolicyStillEnforcesLimit(t *testing.T) {
+	cfg := smallCfg(Eager)
+	cfg.Policy = CompressRandom
+	tr := mustTree(t, cfg)
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 2000; i++ {
+		p := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+		if err := tr.Insert(p, rng.Float64()*10000); err != nil {
+			t.Fatal(err)
+		}
+		if tr.MemoryUsed() > tr.Config().MemoryLimit {
+			t.Fatalf("memory over limit under random policy at insert %d", i)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The design-choice ablation: on a skewed workload the SSEG ordering must
+// not lose to random eviction in prediction accuracy.
+func TestSSEGPolicyBeatsRandomEviction(t *testing.T) {
+	run := func(policy CompressionPolicy) float64 {
+		cfg := smallCfg(Eager)
+		cfg.Policy = policy
+		tr := mustTree(t, cfg)
+		rng := rand.New(rand.NewSource(55))
+		cost := func(p geom.Point) float64 {
+			if p[0] < 100 && p[1] < 100 {
+				return 5000 + p[0]*10 // hot, high-variance corner
+			}
+			return 10
+		}
+		var absErr, total float64
+		for i := 0; i < 6000; i++ {
+			var p geom.Point
+			if i%2 == 0 {
+				p = geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+			} else {
+				p = geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+			}
+			actual := cost(p)
+			if pred, ok := tr.Predict(p); ok {
+				d := pred - actual
+				if d < 0 {
+					d = -d
+				}
+				absErr += d
+				total += actual
+			}
+			tr.Insert(p, actual)
+		}
+		return absErr / total
+	}
+	sseg, random := run(CompressSSEG), run(CompressRandom)
+	if sseg > random*1.05 {
+		t.Errorf("SSEG policy NAE %.4f worse than random eviction %.4f", sseg, random)
+	}
+}

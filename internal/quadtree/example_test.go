@@ -1,0 +1,57 @@
+package quadtree_test
+
+import (
+	"fmt"
+
+	"mlq/internal/geom"
+	"mlq/internal/quadtree"
+)
+
+// Example demonstrates the basic feedback loop: insert observed UDF costs,
+// predict, and stay within the memory budget.
+func Example() {
+	tree, err := quadtree.New(quadtree.Config{
+		Region:      geom.MustRect(geom.Point{0, 0}, geom.Point{100, 100}),
+		Strategy:    quadtree.Lazy,
+		MemoryLimit: 1843, // the paper's 1.8 KB
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 5000; i++ {
+		x, y := float64(i%100), float64((i*37)%100)
+		if err := tree.Insert(geom.Point{x, y}, x+y); err != nil {
+			panic(err)
+		}
+	}
+	pred, _ := tree.Predict(geom.Point{30, 40})
+	fmt.Printf("prediction near 70: %t\n", pred > 40 && pred < 100)
+	fmt.Printf("within budget: %t\n", tree.MemoryUsed() <= 1843)
+	// Output:
+	// prediction near 70: true
+	// within budget: true
+}
+
+// ExampleTree_PredictBeta shows the β parameter absorbing noise by averaging
+// over more data points (§4.3).
+func ExampleTree_PredictBeta() {
+	tree, _ := quadtree.New(quadtree.Config{
+		Region:      geom.MustRect(geom.Point{0}, geom.Point{10}),
+		MaxDepth:    2,
+		MemoryLimit: 1 << 16,
+	})
+	// Three observations in the depth-2 cell [0, 2.5), one outlier in the
+	// neighboring cell [2.5, 5) — both under the depth-1 cell [0, 5).
+	tree.Insert(geom.Point{1.0}, 10)
+	tree.Insert(geom.Point{1.1}, 10)
+	tree.Insert(geom.Point{1.2}, 10)
+	tree.Insert(geom.Point{4.0}, 90)
+
+	v1, _ := tree.PredictBeta(geom.Point{1.1}, 1) // deepest cell: clean 10s
+	v4, _ := tree.PredictBeta(geom.Point{1.1}, 4) // needs 4 points: pools the outlier
+	fmt.Printf("beta=1: %.0f\n", v1)
+	fmt.Printf("beta=4: %.0f\n", v4)
+	// Output:
+	// beta=1: 10
+	// beta=4: 30
+}

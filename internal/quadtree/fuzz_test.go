@@ -1,0 +1,46 @@
+package quadtree
+
+import (
+	"bytes"
+	"testing"
+
+	"mlq/internal/geom"
+)
+
+// FuzzRead feeds arbitrary bytes to the tree decoder: it must never panic,
+// and anything it accepts must be a valid tree. Run with `go test -fuzz
+// FuzzRead ./internal/quadtree` for continuous fuzzing; the seed corpus
+// (valid trees plus junk) runs under plain `go test`.
+func FuzzRead(f *testing.F) {
+	tr, err := New(Config{Region: geom.UnitCube(2), MemoryLimit: 50 * DefaultNodeBytes})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		tr.Insert(geom.Point{float64(i%17) / 17, float64(i%13) / 13}, float64(i%101))
+	}
+	var valid bytes.Buffer
+	if _, err := tr.WriteTo(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("TQLM backwards magic"))
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if vErr := got.Validate(); vErr != nil {
+			t.Fatalf("Read accepted an invalid tree: %v", vErr)
+		}
+		// The decoded tree must survive a use cycle.
+		p := got.Config().Region.Center()
+		got.PredictBeta(p, 1)
+		if err := got.Insert(p, 1); err != nil {
+			t.Fatalf("decoded tree rejects inserts: %v", err)
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package quadtree
+
+import "fmt"
+
+// Merge folds another tree's knowledge into this one. Because nodes hold
+// only additive summaries (sum, count, sum of squares), merging is exact:
+// the result represents the union of both trees' observations, as if every
+// data point had been inserted into one tree — up to each tree's own prior
+// compression. After the structural merge the tree compresses itself back
+// under its memory limit.
+//
+// Merge enables parallel model training: shard a workload across goroutines
+// or machines, train independent trees, and merge them. Both trees must
+// share the same region and dimensionality; other configuration (strategy,
+// λ, memory) follows the receiver. The other tree is not modified.
+func (t *Tree) Merge(other *Tree) error {
+	if other == nil {
+		return fmt.Errorf("quadtree: cannot merge a nil tree")
+	}
+	a, b := t.cfg.Region, other.cfg.Region
+	if a.Dims() != b.Dims() {
+		return fmt.Errorf("quadtree: merge dimensionality mismatch: %d vs %d", a.Dims(), b.Dims())
+	}
+	for i := range a.Lo {
+		if a.Lo[i] != b.Lo[i] || a.Hi[i] != b.Hi[i] {
+			return fmt.Errorf("quadtree: merge region mismatch at dimension %d", i)
+		}
+	}
+	t.mergeNode(t.root, other.root, 0)
+	t.inserts += other.inserts
+	if t.MemoryUsed() > t.cfg.MemoryLimit {
+		t.compress()
+	}
+	return nil
+}
+
+// mergeNode adds src's summaries into dst recursively, deep-copying any
+// subtree dst lacks (respecting the receiver's MaxDepth: deeper source
+// nodes fold into the deepest kept ancestor implicitly, since ancestors
+// already carry their descendants' points in their own summaries).
+func (t *Tree) mergeNode(dst, src *node, depth int) {
+	dst.sum += src.sum
+	dst.ss += src.ss
+	dst.count += src.count
+	for _, c := range src.kids {
+		if depth >= t.cfg.MaxDepth {
+			break
+		}
+		child := dst.child(c.idx)
+		if child == nil {
+			child = &node{parent: dst}
+			dst.kids = append(dst.kids, childEntry{idx: c.idx, n: child})
+			t.nodeCount++
+		}
+		t.mergeNode(child, c.n, depth+1)
+	}
+}

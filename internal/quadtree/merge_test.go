@@ -1,0 +1,182 @@
+package quadtree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mlq/internal/geom"
+)
+
+func TestMergeValidation(t *testing.T) {
+	a := mustTree(t, unitCfg(2))
+	if err := a.Merge(nil); err == nil {
+		t.Error("nil merge accepted")
+	}
+	b := mustTree(t, unitCfg(3))
+	if err := a.Merge(b); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	c := mustTree(t, Config{
+		Region:      geom.MustRect(geom.Point{0, 0}, geom.Point{2, 2}),
+		MemoryLimit: 1 << 20,
+	})
+	if err := a.Merge(c); err == nil {
+		t.Error("region mismatch accepted")
+	}
+}
+
+// Property: merging two uncompressed trees equals inserting the union of
+// observations into one tree — node for node.
+func TestMergeEqualsSequentialInsertion(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 10; trial++ {
+		cfg := Config{Region: geom.UnitCube(2), MaxDepth: 4, MemoryLimit: 1 << 20}
+		a := mustTree(t, cfg)
+		b := mustTree(t, cfg)
+		ref := mustTree(t, cfg)
+		for i := 0; i < 300; i++ {
+			p := geom.Point{rng.Float64(), rng.Float64()}
+			v := rng.Float64() * 100
+			ref.Insert(p, v)
+			if i%2 == 0 {
+				a.Insert(p, v)
+			} else {
+				b.Insert(p, v)
+			}
+		}
+		if err := a.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if a.Inserts() != ref.Inserts() {
+			t.Fatalf("inserts %d, want %d", a.Inserts(), ref.Inserts())
+		}
+		if a.NodeCount() != ref.NodeCount() {
+			t.Fatalf("trial %d: node count %d, sequential tree has %d", trial, a.NodeCount(), ref.NodeCount())
+		}
+		// Node-for-node equivalence, insensitive to child slice order and
+		// to float summation order (merge adds partial sums).
+		mergedBlocks := blockIndex(a)
+		ref.Walk(func(b Block) bool {
+			got, ok := mergedBlocks[b.Region.String()]
+			if !ok {
+				t.Fatalf("trial %d: merged tree lacks block %v", trial, b.Region)
+			}
+			if got.Count != b.Count || !approxEq(got.Sum, b.Sum, 1e-9) || !approxEq(got.SumSquares, b.SumSquares, 1e-9) {
+				t.Fatalf("trial %d: block %v summaries differ: %+v vs %+v", trial, b.Region, got, b)
+			}
+			return true
+		})
+	}
+}
+
+func TestMergeRespectsMemoryLimit(t *testing.T) {
+	big := Config{Region: geom.UnitCube(2), MaxDepth: 6, MemoryLimit: 1 << 20}
+	small := Config{Region: geom.UnitCube(2), MaxDepth: 6, MemoryLimit: 40 * DefaultNodeBytes}
+	dst := mustTree(t, small)
+	src := mustTree(t, big)
+	rng := rand.New(rand.NewSource(72))
+	for i := 0; i < 2000; i++ {
+		p := geom.Point{rng.Float64(), rng.Float64()}
+		v := rng.Float64() * 100
+		dst.Insert(p, v)
+		src.Insert(geom.Point{rng.Float64(), rng.Float64()}, rng.Float64()*100)
+	}
+	if err := dst.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	if dst.MemoryUsed() > dst.Config().MemoryLimit {
+		t.Fatalf("merged tree at %d bytes exceeds limit %d", dst.MemoryUsed(), dst.Config().MemoryLimit)
+	}
+	if err := dst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Inserts() != 4000 {
+		t.Errorf("inserts %d, want 4000", dst.Inserts())
+	}
+}
+
+func TestMergeRespectsReceiverDepth(t *testing.T) {
+	shallow := mustTree(t, Config{Region: geom.UnitCube(1), MaxDepth: 2, MemoryLimit: 1 << 20})
+	deep := mustTree(t, Config{Region: geom.UnitCube(1), MaxDepth: 6, MemoryLimit: 1 << 20})
+	deep.Insert(geom.Point{0.01}, 5)
+	if err := shallow.Merge(deep); err != nil {
+		t.Fatal(err)
+	}
+	if got := shallow.Stats().MaxDepth; got > 2 {
+		t.Errorf("merged depth %d exceeds receiver MaxDepth 2", got)
+	}
+	// The point's value still lands in the root and depth-1/2 summaries.
+	if v, ok := shallow.Predict(geom.Point{0.01}); !ok || v != 5 {
+		t.Errorf("prediction after depth-limited merge = %g, %v", v, ok)
+	}
+	if err := shallow.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeDoesNotMutateSource(t *testing.T) {
+	cfg := Config{Region: geom.UnitCube(1), MaxDepth: 3, MemoryLimit: 1 << 20}
+	dst, src := mustTree(t, cfg), mustTree(t, cfg)
+	src.Insert(geom.Point{0.3}, 9)
+	var before strings.Builder
+	src.Dump(&before)
+	if err := dst.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate dst afterwards; src must stay untouched either way.
+	dst.Insert(geom.Point{0.3}, 100)
+	var after strings.Builder
+	src.Dump(&after)
+	if before.String() != after.String() {
+		t.Error("Merge or subsequent inserts mutated the source tree")
+	}
+	if err := src.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Parallel-training scenario: four shards trained independently then merged
+// predict (approximately) like one tree trained on everything.
+func TestMergeParallelTraining(t *testing.T) {
+	cfg := Config{Region: geom.MustRect(geom.Point{0, 0}, geom.Point{100, 100}), MemoryLimit: 1 << 20, MaxDepth: 4}
+	shards := make([]*Tree, 4)
+	for i := range shards {
+		shards[i] = mustTree(t, cfg)
+	}
+	ref := mustTree(t, cfg)
+	rng := rand.New(rand.NewSource(73))
+	cost := func(p geom.Point) float64 { return p[0] + 2*p[1] }
+	for i := 0; i < 4000; i++ {
+		p := geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		shards[i%4].Insert(p, cost(p))
+		ref.Insert(p, cost(p))
+	}
+	merged := shards[0]
+	for _, s := range shards[1:] {
+		if err := merged.Merge(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		p := geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		a, _ := merged.PredictBeta(p, 1)
+		b, _ := ref.PredictBeta(p, 1)
+		if !approxEq(a, b, 1e-9) { // summation order differs by design
+			t.Fatalf("merged prediction %g != reference %g at %v", a, b, p)
+		}
+	}
+}
+
+// blockIndex maps region strings to blocks for order-insensitive comparison.
+func blockIndex(t *Tree) map[string]Block {
+	out := make(map[string]Block)
+	t.Walk(func(b Block) bool {
+		out[b.Region.String()] = b
+		return true
+	})
+	return out
+}

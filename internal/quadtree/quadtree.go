@@ -1,0 +1,470 @@
+// Package quadtree implements the memory-limited quadtree (MLQ) of He, Lee
+// and Snapp (EDBT 2004): a d-dimensional quadtree that stores only summary
+// statistics — sum, count and sum of squares of the observed values — in
+// every node, supports fast point prediction at multiple resolutions, grows
+// under an eager or lazy insertion strategy, and compresses itself back under
+// a strict memory budget by discarding the leaves whose removal least
+// increases the expected prediction error (smallest SSEG, Eq. 9).
+//
+// The tree never stores individual data points; its memory use is exactly
+// NodeCount() * Config.NodeBytes and is kept at or below Config.MemoryLimit
+// by automatic compression.
+package quadtree
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mlq/internal/geom"
+)
+
+// Strategy selects how eagerly Insert partitions blocks (§4.4).
+type Strategy int
+
+const (
+	// Eager partitions down to the maximum depth λ on every insertion
+	// (the paper's MLQ-E; equivalent to a zero SSE threshold).
+	Eager Strategy = iota
+	// Lazy partitions a leaf only once its SSE reaches th_SSE = α·SSE(root)
+	// (the paper's MLQ-L). The threshold is re-snapshotted at every
+	// compression and is zero before the first one.
+	Lazy
+)
+
+// String returns the paper's name for the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Eager:
+		return "MLQ-E"
+	case Lazy:
+		return "MLQ-L"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// DefaultNodeBytes charges each node its summary payload: sum (8 bytes) +
+// sum of squares (8) + count (4). See DESIGN.md §2 for the rationale.
+const DefaultNodeBytes = 20
+
+// Config parameterizes a Tree. The zero value is not usable; Region must be
+// set. All other fields default to the paper's tuned values (§5.1).
+type Config struct {
+	// Region is the full data space the tree partitions. Points inserted
+	// or queried outside it are clamped onto its boundary.
+	Region geom.Rect
+	// Strategy selects eager (MLQ-E) or lazy (MLQ-L) insertion.
+	Strategy Strategy
+	// MaxDepth is λ, the maximum tree depth (root is depth 0).
+	// Default 6.
+	MaxDepth int
+	// Alpha scales the lazy SSE partitioning threshold (Eq. 7).
+	// Default 0.05.
+	Alpha float64
+	// Beta is the default minimum block count for Predict (Fig. 3).
+	// Default 1.
+	Beta int
+	// Gamma is the minimum fraction of allocated memory each compression
+	// must free (Fig. 6). Default 0.001 (the paper's 0.1%).
+	Gamma float64
+	// MemoryLimit is the memory budget in bytes. Default 1843 (1.8 KB).
+	MemoryLimit int
+	// NodeBytes is the memory charged per node. Default DefaultNodeBytes.
+	NodeBytes int
+	// Policy selects the compression victim ordering. Default
+	// CompressSSEG (the paper's). The alternatives exist for ablation:
+	// they quantify how much the SSEG ordering actually buys.
+	Policy CompressionPolicy
+}
+
+// CompressionPolicy orders compression victims.
+type CompressionPolicy int
+
+const (
+	// CompressSSEG removes leaves in ascending SSEG order (Eq. 9) — the
+	// paper's policy, minimizing the increase in TSSENC.
+	CompressSSEG CompressionPolicy = iota
+	// CompressCount removes leaves with the fewest data points first,
+	// ignoring how much their average differs from their parent's.
+	CompressCount
+	// CompressRandom removes leaves in a deterministic pseudo-random
+	// order — the ablation floor.
+	CompressRandom
+)
+
+// String names the policy.
+func (p CompressionPolicy) String() string {
+	switch p {
+	case CompressSSEG:
+		return "sseg"
+	case CompressCount:
+		return "count"
+	case CompressRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("CompressionPolicy(%d)", int(p))
+	}
+}
+
+// withDefaults returns a copy of c with unset fields filled in.
+func (c Config) withDefaults() Config {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 6
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.05
+	}
+	if c.Beta == 0 {
+		c.Beta = 1
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.001
+	}
+	if c.MemoryLimit == 0 {
+		c.MemoryLimit = 1843
+	}
+	if c.NodeBytes == 0 {
+		c.NodeBytes = DefaultNodeBytes
+	}
+	return c
+}
+
+// validate reports configuration errors after defaulting.
+func (c Config) validate() error {
+	if c.Region.Dims() == 0 {
+		return fmt.Errorf("quadtree: Config.Region must be set")
+	}
+	if c.Region.Dims() > 20 {
+		return fmt.Errorf("quadtree: %d dimensions yields 2^%d children per node; at most 20 supported", c.Region.Dims(), c.Region.Dims())
+	}
+	// Beyond ~52 halvings a float64 interval's midpoint equals its lower
+	// bound, so depths past 64 are meaningless and only invite abuse
+	// (e.g. a corrupted serialized header making Insert build a
+	// billion-node chain).
+	if c.MaxDepth < 0 || c.MaxDepth > 64 {
+		return fmt.Errorf("quadtree: MaxDepth must be in [0, 64], got %d", c.MaxDepth)
+	}
+	if c.Alpha < 0 || math.IsNaN(c.Alpha) || math.IsInf(c.Alpha, 0) {
+		return fmt.Errorf("quadtree: Alpha must be finite and >= 0, got %g", c.Alpha)
+	}
+	if c.Beta < 1 {
+		return fmt.Errorf("quadtree: Beta must be >= 1, got %d", c.Beta)
+	}
+	if !(c.Gamma > 0 && c.Gamma <= 1) { // written to also reject NaN
+		return fmt.Errorf("quadtree: Gamma must be in (0, 1], got %g", c.Gamma)
+	}
+	if c.NodeBytes <= 0 {
+		return fmt.Errorf("quadtree: NodeBytes must be > 0, got %d", c.NodeBytes)
+	}
+	if c.MemoryLimit < c.NodeBytes {
+		return fmt.Errorf("quadtree: MemoryLimit %d cannot hold even the root node (%d bytes)", c.MemoryLimit, c.NodeBytes)
+	}
+	switch c.Strategy {
+	case Eager, Lazy:
+	default:
+		return fmt.Errorf("quadtree: unknown strategy %d", int(c.Strategy))
+	}
+	switch c.Policy {
+	case CompressSSEG, CompressCount, CompressRandom:
+	default:
+		return fmt.Errorf("quadtree: unknown compression policy %d", int(c.Policy))
+	}
+	return nil
+}
+
+// childEntry is one non-empty child slot of a node. Children are kept in a
+// small slice rather than a 2^d array so empty blocks cost nothing.
+type childEntry struct {
+	idx uint32
+	n   *node
+}
+
+// node holds the summary information of one block (§4.1): the sum, count and
+// sum of squares of the values of every data point that maps into the block
+// (including points also counted by its descendants).
+type node struct {
+	sum    float64
+	ss     float64
+	count  int64
+	parent *node
+	kids   []childEntry
+}
+
+// child returns the child with the given index, or nil.
+func (n *node) child(idx uint32) *node {
+	for _, c := range n.kids {
+		if c.idx == idx {
+			return c.n
+		}
+	}
+	return nil
+}
+
+// removeChild unlinks the child with the given index.
+func (n *node) removeChild(idx uint32) {
+	for i, c := range n.kids {
+		if c.idx == idx {
+			n.kids = append(n.kids[:i], n.kids[i+1:]...)
+			return
+		}
+	}
+}
+
+// isLeaf reports whether the node has no children.
+func (n *node) isLeaf() bool { return len(n.kids) == 0 }
+
+// avg returns S(b)/C(b) (Eq. 3), or 0 for an empty block.
+func (n *node) avg() float64 {
+	if n.count == 0 {
+		return 0
+	}
+	return n.sum / float64(n.count)
+}
+
+// sse returns SSE(b) = SS(b) − C(b)·AVG(b)² (Eq. 4), clamped at zero against
+// floating-point cancellation.
+func (n *node) sse() float64 {
+	if n.count == 0 {
+		return 0
+	}
+	v := n.ss - n.sum*n.sum/float64(n.count)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// sseg returns SSEG(b) = C(b)·(AVG(p) − AVG(b))² (Eq. 9), the increase in
+// TSSENC caused by removing b. The root has no parent and is never removed.
+func (n *node) sseg() float64 {
+	if n.parent == nil {
+		return math.Inf(1)
+	}
+	d := n.parent.avg() - n.avg()
+	return float64(n.count) * d * d
+}
+
+// add folds one observation into the node's summary.
+func (n *node) add(v float64) {
+	n.sum += v
+	n.ss += v * v
+	n.count++
+}
+
+// Tree is a memory-limited quadtree. It is not safe for concurrent use; wrap
+// it (or the core.Model built on it) with a lock for concurrent callers.
+type Tree struct {
+	cfg       Config
+	root      *node
+	nodeCount int
+	thSSE     float64 // lazy partitioning threshold; 0 until first compression
+
+	inserts       int64
+	compressions  int64
+	removedNodes  int64
+	compressTime  time.Duration
+	childCapacity uint32 // 2^d
+}
+
+// New returns an empty tree for the given configuration.
+func New(cfg Config) (*Tree, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg.Region = cfg.Region.Clone()
+	return &Tree{
+		cfg:           cfg,
+		root:          &node{},
+		nodeCount:     1,
+		childCapacity: 1 << uint(cfg.Region.Dims()),
+	}, nil
+}
+
+// Config returns the tree's effective (defaulted) configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// NodeCount returns the current number of nodes, including the root.
+func (t *Tree) NodeCount() int { return t.nodeCount }
+
+// MemoryUsed returns the memory charged to the tree in bytes.
+func (t *Tree) MemoryUsed() int { return t.nodeCount * t.cfg.NodeBytes }
+
+// Inserts returns the number of data points inserted so far.
+func (t *Tree) Inserts() int64 { return t.inserts }
+
+// Compressions returns how many compression passes have run.
+func (t *Tree) Compressions() int64 { return t.compressions }
+
+// CompressTime returns the cumulative wall time spent compressing. Callers
+// timing Insert can subtract this to separate insertion cost (IC) from
+// compression cost (CC) as in the paper's Experiment 2.
+func (t *Tree) CompressTime() time.Duration { return t.compressTime }
+
+// RemovedNodes returns the total number of nodes discarded by compression.
+func (t *Tree) RemovedNodes() int64 { return t.removedNodes }
+
+// Threshold returns the current lazy partitioning threshold th_SSE.
+func (t *Tree) Threshold() float64 {
+	if t.cfg.Strategy == Eager {
+		return 0
+	}
+	return t.thSSE
+}
+
+// Insert records one UDF execution: the data point p (the model variables)
+// observed to have the given cost value. Points outside the region are
+// clamped onto it. Implements the algorithm of Fig. 4, then compresses if
+// the memory limit is exceeded.
+func (t *Tree) Insert(p geom.Point, value float64) error {
+	if len(p) != t.cfg.Region.Dims() {
+		return fmt.Errorf("quadtree: point has %d dims, tree has %d", len(p), t.cfg.Region.Dims())
+	}
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("quadtree: cost value must be finite, got %g", value)
+	}
+	p = t.cfg.Region.Clamp(p)
+
+	th := t.Threshold()
+	cn := t.root
+	region := t.cfg.Region
+	cn.add(value)
+	for depth := 0; depth < t.cfg.MaxDepth; depth++ {
+		// Fig. 4 line 3-4: descend while the current node should be
+		// refined (SSE at or above threshold) or already has children.
+		if cn.isLeaf() && cn.sse() < th {
+			break
+		}
+		idx := region.ChildIndex(p)
+		child := cn.child(idx)
+		if child == nil {
+			child = &node{parent: cn}
+			cn.kids = append(cn.kids, childEntry{idx: idx, n: child})
+			t.nodeCount++
+		}
+		region = region.Child(idx)
+		cn = child
+		cn.add(value)
+	}
+	t.inserts++
+
+	if t.MemoryUsed() > t.cfg.MemoryLimit {
+		t.compress()
+	}
+	return nil
+}
+
+// Predict estimates the cost at query point p using the tree's default β.
+// ok is false only when the tree has seen no data at all.
+func (t *Tree) Predict(p geom.Point) (value float64, ok bool) {
+	return t.PredictBeta(p, t.cfg.Beta)
+}
+
+// PredictBeta implements the prediction algorithm of Fig. 3: it returns the
+// average value of the lowest (deepest) block containing p whose count is at
+// least beta. If no block qualifies (fewer than beta points seen in total),
+// it falls back to the root average so that predictions are available from
+// the very first observation.
+func (t *Tree) PredictBeta(p geom.Point, beta int) (value float64, ok bool) {
+	if t.root.count == 0 {
+		return 0, false
+	}
+	if beta < 1 {
+		beta = 1
+	}
+	p = t.cfg.Region.Clamp(p)
+	best := t.root
+	cn := t.root
+	region := t.cfg.Region
+	for {
+		if cn.count >= int64(beta) {
+			best = cn
+		}
+		idx := region.ChildIndex(p)
+		child := cn.child(idx)
+		if child == nil {
+			break
+		}
+		region = region.Child(idx)
+		cn = child
+	}
+	return best.avg(), true
+}
+
+// Estimate is a prediction with its supporting evidence: the block's mean,
+// the standard deviation of the observations behind it, how many there
+// were, and the block's depth. Because every node stores the sum of squares
+// (§4.1), uncertainty comes for free — an optimizer can hedge plans when
+// StdDev/Value is large.
+type Estimate struct {
+	Value  float64
+	StdDev float64
+	Count  int64
+	Depth  int
+}
+
+// PredictEstimate is PredictBeta returning the full Estimate. ok is false
+// only when the tree has seen no data at all.
+func (t *Tree) PredictEstimate(p geom.Point, beta int) (Estimate, bool) {
+	if t.root.count == 0 {
+		return Estimate{}, false
+	}
+	if beta < 1 {
+		beta = 1
+	}
+	p = t.cfg.Region.Clamp(p)
+	best, bestDepth := t.root, 0
+	cn := t.root
+	region := t.cfg.Region
+	for d := 0; ; d++ {
+		if cn.count >= int64(beta) {
+			best, bestDepth = cn, d
+		}
+		idx := region.ChildIndex(p)
+		child := cn.child(idx)
+		if child == nil {
+			break
+		}
+		region = region.Child(idx)
+		cn = child
+	}
+	var std float64
+	if best.count > 0 {
+		std = math.Sqrt(best.sse() / float64(best.count))
+	}
+	return Estimate{
+		Value:  best.avg(),
+		StdDev: std,
+		Count:  best.count,
+		Depth:  bestDepth,
+	}, true
+}
+
+// PredictDepth returns, alongside the prediction, the depth of the block the
+// prediction was taken from. Useful for diagnostics and tests.
+func (t *Tree) PredictDepth(p geom.Point, beta int) (value float64, depth int, ok bool) {
+	if t.root.count == 0 {
+		return 0, 0, false
+	}
+	if beta < 1 {
+		beta = 1
+	}
+	p = t.cfg.Region.Clamp(p)
+	best, bestDepth := t.root, 0
+	cn := t.root
+	region := t.cfg.Region
+	for d := 0; ; d++ {
+		if cn.count >= int64(beta) {
+			best, bestDepth = cn, d
+		}
+		idx := region.ChildIndex(p)
+		child := cn.child(idx)
+		if child == nil {
+			break
+		}
+		region = region.Child(idx)
+		cn = child
+	}
+	return best.avg(), bestDepth, true
+}

@@ -1,0 +1,498 @@
+package quadtree
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mlq/internal/geom"
+)
+
+func unitCfg(d int) Config {
+	return Config{Region: geom.UnitCube(d), MemoryLimit: 1 << 20}
+}
+
+func mustTree(t *testing.T, cfg Config) *Tree {
+	t.Helper()
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestConfigValidation(t *testing.T) {
+	region := geom.UnitCube(2)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no region", Config{}},
+		{"too many dims", Config{Region: geom.UnitCube(21)}},
+		{"negative depth", Config{Region: region, MaxDepth: -1}},
+		{"negative alpha", Config{Region: region, Alpha: -0.1}},
+		{"beta zero defaults ok but negative bad", Config{Region: region, Beta: -1}},
+		{"gamma over 1", Config{Region: region, Gamma: 1.5}},
+		{"gamma negative", Config{Region: region, Gamma: -0.5}},
+		{"node bytes negative", Config{Region: region, NodeBytes: -5}},
+		{"limit below one node", Config{Region: region, MemoryLimit: 5, NodeBytes: 20}},
+		{"bad strategy", Config{Region: region, Strategy: Strategy(7)}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := New(c.cfg); err == nil {
+				t.Errorf("New(%+v) succeeded, want error", c.cfg)
+			}
+		})
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	tr := mustTree(t, Config{Region: geom.UnitCube(2)})
+	cfg := tr.Config()
+	if cfg.MaxDepth != 6 || cfg.Alpha != 0.05 || cfg.Beta != 1 ||
+		cfg.Gamma != 0.001 || cfg.MemoryLimit != 1843 || cfg.NodeBytes != DefaultNodeBytes {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Eager.String() != "MLQ-E" || Lazy.String() != "MLQ-L" {
+		t.Error("strategy names must match the paper")
+	}
+	if !strings.Contains(Strategy(9).String(), "9") {
+		t.Error("unknown strategy should render its value")
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	tr := mustTree(t, unitCfg(2))
+	if err := tr.Insert(geom.Point{0.5}, 1); err == nil {
+		t.Error("dimension mismatch not rejected")
+	}
+	if err := tr.Insert(geom.Point{0.5, 0.5}, math.NaN()); err == nil {
+		t.Error("NaN value not rejected")
+	}
+	if err := tr.Insert(geom.Point{0.5, 0.5}, math.Inf(1)); err == nil {
+		t.Error("Inf value not rejected")
+	}
+}
+
+func TestInsertClampsOutOfRange(t *testing.T) {
+	tr := mustTree(t, unitCfg(2))
+	if err := tr.Insert(geom.Point{5, -3}, 7); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tr.Predict(geom.Point{0.99, 0.01})
+	if !ok || got != 7 {
+		t.Errorf("Predict = %g, %v; want 7, true", got, ok)
+	}
+}
+
+func TestPredictEmptyTree(t *testing.T) {
+	tr := mustTree(t, unitCfg(2))
+	if _, ok := tr.Predict(geom.Point{0.5, 0.5}); ok {
+		t.Error("empty tree must report ok=false")
+	}
+	if _, _, ok := tr.PredictDepth(geom.Point{0.5, 0.5}, 1); ok {
+		t.Error("empty tree must report ok=false")
+	}
+}
+
+func TestPredictAfterFirstPoint(t *testing.T) {
+	// §1: MLQ "can start making predictions immediately after the first
+	// data point is inserted".
+	tr := mustTree(t, unitCfg(2))
+	if err := tr.Insert(geom.Point{0.2, 0.2}, 42); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tr.Predict(geom.Point{0.9, 0.9})
+	if !ok || got != 42 {
+		t.Errorf("Predict = %g, %v; want 42, true", got, ok)
+	}
+}
+
+func TestPredictBetaFallsBackToRoot(t *testing.T) {
+	tr := mustTree(t, unitCfg(1))
+	tr.Insert(geom.Point{0.1}, 10)
+	tr.Insert(geom.Point{0.9}, 20)
+	got, ok := tr.PredictBeta(geom.Point{0.1}, 100)
+	if !ok || got != 15 {
+		t.Errorf("PredictBeta(beta=100) = %g, %v; want root avg 15, true", got, ok)
+	}
+	// beta < 1 is treated as 1.
+	got, _ = tr.PredictBeta(geom.Point{0.1}, 0)
+	if got != 10 {
+		t.Errorf("PredictBeta(beta=0) = %g, want leaf value 10", got)
+	}
+}
+
+func TestPredictBetaChoosesResolution(t *testing.T) {
+	// Two points in the left half, one in the right. With beta=2 a query
+	// in the left half gets the left block (count 2); a query in the
+	// right half must fall back to the root (count 3).
+	tr := mustTree(t, Config{Region: geom.UnitCube(1), MaxDepth: 1, MemoryLimit: 1 << 20})
+	tr.Insert(geom.Point{0.1}, 10)
+	tr.Insert(geom.Point{0.2}, 20)
+	tr.Insert(geom.Point{0.9}, 60)
+	if got, _ := tr.PredictBeta(geom.Point{0.1}, 2); got != 15 {
+		t.Errorf("left query = %g, want 15", got)
+	}
+	if got, _ := tr.PredictBeta(geom.Point{0.9}, 2); got != 30 {
+		t.Errorf("right query = %g, want root avg 30", got)
+	}
+	if got, _ := tr.PredictBeta(geom.Point{0.9}, 1); got != 60 {
+		t.Errorf("right query beta=1 = %g, want 60", got)
+	}
+}
+
+func TestPredictDepthReportsDepth(t *testing.T) {
+	tr := mustTree(t, Config{Region: geom.UnitCube(1), MaxDepth: 3, MemoryLimit: 1 << 20})
+	for i := 0; i < 4; i++ {
+		tr.Insert(geom.Point{0.05}, 5)
+	}
+	_, depth, ok := tr.PredictDepth(geom.Point{0.05}, 1)
+	if !ok || depth != 3 {
+		t.Errorf("depth = %d, ok=%v; want 3, true", depth, ok)
+	}
+	_, depth, _ = tr.PredictDepth(geom.Point{0.9}, 1)
+	if depth != 0 {
+		t.Errorf("far query depth = %d, want 0 (root)", depth)
+	}
+}
+
+// Property: an eager, uncompressed tree's node summaries equal brute-force
+// aggregates over the points contained in each node's block, and predictions
+// match the reference walk. This pins the entire insert/predict pipeline to
+// the paper's definitions.
+func TestEagerSummariesMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		d := 1 + rng.Intn(3)
+		maxDepth := 1 + rng.Intn(3)
+		region := geom.MustRect(
+			geom.Point{-2, -2, -2}[:d],
+			geom.Point{3, 3, 3}[:d],
+		)
+		tr := mustTree(t, Config{Region: region, MaxDepth: maxDepth, MemoryLimit: 1 << 20})
+		ref := newRef(region)
+		n := 30 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			p := make(geom.Point, d)
+			for j := range p {
+				p[j] = region.Lo[j] + rng.Float64()*(region.Hi[j]-region.Lo[j])
+			}
+			v := rng.Float64() * 100
+			if err := tr.Insert(p, v); err != nil {
+				t.Fatal(err)
+			}
+			ref.insert(p, v)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		tr.Walk(func(b Block) bool {
+			s, c, ss := ref.aggregates(b.Region)
+			if c != b.Count || !approxEq(s, b.Sum, 1e-9) || !approxEq(ss, b.SumSquares, 1e-9) {
+				t.Errorf("trial %d depth %d %v: tree (s=%g c=%d ss=%g) ref (s=%g c=%d ss=%g)",
+					trial, b.Depth, b.Region, b.Sum, b.Count, b.SumSquares, s, c, ss)
+				return false
+			}
+			if !approxEq(b.SSE(), ref.sse(b.Region), 1e-7) {
+				t.Errorf("trial %d: SSE mismatch at depth %d: tree %g ref %g",
+					trial, b.Depth, b.SSE(), ref.sse(b.Region))
+				return false
+			}
+			return true
+		})
+		for q := 0; q < 50; q++ {
+			p := make(geom.Point, d)
+			for j := range p {
+				p[j] = region.Lo[j] + rng.Float64()*(region.Hi[j]-region.Lo[j])
+			}
+			beta := 1 + rng.Intn(5)
+			want, wantOK := ref.predict(p, beta, maxDepth)
+			got, gotOK := tr.PredictBeta(p, beta)
+			if gotOK != wantOK || !approxEq(got, want, 1e-9) {
+				t.Fatalf("trial %d: Predict(%v, beta=%d) = (%g, %v), ref (%g, %v)",
+					trial, p, beta, got, gotOK, want, wantOK)
+			}
+		}
+	}
+}
+
+// Property: SSENC computed from summaries matches the direct Eq. 5 value,
+// and SSEG via Eq. 9 matches the Eq. 8 definition (the increase in parent
+// SSENC when a leaf is removed).
+func TestSSENCAndSSEGMatchDefinitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		d := 1 + rng.Intn(2)
+		region := geom.UnitCube(d)
+		tr := mustTree(t, Config{Region: region, MaxDepth: 3, MemoryLimit: 1 << 20})
+		ref := newRef(region)
+		for i := 0; i < 80; i++ {
+			p := make(geom.Point, d)
+			for j := range p {
+				p[j] = rng.Float64()
+			}
+			v := rng.Float64() * 50
+			tr.Insert(p, v)
+			ref.insert(p, v)
+		}
+		// Check SSENC at every node against the reference.
+		var check func(n *node, block geom.Rect)
+		check = func(n *node, block geom.Rect) {
+			var childRects []geom.Rect
+			for _, c := range n.kids {
+				childRects = append(childRects, block.Child(c.idx))
+			}
+			want := ref.ssenc(block, childRects)
+			if !approxEq(n.ssenc(), want, 1e-6) {
+				t.Fatalf("trial %d: SSENC mismatch: summary %g direct %g", trial, n.ssenc(), want)
+			}
+			for _, c := range n.kids {
+				check(c.n, block.Child(c.idx))
+			}
+		}
+		check(tr.root, region)
+
+		// Check SSEG (Eq. 9) == Eq. 8 at every leaf.
+		var checkLeaf func(n *node, block geom.Rect, parentBlock geom.Rect, parentKids []geom.Rect)
+		checkLeaf = func(n *node, block geom.Rect, parentBlock geom.Rect, parentKids []geom.Rect) {
+			if n.isLeaf() && n.parent != nil {
+				before := ref.ssenc(parentBlock, parentKids)
+				var after []geom.Rect
+				for _, k := range parentKids {
+					same := true
+					for i := range k.Lo {
+						if k.Lo[i] != block.Lo[i] || k.Hi[i] != block.Hi[i] {
+							same = false
+							break
+						}
+					}
+					if !same {
+						after = append(after, k)
+					}
+				}
+				afterVal := ref.ssenc(parentBlock, after)
+				leafSSENC := ref.ssenc(block, nil)
+				eq8 := afterVal - (leafSSENC + before)
+				if !approxEq(n.sseg(), eq8, 1e-6) {
+					t.Fatalf("trial %d: SSEG Eq9 %g != Eq8 %g", trial, n.sseg(), eq8)
+				}
+			}
+			var kidRects []geom.Rect
+			for _, c := range n.kids {
+				kidRects = append(kidRects, block.Child(c.idx))
+			}
+			for _, c := range n.kids {
+				checkLeaf(c.n, block.Child(c.idx), block, kidRects)
+			}
+		}
+		var rootKids []geom.Rect
+		for _, c := range tr.root.kids {
+			rootKids = append(rootKids, region.Child(c.idx))
+		}
+		for _, c := range tr.root.kids {
+			checkLeaf(c.n, region.Child(c.idx), region, rootKids)
+		}
+	}
+}
+
+func TestLazyDelaysPartitioning(t *testing.T) {
+	// After a compression sets a positive threshold, identical values
+	// (SSE 0) must not split blocks under the lazy strategy.
+	region := geom.UnitCube(2)
+	lazy := mustTree(t, Config{Region: region, Strategy: Lazy, MaxDepth: 6, MemoryLimit: 1 << 20})
+	lazy.thSSE = 1 // simulate a post-compression threshold
+	for i := 0; i < 50; i++ {
+		lazy.Insert(geom.Point{0.3, 0.3}, 10) // constant value: SSE stays 0
+	}
+	if lazy.NodeCount() != 1 {
+		t.Errorf("lazy tree with constant values grew to %d nodes, want 1", lazy.NodeCount())
+	}
+	// Once variance exceeds the threshold, it must split.
+	lazy.Insert(geom.Point{0.3, 0.3}, 1000)
+	if lazy.NodeCount() == 1 {
+		t.Error("lazy tree did not split after SSE exceeded threshold")
+	}
+}
+
+func TestEagerAlwaysPartitionsToMaxDepth(t *testing.T) {
+	tr := mustTree(t, Config{Region: geom.UnitCube(2), MaxDepth: 4, MemoryLimit: 1 << 20})
+	tr.Insert(geom.Point{0.1, 0.1}, 5)
+	if got := tr.Stats().MaxDepth; got != 4 {
+		t.Errorf("eager insert reached depth %d, want 4", got)
+	}
+	if tr.NodeCount() != 5 {
+		t.Errorf("node count %d, want 5 (root + 4 path nodes)", tr.NodeCount())
+	}
+}
+
+func TestInsertsCounter(t *testing.T) {
+	tr := mustTree(t, unitCfg(2))
+	for i := 0; i < 7; i++ {
+		tr.Insert(geom.Point{0.5, 0.5}, 1)
+	}
+	if tr.Inserts() != 7 {
+		t.Errorf("Inserts = %d, want 7", tr.Inserts())
+	}
+}
+
+func TestStatsAndDump(t *testing.T) {
+	tr := mustTree(t, Config{Region: geom.UnitCube(2), MaxDepth: 2, MemoryLimit: 1 << 20})
+	tr.Insert(geom.Point{0.1, 0.1}, 5)
+	tr.Insert(geom.Point{0.9, 0.9}, 15)
+	s := tr.Stats()
+	if s.Nodes != 5 || s.Leaves != 2 || s.MaxDepth != 2 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.MemoryBytes != 5*DefaultNodeBytes {
+		t.Errorf("MemoryBytes = %d", s.MemoryBytes)
+	}
+	var sb strings.Builder
+	tr.Dump(&sb)
+	if !strings.Contains(sb.String(), "count=2") {
+		t.Errorf("Dump missing root line:\n%s", sb.String())
+	}
+	if got := strings.Count(sb.String(), "\n"); got != 5 {
+		t.Errorf("Dump printed %d lines, want 5", got)
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	tr := mustTree(t, Config{Region: geom.UnitCube(1), MaxDepth: 3, MemoryLimit: 1 << 20})
+	tr.Insert(geom.Point{0.1}, 1)
+	visits := 0
+	tr.Walk(func(Block) bool {
+		visits++
+		return false
+	})
+	if visits != 1 {
+		t.Errorf("early-stopped walk visited %d nodes, want 1", visits)
+	}
+}
+
+func TestTSSENCNonNegative(t *testing.T) {
+	tr := mustTree(t, Config{Region: geom.UnitCube(2), MaxDepth: 3, MemoryLimit: 1 << 20})
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		tr.Insert(geom.Point{rng.Float64(), rng.Float64()}, rng.Float64()*100)
+	}
+	if tsse := tr.TSSENC(); tsse < 0 {
+		t.Errorf("TSSENC = %g, want >= 0", tsse)
+	}
+}
+
+func TestConfigRejectsHostileValues(t *testing.T) {
+	region := geom.UnitCube(2)
+	cases := []Config{
+		{Region: region, MaxDepth: 65},
+		{Region: region, MaxDepth: 1 << 30},
+		{Region: region, Alpha: math.NaN()},
+		{Region: region, Alpha: math.Inf(1)},
+		{Region: region, Gamma: math.NaN()},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: hostile config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestPredictEstimate(t *testing.T) {
+	tr := mustTree(t, Config{Region: geom.UnitCube(1), MaxDepth: 1, MemoryLimit: 1 << 20})
+	if _, ok := tr.PredictEstimate(geom.Point{0.5}, 1); ok {
+		t.Fatal("empty tree produced an estimate")
+	}
+	tr.Insert(geom.Point{0.1}, 10)
+	tr.Insert(geom.Point{0.2}, 20)
+	tr.Insert(geom.Point{0.9}, 60)
+	est, ok := tr.PredictEstimate(geom.Point{0.1}, 1)
+	if !ok || est.Value != 15 || est.Count != 2 || est.Depth != 1 {
+		t.Errorf("left estimate = %+v", est)
+	}
+	// Population stddev of {10, 20} is 5.
+	if !approxEq(est.StdDev, 5, 1e-9) {
+		t.Errorf("StdDev = %g, want 5", est.StdDev)
+	}
+	// Constant values have zero spread.
+	tr2 := mustTree(t, unitCfg(1))
+	for i := 0; i < 10; i++ {
+		tr2.Insert(geom.Point{0.5}, 7)
+	}
+	est, _ = tr2.PredictEstimate(geom.Point{0.5}, 1)
+	if est.StdDev != 0 {
+		t.Errorf("constant StdDev = %g, want 0", est.StdDev)
+	}
+	// The estimate's value agrees with PredictBeta everywhere.
+	rng := rand.New(rand.NewSource(61))
+	tr3 := mustTree(t, smallCfg(Eager))
+	for i := 0; i < 1500; i++ {
+		tr3.Insert(geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}, rng.Float64()*100)
+	}
+	for i := 0; i < 200; i++ {
+		p := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+		beta := 1 + rng.Intn(8)
+		v, _ := tr3.PredictBeta(p, beta)
+		est, _ := tr3.PredictEstimate(p, beta)
+		if v != est.Value {
+			t.Fatalf("PredictEstimate diverged from PredictBeta at %v", p)
+		}
+		if est.Count < int64(beta) && est.Depth != 0 {
+			t.Fatalf("estimate from non-root block with count %d < beta %d", est.Count, beta)
+		}
+	}
+}
+
+func TestHighDimensionalTree(t *testing.T) {
+	// d=8: 256-way fanout. The paper uses d=4; the structure must hold up
+	// for wider model spaces.
+	d := 8
+	tr := mustTree(t, Config{
+		Region:      geom.UnitCube(d),
+		MaxDepth:    3,
+		MemoryLimit: 200 * DefaultNodeBytes,
+	})
+	rng := rand.New(rand.NewSource(81))
+	cost := func(p geom.Point) float64 { return p[0]*100 + p[7]*50 }
+	for i := 0; i < 3000; i++ {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		if err := tr.Insert(p, cost(p)); err != nil {
+			t.Fatal(err)
+		}
+		if tr.MemoryUsed() > tr.Config().MemoryLimit {
+			t.Fatal("memory over limit in 8-d")
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Accuracy sanity: better than predicting the global mean everywhere
+	// would not hold at depth 0 only, so require SOME learned structure.
+	var absErr, total float64
+	for i := 0; i < 500; i++ {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pred, ok := tr.Predict(p)
+		if !ok {
+			t.Fatal("prediction failed")
+		}
+		diff := pred - cost(p)
+		if diff < 0 {
+			diff = -diff
+		}
+		absErr += diff
+		total += cost(p)
+	}
+	if nae := absErr / total; nae > 0.6 {
+		t.Errorf("8-d NAE = %g; tree learned nothing", nae)
+	}
+}

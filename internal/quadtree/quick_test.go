@@ -1,0 +1,189 @@
+package quadtree
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mlq/internal/geom"
+)
+
+// opSeq is a randomly generated sequence of observations for quick.Check
+// properties: each element is a (point in [0,1)^2, value) pair.
+type opSeq []struct {
+	X, Y float64
+	V    float64
+}
+
+// Generate implements quick.Generator with coordinates in [0,1) and values
+// in a bounded range, so properties hold up to float tolerance.
+func (opSeq) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(size*4+1)
+	s := make(opSeq, n)
+	for i := range s {
+		s[i].X = r.Float64()
+		s[i].Y = r.Float64()
+		s[i].V = r.Float64()*2000 - 1000
+	}
+	return reflect.ValueOf(s)
+}
+
+func (s opSeq) apply(t *Tree) bool {
+	for _, op := range s {
+		if err := t.Insert(geom.Point{op.X, op.Y}, op.V); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: after any observation sequence, under any strategy and a tight
+// memory limit, the tree validates, respects its budget, and predicts a
+// value inside the observed value range (every prediction is an average of
+// a subset of inserted values).
+func TestQuickInvariantsHold(t *testing.T) {
+	cfgFor := func(strat Strategy) Config {
+		return Config{
+			Region:      geom.UnitCube(2),
+			Strategy:    strat,
+			MemoryLimit: 30 * DefaultNodeBytes,
+		}
+	}
+	prop := func(s opSeq, lazy bool) bool {
+		strat := Eager
+		if lazy {
+			strat = Lazy
+		}
+		tr, err := New(cfgFor(strat))
+		if err != nil {
+			return false
+		}
+		if !s.apply(tr) {
+			return false
+		}
+		if tr.Validate() != nil {
+			return false
+		}
+		if tr.MemoryUsed() > tr.Config().MemoryLimit {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, op := range s {
+			lo = math.Min(lo, op.V)
+			hi = math.Max(hi, op.V)
+		}
+		for _, op := range s {
+			v, ok := tr.PredictBeta(geom.Point{op.X, op.Y}, 1)
+			if !ok {
+				return false
+			}
+			if v < lo-1e-6 || v > hi+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the root summary is exactly the running sum/count/sum-of-squares
+// of everything inserted, regardless of compression.
+func TestQuickRootSummaryExact(t *testing.T) {
+	prop := func(s opSeq) bool {
+		tr, err := New(Config{
+			Region:      geom.UnitCube(2),
+			MemoryLimit: 10 * DefaultNodeBytes,
+		})
+		if err != nil {
+			return false
+		}
+		var sum, ss float64
+		for _, op := range s {
+			if tr.Insert(geom.Point{op.X, op.Y}, op.V) != nil {
+				return false
+			}
+			sum += op.V
+			ss += op.V * op.V
+		}
+		return tr.root.count == int64(len(s)) &&
+			approxEq(tr.root.sum, sum, 1e-9) &&
+			approxEq(tr.root.ss, ss, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: serialization is lossless — WriteTo followed by Read reproduces
+// node counts, thresholds, and every prediction.
+func TestQuickSerializationLossless(t *testing.T) {
+	prop := func(s opSeq, lazy bool) bool {
+		strat := Eager
+		if lazy {
+			strat = Lazy
+		}
+		tr, err := New(Config{
+			Region:      geom.UnitCube(2),
+			Strategy:    strat,
+			MemoryLimit: 25 * DefaultNodeBytes,
+		})
+		if err != nil || !s.apply(tr) {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NodeCount() != tr.NodeCount() || got.Threshold() != tr.Threshold() {
+			return false
+		}
+		for _, op := range s {
+			a, aok := tr.PredictBeta(geom.Point{op.X, op.Y}, 2)
+			b, bok := got.PredictBeta(geom.Point{op.X, op.Y}, 2)
+			if a != b || aok != bok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clone equals the original everywhere and shares no state.
+func TestQuickCloneEquivalent(t *testing.T) {
+	prop := func(s opSeq) bool {
+		tr, err := New(Config{
+			Region:      geom.UnitCube(2),
+			MemoryLimit: 25 * DefaultNodeBytes,
+		})
+		if err != nil || !s.apply(tr) {
+			return false
+		}
+		cl := tr.Clone()
+		for _, op := range s {
+			a, aok := tr.PredictBeta(geom.Point{op.X, op.Y}, 1)
+			b, bok := cl.PredictBeta(geom.Point{op.X, op.Y}, 1)
+			if a != b || aok != bok {
+				return false
+			}
+		}
+		// Diverge the original; the clone's root must not move.
+		beforeCount := cl.root.count
+		tr.Insert(geom.Point{0.5, 0.5}, 1)
+		return cl.root.count == beforeCount && cl.Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package quadtree
+
+import (
+	"math"
+
+	"mlq/internal/geom"
+)
+
+// refModel is a brute-force oracle for the quadtree's summary math: it keeps
+// every inserted point and recomputes block aggregates exactly. Property
+// tests compare the tree's incremental summaries against it.
+type refModel struct {
+	region geom.Rect
+	pts    []geom.Point
+	vals   []float64
+}
+
+func newRef(region geom.Rect) *refModel {
+	return &refModel{region: region.Clone()}
+}
+
+func (r *refModel) insert(p geom.Point, v float64) {
+	r.pts = append(r.pts, r.region.Clamp(p))
+	r.vals = append(r.vals, v)
+}
+
+// aggregates returns (sum, count, sumsquares) over the points inside block.
+func (r *refModel) aggregates(block geom.Rect) (s float64, c int64, ss float64) {
+	for i, p := range r.pts {
+		if block.Contains(p) {
+			s += r.vals[i]
+			ss += r.vals[i] * r.vals[i]
+			c++
+		}
+	}
+	return s, c, ss
+}
+
+// sse returns the exact Σ(v−avg)² over points inside block.
+func (r *refModel) sse(block geom.Rect) float64 {
+	s, c, _ := r.aggregates(block)
+	if c == 0 {
+		return 0
+	}
+	avg := s / float64(c)
+	var t float64
+	for i, p := range r.pts {
+		if block.Contains(p) {
+			d := r.vals[i] - avg
+			t += d * d
+		}
+	}
+	return t
+}
+
+// ssenc returns the exact SSENC (Eq. 5): squared deviations from block's own
+// average of points in block that are in none of the child blocks.
+func (r *refModel) ssenc(block geom.Rect, children []geom.Rect) float64 {
+	s, c, _ := r.aggregates(block)
+	if c == 0 {
+		return 0
+	}
+	avg := s / float64(c)
+	var t float64
+	for i, p := range r.pts {
+		if !block.Contains(p) {
+			continue
+		}
+		covered := false
+		for _, ch := range children {
+			if ch.Contains(p) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			d := r.vals[i] - avg
+			t += d * d
+		}
+	}
+	return t
+}
+
+// predict mirrors Fig. 3 for an eager, uncompressed tree of max depth λ:
+// the average of the deepest block on the query point's path holding at
+// least beta points (falling back to the root average).
+func (r *refModel) predict(p geom.Point, beta int, maxDepth int) (float64, bool) {
+	if len(r.pts) == 0 {
+		return 0, false
+	}
+	p = r.region.Clamp(p)
+	block := r.region
+	bestS, bestC, _ := r.aggregates(block)
+	for d := 0; d < maxDepth; d++ {
+		child := block.Child(block.ChildIndex(p))
+		s, c, _ := r.aggregates(child)
+		if c == 0 {
+			break // the eager tree has no node here
+		}
+		if c >= int64(beta) {
+			bestS, bestC = s, c
+		}
+		block = child
+	}
+	if bestC == 0 {
+		return 0, true
+	}
+	return bestS / float64(bestC), true
+}
+
+func approxEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol || diff <= tol*scale
+}

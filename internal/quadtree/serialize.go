@@ -1,0 +1,177 @@
+package quadtree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mlq/internal/geom"
+)
+
+// Serialization lets a trained cost model be persisted in the catalog and
+// reloaded at optimizer startup, so the model's knowledge survives restarts.
+// The format is a compact private binary encoding (little-endian), versioned
+// so it can evolve.
+
+const (
+	serialMagic   = 0x4d4c5154 // "MLQT"
+	serialVersion = 1
+)
+
+// WriteTo serializes the tree. It implements io.WriterTo.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	write := func(vs ...interface{}) error {
+		for _, v := range vs {
+			if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	d := t.cfg.Region.Dims()
+	if err := write(
+		uint32(serialMagic), uint32(serialVersion), uint32(d),
+		uint32(t.cfg.Strategy), uint32(t.cfg.Policy), uint32(t.cfg.MaxDepth), uint32(t.cfg.Beta),
+		t.cfg.Alpha, t.cfg.Gamma,
+		uint64(t.cfg.MemoryLimit), uint64(t.cfg.NodeBytes),
+		t.thSSE, t.inserts, t.compressions, t.removedNodes,
+	); err != nil {
+		return cw.n, err
+	}
+	for i := 0; i < d; i++ {
+		if err := write(t.cfg.Region.Lo[i], t.cfg.Region.Hi[i]); err != nil {
+			return cw.n, err
+		}
+	}
+	var rec func(n *node) error
+	rec = func(n *node) error {
+		if err := write(n.sum, n.ss, n.count, uint32(len(n.kids))); err != nil {
+			return err
+		}
+		for _, c := range n.kids {
+			if err := write(c.idx); err != nil {
+				return err
+			}
+			if err := rec(c.n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(t.root); err != nil {
+		return cw.n, err
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+// Read deserializes a tree previously written with WriteTo.
+func Read(r io.Reader) (*Tree, error) {
+	br := bufio.NewReader(r)
+	read := func(vs ...interface{}) error {
+		for _, v := range vs {
+			if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var magic, version, dims, strategy, policy, maxDepth, beta uint32
+	var alpha, gamma, thSSE float64
+	var memLimit, nodeBytes uint64
+	var inserts, compressions, removed int64
+	if err := read(&magic, &version, &dims, &strategy, &policy, &maxDepth, &beta,
+		&alpha, &gamma, &memLimit, &nodeBytes,
+		&thSSE, &inserts, &compressions, &removed); err != nil {
+		return nil, fmt.Errorf("quadtree: reading header: %w", err)
+	}
+	if magic != serialMagic {
+		return nil, fmt.Errorf("quadtree: bad magic %#x", magic)
+	}
+	if version != serialVersion {
+		return nil, fmt.Errorf("quadtree: unsupported version %d", version)
+	}
+	if dims == 0 || dims > 20 {
+		return nil, fmt.Errorf("quadtree: corrupt dimension count %d", dims)
+	}
+	lo := make(geom.Point, dims)
+	hi := make(geom.Point, dims)
+	for i := range lo {
+		if err := read(&lo[i], &hi[i]); err != nil {
+			return nil, fmt.Errorf("quadtree: reading region: %w", err)
+		}
+	}
+	region, err := geom.NewRect(lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("quadtree: corrupt region: %w", err)
+	}
+	t, err := New(Config{
+		Region:      region,
+		Strategy:    Strategy(strategy),
+		Policy:      CompressionPolicy(policy),
+		MaxDepth:    int(maxDepth),
+		Alpha:       alpha,
+		Beta:        int(beta),
+		Gamma:       gamma,
+		MemoryLimit: int(memLimit),
+		NodeBytes:   int(nodeBytes),
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.thSSE = thSSE
+	t.inserts = inserts
+	t.compressions = compressions
+	t.removedNodes = removed
+
+	t.nodeCount = 0
+	var rec func(parent *node, depth int) (*node, error)
+	rec = func(parent *node, depth int) (*node, error) {
+		if depth > int(maxDepth) {
+			return nil, fmt.Errorf("quadtree: node deeper than MaxDepth %d", maxDepth)
+		}
+		n := &node{parent: parent}
+		var kids uint32
+		if err := read(&n.sum, &n.ss, &n.count, &kids); err != nil {
+			return nil, fmt.Errorf("quadtree: reading node: %w", err)
+		}
+		if kids > t.childCapacity {
+			return nil, fmt.Errorf("quadtree: node claims %d children, capacity %d", kids, t.childCapacity)
+		}
+		t.nodeCount++
+		for i := uint32(0); i < kids; i++ {
+			var idx uint32
+			if err := read(&idx); err != nil {
+				return nil, fmt.Errorf("quadtree: reading child index: %w", err)
+			}
+			child, err := rec(n, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			n.kids = append(n.kids, childEntry{idx: idx, n: child})
+		}
+		return n, nil
+	}
+	root, err := rec(nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("quadtree: decoded tree invalid: %w", err)
+	}
+	return t, nil
+}
+
+// countingWriter tracks bytes written for the io.WriterTo contract.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

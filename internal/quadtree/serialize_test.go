@@ -1,0 +1,133 @@
+package quadtree
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mlq/internal/geom"
+)
+
+func buildTrained(t *testing.T, seed int64) *Tree {
+	t.Helper()
+	tr := mustTree(t, Config{
+		Region:      geom.MustRect(geom.Point{0, 0, 0}, geom.Point{10, 10, 10}),
+		Strategy:    Lazy,
+		MaxDepth:    5,
+		MemoryLimit: 60 * DefaultNodeBytes,
+	})
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 1500; i++ {
+		p := geom.Point{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		if err := tr.Insert(p, rng.Float64()*500); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	tr := buildTrained(t, 41)
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, buffer holds %d", n, buf.Len())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NodeCount() != tr.NodeCount() {
+		t.Errorf("node count %d, want %d", got.NodeCount(), tr.NodeCount())
+	}
+	if got.Inserts() != tr.Inserts() || got.Compressions() != tr.Compressions() {
+		t.Error("lifetime counters lost in round trip")
+	}
+	if got.Threshold() != tr.Threshold() {
+		t.Errorf("threshold %g, want %g", got.Threshold(), tr.Threshold())
+	}
+	// Structure and summaries must be byte-identical.
+	var a, b strings.Builder
+	tr.Dump(&a)
+	got.Dump(&b)
+	if a.String() != b.String() {
+		t.Error("decoded tree structure differs from original")
+	}
+	// Predictions must agree everywhere.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		p := geom.Point{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		v1, ok1 := tr.PredictBeta(p, 3)
+		v2, ok2 := got.PredictBeta(p, 3)
+		if v1 != v2 || ok1 != ok2 {
+			t.Fatalf("prediction diverged at %v: (%g,%v) vs (%g,%v)", p, v1, ok1, v2, ok2)
+		}
+	}
+	// The decoded tree must keep learning correctly.
+	if err := got.Insert(geom.Point{5, 5, 5}, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializeEmptyTree(t *testing.T) {
+	tr := mustTree(t, unitCfg(2))
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NodeCount() != 1 {
+		t.Errorf("node count %d, want 1", got.NodeCount())
+	}
+	if _, ok := got.Predict(geom.Point{0.5, 0.5}); ok {
+		t.Error("empty decoded tree must report ok=false")
+	}
+}
+
+func TestReadRejectsCorruptInput(t *testing.T) {
+	tr := buildTrained(t, 43)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[0] ^= 0xff
+		if _, err := Read(bytes.NewReader(b)); err == nil {
+			t.Error("bad magic accepted")
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[4] = 99
+		if _, err := Read(bytes.NewReader(b)); err == nil {
+			t.Error("bad version accepted")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{0, 5, 20, len(good) / 2, len(good) - 3} {
+			if _, err := Read(bytes.NewReader(good[:cut])); err == nil {
+				t.Errorf("truncation at %d accepted", cut)
+			}
+		}
+	})
+	t.Run("zero dims", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[8], b[9], b[10], b[11] = 0, 0, 0, 0
+		if _, err := Read(bytes.NewReader(b)); err == nil {
+			t.Error("zero dims accepted")
+		}
+	})
+}

@@ -1,0 +1,253 @@
+package quadtree
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mlq/internal/geom"
+)
+
+// Block is the read-only view of one node handed to Walk callbacks.
+type Block struct {
+	// Region is the hyper-rectangle the node indexes.
+	Region geom.Rect
+	// Depth is the node's depth (root is 0).
+	Depth int
+	// Sum, SumSquares and Count are the node's summary information.
+	Sum, SumSquares float64
+	Count           int64
+	// Children is the number of non-empty children.
+	Children int
+	// Full reports whether the node has all 2^d children (a "full node"
+	// in the paper's terminology; non-full nodes contribute to TSSENC).
+	Full bool
+}
+
+// Avg returns the block's average value (Eq. 3).
+func (b Block) Avg() float64 {
+	if b.Count == 0 {
+		return 0
+	}
+	return b.Sum / float64(b.Count)
+}
+
+// SSE returns the block's sum of squared errors (Eq. 4).
+func (b Block) SSE() float64 {
+	if b.Count == 0 {
+		return 0
+	}
+	v := b.SumSquares - b.Sum*b.Sum/float64(b.Count)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Walk visits every node in depth-first order, parents before children.
+// The callback returns false to stop the walk early.
+func (t *Tree) Walk(fn func(Block) bool) {
+	var rec func(n *node, region geom.Rect, depth int) bool
+	rec = func(n *node, region geom.Rect, depth int) bool {
+		b := Block{
+			Region:     region,
+			Depth:      depth,
+			Sum:        n.sum,
+			SumSquares: n.ss,
+			Count:      n.count,
+			Children:   len(n.kids),
+			Full:       uint32(len(n.kids)) == t.childCapacity,
+		}
+		if !fn(b) {
+			return false
+		}
+		for _, c := range n.kids {
+			if !rec(c.n, region.Child(c.idx), depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(t.root, t.cfg.Region, 0)
+}
+
+// ssenc returns SSENC(b) (Eq. 5): the sum of squared deviations, from b's
+// own average, of the points in b that do not map into any of b's children.
+// It is derived purely from summaries:
+//
+//	SSENC(b) = SS_nc − 2·AVG(b)·S_nc + C_nc·AVG(b)²
+//
+// where the _nc aggregates are b's minus the sum of its children's.
+func (n *node) ssenc() float64 {
+	if n.count == 0 {
+		return 0
+	}
+	sNC, ssNC := n.sum, n.ss
+	cNC := n.count
+	for _, c := range n.kids {
+		sNC -= c.n.sum
+		ssNC -= c.n.ss
+		cNC -= c.n.count
+	}
+	avg := n.avg()
+	v := ssNC - 2*avg*sNC + float64(cNC)*avg*avg
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// TSSENC returns the tree's total SSENC over non-full nodes (Eq. 6), the
+// quantity compression minimizes the increase of.
+func (t *Tree) TSSENC() float64 {
+	var total float64
+	var rec func(n *node)
+	rec = func(n *node) {
+		if uint32(len(n.kids)) != t.childCapacity {
+			total += n.ssenc()
+		}
+		for _, c := range n.kids {
+			rec(c.n)
+		}
+	}
+	rec(t.root)
+	return total
+}
+
+// Stats summarizes the tree's current shape.
+type Stats struct {
+	Nodes        int
+	Leaves       int
+	MaxDepth     int
+	MemoryBytes  int
+	Inserts      int64
+	Compressions int64
+	RemovedNodes int64
+	TSSENC       float64
+}
+
+// Stats returns a snapshot of the tree's shape and lifetime counters.
+func (t *Tree) Stats() Stats {
+	s := Stats{
+		Nodes:        t.nodeCount,
+		MemoryBytes:  t.MemoryUsed(),
+		Inserts:      t.inserts,
+		Compressions: t.compressions,
+		RemovedNodes: t.removedNodes,
+		TSSENC:       t.TSSENC(),
+	}
+	t.Walk(func(b Block) bool {
+		if b.Children == 0 {
+			s.Leaves++
+		}
+		if b.Depth > s.MaxDepth {
+			s.MaxDepth = b.Depth
+		}
+		return true
+	})
+	return s
+}
+
+// Validate checks the structural invariants of the tree and returns the
+// first violation found, or nil. It is used heavily by the property tests
+// and is cheap enough to run in production assertions.
+func (t *Tree) Validate() error {
+	count := 0
+	var rec func(n *node, depth int) error
+	rec = func(n *node, depth int) error {
+		count++
+		if depth > t.cfg.MaxDepth {
+			return fmt.Errorf("node at depth %d exceeds MaxDepth %d", depth, t.cfg.MaxDepth)
+		}
+		if n.count < 0 {
+			return fmt.Errorf("negative count %d at depth %d", n.count, depth)
+		}
+		if n.sse() < 0 {
+			return fmt.Errorf("negative SSE at depth %d", depth)
+		}
+		seen := make(map[uint32]bool, len(n.kids))
+		var childCount int64
+		var childSS float64
+		for _, c := range n.kids {
+			if c.idx >= t.childCapacity {
+				return fmt.Errorf("child index %d out of range (capacity %d)", c.idx, t.childCapacity)
+			}
+			if seen[c.idx] {
+				return fmt.Errorf("duplicate child index %d at depth %d", c.idx, depth)
+			}
+			seen[c.idx] = true
+			if c.n.parent != n {
+				return fmt.Errorf("broken parent pointer at depth %d child %d", depth, c.idx)
+			}
+			if c.n.count == 0 {
+				return fmt.Errorf("empty child node at depth %d child %d", depth+1, c.idx)
+			}
+			childCount += c.n.count
+			childSS += c.n.ss
+			if err := rec(c.n, depth+1); err != nil {
+				return err
+			}
+		}
+		if childCount > n.count {
+			return fmt.Errorf("children count %d exceeds parent count %d at depth %d", childCount, n.count, depth)
+		}
+		if childSS > n.ss*(1+1e-9)+1e-9 {
+			return fmt.Errorf("children sum-of-squares %g exceeds parent %g at depth %d", childSS, n.ss, depth)
+		}
+		return nil
+	}
+	if t.root.parent != nil {
+		return fmt.Errorf("root has a parent")
+	}
+	if err := rec(t.root, 0); err != nil {
+		return err
+	}
+	if count != t.nodeCount {
+		return fmt.Errorf("node count mismatch: counted %d, tracked %d", count, t.nodeCount)
+	}
+	if t.inserts > 0 && t.MemoryUsed() > t.cfg.MemoryLimit && t.nodeCount > 1 {
+		return fmt.Errorf("memory %d over limit %d after insert", t.MemoryUsed(), t.cfg.MemoryLimit)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the tree. An optimizer can snapshot a model
+// under a brief lock and keep predicting from the copy while the original
+// continues to learn.
+func (t *Tree) Clone() *Tree {
+	var rec func(n *node, parent *node) *node
+	rec = func(n *node, parent *node) *node {
+		c := &node{sum: n.sum, ss: n.ss, count: n.count, parent: parent}
+		if len(n.kids) > 0 {
+			c.kids = make([]childEntry, len(n.kids))
+			for i, k := range n.kids {
+				c.kids[i] = childEntry{idx: k.idx, n: rec(k.n, c)}
+			}
+		}
+		return c
+	}
+	clone := &Tree{
+		cfg:           t.cfg,
+		root:          rec(t.root, nil),
+		nodeCount:     t.nodeCount,
+		thSSE:         t.thSSE,
+		inserts:       t.inserts,
+		compressions:  t.compressions,
+		removedNodes:  t.removedNodes,
+		compressTime:  t.compressTime,
+		childCapacity: t.childCapacity,
+	}
+	clone.cfg.Region = t.cfg.Region.Clone()
+	return clone
+}
+
+// Dump writes an indented ASCII rendering of the tree to w, one node per
+// line with its depth, region, count and average. Intended for debugging and
+// the mlqtool CLI.
+func (t *Tree) Dump(w io.Writer) {
+	t.Walk(func(b Block) bool {
+		fmt.Fprintf(w, "%s%s count=%d avg=%.4g sse=%.4g\n",
+			strings.Repeat("  ", b.Depth), b.Region, b.Count, b.Avg(), b.SSE())
+		return true
+	})
+}

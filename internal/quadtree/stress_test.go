@@ -1,0 +1,137 @@
+package quadtree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mlq/internal/geom"
+)
+
+// TestRandomizedOperationStress interleaves inserts, predictions, explicit
+// compressions and clones over random configurations and verifies every
+// structural invariant after each phase. This is the package's fuzz-style
+// safety net: any violation of the §4 invariants under any operation order
+// trips Validate.
+func TestRandomizedOperationStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		d := 1 + rng.Intn(4)
+		lo := make(geom.Point, d)
+		hi := make(geom.Point, d)
+		for i := 0; i < d; i++ {
+			lo[i] = rng.Float64()*10 - 5
+			hi[i] = lo[i] + 1 + rng.Float64()*100
+		}
+		strat := Eager
+		if rng.Intn(2) == 1 {
+			strat = Lazy
+		}
+		cfg := Config{
+			Region:      geom.MustRect(lo, hi),
+			Strategy:    strat,
+			Policy:      CompressionPolicy(rng.Intn(3)),
+			MaxDepth:    1 + rng.Intn(7),
+			Alpha:       0.01 + rng.Float64()*0.5,
+			Beta:        1 + rng.Intn(10),
+			Gamma:       0.001 + rng.Float64()*0.3,
+			MemoryLimit: (2 + rng.Intn(200)) * DefaultNodeBytes,
+		}
+		tr := mustTree(t, cfg)
+		ops := 500 + rng.Intn(1500)
+		for op := 0; op < ops; op++ {
+			switch rng.Intn(10) {
+			case 0:
+				tr.Compress()
+			case 1:
+				p := make(geom.Point, d)
+				for i := range p {
+					// Deliberately out of range half the time.
+					p[i] = lo[i] + (rng.Float64()*3-1)*(hi[i]-lo[i])
+				}
+				tr.PredictBeta(p, 1+rng.Intn(12))
+			default:
+				p := make(geom.Point, d)
+				for i := range p {
+					p[i] = lo[i] + (rng.Float64()*3-1)*(hi[i]-lo[i])
+				}
+				if err := tr.Insert(p, rng.Float64()*1e4-5e3); err != nil {
+					t.Fatalf("trial %d op %d: %v", trial, op, err)
+				}
+			}
+			if tr.MemoryUsed() > cfg.MemoryLimit {
+				t.Fatalf("trial %d op %d: memory %d over limit %d",
+					trial, op, tr.MemoryUsed(), cfg.MemoryLimit)
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, cfg, err)
+		}
+		// Clone must be structurally identical and fully detached.
+		cl := tr.Clone()
+		if err := cl.Validate(); err != nil {
+			t.Fatalf("trial %d: clone invalid: %v", trial, err)
+		}
+		var a, b strings.Builder
+		tr.Dump(&a)
+		cl.Dump(&b)
+		if a.String() != b.String() {
+			t.Fatalf("trial %d: clone structure differs", trial)
+		}
+		// Mutating the original must not touch the clone.
+		snapshot := b.String()
+		for i := 0; i < 200; i++ {
+			p := make(geom.Point, d)
+			for j := range p {
+				p[j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
+			}
+			tr.Insert(p, rng.Float64()*100)
+		}
+		var c strings.Builder
+		cl.Dump(&c)
+		if c.String() != snapshot {
+			t.Fatalf("trial %d: clone mutated by original's inserts", trial)
+		}
+		// And the clone keeps working independently.
+		if err := cl.Insert(cl.cfg.Region.Center(), 1); err != nil {
+			t.Fatalf("trial %d: clone insert: %v", trial, err)
+		}
+		if err := cl.Validate(); err != nil {
+			t.Fatalf("trial %d: clone invalid after insert: %v", trial, err)
+		}
+	}
+}
+
+// TestSerializeFuzzNoPanics flips random bytes in a valid serialized tree
+// and checks Read never panics (errors are fine).
+func TestSerializeFuzzNoPanics(t *testing.T) {
+	tr := buildTrained(t, 123)
+	var buf strings.Builder
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := []byte(buf.String())
+	rng := rand.New(rand.NewSource(321))
+	for i := 0; i < 500; i++ {
+		b := append([]byte(nil), good...)
+		flips := 1 + rng.Intn(8)
+		for f := 0; f < flips; f++ {
+			b[rng.Intn(len(b))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Read panicked on corrupted input (iteration %d): %v", i, r)
+				}
+			}()
+			tree, err := Read(strings.NewReader(string(b)))
+			if err == nil {
+				// Rarely the corruption is benign; the decoded tree
+				// must still validate (Read validates internally).
+				if tree.Validate() != nil {
+					t.Fatal("Read returned an invalid tree without error")
+				}
+			}
+		}()
+	}
+}

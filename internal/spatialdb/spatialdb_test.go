@@ -1,0 +1,292 @@
+package spatialdb
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mlq/internal/geom"
+)
+
+// smallMap builds a compact map for fast tests and returns the raw objects
+// reconstructed from disk for brute-force checking.
+func smallMap(t *testing.T) (*DB, []Object) {
+	t.Helper()
+	db, err := Generate(Config{
+		Extent:     200,
+		NumObjects: 800,
+		GridSize:   8,
+		PageSize:   256,
+		CachePages: 16,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]Object, db.NumObjects())
+	var stats ExecStats
+	for i := range objs {
+		o, err := db.object(uint32(i), &stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs[i] = o
+	}
+	db.Cache().Invalidate()
+	return db, objs
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{NumObjects: -1}); err == nil {
+		t.Error("negative NumObjects accepted")
+	}
+	if _, err := Generate(Config{Extent: -5}); err == nil {
+		t.Error("negative Extent accepted")
+	}
+	if _, err := Generate(Config{PageSize: 4}); err == nil {
+		t.Error("tiny page size accepted")
+	}
+}
+
+func TestObjectRoundTrip(t *testing.T) {
+	db, objs := smallMap(t)
+	if db.NumObjects() != 800 || len(objs) != 800 {
+		t.Fatalf("NumObjects = %d", db.NumObjects())
+	}
+	for i, o := range objs {
+		if o.ID != uint32(i) {
+			t.Fatalf("object %d has ID %d", i, o.ID)
+		}
+		if o.X < 0 || o.Y < 0 || o.X+o.W > 200+1e-3 || o.Y+o.H > 200+1e-3 {
+			t.Fatalf("object %d escapes the map: %+v", i, o)
+		}
+		if o.W < 0.5 || o.H < 0.5 {
+			t.Fatalf("object %d degenerate: %+v", i, o)
+		}
+	}
+	var stats ExecStats
+	if _, err := db.object(100000, &stats); err == nil {
+		t.Error("out-of-range object fetch accepted")
+	}
+}
+
+func TestObjectDistTo(t *testing.T) {
+	o := Object{X: 10, Y: 10, W: 4, H: 2}
+	cases := []struct {
+		x, y, want float64
+	}{
+		{12, 11, 0}, // inside
+		{10, 10, 0}, // corner
+		{8, 11, 2},  // left
+		{17, 11, 3}, // right
+		{12, 15, 3}, // above
+		{7, 6, 5},   // diagonal: 3-4-5
+		{17, 16, 5}, // opposite diagonal
+		{12, 12, 0}, // top edge
+	}
+	for _, c := range cases {
+		if got := o.distTo(c.x, c.y); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("distTo(%g,%g) = %g, want %g", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestWindowMatchesBruteForce(t *testing.T) {
+	db, objs := smallMap(t)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		wx := rng.Float64() * 180
+		wy := rng.Float64() * 180
+		ww := 1 + rng.Float64()*40
+		wh := 1 + rng.Float64()*40
+		got, stats, err := db.Window(wx, wy, ww, wh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, o := range objs {
+			if o.intersectsWindow(wx, wy, ww, wh) {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: window found %d, brute force %d", trial, len(got), want)
+		}
+		if stats.CPU <= 0 {
+			t.Error("no CPU work recorded")
+		}
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	db, objs := smallMap(t)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		x := rng.Float64() * 200
+		y := rng.Float64() * 200
+		r := rng.Float64() * 30
+		got, _, err := db.Range(x, y, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, o := range objs {
+			if o.distTo(x, y) <= r {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: range found %d, brute force %d", trial, len(got), want)
+		}
+	}
+	if _, _, err := db.Range(10, 10, -1); err == nil {
+		t.Error("negative radius accepted")
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	db, objs := smallMap(t)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		x := rng.Float64() * 200
+		y := rng.Float64() * 200
+		k := 1 + rng.Intn(20)
+		got, _, err := db.KNN(x, y, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != k {
+			t.Fatalf("trial %d: KNN returned %d of %d", trial, len(got), k)
+		}
+		dists := make([]float64, len(objs))
+		for i, o := range objs {
+			dists[i] = o.distTo(x, y)
+		}
+		sort.Float64s(dists)
+		kth := dists[k-1]
+		for i, o := range got {
+			d := o.distTo(x, y)
+			if d > kth+1e-9 {
+				t.Fatalf("trial %d: result %d at distance %g beyond k-th %g", trial, i, d, kth)
+			}
+			if i > 0 && d < got[i-1].distTo(x, y)-1e-9 {
+				t.Fatalf("trial %d: results not ordered nearest-first", trial)
+			}
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	db, _ := smallMap(t)
+	if _, _, err := db.KNN(10, 10, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// k larger than the dataset returns everything.
+	got, _, err := db.KNN(10, 10, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != db.NumObjects() {
+		t.Errorf("k > N returned %d of %d", len(got), db.NumObjects())
+	}
+}
+
+func TestKNNCostGrowsWithK(t *testing.T) {
+	db, _ := smallMap(t)
+	_, small, _ := db.KNN(100, 100, 1)
+	_, large, _ := db.KNN(100, 100, 200)
+	if large.CPU <= small.CPU {
+		t.Errorf("CPU(k=200)=%g not above CPU(k=1)=%g", large.CPU, small.CPU)
+	}
+}
+
+func TestWindowCostGrowsWithArea(t *testing.T) {
+	db, _ := smallMap(t)
+	_, small, _ := db.Window(50, 50, 5, 5)
+	_, large, _ := db.Window(10, 10, 150, 150)
+	if large.CPU <= small.CPU {
+		t.Errorf("CPU(large window)=%g not above CPU(small)=%g", large.CPU, small.CPU)
+	}
+}
+
+func TestClusteringCreatesCostSkew(t *testing.T) {
+	// Cost at a cluster center must exceed cost in empty space for the
+	// same window: the skew the cost model has to learn.
+	db, objs := smallMap(t)
+	// Find the densest and the emptiest 20x20 neighborhoods by brute force.
+	density := func(x, y float64) int {
+		n := 0
+		for _, o := range objs {
+			if o.intersectsWindow(x-10, y-10, 20, 20) {
+				n++
+			}
+		}
+		return n
+	}
+	bestX, bestY, bestN := 0.0, 0.0, -1
+	worstX, worstY, worstN := 0.0, 0.0, 1<<30
+	for x := 10.0; x < 200; x += 10 {
+		for y := 10.0; y < 200; y += 10 {
+			n := density(x, y)
+			if n > bestN {
+				bestX, bestY, bestN = x, y, n
+			}
+			if n < worstN {
+				worstX, worstY, worstN = x, y, n
+			}
+		}
+	}
+	_, dense, _ := db.Window(bestX-10, bestY-10, 20, 20)
+	_, sparse, _ := db.Window(worstX-10, worstY-10, 20, 20)
+	if dense.CPU <= sparse.CPU {
+		t.Errorf("dense-region CPU %g not above sparse-region CPU %g", dense.CPU, sparse.CPU)
+	}
+}
+
+func TestSpatialUDFAdapters(t *testing.T) {
+	db, _ := smallMap(t)
+	udfs := db.UDFs()
+	names := []string{"KNN", "WIN", "RANGE"}
+	if len(udfs) != 3 {
+		t.Fatalf("got %d UDFs", len(udfs))
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i, u := range udfs {
+		if u.Name() != names[i] {
+			t.Errorf("UDF %d name %q, want %q", i, u.Name(), names[i])
+		}
+		region := u.Region()
+		if region.Dims() != 3 {
+			t.Errorf("%s model space has %d dims, want 3", u.Name(), region.Dims())
+		}
+		for q := 0; q < 15; q++ {
+			p := make(geom.Point, 3)
+			for j := range p {
+				p[j] = region.Lo[j] + rng.Float64()*(region.Hi[j]-region.Lo[j])
+			}
+			cpu, io := u.Execute(p)
+			if cpu <= 0 || io < 0 {
+				t.Fatalf("%s: suspicious costs (%g, %g) at %v", u.Name(), cpu, io, p)
+			}
+		}
+	}
+}
+
+func TestIOCostNoise(t *testing.T) {
+	// Same query repeated: first run cold, second warm -> different IO,
+	// identical CPU. This is the paper's disk-cost noise.
+	db, _ := smallMap(t)
+	db.Cache().Invalidate()
+	_, cold, _ := db.Window(95, 95, 10, 10)
+	_, warm, _ := db.Window(95, 95, 10, 10)
+	if cold.IO == 0 {
+		t.Fatal("cold query did no IO")
+	}
+	if warm.IO >= cold.IO {
+		t.Errorf("warm IO %g not below cold %g", warm.IO, cold.IO)
+	}
+	if cold.CPU != warm.CPU {
+		t.Errorf("CPU not deterministic: %g vs %g", cold.CPU, warm.CPU)
+	}
+}

@@ -1,0 +1,85 @@
+package spatialdb
+
+import (
+	"math"
+
+	"mlq/internal/geom"
+	"mlq/internal/udf"
+)
+
+// This file adapts the three spatial searches to the udf.UDF interface.
+// Their model variables are the natural query arguments:
+//
+//	KNN    (x, y, k)      — query location and neighbor count
+//	WIN    (x, y, area)   — window center and window area (square window)
+//	RANGE  (x, y, r)      — circle center and radius
+//
+// Because the map is clustered, cost varies strongly with (x, y): queries in
+// dense clusters examine many more objects than queries in empty space —
+// the spatial skew that separates the cost-modeling methods in Fig. 9.
+
+// knnUDF is the paper's K-nearest-neighbors UDF.
+type knnUDF struct{ db *DB }
+
+func (u knnUDF) Name() string { return "KNN" }
+
+func (u knnUDF) Region() geom.Rect {
+	e := u.db.Extent()
+	return geom.MustRect(geom.Point{0, 0, 1}, geom.Point{e, e, 64})
+}
+
+func (u knnUDF) Execute(p geom.Point) (cpu, io float64) {
+	k := int(p[2])
+	if k < 1 {
+		k = 1
+	}
+	_, stats, err := u.db.KNN(p[0], p[1], k)
+	if err != nil {
+		panic(err) // self-generated index: unreachable
+	}
+	return stats.CPU, stats.IO
+}
+
+// winUDF is the paper's window-search UDF.
+type winUDF struct{ db *DB }
+
+func (u winUDF) Name() string { return "WIN" }
+
+func (u winUDF) Region() geom.Rect {
+	e := u.db.Extent()
+	maxArea := (e / 4) * (e / 4)
+	return geom.MustRect(geom.Point{0, 0, 1}, geom.Point{e, e, maxArea})
+}
+
+func (u winUDF) Execute(p geom.Point) (cpu, io float64) {
+	side := math.Sqrt(p[2])
+	_, stats, err := u.db.Window(p[0]-side/2, p[1]-side/2, side, side)
+	if err != nil {
+		panic(err)
+	}
+	return stats.CPU, stats.IO
+}
+
+// rangeUDF is the paper's range-search UDF.
+type rangeUDF struct{ db *DB }
+
+func (u rangeUDF) Name() string { return "RANGE" }
+
+func (u rangeUDF) Region() geom.Rect {
+	e := u.db.Extent()
+	return geom.MustRect(geom.Point{0, 0, 1}, geom.Point{e, e, e / 8})
+}
+
+func (u rangeUDF) Execute(p geom.Point) (cpu, io float64) {
+	_, stats, err := u.db.Range(p[0], p[1], p[2])
+	if err != nil {
+		panic(err)
+	}
+	return stats.CPU, stats.IO
+}
+
+// UDFs returns the three spatial UDFs bound to this database, in the
+// paper's order: KNN, WIN, RANGE.
+func (db *DB) UDFs() []udf.UDF {
+	return []udf.UDF{knnUDF{db}, winUDF{db}, rangeUDF{db}}
+}

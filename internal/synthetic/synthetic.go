@@ -1,0 +1,259 @@
+// Package synthetic generates the paper's synthetic UDFs/datasets (§5.1):
+// cost surfaces built from N randomly placed peaks whose heights follow a
+// Zipf distribution and whose costs decay to zero with Euclidean distance
+// from the peak under one of five randomly assigned decay functions —
+// uniform, linear, Gaussian, log base 2, and quadratic — "reflecting the
+// various computational complexities common to UDFs".
+//
+// It also provides the noise wrapper of Experiment 3: with a configurable
+// probability a query observes a random cost instead of the true one.
+package synthetic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mlq/internal/dist"
+	"mlq/internal/geom"
+)
+
+// CostFunc is a deterministic UDF cost surface: the "true" execution cost at
+// any point of the model-variable space.
+type CostFunc interface {
+	// Cost returns the execution cost at p.
+	Cost(p geom.Point) float64
+	// Region returns the surface's domain.
+	Region() geom.Rect
+	// MaxCost returns the largest cost the surface can produce.
+	MaxCost() float64
+}
+
+// DecayKind names one of the paper's five decay shapes.
+type DecayKind int
+
+// The five decay functions of §5.1. Each is normalized so the contribution
+// is the full peak height at distance 0 and zero at distance D.
+const (
+	DecayUniform DecayKind = iota
+	DecayLinear
+	DecayGaussian
+	DecayLog2
+	DecayQuadratic
+	numDecayKinds
+)
+
+// String returns a short label for the decay shape.
+func (k DecayKind) String() string {
+	switch k {
+	case DecayUniform:
+		return "uniform"
+	case DecayLinear:
+		return "linear"
+	case DecayGaussian:
+		return "gaussian"
+	case DecayLog2:
+		return "log2"
+	case DecayQuadratic:
+		return "quadratic"
+	default:
+		return fmt.Sprintf("DecayKind(%d)", int(k))
+	}
+}
+
+// shape evaluates the normalized decay g(u) for u = dist/D in [0, 1],
+// with g(0) = 1 and g(1) = 0 (except uniform, a step function).
+func (k DecayKind) shape(u, sigma float64) float64 {
+	if u >= 1 {
+		return 0
+	}
+	switch k {
+	case DecayUniform:
+		return 1
+	case DecayLinear:
+		return 1 - u
+	case DecayGaussian:
+		// Shifted and rescaled so the tail reaches exactly zero at u=1.
+		g := math.Exp(-u * u / (2 * sigma * sigma))
+		g1 := math.Exp(-1 / (2 * sigma * sigma))
+		return (g - g1) / (1 - g1)
+	case DecayLog2:
+		return math.Log2(2 - u)
+	case DecayQuadratic:
+		return 1 - u*u
+	default:
+		return 0
+	}
+}
+
+// Peak is one extreme point of the synthetic surface.
+type Peak struct {
+	Center geom.Point
+	Height float64
+	Decay  DecayKind
+}
+
+// Config parameterizes surface generation. Zero fields default to the
+// paper's values.
+type Config struct {
+	// Region is the data space. Default: [0,1000)^4 (the paper's d=4,
+	// 0–1000 ranges).
+	Region geom.Rect
+	// NumPeaks is N, the number of peaks. Default 50.
+	NumPeaks int
+	// MaxCost is the height of the tallest (rank-1) peak. Default 10000.
+	MaxCost float64
+	// ZipfS is the Zipf exponent for peak heights. Default 1.
+	ZipfS float64
+	// DecayFraction sets D as a fraction of the space diagonal.
+	// Default 0.1 (the paper's 10%).
+	DecayFraction float64
+	// GaussianSigma is the Gaussian decay's standard deviation in
+	// normalized distance units. Default 0.2.
+	GaussianSigma float64
+	// Seed drives all random choices.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Region.Dims() == 0 {
+		c.Region = geom.MustRect(
+			geom.Point{0, 0, 0, 0}, geom.Point{1000, 1000, 1000, 1000})
+	}
+	if c.NumPeaks == 0 {
+		c.NumPeaks = 50
+	}
+	if c.MaxCost == 0 {
+		c.MaxCost = 10000
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1
+	}
+	if c.DecayFraction == 0 {
+		c.DecayFraction = 0.1
+	}
+	if c.GaussianSigma == 0 {
+		c.GaussianSigma = 0.2
+	}
+	return c
+}
+
+// Surface is a generated synthetic UDF cost surface. The cost at a point is
+// the maximum contribution over all peaks (so the rank-1 peak attains
+// exactly MaxCost), and zero outside every decay region.
+type Surface struct {
+	region  geom.Rect
+	peaks   []Peak
+	d       float64 // decay radius
+	sigma   float64
+	maxCost float64
+}
+
+var _ CostFunc = (*Surface)(nil)
+
+// Generate builds a surface per the paper's two-step recipe: draw N peak
+// locations uniformly, assign Zipf-distributed heights (rank i gets
+// MaxCost/i^s), and attach a uniformly random decay function to each peak.
+func Generate(cfg Config) (*Surface, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumPeaks < 0 {
+		return nil, fmt.Errorf("synthetic: NumPeaks must be >= 0, got %d", cfg.NumPeaks)
+	}
+	if cfg.MaxCost <= 0 || math.IsNaN(cfg.MaxCost) {
+		return nil, fmt.Errorf("synthetic: MaxCost must be positive, got %g", cfg.MaxCost)
+	}
+	if cfg.DecayFraction <= 0 || cfg.DecayFraction > 1 {
+		return nil, fmt.Errorf("synthetic: DecayFraction must be in (0,1], got %g", cfg.DecayFraction)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	z, err := dist.NewZipf(max(cfg.NumPeaks, 1), cfg.ZipfS)
+	if err != nil {
+		return nil, err
+	}
+	s := &Surface{
+		region:  cfg.Region.Clone(),
+		d:       cfg.DecayFraction * cfg.Region.Diagonal(),
+		sigma:   cfg.GaussianSigma,
+		maxCost: cfg.MaxCost,
+	}
+	for i := 0; i < cfg.NumPeaks; i++ {
+		center := make(geom.Point, cfg.Region.Dims())
+		for j := range center {
+			center[j] = cfg.Region.Lo[j] + rng.Float64()*(cfg.Region.Hi[j]-cfg.Region.Lo[j])
+		}
+		s.peaks = append(s.peaks, Peak{
+			Center: center,
+			Height: z.Height(i+1, cfg.MaxCost),
+			Decay:  DecayKind(rng.Intn(int(numDecayKinds))),
+		})
+	}
+	return s, nil
+}
+
+// Cost implements CostFunc: the maximum peak contribution at p.
+func (s *Surface) Cost(p geom.Point) float64 {
+	var best float64
+	for i := range s.peaks {
+		pk := &s.peaks[i]
+		u := geom.Dist(p, pk.Center) / s.d
+		if v := pk.Height * pk.Decay.shape(u, s.sigma); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Region implements CostFunc.
+func (s *Surface) Region() geom.Rect { return s.region }
+
+// MaxCost implements CostFunc.
+func (s *Surface) MaxCost() float64 { return s.maxCost }
+
+// Peaks returns the generated peaks (read-only by convention).
+func (s *Surface) Peaks() []Peak { return s.peaks }
+
+// DecayRadius returns D, the distance at which every peak's cost reaches 0.
+func (s *Surface) DecayRadius() float64 { return s.d }
+
+// Noisy wraps a surface so that with probability P an observation returns a
+// random cost instead of the true cost — the Experiment 3 noise model
+// simulating buffer-cache effects on IO cost. The paper leaves the random
+// value's distribution to its technical report; we draw it uniformly from
+// [0, 2·true), which is mean-preserving and scales with the query's own
+// cost, matching how cache effects perturb a query's page count around its
+// footprint. The noise is applied per call, so the same point can observe
+// different costs — exactly the fluctuation the β parameter is designed to
+// absorb.
+type Noisy struct {
+	inner CostFunc
+	p     float64
+	rng   *rand.Rand
+}
+
+var _ CostFunc = (*Noisy)(nil)
+
+// NewNoisy wraps inner with noise probability p in [0, 1].
+func NewNoisy(inner CostFunc, p float64, seed int64) (*Noisy, error) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return nil, fmt.Errorf("synthetic: noise probability must be in [0,1], got %g", p)
+	}
+	return &Noisy{inner: inner, p: p, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Cost implements CostFunc with randomized corruption.
+func (n *Noisy) Cost(p geom.Point) float64 {
+	if n.rng.Float64() < n.p {
+		return n.rng.Float64() * 2 * n.inner.Cost(p)
+	}
+	return n.inner.Cost(p)
+}
+
+// TrueCost returns the uncorrupted cost, used when scoring prediction
+// accuracy against ground truth.
+func (n *Noisy) TrueCost(p geom.Point) float64 { return n.inner.Cost(p) }
+
+// Region implements CostFunc.
+func (n *Noisy) Region() geom.Rect { return n.inner.Region() }
+
+// MaxCost implements CostFunc.
+func (n *Noisy) MaxCost() float64 { return n.inner.MaxCost() }

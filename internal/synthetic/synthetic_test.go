@@ -1,0 +1,244 @@
+package synthetic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlq/internal/geom"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{NumPeaks: -1}); err == nil {
+		t.Error("negative NumPeaks accepted")
+	}
+	if _, err := Generate(Config{MaxCost: -5}); err == nil {
+		t.Error("negative MaxCost accepted")
+	}
+	if _, err := Generate(Config{DecayFraction: 2}); err == nil {
+		t.Error("DecayFraction > 1 accepted")
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	s, err := Generate(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Region().Dims() != 4 {
+		t.Errorf("default dims = %d, want 4", s.Region().Dims())
+	}
+	if len(s.Peaks()) != 50 {
+		t.Errorf("default peaks = %d, want 50", len(s.Peaks()))
+	}
+	if s.MaxCost() != 10000 {
+		t.Errorf("default MaxCost = %g", s.MaxCost())
+	}
+	wantD := 0.1 * s.Region().Diagonal()
+	if math.Abs(s.DecayRadius()-wantD) > 1e-9 {
+		t.Errorf("DecayRadius = %g, want %g", s.DecayRadius(), wantD)
+	}
+}
+
+func TestCostAtPeakAndBeyondD(t *testing.T) {
+	s, err := Generate(Config{Seed: 7, NumPeaks: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pk := range s.Peaks() {
+		got := s.Cost(pk.Center)
+		// At a peak's own center the cost is at least that peak's height
+		// (another overlapping peak can only raise the max).
+		if got < pk.Height-1e-9 {
+			t.Errorf("peak %d: cost %g below own height %g", i, got, pk.Height)
+		}
+	}
+	// Rank-1 peak attains exactly MaxCost unless overshadowed (it cannot
+	// be, since it is the tallest).
+	if got := s.Cost(s.Peaks()[0].Center); math.Abs(got-10000) > 1e-9 {
+		t.Errorf("tallest peak cost = %g, want 10000", got)
+	}
+}
+
+func TestCostZeroFarFromAllPeaks(t *testing.T) {
+	// A single peak in a corner: the opposite corner is ~1 diagonal away,
+	// far beyond D = 0.1 diagonal.
+	region := geom.MustRect(geom.Point{0, 0}, geom.Point{100, 100})
+	s, err := Generate(Config{Region: region, NumPeaks: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.peaks = []Peak{{Center: geom.Point{0, 0}, Height: 10000, Decay: DecayLinear}}
+	if got := s.Cost(geom.Point{99, 99}); got != 0 {
+		t.Errorf("cost far from peak = %g, want 0", got)
+	}
+}
+
+func TestZipfHeights(t *testing.T) {
+	s, err := Generate(Config{Seed: 3, NumPeaks: 4, ZipfS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10000, 5000, 10000.0 / 3, 2500}
+	for i, pk := range s.Peaks() {
+		if math.Abs(pk.Height-want[i]) > 1e-9 {
+			t.Errorf("peak %d height = %g, want %g", i, pk.Height, want[i])
+		}
+	}
+}
+
+func TestDecayShapes(t *testing.T) {
+	const sigma = 0.2
+	for k := DecayKind(0); k < numDecayKinds; k++ {
+		if got := k.shape(0, sigma); math.Abs(got-1) > 1e-12 {
+			t.Errorf("%v: g(0) = %g, want 1", k, got)
+		}
+		if got := k.shape(1, sigma); got != 0 {
+			t.Errorf("%v: g(1) = %g, want 0", k, got)
+		}
+		if got := k.shape(1.5, sigma); got != 0 {
+			t.Errorf("%v: g(1.5) = %g, want 0", k, got)
+		}
+		// Monotone non-increasing on [0, 1].
+		prev := math.Inf(1)
+		for u := 0.0; u <= 1.0; u += 0.01 {
+			g := k.shape(u, sigma)
+			if g > prev+1e-12 {
+				t.Errorf("%v: shape increased at u=%g", k, u)
+				break
+			}
+			if g < 0 {
+				t.Errorf("%v: shape negative at u=%g", k, u)
+				break
+			}
+			prev = g
+		}
+	}
+}
+
+func TestDecayKindString(t *testing.T) {
+	names := map[DecayKind]string{
+		DecayUniform: "uniform", DecayLinear: "linear", DecayGaussian: "gaussian",
+		DecayLog2: "log2", DecayQuadratic: "quadratic",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if DecayKind(99).String() != "DecayKind(99)" {
+		t.Error("unknown kind should render value")
+	}
+}
+
+func TestSurfaceDeterministic(t *testing.T) {
+	a, _ := Generate(Config{Seed: 5, NumPeaks: 20})
+	b, _ := Generate(Config{Seed: 5, NumPeaks: 20})
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		p := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000}
+		if a.Cost(p) != b.Cost(p) {
+			t.Fatal("same seed produced different surfaces")
+		}
+	}
+	c, _ := Generate(Config{Seed: 6, NumPeaks: 20})
+	same := true
+	for i := 0; i < 100; i++ {
+		p := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000}
+		if a.Cost(p) != c.Cost(p) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical surfaces")
+	}
+}
+
+func TestCostBoundedByMax(t *testing.T) {
+	s, _ := Generate(Config{Seed: 8, NumPeaks: 100})
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		p := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000}
+		c := s.Cost(p)
+		if c < 0 || c > s.MaxCost() {
+			t.Fatalf("cost %g outside [0, %g]", c, s.MaxCost())
+		}
+	}
+}
+
+func TestNoisyValidation(t *testing.T) {
+	s, _ := Generate(Config{Seed: 1, NumPeaks: 5})
+	if _, err := NewNoisy(s, -0.1, 1); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, err := NewNoisy(s, 1.1, 1); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+}
+
+func TestNoisyZeroProbabilityIsExact(t *testing.T) {
+	s, _ := Generate(Config{Seed: 2, NumPeaks: 10})
+	n, err := NewNoisy(s, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		p := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000}
+		if n.Cost(p) != s.Cost(p) {
+			t.Fatal("p=0 noise changed a cost")
+		}
+		if n.TrueCost(p) != s.Cost(p) {
+			t.Fatal("TrueCost diverged from inner surface")
+		}
+	}
+	if n.MaxCost() != s.MaxCost() || n.Region().Dims() != s.Region().Dims() {
+		t.Error("Noisy must forward Region/MaxCost")
+	}
+}
+
+func TestNoisyCorruptionRate(t *testing.T) {
+	s, _ := Generate(Config{Seed: 2, NumPeaks: 10})
+	n, _ := NewNoisy(s, 0.3, 5)
+	rng := rand.New(rand.NewSource(6))
+	corrupted, nonzero := 0, 0
+	var obsSum, trueSum float64
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		p := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000}
+		truth := s.Cost(p)
+		obs := n.Cost(p)
+		obsSum += obs
+		trueSum += truth
+		if truth == 0 {
+			continue // scale-preserving noise cannot corrupt a zero cost
+		}
+		nonzero++
+		if obs != truth {
+			corrupted++
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("no nonzero-cost sample points")
+	}
+	rate := float64(corrupted) / float64(nonzero)
+	if rate < 0.25 || rate > 0.35 {
+		t.Errorf("corruption rate %g, want ~0.3", rate)
+	}
+	// The noise is mean-preserving: average observed cost stays close to
+	// the average true cost.
+	if obsSum < trueSum*0.93 || obsSum > trueSum*1.07 {
+		t.Errorf("observed mean drifted: sum %g vs true %g", obsSum, trueSum)
+	}
+}
+
+func TestZeroNumPeaksMeansDefault(t *testing.T) {
+	s, err := Generate(Config{Seed: 1, NumPeaks: 0, MaxCost: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Peaks()) != 50 {
+		t.Errorf("NumPeaks=0 generated %d peaks, want the default 50", len(s.Peaks()))
+	}
+}

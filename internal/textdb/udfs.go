@@ -1,0 +1,99 @@
+package textdb
+
+import (
+	"mlq/internal/geom"
+	"mlq/internal/udf"
+)
+
+// This file adapts the three search functions to the udf.UDF interface the
+// experiment harness consumes. Each adapter fixes a transformation T from a
+// low-dimensional model-variable point to a concrete invocation:
+//
+//	SIMPLE  (rank, n)       -> n keywords starting at vocabulary rank
+//	THRESH  (rank, minMatch)-> 5 keywords starting at rank, threshold
+//	PROX    (rank, window)  -> 2 keywords starting at rank, span window
+//
+// Word rank is the dominant model variable: posting-list length (and hence
+// cost) falls off Zipf-style with rank, giving the skewed, nonlinear cost
+// surfaces the paper observes for its real UDFs.
+
+// wordsFrom materializes n keyword IDs starting at the given rank, spaced by
+// a stride so multi-keyword queries mix frequent and rarer words.
+func (db *DB) wordsFrom(rank float64, n int) []int {
+	if n < 1 {
+		n = 1
+	}
+	stride := len(db.words) / 64
+	if stride < 1 {
+		stride = 1
+	}
+	words := make([]int, n)
+	for i := range words {
+		w := int(rank) + i*stride
+		if w >= len(db.words) {
+			w = len(db.words) - 1
+		}
+		if w < 0 {
+			w = 0
+		}
+		words[i] = w
+	}
+	return words
+}
+
+// simpleUDF is the paper's SIMPLE keyword-search UDF.
+type simpleUDF struct{ db *DB }
+
+func (u simpleUDF) Name() string { return "SIMPLE" }
+
+func (u simpleUDF) Region() geom.Rect {
+	return geom.MustRect(geom.Point{0, 1}, geom.Point{float64(u.db.VocabSize()), 7})
+}
+
+func (u simpleUDF) Execute(p geom.Point) (cpu, io float64) {
+	_, stats, err := u.db.SearchSimple(u.db.wordsFrom(p[0], int(p[1])))
+	if err != nil {
+		panic(err) // corrupt self-generated index: unreachable
+	}
+	return stats.CPU, stats.IO
+}
+
+// threshUDF is the paper's THRESHOLD keyword-search UDF.
+type threshUDF struct{ db *DB }
+
+func (u threshUDF) Name() string { return "THRESH" }
+
+func (u threshUDF) Region() geom.Rect {
+	return geom.MustRect(geom.Point{0, 1}, geom.Point{float64(u.db.VocabSize()), 6})
+}
+
+func (u threshUDF) Execute(p geom.Point) (cpu, io float64) {
+	_, stats, err := u.db.SearchThreshold(u.db.wordsFrom(p[0], 5), int(p[1]))
+	if err != nil {
+		panic(err)
+	}
+	return stats.CPU, stats.IO
+}
+
+// proxUDF is the paper's PROXIMITY keyword-search UDF.
+type proxUDF struct{ db *DB }
+
+func (u proxUDF) Name() string { return "PROX" }
+
+func (u proxUDF) Region() geom.Rect {
+	return geom.MustRect(geom.Point{0, 1}, geom.Point{float64(u.db.VocabSize()), 60})
+}
+
+func (u proxUDF) Execute(p geom.Point) (cpu, io float64) {
+	_, stats, err := u.db.SearchProximity(u.db.wordsFrom(p[0], 2), int(p[1]))
+	if err != nil {
+		panic(err)
+	}
+	return stats.CPU, stats.IO
+}
+
+// UDFs returns the three text-search UDFs bound to this database, in the
+// paper's order: SIMPLE, THRESH, PROX.
+func (db *DB) UDFs() []udf.UDF {
+	return []udf.UDF{simpleUDF{db}, threshUDF{db}, proxUDF{db}}
+}

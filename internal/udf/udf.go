@@ -1,0 +1,24 @@
+// Package udf defines the common shape of an instrumented user-defined
+// function: something the experiment harness can execute at a point of its
+// model-variable space and get back measured CPU and disk-IO costs. The
+// text-search and spatial-search engines expose their six UDFs through this
+// interface, mirroring the paper's six "real" UDFs.
+package udf
+
+import "mlq/internal/geom"
+
+// UDF is one instrumented user-defined function.
+type UDF interface {
+	// Name returns the paper's label for the UDF
+	// (SIMPLE, THRESH, PROX, KNN, WIN, RANGE).
+	Name() string
+	// Region is the UDF's model-variable space: the domain the cost
+	// models partition. Each coordinate of a query point is one model
+	// variable (§3).
+	Region() geom.Rect
+	// Execute runs the UDF for the invocation described by the model
+	// point p and returns its measured execution costs: CPU in abstract
+	// work units (deterministic, reproducible) and IO in physical page
+	// reads (noisy: it depends on the buffer-cache state).
+	Execute(p geom.Point) (cpu, io float64)
+}

@@ -1,0 +1,128 @@
+// Package workload streams UDF executions against a cost surface: each query
+// is a point drawn from one of the paper's query distributions together with
+// the observed (possibly noisy) cost and the noise-free ground-truth cost.
+// It also collects a-priori training sets for the static SH baselines — the
+// paper trains SH "with a set of queries that has the same distribution as
+// the set of queries used for testing" (§5.1).
+package workload
+
+import (
+	"fmt"
+
+	"mlq/internal/dist"
+	"mlq/internal/geom"
+	"mlq/internal/histogram"
+	"mlq/internal/synthetic"
+)
+
+// Query is one simulated UDF execution.
+type Query struct {
+	// Point is the location in model-variable space.
+	Point geom.Point
+	// Observed is the cost the execution engine measured; it is what the
+	// model receives as feedback and may include noise.
+	Observed float64
+	// True is the noise-free ground-truth cost used for scoring.
+	True float64
+}
+
+// trueCoster is implemented by cost functions (synthetic.Noisy) that can
+// reveal their uncorrupted value for scoring.
+type trueCoster interface {
+	TrueCost(geom.Point) float64
+}
+
+// Stream produces a fixed-length sequence of queries.
+type Stream struct {
+	src  dist.PointSource
+	cost synthetic.CostFunc
+	n    int
+	i    int
+}
+
+// New returns a stream of n queries drawn from src against the cost surface.
+func New(src dist.PointSource, cost synthetic.CostFunc, n int) (*Stream, error) {
+	if src == nil || cost == nil {
+		return nil, fmt.Errorf("workload: source and cost function are required")
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("workload: n must be >= 0, got %d", n)
+	}
+	return &Stream{src: src, cost: cost, n: n}, nil
+}
+
+// Next returns the next query; ok is false once the stream is exhausted.
+func (s *Stream) Next() (q Query, ok bool) {
+	if s.i >= s.n {
+		return Query{}, false
+	}
+	s.i++
+	p := s.src.Next()
+	q = Query{Point: p, Observed: s.cost.Cost(p)}
+	if tc, isNoisy := s.cost.(trueCoster); isNoisy {
+		q.True = tc.TrueCost(p)
+	} else {
+		q.True = q.Observed
+	}
+	return q, true
+}
+
+// Remaining returns how many queries are left.
+func (s *Stream) Remaining() int { return s.n - s.i }
+
+// Len returns the stream's total length.
+func (s *Stream) Len() int { return s.n }
+
+// CollectSamples draws n training samples from src against the cost surface,
+// in the format the histogram baselines train on. Samples carry the observed
+// (noisy) cost, exactly like the feedback MLQ receives.
+func CollectSamples(src dist.PointSource, cost synthetic.CostFunc, n int) []histogram.Sample {
+	out := make([]histogram.Sample, 0, n)
+	for i := 0; i < n; i++ {
+		p := src.Next()
+		out = append(out, histogram.Sample{Point: p, Value: cost.Cost(p)})
+	}
+	return out
+}
+
+// Concat chains point sources one after another, switching to the next
+// source after its quota of queries. It models a workload whose distribution
+// shifts over time — the scenario where self-tuning models shine and static
+// ones degrade (§1).
+type Concat struct {
+	srcs   []dist.PointSource
+	quotas []int
+	cur    int
+	used   int
+}
+
+// NewConcat builds a chained source. Each source i serves quotas[i] queries;
+// the final source also serves any overflow.
+func NewConcat(srcs []dist.PointSource, quotas []int) (*Concat, error) {
+	if len(srcs) == 0 || len(srcs) != len(quotas) {
+		return nil, fmt.Errorf("workload: need equal, non-zero numbers of sources and quotas (got %d, %d)", len(srcs), len(quotas))
+	}
+	for i, q := range quotas {
+		if q <= 0 {
+			return nil, fmt.Errorf("workload: quota %d must be > 0, got %d", i, q)
+		}
+	}
+	return &Concat{srcs: srcs, quotas: quotas}, nil
+}
+
+// Next implements dist.PointSource.
+func (c *Concat) Next() geom.Point {
+	for c.cur < len(c.srcs)-1 && c.used >= c.quotas[c.cur] {
+		c.cur++
+		c.used = 0
+	}
+	c.used++
+	return c.srcs[c.cur].Next()
+}
+
+// Name implements dist.PointSource.
+func (c *Concat) Name() string {
+	return fmt.Sprintf("CONCAT(%s)", c.srcs[c.cur].Name())
+}
+
+var _ dist.PointSource = (*Concat)(nil)

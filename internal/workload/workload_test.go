@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"testing"
+
+	"mlq/internal/dist"
+	"mlq/internal/geom"
+	"mlq/internal/synthetic"
+)
+
+func testSurface(t *testing.T) *synthetic.Surface {
+	t.Helper()
+	s, err := synthetic.Generate(synthetic.Config{Seed: 1, NumPeaks: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	s := testSurface(t)
+	src := dist.NewUniform(s.Region(), 1)
+	if _, err := New(nil, s, 10); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := New(src, nil, 10); err == nil {
+		t.Error("nil cost accepted")
+	}
+	if _, err := New(src, s, -1); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestStreamLength(t *testing.T) {
+	s := testSurface(t)
+	st, err := New(dist.NewUniform(s.Region(), 2), s, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 100 || st.Remaining() != 100 {
+		t.Errorf("Len=%d Remaining=%d", st.Len(), st.Remaining())
+	}
+	count := 0
+	for {
+		q, ok := st.Next()
+		if !ok {
+			break
+		}
+		count++
+		if q.Observed != q.True {
+			t.Error("noise-free stream must have Observed == True")
+		}
+		if !s.Region().Contains(q.Point) {
+			t.Errorf("query point %v outside region", q.Point)
+		}
+	}
+	if count != 100 {
+		t.Errorf("drained %d queries, want 100", count)
+	}
+	if st.Remaining() != 0 {
+		t.Errorf("Remaining = %d after drain", st.Remaining())
+	}
+	if _, ok := st.Next(); ok {
+		t.Error("exhausted stream yielded a query")
+	}
+}
+
+func TestStreamExposesTrueCostUnderNoise(t *testing.T) {
+	s := testSurface(t)
+	noisy, err := synthetic.NewNoisy(s, 1, 3) // always corrupt
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(dist.NewUniform(s.Region(), 2), noisy, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs, nonzero := 0, 0
+	for {
+		q, ok := st.Next()
+		if !ok {
+			break
+		}
+		if q.True != s.Cost(q.Point) {
+			t.Fatal("True must be the uncorrupted surface cost")
+		}
+		if q.True == 0 {
+			continue // scale-preserving noise cannot corrupt zero costs
+		}
+		nonzero++
+		if q.Observed != q.True {
+			diffs++
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("workload never hit a nonzero-cost region")
+	}
+	if diffs < nonzero*9/10 {
+		t.Errorf("only %d/%d nonzero observations corrupted at p=1", diffs, nonzero)
+	}
+}
+
+func TestCollectSamples(t *testing.T) {
+	s := testSurface(t)
+	samples := CollectSamples(dist.NewUniform(s.Region(), 4), s, 50)
+	if len(samples) != 50 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	for _, smp := range samples {
+		if smp.Value != s.Cost(smp.Point) {
+			t.Fatal("sample value does not match surface")
+		}
+	}
+}
+
+func TestConcatValidation(t *testing.T) {
+	s := testSurface(t)
+	u := dist.NewUniform(s.Region(), 1)
+	if _, err := NewConcat(nil, nil); err == nil {
+		t.Error("empty concat accepted")
+	}
+	if _, err := NewConcat([]dist.PointSource{u}, []int{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewConcat([]dist.PointSource{u}, []int{0}); err == nil {
+		t.Error("zero quota accepted")
+	}
+}
+
+func TestConcatSwitchesSources(t *testing.T) {
+	// Two "sources" pinned to opposite corners via tiny Gaussian spread.
+	region := geom.MustRect(geom.Point{0, 0}, geom.Point{100, 100})
+	a, _ := dist.NewGaussianRandom(region, 1, 1e-9, 1)
+	b, _ := dist.NewGaussianRandom(region, 1, 1e-9, 2)
+	c, err := NewConcat([]dist.PointSource{a, b}, []int{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := c.Next()
+	for i := 0; i < 4; i++ {
+		p := c.Next()
+		if geom.Dist(p, first) > 1e-3 {
+			t.Fatal("first batch not from first source")
+		}
+	}
+	sixth := c.Next()
+	if geom.Dist(sixth, first) < 1e-3 {
+		t.Error("concat did not switch sources after quota")
+	}
+	// Overflow beyond all quotas keeps using the last source.
+	for i := 0; i < 10; i++ {
+		p := c.Next()
+		if geom.Dist(p, sixth) > 1e-3 {
+			t.Fatal("overflow queries not from last source")
+		}
+	}
+	if c.Name() == "" {
+		t.Error("Name must be non-empty")
+	}
+}
