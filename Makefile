@@ -1,7 +1,7 @@
 # Convenience targets for the MLQ reproduction.
 GO ?= go
 
-.PHONY: all build vet test race bench repro repro-quick fuzz clean
+.PHONY: all build vet test race bench repro repro-quick fuzz chaos clean
 
 all: build vet test
 
@@ -27,11 +27,19 @@ repro:
 repro-quick:
 	$(GO) run ./cmd/mlqbench -quick
 
-# 30 seconds of coverage-guided fuzzing per binary decoder.
+# 30 seconds of coverage-guided fuzzing per binary decoder. The pattern is
+# anchored: the catalog package also has FuzzRecover, and go test rejects a
+# -fuzz pattern matching more than one target.
 fuzz:
-	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/quadtree
-	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/histogram
-	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/catalog
+	$(GO) test -fuzz '^FuzzRead$$' -fuzztime 30s ./internal/quadtree
+	$(GO) test -fuzz '^FuzzRead$$' -fuzztime 30s ./internal/histogram
+	$(GO) test -fuzz '^FuzzRead$$' -fuzztime 30s ./internal/catalog
+	$(GO) test -fuzz '^FuzzRecover$$' -fuzztime 30s ./internal/catalog
+
+# Fault-injection sweep: the hardened feedback loop under corrupted
+# observations, UDF panics, page-read failures and torn catalog writes.
+chaos:
+	$(GO) run ./cmd/mlqbench -exp chaos -quick
 
 clean:
 	$(GO) clean ./...

@@ -272,7 +272,9 @@ func BenchmarkUDFExecution(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				u.Execute(pts[i%len(pts)])
+				if _, _, err := u.Execute(pts[i%len(pts)]); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

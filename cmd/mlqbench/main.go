@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig8, fig9, fig10, fig11, fig12, shift, nn, leo, memcurve, cache, ablate")
+	exp := flag.String("exp", "all", "experiment to run: all, fig8, fig9, fig10, fig11, fig12, shift, nn, leo, memcurve, cache, chaos, ablate")
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "shrink workloads ~10x for a fast smoke run")
 	queries := flag.Int("queries", 0, "override the test-workload length (0 = paper's values)")
@@ -212,6 +212,19 @@ func run(exp string, seed int64, quick bool, queries, mem, trials int) error {
 		return err
 	}
 
+	if err := runExp("chaos", func() error {
+		// Chaos builds its own databases: its page-read fault hooks must
+		// never touch the stores the other experiments share.
+		rows, err := harness.Chaos(harness.ChaosConfig{}, realOpts)
+		if err != nil {
+			return err
+		}
+		harness.RenderChaos(os.Stdout, rows)
+		return nil
+	}); err != nil {
+		return err
+	}
+
 	if err := runExp("ablate", func() error {
 		for _, param := range harness.AblationParams() {
 			rows, err := harness.Ablate(param, nil, synthOpts)
@@ -227,7 +240,7 @@ func run(exp string, seed int64, quick bool, queries, mem, trials int) error {
 	}
 
 	if !did {
-		return fmt.Errorf("unknown experiment %q (want all, fig8, fig9, fig10, fig11, fig12, shift, nn, leo, memcurve, cache, ablate)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, fig8, fig9, fig10, fig11, fig12, shift, nn, leo, memcurve, cache, chaos, ablate)", exp)
 	}
 	return nil
 }

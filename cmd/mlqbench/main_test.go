@@ -20,7 +20,7 @@ func TestRunRealExperimentsSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds the full substrates")
 	}
-	for _, exp := range []string{"fig9", "fig11"} {
+	for _, exp := range []string{"fig9", "fig11", "chaos"} {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
 			if err := run(exp, 1, true, 60, 0, 1); err != nil {

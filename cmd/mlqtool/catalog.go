@@ -1,8 +1,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 
 	"mlq/internal/catalog"
@@ -94,28 +96,32 @@ func loadAnyModel(path string) (core.Model, error) {
 	return h, nil
 }
 
-// loadCatalog reads a catalog file, returning an empty catalog for a
-// missing file so `put` can bootstrap one.
+// loadCatalog reads a catalog file crash-safely (salvaging a damaged primary
+// and merging its .bak), returning an empty catalog for a missing file so
+// `put` can bootstrap one. Degraded loads succeed with a warning: losing a
+// cost model entry only means re-learning one UDF.
 func loadCatalog(path string) (*catalog.Catalog, error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
+	c, rep, err := catalog.LoadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
 		return catalog.New(), nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return catalog.Read(f)
+	if rep.Degraded() {
+		fmt.Fprintf(os.Stderr, "warning: catalog %s loaded degraded (source %s)\n", path, rep.Source)
+		for _, name := range rep.Restored {
+			fmt.Fprintf(os.Stderr, "warning:   entry %s restored from backup\n", name)
+		}
+		for _, d := range rep.Dropped {
+			fmt.Fprintf(os.Stderr, "warning:   dropped: %s\n", d)
+		}
+	}
+	return c, nil
 }
 
 func saveCatalog(path string, c *catalog.Catalog) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	_, err = c.WriteTo(f)
-	return err
+	return catalog.SaveFile(path, c)
 }
 
 func cmdCatalog(args []string) error {

@@ -44,7 +44,10 @@ func main() {
 	for i := 0; i < n; i++ {
 		p := src.Next()
 		predCPU, predIO, _, _ := dual.Estimate(p...)
-		cpu, io := win.Execute(p)
+		cpu, io, err := win.Execute(p)
+		if err != nil {
+			log.Fatal(err)
+		}
 		cpuNAE.Add(predCPU, cpu)
 		ioNAE.Add(predIO, io)
 		if err := dual.Feedback(p, cpu, io); err != nil {
@@ -64,7 +67,10 @@ func main() {
 		{900, 100, 40000},
 	} {
 		predCPU, predIO, _, _ := dual.Estimate(p...)
-		cpu, io := win.Execute(p)
+		cpu, io, err := win.Execute(p)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("(%5.0f, %5.0f, %7.0f)      %10.0f %10.0f %10.0f %10.0f\n",
 			p[0], p[1], p[2], predCPU, cpu, predIO, io)
 	}

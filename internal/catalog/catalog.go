@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 
@@ -87,12 +88,27 @@ func (c *Catalog) Names() []string {
 
 const (
 	catalogMagic   = 0x4d4c5143 // "MLQC"
-	catalogVersion = 1
+	catalogVersion = 2          // CRC32-framed entries; v1 streams still load
+
+	catalogVersionV1 = 1
 
 	slotNil       = 0
 	slotMLQ       = 1
 	slotHistogram = 2
+
+	// maxStream bounds how much of an untrusted stream Read buffers.
+	maxStream = 1 << 30
+	// maxModelSize bounds one serialized model blob.
+	maxModelSize = 1 << 28
+	// maxNameLen bounds one UDF name.
+	maxNameLen = 4096
+	// maxEntries bounds the header's entry count.
+	maxEntries = 1 << 20
 )
+
+// entryMagic frames every v2 entry. Recovery resynchronizes on it after
+// damage, so a corrupt entry costs only itself, not the rest of the stream.
+var entryMagic = []byte("MQE2")
 
 // encodeModel renders one model slot as (tag, length, blob).
 func encodeModel(w io.Writer, m core.Model) error {
@@ -134,7 +150,7 @@ func decodeModel(r *bufio.Reader) (core.Model, error) {
 	if err := binary.Read(r, binary.LittleEndian, &size); err != nil {
 		return nil, err
 	}
-	if size > 1<<28 {
+	if size > maxModelSize {
 		return nil, fmt.Errorf("catalog: implausible model size %d", size)
 	}
 	blob := make([]byte, size)
@@ -156,7 +172,12 @@ func decodeModel(r *bufio.Reader) (core.Model, error) {
 	}
 }
 
-// WriteTo persists the whole catalog. It implements io.WriterTo.
+// WriteTo persists the whole catalog in the v2 format: a 12-byte header
+// (magic, version, entry count) followed by one self-describing frame per
+// entry — entry magic, payload length, CRC32 (IEEE) of the payload, payload.
+// The whole stream is assembled in memory and issued as a single Write, so a
+// failed write never leaves a half-written destination behind the caller's
+// back. It implements io.WriterTo.
 func (c *Catalog) WriteTo(w io.Writer) (int64, error) {
 	var buf bytes.Buffer
 	write := func(vs ...interface{}) {
@@ -166,49 +187,88 @@ func (c *Catalog) WriteTo(w io.Writer) (int64, error) {
 	}
 	write(uint32(catalogMagic), uint32(catalogVersion), uint32(len(c.entries)))
 	for _, name := range c.Names() {
-		write(uint32(len(name)))
-		buf.WriteString(name)
+		var payload bytes.Buffer
+		binary.Write(&payload, binary.LittleEndian, uint32(len(name)))
+		payload.WriteString(name)
 		e := c.entries[name]
-		if err := encodeModel(&buf, e.CPU); err != nil {
+		if err := encodeModel(&payload, e.CPU); err != nil {
 			return 0, err
 		}
-		if err := encodeModel(&buf, e.IO); err != nil {
+		if err := encodeModel(&payload, e.IO); err != nil {
 			return 0, err
 		}
+		buf.Write(entryMagic)
+		write(uint32(payload.Len()), crc32.ChecksumIEEE(payload.Bytes()))
+		buf.Write(payload.Bytes())
 	}
 	n, err := w.Write(buf.Bytes())
 	return int64(n), err
 }
 
-// Read loads a catalog previously written with WriteTo.
+// Read loads a catalog previously written with WriteTo (either stream
+// version). Damage in a v2 stream is contained per entry: Read salvages every
+// intact entry and reports the rest in a *CorruptionError, returning BOTH the
+// partial catalog and the error. Callers that can live with partial knowledge
+// (a cost model catalog can — a dropped entry merely means re-learning one
+// UDF) should check for *CorruptionError with errors.As before treating the
+// load as failed.
 func Read(r io.Reader) (*Catalog, error) {
-	br := bufio.NewReader(r)
-	var magic, version, count uint32
-	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
-		return nil, fmt.Errorf("catalog: reading header: %w", err)
+	data, err := io.ReadAll(io.LimitReader(r, maxStream+1))
+	if err != nil {
+		return nil, fmt.Errorf("catalog: reading stream: %w", err)
 	}
-	if magic != catalogMagic {
+	if len(data) > maxStream {
+		return nil, fmt.Errorf("catalog: stream exceeds %d bytes", maxStream)
+	}
+	if len(data) < 12 {
+		return nil, fmt.Errorf("catalog: stream too short for header (%d bytes)", len(data))
+	}
+	magic := binary.LittleEndian.Uint32(data[0:4])
+	version := binary.LittleEndian.Uint32(data[4:8])
+	count := binary.LittleEndian.Uint32(data[8:12])
+	switch {
+	case magic != catalogMagic:
+		// A damaged header must not cost the whole catalog: v2 entries are
+		// self-framing, so scan the entire stream for them. v1 streams and
+		// plain garbage have no frames and keep the hard error.
+		c, drops := scanEntries(data, -1)
+		if c.Len() > 0 {
+			drops = append([]string{"header (bad magic)"}, drops...)
+			return c, &CorruptionError{Dropped: drops}
+		}
 		return nil, fmt.Errorf("catalog: bad magic %#x", magic)
-	}
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return nil, fmt.Errorf("catalog: reading header: %w", err)
-	}
-	if version != catalogVersion {
+	case version == catalogVersionV1:
+		return readV1(data[12:], count)
+	case version == catalogVersion:
+		want := int64(count)
+		if count > maxEntries {
+			want = -1 // corrupt count: recover whatever is there
+		}
+		c, drops := scanEntries(data[12:], want)
+		if len(drops) > 0 {
+			return c, &CorruptionError{Dropped: drops}
+		}
+		return c, nil
+	default:
 		return nil, fmt.Errorf("catalog: unsupported version %d", version)
 	}
-	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return nil, fmt.Errorf("catalog: reading header: %w", err)
-	}
-	if count > 1<<20 {
+}
+
+// readV1 decodes the legacy unframed stream strictly: without per-entry CRCs
+// there is no way to tell damage from drift, so any inconsistency fails the
+// whole load.
+func readV1(body []byte, count uint32) (*Catalog, error) {
+	if count > maxEntries {
 		return nil, fmt.Errorf("catalog: implausible entry count %d", count)
 	}
+	br := bufio.NewReader(bytes.NewReader(body))
 	c := New()
 	for i := uint32(0); i < count; i++ {
 		var nameLen uint32
 		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
 			return nil, fmt.Errorf("catalog: entry %d: %w", i, err)
 		}
-		if nameLen == 0 || nameLen > 4096 {
+		if nameLen == 0 || nameLen > maxNameLen {
 			return nil, fmt.Errorf("catalog: entry %d: implausible name length %d", i, nameLen)
 		}
 		name := make([]byte, nameLen)

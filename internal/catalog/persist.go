@@ -1,0 +1,152 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// BackupSuffix is appended to a catalog path to name its previous generation,
+// rotated aside by SaveFile.
+const BackupSuffix = ".bak"
+
+// saveConfig carries SaveFile options.
+type saveConfig struct {
+	wrap func(io.Writer) io.Writer
+}
+
+// SaveOption configures SaveFile.
+type SaveOption func(*saveConfig)
+
+// WithWriterWrapper interposes wrap between the catalog encoder and the
+// destination file. It exists for fault injection (e.g. faults.TearWriter) so
+// crash-safety can be tested against real torn writes.
+func WithWriterWrapper(wrap func(io.Writer) io.Writer) SaveOption {
+	return func(c *saveConfig) { c.wrap = wrap }
+}
+
+// SaveFile persists the catalog to path crash-safely: the stream is written
+// to a temp file in the same directory and fsynced, the current file (if any)
+// is rotated to path+BackupSuffix, and the temp file is renamed into place.
+// A write failure at any point removes the temp file and leaves the previous
+// generation untouched — an interrupted save never leaves the primary
+// unreadable.
+func SaveFile(path string, c *Catalog, opts ...SaveOption) error {
+	var cfg saveConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("catalog: creating temp file: %w", err)
+	}
+	w := io.Writer(tmp)
+	if cfg.wrap != nil {
+		w = cfg.wrap(tmp)
+	}
+	_, werr := c.WriteTo(w)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("catalog: writing %s: %w", path, werr)
+	}
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, path+BackupSuffix); err != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("catalog: rotating backup of %s: %w", path, err)
+		}
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("catalog: installing %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadReport describes where LoadFile got its catalog and what, if anything,
+// was lost on the way.
+type LoadReport struct {
+	// Source is "primary", "backup", or "primary+backup" (a damaged primary
+	// merged with the previous generation).
+	Source string
+	// Restored lists entries missing or damaged in the primary that the
+	// backup supplied.
+	Restored []string
+	// Dropped lists entries that could not be recovered from either file.
+	Dropped []string
+}
+
+// Degraded reports whether the load was anything other than a clean primary
+// read.
+func (r *LoadReport) Degraded() bool {
+	return r.Source != "primary" || len(r.Dropped) > 0 || len(r.Restored) > 0
+}
+
+// LoadFile loads the catalog at path, falling back on path+BackupSuffix when
+// the primary is damaged or missing. A partially damaged primary is salvaged
+// and its gaps filled from the backup (primary entries win — they are newer).
+// LoadFile returns an error only when no catalog at all could be produced;
+// degraded loads succeed and describe the degradation in the report. A
+// missing primary with a missing backup returns an error wrapping
+// fs.ErrNotExist.
+func LoadFile(path string) (*Catalog, *LoadReport, error) {
+	primary, perr := readCatalogFile(path)
+	if perr == nil {
+		return primary, &LoadReport{Source: "primary"}, nil
+	}
+	var pcorr *CorruptionError
+	partial := errors.As(perr, &pcorr) && primary != nil
+
+	backup, berr := readCatalogFile(path + BackupSuffix)
+	var bcorr *CorruptionError
+	if berr != nil && !(errors.As(berr, &bcorr) && backup != nil) {
+		backup = nil // backup unusable even partially
+	}
+
+	switch {
+	case partial && backup != nil:
+		rep := &LoadReport{Source: "primary+backup"}
+		for _, name := range backup.Names() {
+			if _, ok := primary.Get(name); !ok {
+				e, _ := backup.Get(name)
+				primary.entries[name] = e
+				rep.Restored = append(rep.Restored, name)
+			}
+		}
+		for _, d := range pcorr.Dropped {
+			if _, ok := primary.Get(d); !ok {
+				rep.Dropped = append(rep.Dropped, d)
+			}
+		}
+		return primary, rep, nil
+	case partial:
+		return primary, &LoadReport{Source: "primary", Dropped: pcorr.Dropped}, nil
+	case backup != nil:
+		rep := &LoadReport{Source: "backup"}
+		if bcorr != nil {
+			rep.Dropped = bcorr.Dropped
+		}
+		return backup, rep, nil
+	default:
+		return nil, nil, fmt.Errorf("catalog: loading %s (backup also unusable): %w", path, perr)
+	}
+}
+
+// readCatalogFile opens and decodes one catalog file; the Read contract (a
+// salvaged catalog may accompany a *CorruptionError) passes through.
+func readCatalogFile(path string) (*Catalog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,259 @@
+package catalog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+
+	"mlq/internal/core"
+	"mlq/internal/geom"
+	"mlq/internal/quadtree"
+)
+
+// fourEntryCatalog builds a catalog with four distinct entries and returns it
+// with its serialized v2 stream.
+func fourEntryCatalog(t *testing.T) (*Catalog, []byte) {
+	t.Helper()
+	c := New()
+	for _, name := range []string{"KNN", "PROX", "SIMPLE", "WIN"} {
+		if err := c.Put(name, trainedMLQ(t), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return c, buf.Bytes()
+}
+
+// frameOffsets locates every entry frame in a v2 stream.
+func frameOffsets(t *testing.T, data []byte) []int {
+	t.Helper()
+	var offs []int
+	pos := 12
+	for pos < len(data) {
+		if !bytes.HasPrefix(data[pos:], entryMagic) {
+			t.Fatalf("no entry magic at offset %d", pos)
+		}
+		offs = append(offs, pos)
+		payloadLen := binary.LittleEndian.Uint32(data[pos+4 : pos+8])
+		pos += frameHeader + int(payloadLen)
+	}
+	return offs
+}
+
+func readBytes(t *testing.T, data []byte) (*Catalog, error) {
+	t.Helper()
+	return Read(bytes.NewReader(data))
+}
+
+// TestRecoverSingleCorruptEntry is the headline acceptance test: corrupt any
+// single entry of a 4-entry stream — payload bit-flip, CRC flip, oversized
+// length prefix, destroyed frame magic — and Read must recover the other
+// three and name the dropped one.
+func TestRecoverSingleCorruptEntry(t *testing.T) {
+	orig, good := fourEntryCatalog(t)
+	offs := frameOffsets(t, good)
+	names := orig.Names() // KNN, PROX, SIMPLE, WIN — same order as the stream
+
+	corruptions := []struct {
+		kind string
+		do   func(b []byte, off int)
+	}{
+		{"payload bit-flip", func(b []byte, off int) { b[off+frameHeader+20] ^= 0x10 }},
+		{"crc flip", func(b []byte, off int) { b[off+8] ^= 0xff }},
+		{"oversized length prefix", func(b []byte, off int) {
+			binary.LittleEndian.PutUint32(b[off+4:off+8], 0xffffffff)
+		}},
+		{"frame magic destroyed", func(b []byte, off int) { copy(b[off:off+4], "XXXX") }},
+	}
+	for _, corr := range corruptions {
+		for i, off := range offs {
+			t.Run(fmt.Sprintf("%s/entry%d", corr.kind, i), func(t *testing.T) {
+				b := append([]byte(nil), good...)
+				corr.do(b, off)
+				got, err := readBytes(t, b)
+				var ce *CorruptionError
+				if !errors.As(err, &ce) {
+					t.Fatalf("err = %v, want *CorruptionError", err)
+				}
+				if got == nil || got.Len() != 3 {
+					t.Fatalf("salvaged %v entries, want 3", got.Len())
+				}
+				for j, name := range names {
+					if _, ok := got.Get(name); ok == (j == i) {
+						t.Errorf("entry %s present=%v after corrupting entry %d", name, ok, i)
+					}
+				}
+				// The dropped entry must be named. Oversized-length and
+				// magic damage leave the name bytes intact in the region;
+				// so does a CRC/payload flip elsewhere in the frame.
+				found := false
+				for _, d := range ce.Dropped {
+					if d == names[i] {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("dropped list %v does not name %s", ce.Dropped, names[i])
+				}
+			})
+		}
+	}
+}
+
+func TestRecoverTruncatedStream(t *testing.T) {
+	_, good := fourEntryCatalog(t)
+	offs := frameOffsets(t, good)
+	// Cut mid-way through the third entry: the first two survive.
+	cut := offs[2] + frameHeader + 5
+	got, err := readBytes(t, good[:cut])
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CorruptionError", err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("salvaged %d entries, want 2", got.Len())
+	}
+	for _, name := range []string{"KNN", "PROX"} {
+		if _, ok := got.Get(name); !ok {
+			t.Errorf("entry %s lost", name)
+		}
+	}
+	if len(ce.Dropped) == 0 {
+		t.Error("truncation not reported")
+	}
+}
+
+func TestRecoverHeaderDamage(t *testing.T) {
+	_, good := fourEntryCatalog(t)
+	b := append([]byte(nil), good...)
+	b[1] ^= 0xff // header magic
+	got, err := readBytes(t, b)
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CorruptionError", err)
+	}
+	if got.Len() != 4 {
+		t.Errorf("salvaged %d entries after header damage, want all 4", got.Len())
+	}
+}
+
+func TestRecoverEverythingDamaged(t *testing.T) {
+	// All frames destroyed: Read must fail outright, not hand back an empty
+	// catalog as if the file were fine.
+	_, good := fourEntryCatalog(t)
+	b := append([]byte(nil), good...)
+	for _, off := range frameOffsets(t, good) {
+		b[off+8] ^= 0xff // break every CRC
+	}
+	got, err := readBytes(t, b)
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CorruptionError", err)
+	}
+	if got.Len() != 0 || len(ce.Dropped) != 4 {
+		t.Errorf("salvaged %d, dropped %d — want 0 and 4", got.Len(), len(ce.Dropped))
+	}
+}
+
+func TestReadV1Stream(t *testing.T) {
+	// Legacy unframed catalogs (version 1) must still load.
+	m := trainedMLQ(t)
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	binary.Write(&buf, le, uint32(catalogMagic))
+	binary.Write(&buf, le, uint32(catalogVersionV1))
+	binary.Write(&buf, le, uint32(1))
+	binary.Write(&buf, le, uint32(3))
+	buf.WriteString("WIN")
+	if err := encodeModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := encodeModel(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBytes(t, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := got.Get("WIN")
+	if !ok || e.CPU == nil || e.IO != nil {
+		t.Fatal("v1 entry mangled")
+	}
+	p := geom.Point{42, 17}
+	a, _ := m.Predict(p)
+	b, _ := e.CPU.Predict(p)
+	if a != b {
+		t.Errorf("v1 prediction diverged: %g vs %g", a, b)
+	}
+	// v1 has no frames: damage stays a hard error, not a silent empty load.
+	raw := buf.Bytes()
+	raw[20] ^= 0xff
+	if _, err := readBytes(t, raw); err == nil {
+		t.Error("corrupt v1 stream accepted")
+	}
+}
+
+// FuzzRecover flips one bit anywhere in a valid 3-entry v2 stream: Read must
+// never panic, must pair any CorruptionError with a usable salvaged catalog,
+// and every salvaged entry must answer predictions.
+func FuzzRecover(f *testing.F) {
+	m, err := core.NewMLQ(quadtree.Config{Region: geom.UnitCube(2), MemoryLimit: 1843})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		m.Observe(geom.Point{float64(i%10) / 10, float64(i%7) / 7}, float64(i%31))
+	}
+	c := New()
+	for _, name := range []string{"A", "B", "C"} {
+		if err := c.Put(name, m, nil); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(uint32(0), uint8(0))
+	f.Add(uint32(4), uint8(1))   // version field
+	f.Add(uint32(12), uint8(7))  // first entry magic
+	f.Add(uint32(20), uint8(3))  // first entry CRC
+	f.Add(uint32(len(valid)-1), uint8(2))
+	f.Fuzz(func(t *testing.T, off uint32, bit uint8) {
+		data := append([]byte(nil), valid...)
+		data[int(off)%len(data)] ^= 1 << (bit % 8)
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			var ce *CorruptionError
+			if errors.As(err, &ce) {
+				if got == nil {
+					t.Fatal("CorruptionError without salvaged catalog")
+				}
+				if len(ce.Dropped) == 0 && got.Len() >= 3 {
+					t.Fatal("CorruptionError with nothing dropped and nothing missing")
+				}
+			} else if got != nil {
+				t.Fatalf("hard error %v paired with a catalog", err)
+			}
+		}
+		if got == nil {
+			return
+		}
+		for _, name := range got.Names() {
+			e, ok := got.Get(name)
+			if !ok || e == nil {
+				t.Fatal("Names/Get inconsistent after recovery")
+			}
+			if e.CPU != nil {
+				e.CPU.Predict(geom.Point{0.5, 0.5})
+			}
+		}
+	})
+}

@@ -42,10 +42,51 @@ type Predicate struct {
 	// ordering react to predicates whose selectivity varies across the
 	// data space, not just their global average.
 	SelModel core.Model
+	// BreakerK overrides the circuit breakers' consecutive-rejection
+	// threshold (default DefaultBreakerK).
+	BreakerK int
 
 	evaluated int64
 	passed    int64
 	costSum   float64
+
+	execFailures int64 // panicking executions, recovered
+	costGuard    Guard
+	selGuard     Guard
+}
+
+// Health reports the predicate's fault-handling counters: recovered
+// execution panics and the state of the two observation guards.
+type Health struct {
+	// ExecFailures counts UDF executions that panicked and were recovered;
+	// each marked its row failed for this predicate.
+	ExecFailures int64
+	// Cost is the cost-model observation guard's state.
+	Cost GuardStats
+	// Sel is the selectivity-model observation guard's state.
+	Sel GuardStats
+}
+
+// Health returns the predicate's fault counters.
+func (p *Predicate) Health() Health {
+	return Health{
+		ExecFailures: p.execFailures,
+		Cost:         p.costGuard.Stats(),
+		Sel:          p.selGuard.Stats(),
+	}
+}
+
+// exec runs the UDF with panic isolation: a panicking UDF is recovered and
+// reported as a failed execution instead of crashing the query.
+func (p *Predicate) exec(row Row) (ok bool, cost float64, failed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.execFailures++
+			ok, cost, failed = false, 0, true
+		}
+	}()
+	ok, cost = p.Exec(row)
+	return ok, cost, false
 }
 
 // Selectivity returns the observed pass fraction, or 0.5 before any
@@ -94,6 +135,24 @@ func (o OrderPolicy) String() string {
 	}
 }
 
+// FaultStats aggregates the fault handling of one query execution.
+type FaultStats struct {
+	// ExecFailures counts UDF executions that panicked and were recovered.
+	ExecFailures int64
+	// Quarantined counts invalid observed values (NaN/Inf/negative) kept
+	// away from the models.
+	Quarantined int64
+	// Rejected counts model Observe errors absorbed without aborting.
+	Rejected int64
+	// Skipped counts observations dropped by open circuit breakers.
+	Skipped int64
+}
+
+// Any reports whether any fault handling happened.
+func (f FaultStats) Any() bool {
+	return f.ExecFailures != 0 || f.Quarantined != 0 || f.Rejected != 0 || f.Skipped != 0
+}
+
 // Result summarizes one query execution.
 type Result struct {
 	// Selected is the number of rows passing every predicate.
@@ -103,13 +162,26 @@ type Result struct {
 	Rows []Row
 	// TotalCost is the summed actual cost of every UDF execution.
 	TotalCost float64
-	// Evaluations counts UDF executions per predicate name.
+	// Evaluations counts UDF executions per predicate name, including
+	// failed (panicked) ones.
 	Evaluations map[string]int64
+	// Faults aggregates the fault handling of this execution. A query over
+	// healthy UDFs and models reports all zeros.
+	Faults FaultStats
 }
 
 // ExecuteQuery runs SELECT * FROM table WHERE p1 AND p2 AND ... with the
 // given ordering policy, feeding every actual UDF cost back into the
 // predicate's model.
+//
+// The feedback loop is hardened for long-lived operation: a panicking UDF
+// marks its row failed for that predicate (counted in Health and
+// Result.Faults) instead of crashing the query; invalid observed costs are
+// quarantined before reaching any model; model Observe errors are absorbed
+// and counted, with a per-predicate circuit breaker that stops feeding a
+// model after K consecutive rejections (the rank ordering then falls back to
+// the MeanCost/Selectivity running averages). ExecuteQuery only returns an
+// error for malformed input, never for UDF or model misbehavior.
 func ExecuteQuery(table *Table, preds []*Predicate, policy OrderPolicy) (Result, error) {
 	if table == nil {
 		return Result{}, fmt.Errorf("engine: table is required")
@@ -117,6 +189,10 @@ func ExecuteQuery(table *Table, preds []*Predicate, policy OrderPolicy) (Result,
 	for i, p := range preds {
 		if p == nil || p.Exec == nil {
 			return Result{}, fmt.Errorf("engine: predicate %d is missing its Exec", i)
+		}
+		if p.BreakerK > 0 {
+			p.costGuard.K = p.BreakerK
+			p.selGuard.K = p.BreakerK
 		}
 	}
 	res := Result{Evaluations: make(map[string]int64, len(preds))}
@@ -132,13 +208,17 @@ func ExecuteQuery(table *Table, preds []*Predicate, policy OrderPolicy) (Result,
 				sel := p.Selectivity()
 				if p.Point != nil {
 					pt := p.Point(row)
-					if p.Model != nil {
-						if v, ok := p.Model.Predict(pt); ok {
+					// An open breaker means the model is cut off from
+					// feedback and stale; plan from the running averages
+					// instead. Predictions are also sanitized — a model
+					// emitting NaN/Inf/negative must not poison the rank.
+					if p.Model != nil && !p.costGuard.Open() {
+						if v, ok := p.Model.Predict(pt); ok && core.ValidCost(v) {
 							cost = v
 						}
 					}
-					if p.SelModel != nil {
-						if v, ok := p.SelModel.Predict(pt); ok {
+					if p.SelModel != nil && !p.selGuard.Open() {
+						if v, ok := p.SelModel.Predict(pt); ok && core.ValidCost(v) {
 							sel = clamp01(v)
 						}
 					}
@@ -150,29 +230,32 @@ func ExecuteQuery(table *Table, preds []*Predicate, policy OrderPolicy) (Result,
 		pass := true
 		for _, i := range order {
 			p := preds[i]
-			ok, cost := p.Exec(row)
+			ok, cost, failed := p.exec(row)
+			res.Evaluations[p.Name]++
+			if failed {
+				// The UDF panicked: the row fails this predicate, nothing
+				// is observed, and the query carries on.
+				res.Faults.ExecFailures++
+				pass = false
+				break
+			}
 			p.evaluated++
 			p.costSum += cost
 			if ok {
 				p.passed++
 			}
 			res.TotalCost += cost
-			res.Evaluations[p.Name]++
 			if p.Point != nil {
 				pt := p.Point(row)
 				if p.Model != nil {
-					if err := p.Model.Observe(pt, cost); err != nil {
-						return res, fmt.Errorf("engine: feedback for %s: %w", p.Name, err)
-					}
+					res.Faults.count(p.costGuard.Feed(p.Model, pt, cost))
 				}
 				if p.SelModel != nil {
 					outcome := 0.0
 					if ok {
 						outcome = 1
 					}
-					if err := p.SelModel.Observe(pt, outcome); err != nil {
-						return res, fmt.Errorf("engine: selectivity feedback for %s: %w", p.Name, err)
-					}
+					res.Faults.count(p.selGuard.Feed(p.SelModel, pt, outcome))
 				}
 			}
 			if !ok {
@@ -186,4 +269,16 @@ func ExecuteQuery(table *Table, preds []*Predicate, policy OrderPolicy) (Result,
 		}
 	}
 	return res, nil
+}
+
+// count folds one guard outcome into the aggregate.
+func (f *FaultStats) count(r FeedResult) {
+	switch r {
+	case FedQuarantined:
+		f.Quarantined++
+	case FedRejected:
+		f.Rejected++
+	case FedSkipped:
+		f.Skipped++
+	}
 }

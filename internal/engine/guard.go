@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"mlq/internal/core"
+	"mlq/internal/geom"
+)
+
+// Defaults for Guard; overridable per Guard instance.
+const (
+	// DefaultBreakerK is the consecutive-rejection count that opens the
+	// circuit breaker.
+	DefaultBreakerK = 8
+	// DefaultProbeEvery is how many skipped observations an open breaker
+	// waits between probe attempts.
+	DefaultProbeEvery = 32
+)
+
+// FeedResult classifies what Guard.Feed did with one observation.
+type FeedResult int
+
+const (
+	// FedOK: the observation reached the model.
+	FedOK FeedResult = iota
+	// FedQuarantined: the value was invalid (NaN/Inf/negative) and never
+	// reached the model.
+	FedQuarantined
+	// FedRejected: the model's Observe returned an error.
+	FedRejected
+	// FedSkipped: the breaker is open and this observation was dropped
+	// without touching the model.
+	FedSkipped
+)
+
+// GuardStats are a Guard's cumulative counters.
+type GuardStats struct {
+	Fed         int64 // observations the model accepted
+	Quarantined int64 // invalid values stopped before the model
+	Rejected    int64 // model Observe errors
+	Skipped     int64 // dropped while the breaker was open
+	Trips       int64 // times the breaker opened
+	Open        bool  // current breaker state
+}
+
+// Guard hardens the Observe side of a model's feedback loop: invalid
+// observed values (NaN/Inf/negative) are quarantined before they can poison
+// the model, and a circuit breaker stops feeding the model entirely after K
+// consecutive Observe rejections — a model that rejects everything it is fed
+// is broken, and hammering it per row buys nothing. While open, the breaker
+// still probes the model with every ProbeEvery-th observation; one accepted
+// probe closes it again. The zero value is ready to use with the default
+// thresholds. Guard is not safe for concurrent use.
+type Guard struct {
+	// K overrides DefaultBreakerK when positive.
+	K int
+	// ProbeEvery overrides DefaultProbeEvery when positive.
+	ProbeEvery int
+
+	consecutive int
+	open        bool
+	sinceProbe  int
+	stats       GuardStats
+}
+
+func (g *Guard) k() int {
+	if g.K > 0 {
+		return g.K
+	}
+	return DefaultBreakerK
+}
+
+func (g *Guard) probeEvery() int {
+	if g.ProbeEvery > 0 {
+		return g.ProbeEvery
+	}
+	return DefaultProbeEvery
+}
+
+// Feed validates one observation and routes it to the model under the
+// breaker's control.
+func (g *Guard) Feed(m core.Model, p geom.Point, actual float64) FeedResult {
+	if !core.ValidCost(actual) {
+		g.stats.Quarantined++
+		return FedQuarantined
+	}
+	if g.open {
+		g.sinceProbe++
+		if g.sinceProbe < g.probeEvery() {
+			g.stats.Skipped++
+			return FedSkipped
+		}
+		g.sinceProbe = 0 // probe: fall through to one real attempt
+	}
+	if err := m.Observe(p, actual); err != nil {
+		g.stats.Rejected++
+		g.consecutive++
+		if !g.open && g.consecutive >= g.k() {
+			g.open = true
+			g.stats.Trips++
+		}
+		return FedRejected
+	}
+	g.stats.Fed++
+	g.consecutive = 0
+	g.open = false
+	return FedOK
+}
+
+// Stats returns the guard's counters.
+func (g *Guard) Stats() GuardStats {
+	s := g.stats
+	s.Open = g.open
+	return s
+}
+
+// Open reports whether the breaker is currently open (the model is cut off
+// from feedback and the planner should fall back to running averages).
+func (g *Guard) Open() bool { return g.open }

@@ -1,0 +1,308 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mlq/internal/geom"
+)
+
+// flakyModel rejects or mangles feedback on demand.
+type flakyModel struct {
+	observeErr  error   // returned by Observe when non-nil
+	predict     float64 // value returned by Predict
+	predictOK   bool
+	observed    int64 // successful observations
+	observeSeen int64 // total Observe calls
+}
+
+func (m *flakyModel) Predict(geom.Point) (float64, bool) { return m.predict, m.predictOK }
+
+func (m *flakyModel) Observe(geom.Point, float64) error {
+	m.observeSeen++
+	if m.observeErr != nil {
+		return m.observeErr
+	}
+	m.observed++
+	return nil
+}
+
+func (m *flakyModel) Name() string { return "flaky" }
+
+func TestGuardQuarantinesInvalidValues(t *testing.T) {
+	var g Guard
+	m := &flakyModel{}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -3} {
+		if r := g.Feed(m, geom.Point{0}, v); r != FedQuarantined {
+			t.Errorf("Feed(%g) = %v, want FedQuarantined", v, r)
+		}
+	}
+	if m.observeSeen != 0 {
+		t.Errorf("invalid values reached the model %d times", m.observeSeen)
+	}
+	if s := g.Stats(); s.Quarantined != 4 || s.Open {
+		t.Errorf("stats = %+v", s)
+	}
+	// Quarantined values must not trip the breaker: they never touched the
+	// model, so they say nothing about its health.
+	for i := 0; i < 100; i++ {
+		g.Feed(m, geom.Point{0}, math.NaN())
+	}
+	if g.Open() {
+		t.Error("quarantine alone opened the breaker")
+	}
+}
+
+func TestGuardBreakerOpensAfterKRejections(t *testing.T) {
+	g := Guard{K: 3}
+	m := &flakyModel{observeErr: errors.New("full")}
+	for i := 0; i < 2; i++ {
+		if r := g.Feed(m, geom.Point{0}, 1); r != FedRejected {
+			t.Fatalf("feed %d = %v, want FedRejected", i, r)
+		}
+		if g.Open() {
+			t.Fatalf("breaker open after %d rejections, K=3", i+1)
+		}
+	}
+	if r := g.Feed(m, geom.Point{0}, 1); r != FedRejected {
+		t.Fatalf("third feed = %v", r)
+	}
+	if !g.Open() {
+		t.Fatal("breaker closed after K consecutive rejections")
+	}
+	// Open breaker: observations skipped without touching the model.
+	seen := m.observeSeen
+	for i := 0; i < 10; i++ {
+		if r := g.Feed(m, geom.Point{0}, 1); r != FedSkipped {
+			t.Fatalf("open-breaker feed = %v, want FedSkipped", r)
+		}
+	}
+	if m.observeSeen != seen {
+		t.Error("open breaker still fed the model")
+	}
+	if s := g.Stats(); s.Trips != 1 || s.Skipped != 10 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestGuardSuccessResetsConsecutiveCount(t *testing.T) {
+	g := Guard{K: 3}
+	m := &flakyModel{}
+	bad := errors.New("bad")
+	for i := 0; i < 10; i++ {
+		m.observeErr = bad
+		g.Feed(m, geom.Point{0}, 1)
+		g.Feed(m, geom.Point{0}, 1)
+		m.observeErr = nil
+		g.Feed(m, geom.Point{0}, 1) // success: resets the streak
+	}
+	if g.Open() {
+		t.Error("interleaved successes still tripped the breaker")
+	}
+}
+
+func TestGuardProbesAndRecloses(t *testing.T) {
+	g := Guard{K: 2, ProbeEvery: 5}
+	m := &flakyModel{observeErr: errors.New("down")}
+	g.Feed(m, geom.Point{0}, 1)
+	g.Feed(m, geom.Point{0}, 1)
+	if !g.Open() {
+		t.Fatal("breaker not open")
+	}
+	// The model recovers; the guard must notice via a probe and re-close.
+	m.observeErr = nil
+	var reclosed bool
+	for i := 0; i < 20; i++ {
+		r := g.Feed(m, geom.Point{0}, 1)
+		if r == FedOK {
+			reclosed = true
+			break
+		}
+		if r != FedSkipped {
+			t.Fatalf("unexpected result %v", r)
+		}
+	}
+	if !reclosed || g.Open() {
+		t.Fatalf("breaker never re-closed via probe (open=%v)", g.Open())
+	}
+}
+
+func TestPanickingUDFDoesNotCrashQuery(t *testing.T) {
+	tb := randomTable(21, 200)
+	calls := 0
+	p := &Predicate{
+		Name: "explosive",
+		Exec: func(row Row) (bool, float64) {
+			calls++
+			if calls%10 == 0 {
+				panic("injected UDF bug")
+			}
+			return row[1] < 50, 1
+		},
+		Point: func(row Row) geom.Point { return geom.Point{row[0]} },
+		Model: newModel(t),
+	}
+	res, err := ExecuteQuery(tb, []*Predicate{p}, OrderAsGiven)
+	if err != nil {
+		t.Fatalf("panicking UDF aborted the query: %v", err)
+	}
+	if res.Faults.ExecFailures != 20 {
+		t.Errorf("ExecFailures = %d, want 20", res.Faults.ExecFailures)
+	}
+	if h := p.Health(); h.ExecFailures != 20 {
+		t.Errorf("Health().ExecFailures = %d, want 20", h.ExecFailures)
+	}
+	// Panicked rows fail the predicate: none of them may be selected.
+	want := 0
+	n := 0
+	for _, row := range tb.Rows {
+		n++
+		if n%10 != 0 && row[1] < 50 {
+			want++
+		}
+	}
+	if res.Selected != want {
+		t.Errorf("Selected = %d, want %d", res.Selected, want)
+	}
+	// All 200 attempts count as evaluations; only the 180 completed ones
+	// feed the running averages.
+	if res.Evaluations["explosive"] != 200 {
+		t.Errorf("Evaluations = %d, want 200", res.Evaluations["explosive"])
+	}
+	if p.Evaluated() != 180 {
+		t.Errorf("Evaluated() = %d, want 180", p.Evaluated())
+	}
+}
+
+// TestObserveErrorDoesNotAbortMidRow pins the regression fixed by the
+// quarantine path: ExecuteQuery used to return mid-row on the first
+// Model.Observe error, leaving some predicates' counters updated, the row's
+// outcome undefined, and the query dead. Now the error is absorbed, counted,
+// and every row completes.
+func TestObserveErrorDoesNotAbortMidRow(t *testing.T) {
+	tb := randomTable(22, 300)
+	rejecting := &flakyModel{observeErr: errors.New("model full")}
+	p1 := &Predicate{
+		Name:  "first",
+		Exec:  func(row Row) (bool, float64) { return true, 1 },
+		Point: func(row Row) geom.Point { return geom.Point{row[0]} },
+		Model: rejecting,
+	}
+	p2 := &Predicate{
+		Name:  "second",
+		Exec:  func(row Row) (bool, float64) { return row[1] < 50, 1 },
+		Point: func(row Row) geom.Point { return geom.Point{row[0]} },
+		Model: newModel(t),
+	}
+	res, err := ExecuteQuery(tb, []*Predicate{p1, p2}, OrderAsGiven)
+	if err != nil {
+		t.Fatalf("Observe error aborted the query: %v", err)
+	}
+	// The old code died on row 1: p1 evaluated once, p2 never, zero rows
+	// selected, and the caller got an error. Pin the repaired behavior.
+	if res.Evaluations["first"] != 300 {
+		t.Errorf(`p1 evaluated %d times, want 300`, res.Evaluations["first"])
+	}
+	if res.Evaluations["second"] != 300 {
+		t.Errorf(`p2 evaluated %d times, want 300 (p1 always passes)`, res.Evaluations["second"])
+	}
+	want := 0
+	for _, row := range tb.Rows {
+		if row[1] < 50 {
+			want++
+		}
+	}
+	if res.Selected != want {
+		t.Errorf("Selected = %d, want %d — row outcomes must stay defined", res.Selected, want)
+	}
+	if res.Faults.Rejected == 0 {
+		t.Error("rejections not counted")
+	}
+	// The breaker must have opened and cut the rejecting model off: far
+	// fewer than 300 Observe attempts reached it.
+	if !p1.Health().Cost.Open {
+		t.Error("breaker never opened on a permanently rejecting model")
+	}
+	if rejecting.observeSeen >= 300 {
+		t.Errorf("rejecting model was fed %d times — breaker ineffective", rejecting.observeSeen)
+	}
+}
+
+func TestQuarantineKeepsInvalidCostsFromModels(t *testing.T) {
+	tb := randomTable(23, 100)
+	m := newModel(t)
+	calls := 0
+	p := &Predicate{
+		Name: "nan-cost",
+		Exec: func(row Row) (bool, float64) {
+			calls++
+			if calls%4 == 0 {
+				return true, math.NaN() // a torn measurement
+			}
+			return true, 2
+		},
+		Point: func(row Row) geom.Point { return geom.Point{row[0]} },
+		Model: m,
+	}
+	res, err := ExecuteQuery(tb, []*Predicate{p}, OrderAsGiven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Quarantined != 25 {
+		t.Errorf("Quarantined = %d, want 25", res.Faults.Quarantined)
+	}
+	// The model saw only the 75 valid samples.
+	if n := m.Costs().Inserts; n != 75 {
+		t.Errorf("model inserts = %d, want 75", n)
+	}
+	if p.Health().Cost.Open {
+		t.Error("quarantine opened the breaker")
+	}
+}
+
+func TestRankPlanningSurvivesPoisonedPredictions(t *testing.T) {
+	// A model emitting NaN predictions must not corrupt the rank ordering
+	// or the query result.
+	tb := randomTable(24, 200)
+	p1 := &Predicate{
+		Name:  "poisoned",
+		Exec:  func(row Row) (bool, float64) { return row[1] < 50, 5 },
+		Point: func(row Row) geom.Point { return geom.Point{row[0]} },
+		Model: &flakyModel{predict: math.NaN(), predictOK: true},
+	}
+	p2 := &Predicate{
+		Name:  "healthy",
+		Exec:  func(row Row) (bool, float64) { return row[2] < 50, 1 },
+		Point: func(row Row) geom.Point { return geom.Point{row[0]} },
+		Model: newModel(t),
+	}
+	res, err := ExecuteQuery(tb, []*Predicate{p1, p2}, OrderByRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, row := range tb.Rows {
+		if row[1] < 50 && row[2] < 50 {
+			want++
+		}
+	}
+	if res.Selected != want {
+		t.Errorf("Selected = %d, want %d", res.Selected, want)
+	}
+	if math.IsNaN(res.TotalCost) {
+		t.Error("NaN leaked into TotalCost")
+	}
+}
+
+func TestHealthyQueryReportsNoFaults(t *testing.T) {
+	tb := randomTable(25, 200)
+	p := costlyPred(t, "p", 0, 1, 50, 1)
+	res, err := ExecuteQuery(tb, []*Predicate{p}, OrderByRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Any() {
+		t.Errorf("healthy query reported faults: %+v", res.Faults)
+	}
+}

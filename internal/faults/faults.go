@@ -1,0 +1,318 @@
+// Package faults is a deterministic fault-injection substrate for chaos
+// testing the self-tuning feedback loop. An Injector owns a set of named
+// fault sites; each site fires either with a configured probability or on an
+// explicit schedule of hit indices, driven by a single seeded random stream
+// so every chaos run is reproducible. The package also supplies the concrete
+// fault payloads the rest of the system is hardened against: corrupted
+// observed costs (NaN/Inf/negative/outlier-scaled), injected UDF panics,
+// failed or delayed page reads, and torn catalog writes (truncation or a
+// silent bit flip at a chosen offset).
+//
+// A nil *Injector is valid everywhere and injects nothing, so production
+// paths can keep the hooks wired permanently: when no injector is installed
+// the fault points are fully transparent.
+package faults
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Site names one fault point.
+type Site string
+
+// The fault sites wired through the system.
+const (
+	// ObserveCost corrupts an observed UDF execution cost before it is fed
+	// back to a model.
+	ObserveCost Site = "observe.cost"
+	// UDFPanic panics inside a UDF execution.
+	UDFPanic Site = "udf.panic"
+	// PageRead fails (and optionally delays) a physical page read.
+	PageRead Site = "page.read"
+	// CatalogTear tears a catalog write: the stream is truncated mid-write
+	// or has one bit flipped at a chosen offset.
+	CatalogTear Site = "catalog.tear"
+)
+
+// SiteConfig controls when a site fires.
+type SiteConfig struct {
+	// Probability fires the site independently on each hit.
+	Probability float64
+	// Schedule lists 1-based hit indices that always fire, in addition to
+	// the probabilistic draws. A schedule with Probability 0 gives fully
+	// deterministic fault placement.
+	Schedule []int64
+	// Delay is slept before a PageRead fault surfaces, simulating a stalled
+	// disk. Ignored by the other sites.
+	Delay time.Duration
+}
+
+// SiteStats reports one site's activity.
+type SiteStats struct {
+	// Hits counts how many times the site was consulted.
+	Hits int64
+	// Fired counts how many times it injected a fault.
+	Fired int64
+}
+
+type siteState struct {
+	cfg      SiteConfig
+	schedule map[int64]bool
+	hits     int64
+	fired    int64
+}
+
+// Injector is a seeded fault injector. It is safe for concurrent use. The
+// zero value is not usable; construct with New. A nil *Injector never fires.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	sites map[Site]*siteState
+}
+
+// New returns an injector with no sites enabled, all randomness derived from
+// seed.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		sites: make(map[Site]*siteState),
+	}
+}
+
+// Enable configures a site. Re-enabling a site replaces its configuration
+// and resets its counters.
+func (in *Injector) Enable(site Site, cfg SiteConfig) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := &siteState{cfg: cfg}
+	if len(cfg.Schedule) > 0 {
+		st.schedule = make(map[int64]bool, len(cfg.Schedule))
+		for _, h := range cfg.Schedule {
+			st.schedule[h] = true
+		}
+	}
+	in.sites[site] = st
+}
+
+// Fire consults a site: it records the hit and reports whether a fault must
+// be injected. A nil injector or an un-enabled site never fires.
+func (in *Injector) Fire(site Site) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fireLocked(site)
+}
+
+func (in *Injector) fireLocked(site Site) bool {
+	st, ok := in.sites[site]
+	if !ok {
+		return false
+	}
+	st.hits++
+	fire := st.schedule[st.hits]
+	if !fire && st.cfg.Probability > 0 && in.rng.Float64() < st.cfg.Probability {
+		fire = true
+	}
+	if fire {
+		st.fired++
+	}
+	return fire
+}
+
+// Stats returns a site's counters. Zero for nil injectors and unknown sites.
+func (in *Injector) Stats(site Site) SiteStats {
+	if in == nil {
+		return SiteStats{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st, ok := in.sites[site]
+	if !ok {
+		return SiteStats{}
+	}
+	return SiteStats{Hits: st.hits, Fired: st.fired}
+}
+
+// CorruptionKind names one way an observed cost can be corrupted.
+type CorruptionKind int
+
+// The four cost corruptions of the chaos model, mirroring what a buggy UDF
+// or a torn measurement can report.
+const (
+	CorruptNaN CorruptionKind = iota
+	CorruptInf
+	CorruptNegative
+	CorruptOutlier
+	numCorruptionKinds
+)
+
+// String names the corruption.
+func (k CorruptionKind) String() string {
+	switch k {
+	case CorruptNaN:
+		return "nan"
+	case CorruptInf:
+		return "inf"
+	case CorruptNegative:
+		return "negative"
+	case CorruptOutlier:
+		return "outlier"
+	default:
+		return fmt.Sprintf("CorruptionKind(%d)", int(k))
+	}
+}
+
+// apply produces the corrupted value.
+func (k CorruptionKind) apply(cost float64) float64 {
+	switch k {
+	case CorruptNaN:
+		return math.NaN()
+	case CorruptInf:
+		return math.Inf(1)
+	case CorruptNegative:
+		return -1 - math.Abs(cost)
+	default: // CorruptOutlier: plausible-looking but 10^4 off.
+		return (math.Abs(cost) + 1) * 1e4
+	}
+}
+
+// MaybeCorruptCost consults the ObserveCost site and, when it fires, returns
+// a corrupted version of cost (NaN, +Inf, a negative value, or an
+// outlier-scaled value, cycling deterministically). The second return
+// reports whether corruption happened.
+func (in *Injector) MaybeCorruptCost(cost float64) (float64, bool) {
+	if in == nil {
+		return cost, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.fireLocked(ObserveCost) {
+		return cost, false
+	}
+	st := in.sites[ObserveCost]
+	kind := CorruptionKind((st.fired - 1) % int64(numCorruptionKinds))
+	return kind.apply(cost), true
+}
+
+// PageReadError consults the PageRead site: nil when the read should
+// proceed, an injected error (after any configured Delay) when it must fail.
+// Wire it into pagestore.Store.SetReadFault.
+func (in *Injector) PageReadError() error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	st, ok := in.sites[PageRead]
+	fire := ok && in.fireLocked(PageRead)
+	var delay time.Duration
+	if fire {
+		delay = st.cfg.Delay
+	}
+	in.mu.Unlock()
+	if !fire {
+		return nil
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return fmt.Errorf("faults: injected page-read failure (fault %d)", in.Stats(PageRead).Fired)
+}
+
+// MaybePanic consults the UDFPanic site and panics when it fires. Call it
+// from inside the frame whose panic recovery is under test.
+func (in *Injector) MaybePanic() {
+	if in.Fire(UDFPanic) {
+		panic(fmt.Sprintf("faults: injected UDF panic (fault %d)", in.Stats(UDFPanic).Fired))
+	}
+}
+
+// tearMode selects how a TearWriter damages its stream.
+type tearMode int
+
+const (
+	tearTruncate tearMode = iota // stop writing at the offset and error out
+	tearBitFlip                  // flip one bit at the offset, keep writing
+)
+
+// tearWriter implements the torn catalog write.
+type tearWriter struct {
+	w       io.Writer
+	armed   bool
+	mode    tearMode
+	offset  int64 // byte offset at which the tear strikes
+	written int64
+}
+
+// TearWriter wraps w with the CatalogTear site. When the site fires (decided
+// once, at wrap time), the stream is damaged at a deterministic pseudo-random
+// offset: either truncated there (subsequent writes fail, simulating a crash
+// mid-write — the caller sees an error) or one bit is flipped there and
+// writing continues silently (simulating undetected media corruption — the
+// caller sees success and a corrupt file). When the site does not fire the
+// wrapper is fully transparent.
+func (in *Injector) TearWriter(w io.Writer) io.Writer {
+	if in == nil {
+		return w
+	}
+	in.mu.Lock()
+	fire := in.fireLocked(CatalogTear)
+	var mode tearMode
+	var offset int64
+	if fire {
+		mode = tearMode(in.rng.Intn(2))
+		// Catalog streams carry at least a 12-byte header plus framed
+		// entries; an offset in [1, 1024) lands inside every realistic
+		// stream while still exercising header and entry damage.
+		offset = 1 + in.rng.Int63n(1023)
+	}
+	in.mu.Unlock()
+	if !fire {
+		return w
+	}
+	return &tearWriter{w: w, armed: true, mode: mode, offset: offset}
+}
+
+// Write implements io.Writer with the configured damage.
+func (t *tearWriter) Write(p []byte) (int, error) {
+	if !t.armed {
+		return t.w.Write(p)
+	}
+	switch t.mode {
+	case tearTruncate:
+		if t.written >= t.offset {
+			return 0, fmt.Errorf("faults: injected torn write at offset %d", t.offset)
+		}
+		if t.written+int64(len(p)) <= t.offset {
+			n, err := t.w.Write(p)
+			t.written += int64(n)
+			return n, err
+		}
+		keep := int(t.offset - t.written)
+		n, err := t.w.Write(p[:keep])
+		t.written += int64(n)
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("faults: injected torn write at offset %d", t.offset)
+	default: // tearBitFlip
+		// A stream shorter than the offset escapes unflipped — the tear
+		// then degenerates to a clean write, which is fine: tears are
+		// probabilistic anyway.
+		if t.written <= t.offset && t.offset < t.written+int64(len(p)) {
+			q := make([]byte, len(p))
+			copy(q, p)
+			q[t.offset-t.written] ^= 1 << 3
+			p = q
+		}
+		n, err := t.w.Write(p)
+		t.written += int64(n)
+		return n, err
+	}
+}

@@ -1,0 +1,238 @@
+package faults
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorIsTransparent(t *testing.T) {
+	var in *Injector
+	if in.Fire(ObserveCost) {
+		t.Error("nil injector fired")
+	}
+	if v, corrupted := in.MaybeCorruptCost(42); corrupted || v != 42 {
+		t.Errorf("nil injector corrupted cost: %g, %v", v, corrupted)
+	}
+	if err := in.PageReadError(); err != nil {
+		t.Errorf("nil injector failed a read: %v", err)
+	}
+	in.MaybePanic() // must not panic
+	var buf bytes.Buffer
+	if w := in.TearWriter(&buf); w != &buf {
+		t.Error("nil injector wrapped the writer")
+	}
+	if s := in.Stats(PageRead); s != (SiteStats{}) {
+		t.Errorf("nil injector has stats: %+v", s)
+	}
+}
+
+func TestDisabledSiteNeverFires(t *testing.T) {
+	in := New(1)
+	for i := 0; i < 1000; i++ {
+		if in.Fire(UDFPanic) {
+			t.Fatal("un-enabled site fired")
+		}
+	}
+	if s := in.Stats(UDFPanic); s.Fired != 0 {
+		t.Errorf("Fired = %d, want 0", s.Fired)
+	}
+}
+
+func TestZeroProbabilityIsTransparent(t *testing.T) {
+	in := New(1)
+	in.Enable(ObserveCost, SiteConfig{Probability: 0})
+	for i := 0; i < 1000; i++ {
+		if v, corrupted := in.MaybeCorruptCost(7); corrupted || v != 7 {
+			t.Fatalf("zero-rate site corrupted: %g %v", v, corrupted)
+		}
+	}
+	if s := in.Stats(ObserveCost); s.Hits != 1000 || s.Fired != 0 {
+		t.Errorf("stats = %+v, want 1000 hits, 0 fired", s)
+	}
+}
+
+func TestProbabilityFiresAtRoughlyTheConfiguredRate(t *testing.T) {
+	in := New(7)
+	in.Enable(PageRead, SiteConfig{Probability: 0.3})
+	n := 10000
+	for i := 0; i < n; i++ {
+		in.Fire(PageRead)
+	}
+	got := float64(in.Stats(PageRead).Fired) / float64(n)
+	if got < 0.25 || got > 0.35 {
+		t.Errorf("fire rate %g, want ~0.3", got)
+	}
+}
+
+func TestScheduleIsExact(t *testing.T) {
+	in := New(1)
+	in.Enable(UDFPanic, SiteConfig{Schedule: []int64{2, 5}})
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		if in.Fire(UDFPanic) {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 5 {
+		t.Errorf("fired at %v, want [2 5]", fired)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []bool {
+		in := New(99)
+		in.Enable(ObserveCost, SiteConfig{Probability: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Fire(ObserveCost)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+}
+
+func TestCorruptCostCoversAllKinds(t *testing.T) {
+	in := New(3)
+	in.Enable(ObserveCost, SiteConfig{Probability: 1})
+	var sawNaN, sawInf, sawNeg, sawOutlier bool
+	for i := 0; i < 8; i++ {
+		v, corrupted := in.MaybeCorruptCost(10)
+		if !corrupted {
+			t.Fatal("probability-1 site did not fire")
+		}
+		switch {
+		case math.IsNaN(v):
+			sawNaN = true
+		case math.IsInf(v, 0):
+			sawInf = true
+		case v < 0:
+			sawNeg = true
+		case v > 1000:
+			sawOutlier = true
+		default:
+			t.Fatalf("corrupted value %g looks valid", v)
+		}
+	}
+	if !sawNaN || !sawInf || !sawNeg || !sawOutlier {
+		t.Errorf("corruption kinds missing: nan=%v inf=%v neg=%v outlier=%v",
+			sawNaN, sawInf, sawNeg, sawOutlier)
+	}
+}
+
+func TestMaybePanicPanics(t *testing.T) {
+	in := New(1)
+	in.Enable(UDFPanic, SiteConfig{Schedule: []int64{1}})
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduled panic did not fire")
+		}
+	}()
+	in.MaybePanic()
+}
+
+func TestPageReadError(t *testing.T) {
+	in := New(1)
+	in.Enable(PageRead, SiteConfig{Schedule: []int64{2}})
+	if err := in.PageReadError(); err != nil {
+		t.Fatalf("hit 1 failed: %v", err)
+	}
+	if err := in.PageReadError(); err == nil {
+		t.Fatal("scheduled hit 2 did not fail")
+	}
+	if err := in.PageReadError(); err != nil {
+		t.Fatalf("hit 3 failed: %v", err)
+	}
+}
+
+func TestTearWriterTruncates(t *testing.T) {
+	// Scan seeds until we get a truncating tear, then check the stream is
+	// cut at the reported offset and an error surfaces.
+	payload := bytes.Repeat([]byte{0xAB}, 4096)
+	for seed := int64(0); seed < 64; seed++ {
+		in := New(seed)
+		in.Enable(CatalogTear, SiteConfig{Probability: 1})
+		var buf bytes.Buffer
+		w := in.TearWriter(&buf)
+		_, err := w.Write(payload)
+		if err == nil {
+			continue // this seed drew the bit-flip mode
+		}
+		if buf.Len() >= len(payload) {
+			t.Fatalf("truncating tear wrote the full payload (%d bytes)", buf.Len())
+		}
+		// Subsequent writes must keep failing (a crashed writer stays dead).
+		if _, err := w.Write([]byte{1}); err == nil {
+			t.Fatal("write after a truncating tear succeeded")
+		}
+		return
+	}
+	t.Fatal("no truncating tear in 64 seeds")
+}
+
+func TestTearWriterBitFlip(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x00}, 4096)
+	for seed := int64(0); seed < 64; seed++ {
+		in := New(seed)
+		in.Enable(CatalogTear, SiteConfig{Probability: 1})
+		var buf bytes.Buffer
+		w := in.TearWriter(&buf)
+		if _, err := w.Write(payload); err != nil {
+			continue // truncate mode
+		}
+		if buf.Len() != len(payload) {
+			t.Fatalf("bit-flip tear changed the length: %d", buf.Len())
+		}
+		diff := 0
+		for _, b := range buf.Bytes() {
+			if b != 0 {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("bit flip damaged %d bytes, want exactly 1", diff)
+		}
+		return
+	}
+	t.Fatal("no bit-flip tear in 64 seeds")
+}
+
+func TestTearWriterTransparentWhenIdle(t *testing.T) {
+	in := New(5)
+	in.Enable(CatalogTear, SiteConfig{Probability: 0})
+	var buf bytes.Buffer
+	w := in.TearWriter(&buf)
+	payload := []byte("hello, catalog")
+	if _, err := w.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), payload) {
+		t.Errorf("idle tear writer modified the stream: %q", buf.Bytes())
+	}
+}
+
+func TestConcurrentFire(t *testing.T) {
+	in := New(11)
+	in.Enable(ObserveCost, SiteConfig{Probability: 0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				in.Fire(ObserveCost)
+				in.MaybeCorruptCost(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if s := in.Stats(ObserveCost); s.Hits != 16000 {
+		t.Errorf("Hits = %d, want 16000", s.Hits)
+	}
+}

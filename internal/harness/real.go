@@ -50,7 +50,10 @@ func realTraining(u udf.UDF, kind dist.Kind, ck CostKind, opts Options) ([]histo
 	samples := make([]histogram.Sample, 0, opts.TrainQueries)
 	for i := 0; i < opts.TrainQueries; i++ {
 		p := src.Next()
-		cpu, io := u.Execute(p)
+		cpu, io, err := u.Execute(p)
+		if err != nil {
+			return nil, fmt.Errorf("harness: training %s: %w", u.Name(), err)
+		}
 		samples = append(samples, histogram.Sample{Point: p, Value: ck.pick(cpu, io)})
 	}
 	return samples, nil
@@ -82,7 +85,10 @@ func RunRealNAE(m Method, u udf.UDF, kind dist.Kind, ck CostKind, opts Options) 
 	for i := 0; i < opts.Queries; i++ {
 		p := src.Next()
 		pred, _ := model.Predict(p)
-		cpu, io := u.Execute(p)
+		cpu, io, err := u.Execute(p)
+		if err != nil {
+			return 0, fmt.Errorf("harness: executing %s: %w", u.Name(), err)
+		}
 		actual := ck.pick(cpu, io)
 		nae.Add(pred, actual)
 		if err := model.Observe(p, actual); err != nil {
@@ -154,8 +160,11 @@ func Fig10Real(u udf.UDF, opts Options) ([]CostBreakdown, error) {
 			p := src.Next()
 			mlq.Predict(p)
 			start := time.Now()
-			cpu, io := u.Execute(p)
+			cpu, io, err := u.Execute(p)
 			totalExec += time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("harness: executing %s: %w", u.Name(), err)
+			}
 			_ = io
 			if err := mlq.Observe(p, cpu); err != nil {
 				return nil, err
@@ -187,7 +196,10 @@ func Fig12Real(u udf.UDF, windows int, opts Options) ([]Fig12Series, error) {
 		for i := 0; i < opts.Queries; i++ {
 			p := src.Next()
 			pred, _ := model.Predict(p)
-			cpu, _ := u.Execute(p)
+			cpu, _, err := u.Execute(p)
+			if err != nil {
+				return nil, fmt.Errorf("harness: executing %s: %w", u.Name(), err)
+			}
 			curve.Add(pred, cpu)
 			if err := model.Observe(p, cpu); err != nil {
 				return nil, err

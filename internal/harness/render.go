@@ -251,3 +251,24 @@ func RenderCachePolicies(w io.Writer, rows []CachePolicyRow) {
 	}
 	t.Fprint(w)
 }
+
+// RenderChaos prints the chaos experiment's degradation table.
+func RenderChaos(w io.Writer, rows []ChaosCell) {
+	t := Table{
+		Title: "Chaos: accuracy degradation vs fault rate (SIMPLE + WIN, CPU cost;\n" +
+			"faults: corrupted observations, UDF panics, page-read failures, torn catalog writes)",
+		Header: []string{"rate", "NAE", "execs", "failed", "corrupted",
+			"quarantined", "trips", "page-faults", "panics", "tears", "saves", "degraded-loads"},
+	}
+	for _, c := range rows {
+		t.AddRow(
+			fmt.Sprintf("%.2f", c.Rate), f4(c.NAE),
+			fmt.Sprintf("%d", c.Executions), fmt.Sprintf("%d", c.ExecFailures),
+			fmt.Sprintf("%d", c.Corrupted), fmt.Sprintf("%d", c.Quarantined),
+			fmt.Sprintf("%d", c.BreakerTrips), fmt.Sprintf("%d", c.PageFaults),
+			fmt.Sprintf("%d", c.Panics), fmt.Sprintf("%d", c.Tears),
+			fmt.Sprintf("%d", c.Saves), fmt.Sprintf("%d", c.Degraded),
+		)
+	}
+	t.Fprint(w)
+}

@@ -15,12 +15,18 @@ type PageID uint32
 // DefaultPageSize matches a small DBMS page (2 KB).
 const DefaultPageSize = 2048
 
+// ReadFault is a hook consulted on every physical page read; a non-nil
+// return fails the read. Fault-injection harnesses install one to simulate a
+// failing or stalling disk.
+type ReadFault func(PageID) error
+
 // Store is an append-allocated collection of fixed-size pages with physical
 // read accounting. It is safe for concurrent reads after loading.
 type Store struct {
-	pageSize int
-	pages    [][]byte
-	reads    atomic.Int64
+	pageSize  int
+	pages     [][]byte
+	reads     atomic.Int64
+	readFault atomic.Pointer[ReadFault]
 }
 
 // New returns an empty store with the given page size (0 means
@@ -63,12 +69,27 @@ func (s *Store) Write(id PageID, data []byte) error {
 	return nil
 }
 
+// SetReadFault installs (or, with nil, removes) the read-fault hook. It is
+// safe to call concurrently with readers; the default is no hook.
+func (s *Store) SetReadFault(f ReadFault) {
+	if f == nil {
+		s.readFault.Store(nil)
+		return
+	}
+	s.readFault.Store(&f)
+}
+
 // Read performs a physical page read: it counts toward Reads and returns the
 // page contents. The returned slice is the store's own buffer; callers must
 // not modify it.
 func (s *Store) Read(id PageID) ([]byte, error) {
 	if int(id) >= len(s.pages) {
 		return nil, fmt.Errorf("pagestore: read of unallocated page %d (have %d)", id, len(s.pages))
+	}
+	if fp := s.readFault.Load(); fp != nil {
+		if err := (*fp)(id); err != nil {
+			return nil, fmt.Errorf("pagestore: page %d: %w", id, err)
+		}
 	}
 	s.reads.Add(1)
 	return s.pages[id], nil

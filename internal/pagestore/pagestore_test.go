@@ -2,6 +2,7 @@ package pagestore
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -85,5 +86,35 @@ func TestReadCounting(t *testing.T) {
 	s.ResetReads()
 	if s.Reads() != 0 {
 		t.Error("ResetReads did not zero the counter")
+	}
+}
+
+func TestReadFaultHook(t *testing.T) {
+	s, _ := New(32)
+	id := s.Alloc()
+	calls := 0
+	s.SetReadFault(func(got PageID) error {
+		calls++
+		if got != id {
+			t.Errorf("hook saw page %d, want %d", got, id)
+		}
+		if calls == 2 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if _, err := s.Read(id); err != nil {
+		t.Fatalf("unfaulted read failed: %v", err)
+	}
+	if _, err := s.Read(id); err == nil {
+		t.Fatal("faulted read succeeded")
+	}
+	// A failed read must not count as a physical read.
+	if s.Reads() != 1 {
+		t.Errorf("Reads = %d, want 1 (failed read must not count)", s.Reads())
+	}
+	s.SetReadFault(nil)
+	if _, err := s.Read(id); err != nil {
+		t.Fatalf("read after removing hook failed: %v", err)
 	}
 }

@@ -265,7 +265,10 @@ func TestSpatialUDFAdapters(t *testing.T) {
 			for j := range p {
 				p[j] = region.Lo[j] + rng.Float64()*(region.Hi[j]-region.Lo[j])
 			}
-			cpu, io := u.Execute(p)
+			cpu, io, err := u.Execute(p)
+			if err != nil {
+				t.Fatalf("%s: execution failed: %v", u.Name(), err)
+			}
 			if cpu <= 0 || io < 0 {
 				t.Fatalf("%s: suspicious costs (%g, %g) at %v", u.Name(), cpu, io, p)
 			}

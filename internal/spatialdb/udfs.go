@@ -1,6 +1,7 @@
 package spatialdb
 
 import (
+	"fmt"
 	"math"
 
 	"mlq/internal/geom"
@@ -28,16 +29,20 @@ func (u knnUDF) Region() geom.Rect {
 	return geom.MustRect(geom.Point{0, 0, 1}, geom.Point{e, e, 64})
 }
 
-func (u knnUDF) Execute(p geom.Point) (cpu, io float64) {
+func (u knnUDF) Execute(p geom.Point) (cpu, io float64, err error) {
+	// The index is self-generated, so errors only surface when the page
+	// store underneath fails (torn page, injected fault). They are wrapped,
+	// not panicked: a failed page read is a failed UDF execution, never a
+	// process crash.
 	k := int(p[2])
 	if k < 1 {
 		k = 1
 	}
 	_, stats, err := u.db.KNN(p[0], p[1], k)
 	if err != nil {
-		panic(err) // self-generated index: unreachable
+		return 0, 0, fmt.Errorf("spatialdb: KNN at %v: %w", p, err)
 	}
-	return stats.CPU, stats.IO
+	return stats.CPU, stats.IO, nil
 }
 
 // winUDF is the paper's window-search UDF.
@@ -51,13 +56,13 @@ func (u winUDF) Region() geom.Rect {
 	return geom.MustRect(geom.Point{0, 0, 1}, geom.Point{e, e, maxArea})
 }
 
-func (u winUDF) Execute(p geom.Point) (cpu, io float64) {
+func (u winUDF) Execute(p geom.Point) (cpu, io float64, err error) {
 	side := math.Sqrt(p[2])
 	_, stats, err := u.db.Window(p[0]-side/2, p[1]-side/2, side, side)
 	if err != nil {
-		panic(err)
+		return 0, 0, fmt.Errorf("spatialdb: WIN at %v: %w", p, err)
 	}
-	return stats.CPU, stats.IO
+	return stats.CPU, stats.IO, nil
 }
 
 // rangeUDF is the paper's range-search UDF.
@@ -70,12 +75,12 @@ func (u rangeUDF) Region() geom.Rect {
 	return geom.MustRect(geom.Point{0, 0, 1}, geom.Point{e, e, e / 8})
 }
 
-func (u rangeUDF) Execute(p geom.Point) (cpu, io float64) {
+func (u rangeUDF) Execute(p geom.Point) (cpu, io float64, err error) {
 	_, stats, err := u.db.Range(p[0], p[1], p[2])
 	if err != nil {
-		panic(err)
+		return 0, 0, fmt.Errorf("spatialdb: RANGE at %v: %w", p, err)
 	}
-	return stats.CPU, stats.IO
+	return stats.CPU, stats.IO, nil
 }
 
 // UDFs returns the three spatial UDFs bound to this database, in the

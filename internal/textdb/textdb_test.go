@@ -301,7 +301,10 @@ func TestUDFAdapters(t *testing.T) {
 			for j := range p {
 				p[j] = region.Lo[j] + rng.Float64()*(region.Hi[j]-region.Lo[j])
 			}
-			cpu, io := u.Execute(p)
+			cpu, io, err := u.Execute(p)
+			if err != nil {
+				t.Fatalf("%s: execution failed: %v", u.Name(), err)
+			}
 			if cpu < 0 || io < 0 {
 				t.Fatalf("%s: negative costs (%g, %g)", u.Name(), cpu, io)
 			}
@@ -315,8 +318,11 @@ func TestUDFCostDecreasesWithRank(t *testing.T) {
 	db := smallDB(t)
 	u := db.UDFs()[0]
 	cheapRank := float64(db.VocabSize() - 10)
-	cpuLow, _ := u.Execute(geom.Point{0, 2})
-	cpuHigh, _ := u.Execute(geom.Point{cheapRank, 2})
+	cpuLow, _, errLow := u.Execute(geom.Point{0, 2})
+	cpuHigh, _, errHigh := u.Execute(geom.Point{cheapRank, 2})
+	if errLow != nil || errHigh != nil {
+		t.Fatalf("execution failed: %v, %v", errLow, errHigh)
+	}
 	if cpuLow <= cpuHigh {
 		t.Errorf("cost at rank 0 (%g) not above cost at rank %g (%g)", cpuLow, cheapRank, cpuHigh)
 	}

@@ -1,6 +1,8 @@
 package textdb
 
 import (
+	"fmt"
+
 	"mlq/internal/geom"
 	"mlq/internal/udf"
 )
@@ -50,12 +52,16 @@ func (u simpleUDF) Region() geom.Rect {
 	return geom.MustRect(geom.Point{0, 1}, geom.Point{float64(u.db.VocabSize()), 7})
 }
 
-func (u simpleUDF) Execute(p geom.Point) (cpu, io float64) {
+func (u simpleUDF) Execute(p geom.Point) (cpu, io float64, err error) {
+	// The index is self-generated, so errors only surface when the page
+	// store underneath fails (torn page, injected fault). They are wrapped,
+	// not panicked: a failed page read is a failed UDF execution, never a
+	// process crash.
 	_, stats, err := u.db.SearchSimple(u.db.wordsFrom(p[0], int(p[1])))
 	if err != nil {
-		panic(err) // corrupt self-generated index: unreachable
+		return 0, 0, fmt.Errorf("textdb: SIMPLE at %v: %w", p, err)
 	}
-	return stats.CPU, stats.IO
+	return stats.CPU, stats.IO, nil
 }
 
 // threshUDF is the paper's THRESHOLD keyword-search UDF.
@@ -67,12 +73,12 @@ func (u threshUDF) Region() geom.Rect {
 	return geom.MustRect(geom.Point{0, 1}, geom.Point{float64(u.db.VocabSize()), 6})
 }
 
-func (u threshUDF) Execute(p geom.Point) (cpu, io float64) {
+func (u threshUDF) Execute(p geom.Point) (cpu, io float64, err error) {
 	_, stats, err := u.db.SearchThreshold(u.db.wordsFrom(p[0], 5), int(p[1]))
 	if err != nil {
-		panic(err)
+		return 0, 0, fmt.Errorf("textdb: THRESH at %v: %w", p, err)
 	}
-	return stats.CPU, stats.IO
+	return stats.CPU, stats.IO, nil
 }
 
 // proxUDF is the paper's PROXIMITY keyword-search UDF.
@@ -84,12 +90,12 @@ func (u proxUDF) Region() geom.Rect {
 	return geom.MustRect(geom.Point{0, 1}, geom.Point{float64(u.db.VocabSize()), 60})
 }
 
-func (u proxUDF) Execute(p geom.Point) (cpu, io float64) {
+func (u proxUDF) Execute(p geom.Point) (cpu, io float64, err error) {
 	_, stats, err := u.db.SearchProximity(u.db.wordsFrom(p[0], 2), int(p[1]))
 	if err != nil {
-		panic(err)
+		return 0, 0, fmt.Errorf("textdb: PROX at %v: %w", p, err)
 	}
-	return stats.CPU, stats.IO
+	return stats.CPU, stats.IO, nil
 }
 
 // UDFs returns the three text-search UDFs bound to this database, in the

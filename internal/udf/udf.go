@@ -19,6 +19,9 @@ type UDF interface {
 	// Execute runs the UDF for the invocation described by the model
 	// point p and returns its measured execution costs: CPU in abstract
 	// work units (deterministic, reproducible) and IO in physical page
-	// reads (noisy: it depends on the buffer-cache state).
-	Execute(p geom.Point) (cpu, io float64)
+	// reads (noisy: it depends on the buffer-cache state). A non-nil
+	// error means the execution failed (e.g. an unreadable index page)
+	// and produced no costs; a production engine treats that as a failed
+	// predicate evaluation, never as a reason to crash.
+	Execute(p geom.Point) (cpu, io float64, err error)
 }
