@@ -1,7 +1,7 @@
 # Convenience targets for the MLQ reproduction.
 GO ?= go
 
-.PHONY: all build vet test race bench repro repro-quick fuzz chaos clean
+.PHONY: all build vet test race bench repro repro-quick fuzz chaos clean fmt lint check
 
 all: build vet test
 
@@ -10,6 +10,24 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Rewrite the tree into canonical formatting.
+fmt:
+	gofmt -w .
+
+# Formatting, go vet, and the project-specific analyzers (see DESIGN.md
+# "Static analysis & enforced invariants"). Fails if gofmt would change
+# anything or mlqlint reports a finding.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/mlqlint ./...
+
+# The full local gate: what CI enforces.
+check: lint test race
 
 test:
 	$(GO) test ./...

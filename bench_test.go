@@ -14,6 +14,7 @@ import (
 	"mlq/internal/dist"
 	"mlq/internal/engine"
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 	"mlq/internal/harness"
 	"mlq/internal/histogram"
 	"mlq/internal/leo"
@@ -167,7 +168,7 @@ func BenchmarkAblateGamma(b *testing.B) {
 
 func newBenchTree(b *testing.B, strat quadtree.Strategy, memNodes int) *quadtree.Tree {
 	t, err := quadtree.New(quadtree.Config{
-		Region:      geom.MustRect(geom.Point{0, 0, 0, 0}, geom.Point{1000, 1000, 1000, 1000}),
+		Region:      geomtest.MustRect(geom.Point{0, 0, 0, 0}, geom.Point{1000, 1000, 1000, 1000}),
 		Strategy:    strat,
 		MemoryLimit: memNodes * quadtree.DefaultNodeBytes,
 	})
@@ -234,7 +235,7 @@ func BenchmarkCompress(b *testing.B) {
 
 // BenchmarkHistogram measures SH training and prediction.
 func BenchmarkHistogram(b *testing.B) {
-	region := geom.MustRect(geom.Point{0, 0, 0, 0}, geom.Point{1000, 1000, 1000, 1000})
+	region := geomtest.MustRect(geom.Point{0, 0, 0, 0}, geom.Point{1000, 1000, 1000, 1000})
 	pts := randPoints(5000, 10)
 	samples := make([]histogram.Sample, len(pts))
 	for i, p := range pts {
@@ -290,7 +291,7 @@ func BenchmarkOptimizerQuery(b *testing.B) {
 	}
 	for i := 0; i < b.N; i++ {
 		m, err := core.NewMLQ(quadtree.Config{
-			Region:      geom.MustRect(geom.Point{0}, geom.Point{100}),
+			Region:      geomtest.MustRect(geom.Point{0}, geom.Point{100}),
 			MemoryLimit: 1843,
 		})
 		if err != nil {
@@ -317,7 +318,7 @@ func BenchmarkOptimizerQuery(b *testing.B) {
 // BenchmarkNNTrain measures the neural-network baseline's a-priori training
 // cost (the paper's "very slow to train" claim, quantified).
 func BenchmarkNNTrain(b *testing.B) {
-	region := geom.MustRect(geom.Point{0, 0, 0, 0}, geom.Point{1000, 1000, 1000, 1000})
+	region := geomtest.MustRect(geom.Point{0, 0, 0, 0}, geom.Point{1000, 1000, 1000, 1000})
 	pts := randPoints(1000, 21)
 	samples := make([]histogram.Sample, len(pts))
 	for i, p := range pts {
@@ -335,7 +336,7 @@ func BenchmarkNNTrain(b *testing.B) {
 // BenchmarkLEOObserve measures the LEO-style model's per-feedback cost
 // (log append plus amortized analysis pass).
 func BenchmarkLEOObserve(b *testing.B) {
-	region := geom.MustRect(geom.Point{0, 0, 0, 0}, geom.Point{1000, 1000, 1000, 1000})
+	region := geomtest.MustRect(geom.Point{0, 0, 0, 0}, geom.Point{1000, 1000, 1000, 1000})
 	m, err := leo.New(leo.Config{Region: region})
 	if err != nil {
 		b.Fatal(err)

@@ -83,18 +83,43 @@ func buildDB(rows int, seed int64) (*minisql.DB, error) {
 		return nil, err
 	}
 
-	model := func(lo, hi geom.Point) core.Model {
-		m, err := core.NewMLQ(quadtree.Config{
-			Region:      geom.MustRect(lo, hi),
+	model := func(lo, hi geom.Point) (core.Model, error) {
+		region, err := geom.NewRect(lo, hi)
+		if err != nil {
+			return nil, fmt.Errorf("mlqsql: model region: %w", err)
+		}
+		return core.NewMLQ(quadtree.Config{
+			Region:      region,
 			Strategy:    quadtree.Lazy,
 			MemoryLimit: 1843,
 		})
-		if err != nil {
-			panic(err) // static bounds: unreachable
-		}
-		return m
 	}
 	charge := func(cpu, io float64) float64 { return cpu + 10*io }
+
+	winModel, err := model(geom.Point{0, 0, 0}, geom.Point{1000, 1000, 10001})
+	if err != nil {
+		return nil, err
+	}
+	rangeModel, err := model(geom.Point{0, 0, 0}, geom.Point{1000, 1000, 101})
+	if err != nil {
+		return nil, err
+	}
+	knnModel, err := model(geom.Point{0, 0, 1}, geom.Point{1000, 1000, 41})
+	if err != nil {
+		return nil, err
+	}
+	docModel, err := model(geom.Point{0, 1}, geom.Point{vocab, 6})
+	if err != nil {
+		return nil, err
+	}
+	threshModel, err := model(geom.Point{0, 1}, geom.Point{vocab, 5})
+	if err != nil {
+		return nil, err
+	}
+	proxModel, err := model(geom.Point{0, 1}, geom.Point{vocab, 51})
+	if err != nil {
+		return nil, err
+	}
 
 	funcs := []*minisql.Func{
 		{
@@ -103,22 +128,22 @@ func buildDB(rows int, seed int64) (*minisql.DB, error) {
 				side := sqrtPos(a[2])
 				objs, st, err := sdb.Window(a[0]-side/2, a[1]-side/2, side, side)
 				if err != nil {
-					panic(err)
+					return evalFailed("win_count", err)
 				}
 				return float64(len(objs)), charge(st.CPU, st.IO)
 			},
-			Model: model(geom.Point{0, 0, 0}, geom.Point{1000, 1000, 10001}),
+			Model: winModel,
 		},
 		{
 			Name: "range_count", Arity: 3,
 			Eval: func(a []float64) (float64, float64) {
 				objs, st, err := sdb.Range(a[0], a[1], maxF(a[2], 0))
 				if err != nil {
-					panic(err)
+					return evalFailed("range_count", err)
 				}
 				return float64(len(objs)), charge(st.CPU, st.IO)
 			},
-			Model: model(geom.Point{0, 0, 0}, geom.Point{1000, 1000, 101}),
+			Model: rangeModel,
 		},
 		{
 			Name: "knn_dist", Arity: 3,
@@ -129,7 +154,7 @@ func buildDB(rows int, seed int64) (*minisql.DB, error) {
 				}
 				objs, st, err := sdb.KNN(a[0], a[1], k)
 				if err != nil {
-					panic(err)
+					return evalFailed("knn_dist", err)
 				}
 				d := 0.0
 				if len(objs) > 0 {
@@ -138,45 +163,49 @@ func buildDB(rows int, seed int64) (*minisql.DB, error) {
 				}
 				return d, charge(st.CPU, st.IO)
 			},
-			Model: model(geom.Point{0, 0, 1}, geom.Point{1000, 1000, 41}),
+			Model: knnModel,
 		},
 		{
 			Name: "doc_count", Arity: 2,
 			Eval: func(a []float64) (float64, float64) {
 				docs, st, err := tdb.SearchSimple(wordsFrom(tdb, a[0], int(a[1])))
 				if err != nil {
-					panic(err)
+					return evalFailed("doc_count", err)
 				}
 				return float64(len(docs)), charge(st.CPU, st.IO)
 			},
-			Model: model(geom.Point{0, 1}, geom.Point{vocab, 6}),
+			Model: docModel,
 		},
 		{
 			Name: "thresh_count", Arity: 2,
 			Eval: func(a []float64) (float64, float64) {
 				docs, st, err := tdb.SearchThreshold(wordsFrom(tdb, a[0], 5), int(a[1]))
 				if err != nil {
-					panic(err)
+					return evalFailed("thresh_count", err)
 				}
 				return float64(len(docs)), charge(st.CPU, st.IO)
 			},
-			Model: model(geom.Point{0, 1}, geom.Point{vocab, 5}),
+			Model: threshModel,
 		},
 		{
 			Name: "prox_count", Arity: 2,
 			Eval: func(a []float64) (float64, float64) {
 				docs, st, err := tdb.SearchProximity(wordsFrom(tdb, a[0], 2), int(a[1]))
 				if err != nil {
-					panic(err)
+					return evalFailed("prox_count", err)
 				}
 				return float64(len(docs)), charge(st.CPU, st.IO)
 			},
-			Model: model(geom.Point{0, 1}, geom.Point{vocab, 51}),
+			Model: proxModel,
 		},
 	}
 	for _, f := range funcs {
-		f.SelModel = model(f.Model.(*core.MLQ).Tree().Config().Region.Lo,
+		sel, err := model(f.Model.(*core.MLQ).Tree().Config().Region.Lo,
 			f.Model.(*core.MLQ).Tree().Config().Region.Hi)
+		if err != nil {
+			return nil, err
+		}
+		f.SelModel = sel
 		if err := db.AddFunc(f); err != nil {
 			return nil, err
 		}
@@ -205,6 +234,15 @@ func wordsFrom(tdb *textdb.DB, rank float64, n int) []int {
 		words[i] = w
 	}
 	return words
+}
+
+// evalFailed surfaces a UDF execution failure on stderr and reports a zero
+// result at zero cost; the row simply does not pass the predicate. These
+// closures have no error channel, and the old panic(err) here crashed the
+// whole CLI with a stack trace for a single failed page read.
+func evalFailed(name string, err error) (float64, float64) {
+	fmt.Fprintf(os.Stderr, "mlqsql: %s: execution failed: %v\n", name, err)
+	return 0, 0
 }
 
 func sqrtPos(v float64) float64 {

@@ -58,8 +58,12 @@ func run(rows int, seed int64, mem int) error {
 	}
 
 	newModel := func(lo, hi geom.Point) (core.Model, error) {
+		region, err := geom.NewRect(lo, hi)
+		if err != nil {
+			return nil, fmt.Errorf("model region: %w", err)
+		}
 		return core.NewMLQ(quadtree.Config{
-			Region:      geom.MustRect(lo, hi),
+			Region:      region,
 			Strategy:    quadtree.Lazy,
 			MemoryLimit: mem,
 		})
@@ -81,7 +85,11 @@ func run(rows int, seed int64, mem int) error {
 			Exec: func(row engine.Row) (bool, float64) {
 				objs, stats, err := sdb.Window(row[0]-20, row[1]-20, 40, 40)
 				if err != nil {
-					panic(err)
+					// No error channel in Exec: report on stderr and
+					// fail the row instead of crashing the CLI with a
+					// stack trace.
+					fmt.Fprintln(os.Stderr, "udfsim: NearUrbanArea failed:", err)
+					return false, 0
 				}
 				return len(objs) > 0, stats.CPU + 10*stats.IO
 			},
@@ -98,7 +106,8 @@ func run(rows int, seed int64, mem int) error {
 				w := tdb.VocabSize()/2 + int(row[2])/2
 				docs, stats, err := tdb.SearchSimple([]int{w, tdb.VocabSize()/2 + (w+37)%(tdb.VocabSize()/2)})
 				if err != nil {
-					panic(err)
+					fmt.Fprintln(os.Stderr, "udfsim: KeywordsCooccur failed:", err)
+					return false, 0
 				}
 				return len(docs) >= 3, stats.CPU + 10*stats.IO
 			},

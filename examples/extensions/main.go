@@ -24,7 +24,7 @@ func main() {
 	fmt.Println("== categorical arguments ==")
 	factory := func() (core.Model, error) {
 		return core.NewMLQ(quadtree.Config{
-			Region:      geom.MustRect(geom.Point{0}, geom.Point{100}),
+			Region:      mustRect(geom.Point{0}, geom.Point{100}),
 			MemoryLimit: 1843,
 		})
 	}
@@ -52,7 +52,7 @@ func main() {
 	// arguments arrive, keeping what it learned via a reservoir replay.
 	fmt.Println("\n== unknown ranges (auto-expanding region) ==")
 	ar, err := core.NewAutoRange(quadtree.Config{
-		Region:      geom.MustRect(geom.Point{0}, geom.Point{10}),
+		Region:      mustRect(geom.Point{0}, geom.Point{10}),
 		MemoryLimit: 1843,
 	}, 512, 2)
 	if err != nil {
@@ -80,8 +80,12 @@ func main() {
 	io, _ := factory()
 	for i := 0; i < 1000; i++ {
 		x := rng.Float64() * 100
-		cpu.Observe(geom.Point{x}, x*x/10)
-		io.Observe(geom.Point{x}, x/5)
+		if err := cpu.Observe(geom.Point{x}, x*x/10); err != nil {
+			log.Fatal(err)
+		}
+		if err := io.Observe(geom.Point{x}, x/5); err != nil {
+			log.Fatal(err)
+		}
 	}
 	c := catalog.New()
 	if err := c.Put("SimilarityDistance", cpu, io); err != nil {
@@ -101,4 +105,14 @@ func main() {
 	pi, _ := entry.IO.Predict(p)
 	fmt.Printf("catalog persisted %d UDF(s); after reload: cpu(60)=%.1f io(60)=%.1f\n",
 		reloaded.Len(), pc, pi)
+}
+
+// mustRect builds a model region from the example's constant bounds,
+// aborting the demo on the (impossible) malformed case.
+func mustRect(lo, hi geom.Point) geom.Rect {
+	r, err := geom.NewRect(lo, hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
 }

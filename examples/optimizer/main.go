@@ -31,7 +31,7 @@ func main() {
 
 	newModel := func() core.Model {
 		m, err := core.NewMLQ(quadtree.Config{
-			Region:      geom.MustRect(geom.Point{0}, geom.Point{100}),
+			Region:      mustRect(geom.Point{0}, geom.Point{100}),
 			Strategy:    quadtree.Lazy,
 			MemoryLimit: 1843,
 		})
@@ -99,4 +99,14 @@ func main() {
 	fmt.Printf("\nnaive plan cost: %12.0f\n", naive.TotalCost)
 	fmt.Printf("tuned plan cost: %12.0f\n", tuned.TotalCost)
 	fmt.Printf("speedup:         %12.2fx\n", naive.TotalCost/tuned.TotalCost)
+}
+
+// mustRect builds a model region from the example's constant bounds,
+// aborting the demo on the (impossible) malformed case.
+func mustRect(lo, hi geom.Point) geom.Rect {
+	r, err := geom.NewRect(lo, hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
 }

@@ -18,7 +18,7 @@ func main() {
 	// A UDF with two model variables, each ranging over [0, 100).
 	// The model is allowed 1.8 KB of memory — the paper's budget.
 	model, err := core.NewMLQ(quadtree.Config{
-		Region:      geom.MustRect(geom.Point{0, 0}, geom.Point{100, 100}),
+		Region:      mustRect(geom.Point{0, 0}, geom.Point{100, 100}),
 		Strategy:    quadtree.Lazy, // MLQ-L; quadtree.Eager gives MLQ-E
 		MemoryLimit: 1843,
 	})
@@ -70,4 +70,14 @@ func main() {
 		log.Fatalf("reloaded model diverged: %g vs %g", a, b)
 	}
 	fmt.Printf("serialized to %d bytes; reloaded model agrees (%.1f)\n", size, b)
+}
+
+// mustRect builds a model region from the example's constant bounds,
+// aborting the demo on the (impossible) malformed case.
+func mustRect(lo, hi geom.Point) geom.Rect {
+	r, err := geom.NewRect(lo, hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
 }

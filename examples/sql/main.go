@@ -34,7 +34,7 @@ func main() {
 
 	newModel := func(lo, hi geom.Point) core.Model {
 		m, err := core.NewMLQ(quadtree.Config{
-			Region:      geom.MustRect(lo, hi),
+			Region:      mustRect(lo, hi),
 			Strategy:    quadtree.Lazy,
 			MemoryLimit: 1843,
 		})
@@ -107,4 +107,14 @@ func main() {
 	for name, n := range tuned.Stats.Evaluations {
 		fmt.Printf("  %-30s %d\n", name, n)
 	}
+}
+
+// mustRect builds a model region from the example's constant bounds,
+// aborting the demo on the (impossible) malformed case.
+func mustRect(lo, hi geom.Point) geom.Rect {
+	r, err := geom.NewRect(lo, hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
 }

@@ -14,6 +14,7 @@ import (
 	"mlq/internal/core"
 	"mlq/internal/engine"
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 	"mlq/internal/quadtree"
 	"mlq/internal/spatialdb"
 	"mlq/internal/textdb"
@@ -37,7 +38,7 @@ func TestEndToEndSelfTuningAcrossRestart(t *testing.T) {
 
 	newModel := func(lo, hi geom.Point) *core.MLQ {
 		m, err := core.NewMLQ(quadtree.Config{
-			Region:      geom.MustRect(lo, hi),
+			Region:      geomtest.MustRect(lo, hi),
 			Strategy:    quadtree.Lazy,
 			MemoryLimit: 1843,
 		})

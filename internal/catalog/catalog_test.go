@@ -6,6 +6,7 @@ import (
 
 	"mlq/internal/core"
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 	"mlq/internal/histogram"
 	"mlq/internal/quadtree"
 )
@@ -13,7 +14,7 @@ import (
 func trainedMLQ(t *testing.T) *core.MLQ {
 	t.Helper()
 	m, err := core.NewMLQ(quadtree.Config{
-		Region:      geom.MustRect(geom.Point{0, 0}, geom.Point{100, 100}),
+		Region:      geomtest.MustRect(geom.Point{0, 0}, geom.Point{100, 100}),
 		MemoryLimit: 1843,
 	})
 	if err != nil {
@@ -28,7 +29,7 @@ func trainedMLQ(t *testing.T) *core.MLQ {
 func trainedSH(t *testing.T) *histogram.Histogram {
 	t.Helper()
 	h, err := histogram.Train(histogram.EquiWidth, histogram.Config{
-		Region: geom.MustRect(geom.Point{0, 0}, geom.Point{100, 100}),
+		Region: geomtest.MustRect(geom.Point{0, 0}, geom.Point{100, 100}),
 	}, []histogram.Sample{
 		{Point: geom.Point{10, 10}, Value: 5},
 		{Point: geom.Point{90, 90}, Value: 50},

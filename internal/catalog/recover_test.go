@@ -222,9 +222,9 @@ func FuzzRecover(f *testing.F) {
 	valid := buf.Bytes()
 
 	f.Add(uint32(0), uint8(0))
-	f.Add(uint32(4), uint8(1))   // version field
-	f.Add(uint32(12), uint8(7))  // first entry magic
-	f.Add(uint32(20), uint8(3))  // first entry CRC
+	f.Add(uint32(4), uint8(1))  // version field
+	f.Add(uint32(12), uint8(7)) // first entry magic
+	f.Add(uint32(20), uint8(3)) // first entry CRC
 	f.Add(uint32(len(valid)-1), uint8(2))
 	f.Fuzz(func(t *testing.T, off uint32, bit uint8) {
 		data := append([]byte(nil), valid...)

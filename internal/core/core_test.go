@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 	"mlq/internal/histogram"
 	"mlq/internal/quadtree"
 )
@@ -13,7 +14,7 @@ import (
 func newTestMLQ(t *testing.T, strat quadtree.Strategy) *MLQ {
 	t.Helper()
 	m, err := NewMLQ(quadtree.Config{
-		Region:      geom.MustRect(geom.Point{0, 0}, geom.Point{100, 100}),
+		Region:      geomtest.MustRect(geom.Point{0, 0}, geom.Point{100, 100}),
 		Strategy:    strat,
 		MemoryLimit: 50 * quadtree.DefaultNodeBytes,
 	})
@@ -125,7 +126,7 @@ func TestReadMLQRejectsGarbage(t *testing.T) {
 
 func TestHistogramSatisfiesModel(t *testing.T) {
 	h, err := histogram.Train(histogram.EquiWidth, histogram.Config{
-		Region: geom.MustRect(geom.Point{0}, geom.Point{10}),
+		Region: geomtest.MustRect(geom.Point{0}, geom.Point{10}),
 	}, []histogram.Sample{{Point: geom.Point{1}, Value: 5}})
 	if err != nil {
 		t.Fatal(err)
@@ -143,7 +144,7 @@ func TestEstimatorTransform(t *testing.T) {
 	// UDF(start, end) modeled by elapsed = end - start, the paper's §3
 	// example of a transformation T.
 	m, err := NewMLQ(quadtree.Config{
-		Region:      geom.MustRect(geom.Point{0}, geom.Point{1000}),
+		Region:      geomtest.MustRect(geom.Point{0}, geom.Point{1000}),
 		MemoryLimit: 1 << 20,
 	})
 	if err != nil {

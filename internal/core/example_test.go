@@ -5,6 +5,7 @@ import (
 
 	"mlq/internal/core"
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 	"mlq/internal/quadtree"
 )
 
@@ -12,7 +13,7 @@ import (
 // variables (§3): a UDF over (start, end) modeled by elapsed = end − start.
 func ExampleEstimator() {
 	model, err := core.NewMLQ(quadtree.Config{
-		Region:      geom.MustRect(geom.Point{0}, geom.Point{1000}),
+		Region:      geomtest.MustRect(geom.Point{0}, geom.Point{1000}),
 		MemoryLimit: 1843,
 	})
 	if err != nil {
@@ -37,7 +38,7 @@ func ExampleEstimator() {
 func ExampleDualEstimator() {
 	mk := func(beta int) core.Model {
 		m, err := core.NewMLQ(quadtree.Config{
-			Region:      geom.MustRect(geom.Point{0}, geom.Point{100}),
+			Region:      geomtest.MustRect(geom.Point{0}, geom.Point{100}),
 			Beta:        beta,
 			MemoryLimit: 1843,
 		})

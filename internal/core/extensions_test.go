@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 	"mlq/internal/quadtree"
 )
 
@@ -13,7 +14,7 @@ func smallFactory(t *testing.T) func() (Model, error) {
 	t.Helper()
 	return func() (Model, error) {
 		return NewMLQ(quadtree.Config{
-			Region:      geom.MustRect(geom.Point{0}, geom.Point{100}),
+			Region:      geomtest.MustRect(geom.Point{0}, geom.Point{100}),
 			MemoryLimit: 40 * quadtree.DefaultNodeBytes,
 		})
 	}
@@ -102,7 +103,7 @@ func TestCategoricalFactoryErrorPropagates(t *testing.T) {
 
 func autoRangeCfg() quadtree.Config {
 	return quadtree.Config{
-		Region:      geom.MustRect(geom.Point{0, 0}, geom.Point{10, 10}),
+		Region:      geomtest.MustRect(geom.Point{0, 0}, geom.Point{10, 10}),
 		MemoryLimit: 1 << 16,
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 )
 
 func TestNewZipfValidation(t *testing.T) {
@@ -83,7 +84,7 @@ func TestZipfZeroExponentIsUniform(t *testing.T) {
 }
 
 func region4() geom.Rect {
-	return geom.MustRect(geom.Point{0, 0, 0, 0}, geom.Point{1000, 1000, 1000, 1000})
+	return geomtest.MustRect(geom.Point{0, 0, 0, 0}, geom.Point{1000, 1000, 1000, 1000})
 }
 
 func TestUniformInRegion(t *testing.T) {
@@ -101,7 +102,7 @@ func TestUniformInRegion(t *testing.T) {
 }
 
 func TestUniformCoversSpace(t *testing.T) {
-	r := geom.MustRect(geom.Point{0}, geom.Point{1})
+	r := geomtest.MustRect(geom.Point{0}, geom.Point{1})
 	u := NewUniform(r, 2)
 	var lowHalf int
 	const n = 10000

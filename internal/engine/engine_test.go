@@ -6,13 +6,14 @@ import (
 
 	"mlq/internal/core"
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 	"mlq/internal/quadtree"
 )
 
 func newModel(t *testing.T) *core.MLQ {
 	t.Helper()
 	m, err := core.NewMLQ(quadtree.Config{
-		Region:      geom.MustRect(geom.Point{0}, geom.Point{100}),
+		Region:      geomtest.MustRect(geom.Point{0}, geom.Point{100}),
 		MemoryLimit: 1 << 16,
 	})
 	if err != nil {

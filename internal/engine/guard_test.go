@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"mlq/internal/geom"
+)
+
+// These tests pin down the breaker's full state machine transition by
+// transition: the exact opening boundary, the exact probe cadence while
+// open, the failed-probe path (stays open, no double-counted trip), and a
+// full recover-then-relapse cycle. harden_test.go covers the happy paths;
+// here the timing is asserted feed by feed.
+
+func TestGuardOpensAtExactlyKRejections(t *testing.T) {
+	const k = 5
+	g := Guard{K: k}
+	m := &flakyModel{observeErr: errors.New("full")}
+	for i := 1; i <= k; i++ {
+		if r := g.Feed(m, geom.Point{0}, 1); r != FedRejected {
+			t.Fatalf("feed %d = %v, want FedRejected", i, r)
+		}
+		if open := g.Open(); open != (i == k) {
+			t.Fatalf("after %d rejections open=%v, want %v (K=%d)", i, open, i == k, k)
+		}
+	}
+	if s := g.Stats(); s.Trips != 1 || s.Rejected != k {
+		t.Errorf("stats = %+v, want Trips=1 Rejected=%d", s, k)
+	}
+}
+
+func TestGuardProbeCadenceWhileOpen(t *testing.T) {
+	const probeEvery = 4
+	g := Guard{K: 1, ProbeEvery: probeEvery}
+	m := &flakyModel{observeErr: errors.New("down")}
+	if r := g.Feed(m, geom.Point{0}, 1); r != FedRejected || !g.Open() {
+		t.Fatalf("feed = %v open=%v, want FedRejected with open breaker", r, g.Open())
+	}
+	// While the model stays broken, exactly every probeEvery-th observation
+	// is a probe (FedRejected, reaching the model); the rest are skipped.
+	seen := m.observeSeen
+	for i := 1; i <= 3*probeEvery; i++ {
+		r := g.Feed(m, geom.Point{0}, 1)
+		if i%probeEvery == 0 {
+			if r != FedRejected {
+				t.Fatalf("observation %d = %v, want FedRejected probe", i, r)
+			}
+		} else if r != FedSkipped {
+			t.Fatalf("observation %d = %v, want FedSkipped", i, r)
+		}
+	}
+	if got := m.observeSeen - seen; got != 3 {
+		t.Errorf("model saw %d probe attempts, want 3", got)
+	}
+}
+
+func TestGuardFailedProbeStaysOpen(t *testing.T) {
+	g := Guard{K: 2, ProbeEvery: 3}
+	m := &flakyModel{observeErr: errors.New("down")}
+	g.Feed(m, geom.Point{0}, 1)
+	g.Feed(m, geom.Point{0}, 1)
+	if !g.Open() {
+		t.Fatal("breaker not open after K rejections")
+	}
+	// Drive through several failed probes: the breaker must remain open the
+	// whole time, and the original trip must not be recounted.
+	for i := 0; i < 10; i++ {
+		g.Feed(m, geom.Point{0}, 1)
+		if !g.Open() {
+			t.Fatalf("failed probe re-closed the breaker (observation %d)", i+1)
+		}
+	}
+	if s := g.Stats(); s.Trips != 1 {
+		t.Errorf("Trips = %d, want 1: a failed probe is the same outage, not a new trip", s.Trips)
+	}
+}
+
+func TestGuardProbeSuccessClosesThenRelapseReopens(t *testing.T) {
+	g := Guard{K: 2, ProbeEvery: 3}
+	m := &flakyModel{observeErr: errors.New("down")}
+	g.Feed(m, geom.Point{0}, 1)
+	g.Feed(m, geom.Point{0}, 1)
+	if !g.Open() {
+		t.Fatal("breaker not open")
+	}
+	// Recovery: the next probe (3rd open observation) must close it.
+	m.observeErr = nil
+	for i := 1; i <= 2; i++ {
+		if r := g.Feed(m, geom.Point{0}, 1); r != FedSkipped {
+			t.Fatalf("pre-probe observation %d = %v, want FedSkipped", i, r)
+		}
+	}
+	if r := g.Feed(m, geom.Point{0}, 1); r != FedOK {
+		t.Fatalf("probe = %v, want FedOK", r)
+	}
+	if g.Open() {
+		t.Fatal("accepted probe did not close the breaker")
+	}
+	// Closed again: observations flow to the model immediately.
+	if r := g.Feed(m, geom.Point{0}, 1); r != FedOK {
+		t.Fatalf("post-close feed = %v, want FedOK", r)
+	}
+	// Relapse: a fresh run of K consecutive rejections is a second trip.
+	m.observeErr = errors.New("down again")
+	g.Feed(m, geom.Point{0}, 1)
+	if g.Open() {
+		t.Fatal("breaker opened one rejection early after re-close")
+	}
+	g.Feed(m, geom.Point{0}, 1)
+	if !g.Open() {
+		t.Fatal("breaker did not re-open after K fresh rejections")
+	}
+	if s := g.Stats(); s.Trips != 2 {
+		t.Errorf("Trips = %d, want 2", s.Trips)
+	}
+}
+
+func TestGuardZeroValueUsesDefaults(t *testing.T) {
+	var g Guard
+	m := &flakyModel{observeErr: errors.New("full")}
+	for i := 1; i <= DefaultBreakerK; i++ {
+		g.Feed(m, geom.Point{0}, 1)
+		if open := g.Open(); open != (i == DefaultBreakerK) {
+			t.Fatalf("after %d rejections open=%v, want %v (default K=%d)",
+				i, open, i == DefaultBreakerK, DefaultBreakerK)
+		}
+	}
+	// The first probe lands on the DefaultProbeEvery-th open observation.
+	seen := m.observeSeen
+	for i := 1; i < DefaultProbeEvery; i++ {
+		if r := g.Feed(m, geom.Point{0}, 1); r != FedSkipped {
+			t.Fatalf("observation %d = %v, want FedSkipped", i, r)
+		}
+	}
+	if r := g.Feed(m, geom.Point{0}, 1); r != FedRejected {
+		t.Fatalf("default probe = %v, want FedRejected", r)
+	}
+	if got := m.observeSeen - seen; got != 1 {
+		t.Errorf("model saw %d attempts while open, want exactly the probe", got)
+	}
+}

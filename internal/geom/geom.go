@@ -63,16 +63,6 @@ func NewRect(lo, hi Point) (Rect, error) {
 	return Rect{Lo: lo.Clone(), Hi: hi.Clone()}, nil
 }
 
-// MustRect is NewRect that panics on malformed bounds. Intended for tests and
-// package-level defaults.
-func MustRect(lo, hi Point) Rect {
-	r, err := NewRect(lo, hi)
-	if err != nil {
-		panic(err)
-	}
-	return r
-}
-
 // UnitCube returns the rectangle [0,1)^d.
 func UnitCube(d int) Rect {
 	lo := make(Point, d)

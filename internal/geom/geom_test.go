@@ -32,6 +32,16 @@ func TestNewRectValidation(t *testing.T) {
 	}
 }
 
+// MustRect is a fixture helper: geomtest.MustRect cannot be used here
+// because this is an in-package test (geomtest imports geom).
+func MustRect(lo, hi Point) Rect {
+	r, err := NewRect(lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
 func TestMustRectPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

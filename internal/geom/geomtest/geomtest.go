@@ -1,0 +1,19 @@
+// Package geomtest provides test-support helpers for building geometry
+// values from literals without error plumbing. It is imported only by
+// _test.go files; library and command code must use geom.NewRect and handle
+// the error (the nopanic analyzer pins this: geomtest is the one allowlisted
+// panic site besides the fault injector).
+package geomtest
+
+import "mlq/internal/geom"
+
+// MustRect is geom.NewRect that panics on malformed bounds. Test fixtures
+// use compile-time-constant bounds, so a panic here is a bug in the test
+// itself, never a runtime condition.
+func MustRect(lo, hi geom.Point) geom.Rect {
+	r, err := geom.NewRect(lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -171,9 +171,11 @@ func Chaos(cfg ChaosConfig, opts Options) ([]ChaosCell, error) {
 		if err != nil {
 			return nil, fmt.Errorf("chaos: rate %g: %w", rate, err)
 		}
+		//lint:ignore floatguard the rate grid uses literal 0 as the no-fault cell
 		if rate == 0 {
 			// Transparency: an armed-but-idle injector must not perturb the
 			// run by a single bit.
+			//lint:ignore floatguard the transparency check demands bit-exact equality
 			if cell.NAE != baseline.NAE {
 				return nil, fmt.Errorf("chaos: rate-0 NAE %v != non-chaos baseline %v — injector is not transparent when idle",
 					cell.NAE, baseline.NAE)

@@ -89,9 +89,11 @@ func (o Options) withDefaults() Options {
 	if o.Beta == 0 {
 		o.Beta = 1
 	}
+	//lint:ignore floatguard exact zero is the documented unset-field sentinel
 	if o.Alpha == 0 {
 		o.Alpha = 0.05
 	}
+	//lint:ignore floatguard exact zero is the documented unset-field sentinel
 	if o.Gamma == 0 {
 		o.Gamma = 0.001
 	}

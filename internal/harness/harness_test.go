@@ -6,6 +6,7 @@ import (
 
 	"mlq/internal/dist"
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 	"mlq/internal/histogram"
 	"mlq/internal/synthetic"
 )
@@ -35,7 +36,7 @@ func TestMethodNamesAndSelfTuning(t *testing.T) {
 }
 
 func TestNewModelAllMethods(t *testing.T) {
-	region := geom.MustRect(geom.Point{0, 0}, geom.Point{10, 10})
+	region := geomtest.MustRect(geom.Point{0, 0}, geom.Point{10, 10})
 	training := []histogram.Sample{{Point: geom.Point{1, 1}, Value: 5}}
 	for _, m := range Methods() {
 		model, err := NewModel(m, region, Options{}, training)

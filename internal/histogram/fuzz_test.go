@@ -5,12 +5,13 @@ import (
 	"testing"
 
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 )
 
 // FuzzRead feeds arbitrary bytes to the histogram decoder: it must never
 // panic, and anything it accepts must predict without crashing.
 func FuzzRead(f *testing.F) {
-	h, err := Train(EquiHeight, Config{Region: geom.MustRect(geom.Point{0, 0}, geom.Point{10, 10})},
+	h, err := Train(EquiHeight, Config{Region: geomtest.MustRect(geom.Point{0, 0}, geom.Point{10, 10})},
 		[]Sample{
 			{Point: geom.Point{1, 1}, Value: 5},
 			{Point: geom.Point{9, 9}, Value: 50},

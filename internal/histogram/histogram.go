@@ -239,10 +239,16 @@ func (h *Histogram) Predict(p geom.Point) (float64, bool) {
 		return 0, false
 	}
 	i := h.bucketIndex(h.region.Clamp(p))
-	if h.counts[i] == 0 {
-		return h.global, true
+	v := h.global
+	if h.counts[i] != 0 {
+		v = h.sums[i] / float64(h.counts[i])
 	}
-	return h.sums[i] / float64(h.counts[i]), true
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		// Train rejects non-finite samples, so this means summary
+		// corruption; report "untrained" rather than emit the value.
+		return 0, false
+	}
+	return v, true
 }
 
 // Observe is a no-op: SH models are static and do not self-tune. It exists

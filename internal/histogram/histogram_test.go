@@ -6,10 +6,11 @@ import (
 	"testing"
 
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 )
 
 func region2() geom.Rect {
-	return geom.MustRect(geom.Point{0, 0}, geom.Point{100, 100})
+	return geomtest.MustRect(geom.Point{0, 0}, geom.Point{100, 100})
 }
 
 func TestKindString(t *testing.T) {
@@ -139,7 +140,7 @@ func TestEquiHeightEmptyTrainingDegeneratesToEquiWidth(t *testing.T) {
 func TestIntervalsDerivedFromMemory(t *testing.T) {
 	// d=4, bucket 12 bytes: 2^4*12=192 fits in 1.8KB; 3^4*12=972 fits;
 	// 4^4*12=3072 does not. So SH-W gets 3 intervals per dim.
-	region := geom.MustRect(geom.Point{0, 0, 0, 0}, geom.Point{1, 1, 1, 1})
+	region := geomtest.MustRect(geom.Point{0, 0, 0, 0}, geom.Point{1, 1, 1, 1})
 	h, err := Train(EquiWidth, Config{Region: region}, nil)
 	if err != nil {
 		t.Fatal(err)

@@ -129,7 +129,14 @@ func (m *Model) Predict(p geom.Point) (float64, bool) {
 	if m.count == 0 {
 		return 0, false
 	}
-	return m.base() * m.ratio[m.cell(p)], true
+	v := m.base() * m.ratio[m.cell(p)]
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		// Observe rejects non-finite costs, so a non-finite product can
+		// only come from a corrupted adjustment ratio; report "no
+		// information" instead of poisoning the plan.
+		return 0, false
+	}
+	return v, true
 }
 
 // Observe implements core.Model: it logs the execution (with the estimate

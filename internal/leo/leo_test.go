@@ -6,9 +6,10 @@ import (
 	"testing"
 
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 )
 
-func region2() geom.Rect { return geom.MustRect(geom.Point{0, 0}, geom.Point{100, 100}) }
+func region2() geom.Rect { return geomtest.MustRect(geom.Point{0, 0}, geom.Point{100, 100}) }
 
 func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DeterTime enforces plan determinism: given the same trace of observed
+// costs, the engine must order predicates the same way, the optimizer must
+// pick the same plan, and the quadtree must make the same compression
+// decisions. time.Now() in those code paths makes a plan choice depend on
+// wall-clock scheduling noise, which is impossible to replay or debug.
+//
+// Scope is the decision packages only (engine, optimizer, quadtree). Pure
+// measurement sites inside them — stopwatches around work that already
+// happened, feeding the paper's APC/AUC accounting rather than any decision
+// — are suppressed inline with //lint:ignore detertime <reason>, keeping
+// each exemption justified at the site.
+type DeterTime struct{}
+
+func (DeterTime) Name() string { return "detertime" }
+func (DeterTime) Doc() string {
+	return "no time.Now() in planning/decision code paths (plan determinism invariant)"
+}
+
+// deterTimePackages are the decision code paths under the rule.
+var deterTimePackages = map[string]bool{
+	"mlq/internal/engine":    true,
+	"mlq/internal/optimizer": true,
+	"mlq/internal/quadtree":  true,
+}
+
+func (DeterTime) Run(pkg *Package) []Finding {
+	if !deterTimePackages[pkg.Path] {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(pkg, call); fn != nil && isPkgFunc(fn, "time", "Now") {
+				out = append(out, finding(pkg, "detertime", call.Pos(),
+					"time.Now() in a planning/decision code path; plan choice must be deterministic given a trace"))
+			}
+			return true
+		})
+	}
+	return out
+}

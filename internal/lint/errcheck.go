@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrcheckCore flags dropped error returns at the feedback loop's own
+// seams, where a swallowed error silently severs the self-tuning cycle of
+// Fig. 1:
+//
+//   - Model.Observe — a dropped error means the model silently stops
+//     learning (or worse, the caller assumes it did learn);
+//   - udf.Execute — a dropped error turns a failed execution into a bogus
+//     zero-cost observation;
+//   - catalog.SaveFile / catalog.LoadFile — a dropped error loses trained
+//     models across restarts.
+//
+// A call site is flagged when the error result is discarded: the call is a
+// bare statement, the error position is assigned to _, or the call runs
+// under go/defer where the result is unrecoverable.
+type ErrcheckCore struct{}
+
+func (ErrcheckCore) Name() string { return "errcheck-core" }
+func (ErrcheckCore) Doc() string {
+	return "never drop errors from Model.Observe, udf.Execute, or catalog SaveFile/LoadFile (feedback-loop integrity)"
+}
+
+// coreErrCall reports whether the call is one of the watched seams and, if
+// so, which result index carries the error.
+func coreErrCall(pkg *Package, call *ast.CallExpr) (label string, errIndex int, ok bool) {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return "", 0, false
+	}
+	sig := fn.Type().(*types.Signature)
+	res := sig.Results()
+	errIndex = -1
+	for i := 0; i < res.Len(); i++ {
+		if named, okN := res.At(i).Type().(*types.Named); okN && named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			errIndex = i
+		}
+	}
+	if errIndex < 0 {
+		return "", 0, false
+	}
+	switch {
+	case sig.Recv() != nil && fn.Name() == "Observe":
+		return fn.Name(), errIndex, true
+	case sig.Recv() != nil && fn.Name() == "Execute":
+		return fn.Name(), errIndex, true
+	case fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "/catalog") &&
+		(fn.Name() == "SaveFile" || fn.Name() == "LoadFile"):
+		return "catalog." + fn.Name(), errIndex, true
+	}
+	return "", 0, false
+}
+
+func (ErrcheckCore) Run(pkg *Package) []Finding {
+	var out []Finding
+	report := func(call *ast.CallExpr, label string) {
+		out = append(out, finding(pkg, "errcheck-core", call.Pos(),
+			"%s error is dropped; a swallowed error here severs the feedback loop", label))
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if label, _, ok := coreErrCall(pkg, call); ok {
+						report(call, label)
+					}
+				}
+			case *ast.GoStmt:
+				if label, _, ok := coreErrCall(pkg, n.Call); ok {
+					report(n.Call, label)
+				}
+			case *ast.DeferStmt:
+				if label, _, ok := coreErrCall(pkg, n.Call); ok {
+					report(n.Call, label)
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				label, errIndex, ok := coreErrCall(pkg, call)
+				if !ok || errIndex >= len(n.Lhs) {
+					return true
+				}
+				if id, ok := n.Lhs[errIndex].(*ast.Ident); ok && id.Name == "_" {
+					report(call, label)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatGuard enforces the finite-cost invariant of §4.2: the SSE/SSEG
+// bookkeeping that drives compression corrupts silently once a NaN or Inf
+// enters a node summary, and float equality is both NaN-hostile (NaN != NaN)
+// and rounding-fragile. Two rules:
+//
+//  1. No ==/!= between floating-point expressions. Compare against an
+//     epsilon, restructure, or — where exact equality is genuinely meant,
+//     e.g. an untouched-sentinel check — suppress with a justified
+//     //lint:ignore floatguard <reason>.
+//
+//  2. Cost-producing functions (Predict*/Estimate*/Execute* returning
+//     floats) must guard their return path with math.IsNaN/math.IsInf (or a
+//     recognized wrapper such as core.ValidCost), unless they are pure
+//     delegators whose float results come directly from another
+//     cost-producing call — the guard then lives in the delegate.
+type FloatGuard struct{}
+
+func (FloatGuard) Name() string { return "floatguard" }
+func (FloatGuard) Doc() string {
+	return "no float ==/!=; cost-returning functions must NaN/Inf-guard their return path (finite-cost invariant)"
+}
+
+func (FloatGuard) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if f := checkFloatEq(pkg, n); f != nil {
+					out = append(out, *f)
+				}
+			case *ast.FuncDecl:
+				if f := checkCostGuard(pkg, n); f != nil {
+					out = append(out, *f)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// typeHasFloat reports whether t is a float or a tuple (multi-value call
+// result) with a float element.
+func typeHasFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isFloat(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isFloat(t)
+}
+
+func checkFloatEq(pkg *Package, expr *ast.BinaryExpr) *Finding {
+	if expr.Op != token.EQL && expr.Op != token.NEQ {
+		return nil
+	}
+	xt, yt := pkg.Info.Types[expr.X], pkg.Info.Types[expr.Y]
+	if xt.Type == nil || yt.Type == nil || (!isFloat(xt.Type) && !isFloat(yt.Type)) {
+		return nil
+	}
+	// A comparison between two compile-time constants is exact by
+	// definition and cannot be perturbed at run time.
+	if xt.Value != nil && yt.Value != nil {
+		return nil
+	}
+	f := finding(pkg, "floatguard", expr.OpPos,
+		"floating-point %s comparison: NaN-hostile and rounding-fragile; use an epsilon or justify with //lint:ignore", expr.Op)
+	return &f
+}
+
+// costFuncName reports whether name denotes a cost-producing function under
+// rule 2.
+func costFuncName(name string) bool {
+	return strings.HasPrefix(name, "Predict") ||
+		strings.HasPrefix(name, "Estimate") ||
+		strings.HasPrefix(name, "Execute")
+}
+
+// guardNames are callees accepted as finite-ness guards: the math
+// predicates themselves plus this repo's wrappers around them.
+var guardNames = map[string]bool{
+	"IsNaN":      true, // math.IsNaN
+	"IsInf":      true, // math.IsInf
+	"ValidCost":  true, // core.ValidCost
+	"CheckCosts": true, // udf.CheckCosts
+	"finiteAvg":  true, // quadtree's guarded block-average accessor
+}
+
+func checkCostGuard(pkg *Package, fd *ast.FuncDecl) *Finding {
+	if fd.Body == nil || !costFuncName(fd.Name.Name) {
+		return nil
+	}
+	if fd.Type.Results == nil {
+		return nil
+	}
+	returnsFloat := false
+	for _, field := range fd.Type.Results.List {
+		if tv := pkg.Info.Types[field.Type]; tv.Type != nil && isFloat(tv.Type) {
+			returnsFloat = true
+		}
+	}
+	if !returnsFloat {
+		return nil
+	}
+
+	guarded := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || guarded {
+			return !guarded
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if guardNames[fun.Name] {
+				guarded = true
+			}
+		case *ast.SelectorExpr:
+			if guardNames[fun.Sel.Name] {
+				guarded = true
+			}
+		}
+		return !guarded
+	})
+	if guarded {
+		return nil
+	}
+
+	// Pure delegator check: every return hands the float results straight
+	// to another cost-producing call — directly (`return m.Predict(p)`),
+	// via a variable assigned from one (`v, ok := m.Predict(p); return
+	// v, ok`, the shape of the timing wrappers), or returns only constants
+	// (the "no data" path, `return 0, false`). The guard then lives in the
+	// delegate; instrumentation wrappers stay clean.
+	delegated := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pkg, call); fn == nil || !costFuncName(fn.Name()) {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					delegated[obj] = true
+				} else if obj := pkg.Info.Uses[id]; obj != nil {
+					delegated[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	namedResults := make(map[types.Object]bool)
+	for _, field := range fd.Type.Results.List {
+		for _, name := range field.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				namedResults[obj] = true
+			}
+		}
+	}
+	delegator := true
+	hasReturn := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		// Do not descend into function literals: their returns are not
+		// this function's returns.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		hasReturn = true
+		if len(ret.Results) == 0 {
+			// Bare return: every named float result must have been
+			// assigned from a cost-producing call.
+			for obj := range namedResults {
+				if isFloat(obj.Type()) && !delegated[obj] {
+					delegator = false
+				}
+			}
+			return true
+		}
+		for _, res := range ret.Results {
+			res := ast.Unparen(res)
+			tv := pkg.Info.Types[res]
+			if tv.Value != nil {
+				continue // constant: nothing to guard
+			}
+			if !typeHasFloat(tv.Type) {
+				continue // ok/err/etc. results need no finite-ness guard
+			}
+			if call, ok := res.(*ast.CallExpr); ok {
+				if fn := calleeFunc(pkg, call); fn != nil && costFuncName(fn.Name()) {
+					continue
+				}
+			}
+			if id, ok := res.(*ast.Ident); ok && delegated[pkg.Info.Uses[id]] {
+				continue
+			}
+			delegator = false
+		}
+		return true
+	})
+	if delegator && hasReturn {
+		return nil
+	}
+
+	f := finding(pkg, "floatguard", fd.Name.Pos(),
+		"%s returns a cost without a math.IsNaN/math.IsInf guard on its return path (finite-cost invariant)", fd.Name.Name)
+	return &f
+}

@@ -1,0 +1,215 @@
+// Package lint is mlqlint's analysis framework: a standard-library-only
+// static-analysis driver (go/ast + go/parser + go/types) with five
+// project-specific analyzers that enforce the cost-model invariants the
+// paper's feedback loop (Fig. 1) assumes implicitly:
+//
+//   - nopanic: library code reports errors, it never panics (the PR 1 UDF
+//     error contract).
+//   - floatguard: costs stay finite — no float ==/!= comparisons, and
+//     cost-returning functions guard NaN/Inf on the return path (the SSE /
+//     SSEG math of §4.2 corrupts silently otherwise).
+//   - seededrand: experiments are replayable — no global math/rand state,
+//     no wall-clock seeds (§5.1's synthetic generator is fully seeded).
+//   - detertime: plan choice is deterministic given a trace — no time.Now
+//     in planning or compression-decision code paths.
+//   - errcheck-core: the feedback loop's own error returns (Model.Observe,
+//     udf.Execute, catalog save/load) are never dropped.
+//
+// Findings can be suppressed at the site with a justified comment:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it. The reason is
+// mandatory: an unexplained suppression does not suppress.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// Package is one type-checked package handed to analyzers.
+type Package struct {
+	Path  string // import path, e.g. "mlq/internal/geom"
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Analyzer is one lint rule.
+type Analyzer interface {
+	// Name is the identifier used by enable flags and //lint:ignore.
+	Name() string
+	// Doc is a one-line description of the enforced invariant.
+	Doc() string
+	// Run reports the rule's violations in pkg.
+	Run(pkg *Package) []Finding
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []Analyzer {
+	return []Analyzer{
+		NoPanic{},
+		FloatGuard{},
+		SeededRand{},
+		DeterTime{},
+		ErrcheckCore{},
+	}
+}
+
+// Run applies the analyzers to every package, drops suppressed findings,
+// and returns the remainder sorted by position.
+func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		for _, a := range analyzers {
+			for _, f := range a.Run(pkg) {
+				if !sup.matches(a.Name(), f.Pos) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// ignoreRe matches "//lint:ignore <analyzer>[,<analyzer>...] <reason>".
+// The reason group is mandatory.
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+([A-Za-z0-9_,-]+)\s+(\S.*)$`)
+
+// suppressions maps file -> line -> set of ignored analyzer names. An
+// ignore comment covers its own line and the line below it, so both
+// trailing ("stmt //lint:ignore ...") and preceding-line placement work.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) matches(analyzer string, pos token.Position) bool {
+	lines, ok := s[pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, ln := range [2]int{pos.Line, pos.Line - 1} {
+		if set, ok := lines[ln]; ok && (set[analyzer] || set["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+func collectSuppressions(pkg *Package) suppressions {
+	s := make(suppressions)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := s[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					s[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[pos.Line] = set
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					set[name] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// finding builds a Finding at a node's position.
+func finding(pkg *Package, name string, pos token.Pos, format string, args ...any) Finding {
+	return Finding{
+		Analyzer: name,
+		Pos:      pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// isInternal reports whether the package lives under <module>/internal/,
+// the scope most analyzers confine themselves to: library code enforces the
+// contracts, while examples and main packages are allowed more latitude
+// (their violations are caught by the rules that do apply repo-wide).
+func isInternal(pkg *Package) bool {
+	return strings.Contains(pkg.Path, "/internal/")
+}
+
+// enclosingFuncName returns the name of the innermost function declaration
+// containing pos ("" when pos is not inside any FuncDecl, e.g. a var
+// initializer). Methods report their bare name, matching how allowlists
+// name them.
+func enclosingFuncName(file *ast.File, pos token.Pos) string {
+	name := ""
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			if fd.Pos() <= pos && pos <= fd.End() {
+				name = fd.Name.Name
+			}
+		}
+		return true
+	})
+	return name
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes, nil
+// for builtins, conversions, and calls of function-typed values.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPkgFunc reports whether the object is the package-level function
+// pkgPath.name.
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}

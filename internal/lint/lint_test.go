@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden tests load fixture packages from testdata/src (which the
+// normal "./..." walk skips) under synthetic import paths, so the
+// package-path scope rules — internal-only analyzers, the detertime
+// decision-package list, the nopanic allowlist — apply to fixtures exactly
+// as they do to real code. Expected findings are marked in the fixtures
+// with trailing `// want "substring"` comments on the offending line;
+// suppression via //lint:ignore is exercised by fixture sites that violate
+// a rule but carry no want marker.
+
+// fixtureDir pairs a testdata directory with the import path the fixture
+// is registered under.
+type fixtureDir struct {
+	dir  string // relative to this package directory
+	path string // synthetic import path
+}
+
+// loadFixture type-checks the dependency fixtures and then the target with
+// a fresh loader, returning the target package.
+func loadFixture(t *testing.T, target fixtureDir, deps ...fixtureDir) *Package {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range append(deps, target) {
+		abs, err := filepath.Abs(d.dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.LoadDir(abs, d.path); err != nil {
+			t.Fatalf("loading fixture %s as %s: %v", d.dir, d.path, err)
+		}
+	}
+	abs, _ := filepath.Abs(target.dir)
+	pkg, err := l.LoadDir(abs, target.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// collectWants scans the fixture sources for `// want "substring"` markers.
+func collectWants(pkg *Package) map[wantKey]string {
+	wants := make(map[wantKey]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if m := wantRe.FindStringSubmatch(c.Text); m != nil {
+					pos := pkg.Fset.Position(c.Pos())
+					wants[wantKey{pos.Filename, pos.Line}] = m[1]
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkGolden runs one analyzer over the fixture (through Run, so
+// //lint:ignore suppression applies) and diffs findings against the want
+// markers: every finding must land on a marked line whose substring it
+// contains, and every marker must be hit exactly once.
+func checkGolden(t *testing.T, a Analyzer, pkg *Package) {
+	t.Helper()
+	got := Run([]*Package{pkg}, []Analyzer{a})
+	wants := collectWants(pkg)
+	matched := make(map[wantKey]bool)
+	for _, f := range got {
+		k := wantKey{f.Pos.Filename, f.Pos.Line}
+		want, ok := wants[k]
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		if matched[k] {
+			t.Errorf("duplicate finding on %s:%d: %s", k.file, k.line, f)
+			continue
+		}
+		if !strings.Contains(f.Message, want) {
+			t.Errorf("finding at %s:%d: message %q does not contain %q", k.file, k.line, f.Message, want)
+		}
+		matched[k] = true
+	}
+	for k, want := range wants {
+		if !matched[k] {
+			t.Errorf("missing finding at %s:%d (want %q)", k.file, k.line, want)
+		}
+	}
+}
+
+// checkSilent asserts the analyzer reports nothing for the fixture,
+// regardless of want markers — used for scope cases where the same sources
+// are loaded under an out-of-scope or allowlisted import path.
+func checkSilent(t *testing.T, a Analyzer, pkg *Package) {
+	t.Helper()
+	for _, f := range Run([]*Package{pkg}, []Analyzer{a}) {
+		t.Errorf("finding in out-of-scope fixture %s: %s", pkg.Path, f)
+	}
+}
+
+func TestNoPanicGolden(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/nopanic", "mlq/internal/fixture/nopanic"})
+	checkGolden(t, NoPanic{}, pkg)
+}
+
+func TestNoPanicAllowlistedPackage(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/nopanic_exempt", "mlq/internal/geom/geomtest"})
+	checkSilent(t, NoPanic{}, pkg)
+}
+
+func TestNoPanicSkipsNonInternal(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/nopanic_exempt", "mlq/cmd/fixture"})
+	checkSilent(t, NoPanic{}, pkg)
+}
+
+func TestFloatGuardGolden(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/floatguard", "mlq/internal/fixture/floatguard"})
+	checkGolden(t, FloatGuard{}, pkg)
+}
+
+func TestSeededRandGolden(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/seededrand", "mlq/internal/fixture/seededrand"})
+	checkGolden(t, SeededRand{}, pkg)
+}
+
+func TestSeededRandSkipsNonInternal(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/seededrand", "mlq/cmd/fixture"})
+	checkSilent(t, SeededRand{}, pkg)
+}
+
+func TestDeterTimeGolden(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/detertime", "mlq/internal/engine"})
+	checkGolden(t, DeterTime{}, pkg)
+}
+
+func TestDeterTimeSkipsOutOfScope(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/detertime", "mlq/internal/fixture/clock"})
+	checkSilent(t, DeterTime{}, pkg)
+}
+
+func TestErrcheckCoreGolden(t *testing.T) {
+	pkg := loadFixture(t,
+		fixtureDir{"testdata/src/errcheck", "mlq/internal/fixture/errcheck"},
+		fixtureDir{"testdata/src/catalog", "mlq/internal/fixture/catalog"})
+	checkGolden(t, ErrcheckCore{}, pkg)
+}
+
+func TestAnalyzerNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range All() {
+		if a.Name() == "" || a.Doc() == "" {
+			t.Errorf("analyzer %T has an empty name or doc", a)
+		}
+		if seen[a.Name()] {
+			t.Errorf("duplicate analyzer name %q", a.Name())
+		}
+		seen[a.Name()] = true
+	}
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPanic forbids panic(...) in internal/* library code.
+//
+// Invariant (PR 1's UDF error contract): a failing UDF execution, page read
+// or catalog operation is an error value, never a process crash. The
+// feedback loop quarantines bad observations and keeps serving queries; a
+// panic in library code defeats every layer of that hardening at once.
+//
+// Two sites are intentionally exempt and carried on an explicit allowlist
+// rather than inline ignores, so the exemptions are reviewed here in one
+// place:
+//
+//   - the fault injector's MaybePanic, whose entire purpose is to produce
+//     the panic that the engine's isolation layer is tested against, and
+//   - the geomtest test-support package, whose MustRect exists so that
+//     _test.go files (which the driver never loads) can build rectangles
+//     from literals without error plumbing.
+type NoPanic struct{}
+
+func (NoPanic) Name() string { return "nopanic" }
+func (NoPanic) Doc() string {
+	return "forbid panic() in internal library code: failures are error values (UDF error contract)"
+}
+
+// noPanicAllowlist maps "pkgpath" or "pkgpath.FuncName" to the reason the
+// panic there is intentional.
+var noPanicAllowlist = map[string]string{
+	"mlq/internal/faults.MaybePanic": "the injected UDF panic the isolation layer is tested against",
+	"mlq/internal/geom/geomtest":     "test-support helpers; only imported by _test.go files",
+}
+
+func (NoPanic) Run(pkg *Package) []Finding {
+	if !isInternal(pkg) {
+		return nil
+	}
+	if _, ok := noPanicAllowlist[pkg.Path]; ok {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			// Confirm this is the builtin, not a local function or
+			// method that happens to be called "panic".
+			if obj := pkg.Info.Uses[id]; obj != nil {
+				if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+					return true
+				}
+			}
+			if fn := enclosingFuncName(file, call.Pos()); fn != "" {
+				if _, ok := noPanicAllowlist[pkg.Path+"."+fn]; ok {
+					return true
+				}
+			}
+			out = append(out, finding(pkg, "nopanic", call.Pos(),
+				"panic in internal library code; return an error instead (UDF error contract)"))
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeededRand enforces the replayability invariant of §5.1: every synthetic
+// workload, peak layout and query stream must be reproducible from a seed
+// recorded in the experiment config. Two things break that:
+//
+//  1. math/rand's global source (rand.Intn, rand.Float64, rand.Seed, ...),
+//     which is process-wide state any package can perturb. Library code in
+//     internal/ must thread an explicit *rand.Rand built with
+//     rand.New(rand.NewSource(seed)).
+//
+//  2. Wall-clock seeds: rand.NewSource(time.Now().UnixNano()) and friends
+//     make the "seed" unrecordable. Seeds come from config.
+type SeededRand struct{}
+
+func (SeededRand) Name() string { return "seededrand" }
+func (SeededRand) Doc() string {
+	return "no global math/rand functions or time-derived seeds in internal code (replayability invariant)"
+}
+
+// seededRandAllowed are the math/rand package-level functions that do NOT
+// touch the global source and are therefore fine: the constructors used to
+// build explicit, seeded generators.
+var seededRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true, // takes a *Rand; no global state
+}
+
+func (SeededRand) Run(pkg *Package) []Finding {
+	if !isInternal(pkg) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			sig := fn.Type().(*types.Signature)
+			if fn.Pkg().Path() == "math/rand" && sig.Recv() == nil && !seededRandAllowed[fn.Name()] {
+				out = append(out, finding(pkg, "seededrand", call.Pos(),
+					"rand.%s uses math/rand's global source; thread a rand.New(rand.NewSource(seed)) instead (replayability invariant)", fn.Name()))
+				return true
+			}
+			// Time-derived seeds: time.Now anywhere inside the
+			// arguments of NewSource / Seed calls.
+			if (fn.Pkg().Path() == "math/rand" && (fn.Name() == "NewSource" || fn.Name() == "Seed")) ||
+				(sig.Recv() != nil && fn.Name() == "Seed") {
+				for _, arg := range call.Args {
+					ast.Inspect(arg, func(m ast.Node) bool {
+						c, ok := m.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						if g := calleeFunc(pkg, c); g != nil && isPkgFunc(g, "time", "Now") {
+							out = append(out, finding(pkg, "seededrand", c.Pos(),
+								"seed derived from time.Now(): unrecordable, experiment cannot be replayed; take the seed from config"))
+						}
+						return true
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+// Package catalog is a dependency fixture registered under an import path
+// ending in /catalog, so errcheck-core's SaveFile/LoadFile seam matching
+// applies to calls into it.
+package catalog
+
+import "os"
+
+// Catalog is a minimal stand-in store.
+type Catalog struct{}
+
+// SaveFile persists the catalog to a file.
+func SaveFile(path string, c *Catalog) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a catalog back from a file.
+func LoadFile(path string) (*Catalog, error) {
+	if _, err := os.Stat(path); err != nil {
+		return nil, err
+	}
+	return &Catalog{}, nil
+}

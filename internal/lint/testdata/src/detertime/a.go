@@ -1,0 +1,20 @@
+// Package fixture exercises the detertime analyzer. The golden test loads
+// it under mlq/internal/engine (a decision package, in scope) and under
+// mlq/internal/fixture/clock (out of scope, no findings).
+package fixture
+
+import "time"
+
+// BadDecision makes a choice depend on the wall clock.
+func BadDecision(deadline time.Time) bool {
+	return time.Now().After(deadline) // want "planning/decision code path"
+}
+
+// GoodMeasurement is a stopwatch around work that already happened; the
+// justified ignore keeps the exemption at the site.
+func GoodMeasurement(work func()) time.Duration {
+	//lint:ignore detertime fixture: stopwatch feeding accounting only
+	start := time.Now()
+	work()
+	return time.Since(start)
+}

@@ -1,0 +1,43 @@
+// Package fixture exercises the errcheck-core analyzer.
+package fixture
+
+import (
+	"mlq/internal/fixture/catalog"
+)
+
+// Model is a stand-in with the watched Observe/Execute seams.
+type Model struct{}
+
+// Observe records one observation.
+func (m *Model) Observe(x, cost float64) error { return nil }
+
+// Execute runs the UDF, returning its measured cost.
+func (m *Model) Execute(x float64) (float64, error) { return x, nil }
+
+// BadDrops discards the error at every watched seam.
+func BadDrops(m *Model, c *catalog.Catalog) float64 {
+	m.Observe(1, 2)              // want "Observe error is dropped"
+	_ = m.Observe(3, 4)          // want "Observe error is dropped"
+	go m.Observe(5, 6)           // want "Observe error is dropped"
+	cost, _ := m.Execute(7)      // want "Execute error is dropped"
+	catalog.SaveFile("x.gob", c) // want "catalog.SaveFile error is dropped"
+	return cost
+}
+
+// GoodChecks handles every error.
+func GoodChecks(m *Model, c *catalog.Catalog) (float64, error) {
+	if err := m.Observe(1, 2); err != nil {
+		return 0, err
+	}
+	cost, err := m.Execute(7)
+	if err != nil {
+		return 0, err
+	}
+	if err := catalog.SaveFile("x.gob", c); err != nil {
+		return 0, err
+	}
+	if _, err := catalog.LoadFile("x.gob"); err != nil {
+		return 0, err
+	}
+	return cost, nil
+}

@@ -1,0 +1,74 @@
+// Package fixture exercises the floatguard analyzer.
+package fixture
+
+import "math"
+
+const eps = 1e-9
+
+// BadEq compares floats for equality.
+func BadEq(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+// BadNeq compares floats for inequality.
+func BadNeq(a, b float64) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+// GoodEpsilon compares with a tolerance.
+func GoodEpsilon(a, b float64) bool {
+	return math.Abs(a-b) < eps
+}
+
+// GoodInt compares integers, which is exact.
+func GoodInt(a, b int) bool {
+	return a == b
+}
+
+// goodConst compares two compile-time constants, which is exact by
+// definition.
+const goodConst = 0.5 == 0.25*2
+
+// SentinelJustified documents an exact-zero sentinel with a reason, which
+// suppresses the comparison finding.
+func SentinelJustified(v float64) float64 {
+	//lint:ignore floatguard fixture: exact zero is the documented sentinel
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+// PredictBad returns a cost with no finite-ness guard on its return path.
+func PredictBad(xs []float64) float64 { // want "PredictBad returns a cost without"
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// PredictGood guards its return value with the math predicates.
+func PredictGood(xs []float64) (float64, bool) {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	v := s / float64(len(xs))
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, false
+	}
+	return v, true
+}
+
+// PredictDelegate hands its float results straight through to a guarded
+// cost-producing delegate; the guard lives there.
+func PredictDelegate(xs []float64) (float64, bool) {
+	v, ok := PredictGood(xs)
+	return v, ok
+}
+
+// EstimateCount returns no float and is outside rule 2's scope.
+func EstimateCount(xs []float64) int {
+	return len(xs)
+}

@@ -1,0 +1,39 @@
+// Package fixture exercises the nopanic analyzer: the golden test loads it
+// under the import path mlq/internal/fixture/nopanic, putting it in scope.
+package fixture
+
+import "errors"
+
+// Bad panics in library code.
+func Bad(ok bool) {
+	if !ok {
+		panic("invariant broken") // want "panic in internal library code"
+	}
+}
+
+// Good reports the same failure as an error value.
+func Good(ok bool) error {
+	if !ok {
+		return errors.New("invariant broken")
+	}
+	return nil
+}
+
+// MissingReason shows that a reason-less ignore comment does not suppress.
+func MissingReason() {
+	//lint:ignore nopanic
+	panic("still flagged") // want "panic in internal library code"
+}
+
+// Justified shows that an ignore with a reason does suppress.
+func Justified() {
+	//lint:ignore nopanic fixture: justified suppressions are honored
+	panic("suppressed")
+}
+
+// ShadowedPanic calls a local function value named panic — not the builtin,
+// so it is clean.
+func ShadowedPanic() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

@@ -1,0 +1,30 @@
+// Package fixture exercises the seededrand analyzer: the golden test loads
+// it under mlq/internal/fixture/seededrand (in scope) and under
+// mlq/cmd/fixture (out of scope, no findings).
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadGlobal draws from the process-wide source.
+func BadGlobal() int {
+	return rand.Intn(10) // want "rand.Intn uses math/rand's global source"
+}
+
+// BadClockSeed derives a seed from the wall clock.
+func BadClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seed derived from time.Now"
+}
+
+// BadReseed reseeds an explicit generator from the clock.
+func BadReseed(r *rand.Rand) {
+	r.Seed(time.Now().UnixNano()) // want "seed derived from time.Now"
+}
+
+// Good threads an explicit generator built from a recorded config seed.
+func Good(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

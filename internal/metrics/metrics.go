@@ -36,7 +36,9 @@ func (e *NAE) Value() float64 {
 	if e.n == 0 {
 		return 0
 	}
+	//lint:ignore floatguard exact-zero accumulator test distinguishes the all-zero actual stream
 	if e.actual == 0 {
+		//lint:ignore floatguard exact-zero accumulator test distinguishes the error-free case
 		if e.absErr == 0 {
 			return 0
 		}

@@ -7,6 +7,7 @@ import (
 	"mlq/internal/core"
 	"mlq/internal/engine"
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 	"mlq/internal/minisql"
 	"mlq/internal/quadtree"
 )
@@ -23,7 +24,7 @@ func Example() {
 		log.Fatal(err)
 	}
 	model, err := core.NewMLQ(quadtree.Config{
-		Region:      geom.MustRect(geom.Point{0}, geom.Point{100}),
+		Region:      geomtest.MustRect(geom.Point{0}, geom.Point{100}),
 		MemoryLimit: 1843,
 	})
 	if err != nil {

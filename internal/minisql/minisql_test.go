@@ -8,6 +8,7 @@ import (
 	"mlq/internal/core"
 	"mlq/internal/engine"
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 	"mlq/internal/quadtree"
 )
 
@@ -106,7 +107,7 @@ func newTestDB(t *testing.T) *DB {
 		t.Fatal(err)
 	}
 	model, err := core.NewMLQ(quadtree.Config{
-		Region:      geom.MustRect(geom.Point{0}, geom.Point{100}),
+		Region:      geomtest.MustRect(geom.Point{0}, geom.Point{100}),
 		MemoryLimit: 1843,
 	})
 	if err != nil {

@@ -169,8 +169,10 @@ func compare(lhs float64, op string, rhs float64) (bool, error) {
 	case ">=":
 		return lhs >= rhs, nil
 	case "=":
+		//lint:ignore floatguard SQL = is an exact comparison by language semantics
 		return lhs == rhs, nil
 	case "!=":
+		//lint:ignore floatguard SQL != is an exact comparison by language semantics
 		return lhs != rhs, nil
 	default:
 		return false, fmt.Errorf("minisql: unknown operator %q", op)

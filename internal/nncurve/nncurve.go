@@ -44,9 +44,11 @@ func (c Config) withDefaults() Config {
 	if c.Hidden == nil {
 		c.Hidden = []int{16, 8}
 	}
+	//lint:ignore floatguard exact zero is the documented unset-field sentinel
 	if c.LearningRate == 0 {
 		c.LearningRate = 0.02
 	}
+	//lint:ignore floatguard exact zero is the documented unset-field sentinel
 	if c.Momentum == 0 {
 		c.Momentum = 0.9
 	}
@@ -254,7 +256,13 @@ func (n *Network) Predict(p geom.Point) (float64, bool) {
 		return 0, false
 	}
 	acts := n.forward(n.normalize(p))
-	return acts[len(acts)-1][0] * n.outScale, true
+	v := acts[len(acts)-1][0] * n.outScale
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		// A diverged training run can drive weights to Inf; report
+		// "untrained" rather than hand the optimizer a non-finite cost.
+		return 0, false
+	}
+	return v, true
 }
 
 // Observe implements core.Model as a no-op: the curve-fitting approach is

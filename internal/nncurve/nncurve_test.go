@@ -6,10 +6,11 @@ import (
 	"testing"
 
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 	"mlq/internal/histogram"
 )
 
-func region1() geom.Rect { return geom.MustRect(geom.Point{0}, geom.Point{100}) }
+func region1() geom.Rect { return geomtest.MustRect(geom.Point{0}, geom.Point{100}) }
 
 func samplesFor(f func(geom.Point) float64, region geom.Rect, n int, seed int64) []histogram.Sample {
 	rng := rand.New(rand.NewSource(seed))
@@ -100,7 +101,7 @@ func TestLearnsLinearFunction(t *testing.T) {
 }
 
 func TestLearnsNonlinearSurface(t *testing.T) {
-	region := geom.MustRect(geom.Point{0, 0}, geom.Point{10, 10})
+	region := geomtest.MustRect(geom.Point{0, 0}, geom.Point{10, 10})
 	f := func(p geom.Point) float64 { return p[0]*p[1] + 5 }
 	n, err := Train(Config{Region: region, Seed: 4, Epochs: 400}, samplesFor(f, region, 1200, 5))
 	if err != nil {

@@ -62,6 +62,7 @@ func (t *Tree) Compress() { t.compress() }
 // the removed leaf's points, so predictions simply fall back to coarser
 // resolutions (the minimal increase in TSSENC the SSEG ordering guarantees).
 func (t *Tree) compress() {
+	//lint:ignore detertime stopwatch feeding APC/AUC accounting; the duration is never consulted by any decision
 	start := time.Now()
 	defer func() {
 		t.compressTime += time.Since(start)

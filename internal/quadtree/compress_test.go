@@ -6,12 +6,13 @@ import (
 	"testing"
 
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 )
 
 // smallCfg returns a config whose memory limit forces frequent compression.
 func smallCfg(strategy Strategy) Config {
 	return Config{
-		Region:      geom.MustRect(geom.Point{0, 0}, geom.Point{1000, 1000}),
+		Region:      geomtest.MustRect(geom.Point{0, 0}, geom.Point{1000, 1000}),
 		Strategy:    strategy,
 		MaxDepth:    6,
 		MemoryLimit: 40 * DefaultNodeBytes,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 	"mlq/internal/quadtree"
 )
 
@@ -11,7 +12,7 @@ import (
 // predict, and stay within the memory budget.
 func Example() {
 	tree, err := quadtree.New(quadtree.Config{
-		Region:      geom.MustRect(geom.Point{0, 0}, geom.Point{100, 100}),
+		Region:      geomtest.MustRect(geom.Point{0, 0}, geom.Point{100, 100}),
 		Strategy:    quadtree.Lazy,
 		MemoryLimit: 1843, // the paper's 1.8 KB
 	})
@@ -36,7 +37,7 @@ func Example() {
 // over more data points (§4.3).
 func ExampleTree_PredictBeta() {
 	tree, _ := quadtree.New(quadtree.Config{
-		Region:      geom.MustRect(geom.Point{0}, geom.Point{10}),
+		Region:      geomtest.MustRect(geom.Point{0}, geom.Point{10}),
 		MaxDepth:    2,
 		MemoryLimit: 1 << 16,
 	})

@@ -22,6 +22,7 @@ func (t *Tree) Merge(other *Tree) error {
 		return fmt.Errorf("quadtree: merge dimensionality mismatch: %d vs %d", a.Dims(), b.Dims())
 	}
 	for i := range a.Lo {
+		//lint:ignore floatguard merging requires bit-identical regions; epsilon-close regions are different trees
 		if a.Lo[i] != b.Lo[i] || a.Hi[i] != b.Hi[i] {
 			return fmt.Errorf("quadtree: merge region mismatch at dimension %d", i)
 		}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 )
 
 func TestMergeValidation(t *testing.T) {
@@ -18,7 +19,7 @@ func TestMergeValidation(t *testing.T) {
 		t.Error("dimension mismatch accepted")
 	}
 	c := mustTree(t, Config{
-		Region:      geom.MustRect(geom.Point{0, 0}, geom.Point{2, 2}),
+		Region:      geomtest.MustRect(geom.Point{0, 0}, geom.Point{2, 2}),
 		MemoryLimit: 1 << 20,
 	})
 	if err := a.Merge(c); err == nil {
@@ -142,7 +143,7 @@ func TestMergeDoesNotMutateSource(t *testing.T) {
 // Parallel-training scenario: four shards trained independently then merged
 // predict (approximately) like one tree trained on everything.
 func TestMergeParallelTraining(t *testing.T) {
-	cfg := Config{Region: geom.MustRect(geom.Point{0, 0}, geom.Point{100, 100}), MemoryLimit: 1 << 20, MaxDepth: 4}
+	cfg := Config{Region: geomtest.MustRect(geom.Point{0, 0}, geom.Point{100, 100}), MemoryLimit: 1 << 20, MaxDepth: 4}
 	shards := make([]*Tree, 4)
 	for i := range shards {
 		shards[i] = mustTree(t, cfg)

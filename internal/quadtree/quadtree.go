@@ -112,12 +112,14 @@ func (c Config) withDefaults() Config {
 	if c.MaxDepth == 0 {
 		c.MaxDepth = 6
 	}
+	//lint:ignore floatguard exact zero is the documented unset-field sentinel
 	if c.Alpha == 0 {
 		c.Alpha = 0.05
 	}
 	if c.Beta == 0 {
 		c.Beta = 1
 	}
+	//lint:ignore floatguard exact zero is the documented unset-field sentinel
 	if c.Gamma == 0 {
 		c.Gamma = 0.001
 	}
@@ -389,7 +391,7 @@ func (t *Tree) PredictBeta(p geom.Point, beta int) (value float64, ok bool) {
 		region = region.Child(idx)
 		cn = child
 	}
-	return best.avg(), true
+	return finiteAvg(best)
 }
 
 // Estimate is a prediction with its supporting evidence: the block's mean,
@@ -402,6 +404,18 @@ type Estimate struct {
 	StdDev float64
 	Count  int64
 	Depth  int
+}
+
+// finiteAvg guards the prediction path against the finite-cost invariant:
+// Insert rejects NaN/Inf observations, so a non-finite block average can
+// only mean summary corruption — report "no information" rather than let it
+// poison a plan choice (§4.2's SSE math corrupts silently past this point).
+func finiteAvg(n *node) (float64, bool) {
+	v := n.avg()
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, false
+	}
+	return v, true
 }
 
 // PredictEstimate is PredictBeta returning the full Estimate. ok is false
@@ -433,8 +447,12 @@ func (t *Tree) PredictEstimate(p geom.Point, beta int) (Estimate, bool) {
 	if best.count > 0 {
 		std = math.Sqrt(best.sse() / float64(best.count))
 	}
+	v, ok := finiteAvg(best)
+	if !ok {
+		return Estimate{}, false
+	}
 	return Estimate{
-		Value:  best.avg(),
+		Value:  v,
 		StdDev: std,
 		Count:  best.count,
 		Depth:  bestDepth,
@@ -466,5 +484,6 @@ func (t *Tree) PredictDepth(p geom.Point, beta int) (value float64, depth int, o
 		region = region.Child(idx)
 		cn = child
 	}
-	return best.avg(), bestDepth, true
+	v, ok := finiteAvg(best)
+	return v, bestDepth, ok
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 )
 
 func unitCfg(d int) Config {
@@ -171,7 +172,7 @@ func TestEagerSummariesMatchReference(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		d := 1 + rng.Intn(3)
 		maxDepth := 1 + rng.Intn(3)
-		region := geom.MustRect(
+		region := geomtest.MustRect(
 			geom.Point{-2, -2, -2}[:d],
 			geom.Point{3, 3, 3}[:d],
 		)

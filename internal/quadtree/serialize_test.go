@@ -7,12 +7,13 @@ import (
 	"testing"
 
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 )
 
 func buildTrained(t *testing.T, seed int64) *Tree {
 	t.Helper()
 	tr := mustTree(t, Config{
-		Region:      geom.MustRect(geom.Point{0, 0, 0}, geom.Point{10, 10, 10}),
+		Region:      geomtest.MustRect(geom.Point{0, 0, 0}, geom.Point{10, 10, 10}),
 		Strategy:    Lazy,
 		MaxDepth:    5,
 		MemoryLimit: 60 * DefaultNodeBytes,

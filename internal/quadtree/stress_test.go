@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 )
 
 // TestRandomizedOperationStress interleaves inserts, predictions, explicit
@@ -28,7 +29,7 @@ func TestRandomizedOperationStress(t *testing.T) {
 			strat = Lazy
 		}
 		cfg := Config{
-			Region:      geom.MustRect(lo, hi),
+			Region:      geomtest.MustRect(lo, hi),
 			Strategy:    strat,
 			Policy:      CompressionPolicy(rng.Intn(3)),
 			MaxDepth:    1 + rng.Intn(7),

@@ -75,6 +75,7 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	//lint:ignore floatguard exact zero is the documented unset-field sentinel
 	if c.Extent == 0 {
 		c.Extent = 1000
 	}
@@ -84,9 +85,11 @@ func (c Config) withDefaults() Config {
 	if c.NumClusters == 0 {
 		c.NumClusters = 12
 	}
+	//lint:ignore floatguard exact zero is the documented unset-field sentinel
 	if c.ClusterSigma == 0 {
 		c.ClusterSigma = 0.06
 	}
+	//lint:ignore floatguard exact zero is the documented unset-field sentinel
 	if c.MaxSize == 0 {
 		c.MaxSize = 8
 	}

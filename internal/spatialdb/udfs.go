@@ -19,14 +19,29 @@ import (
 // dense clusters examine many more objects than queries in empty space —
 // the spatial skew that separates the cost-modeling methods in Fig. 9.
 
+// modelSpace returns the model-variable rectangle [(0,0,1) .. (e,e,last)).
+// It is valid by construction — the extent and the last upper bound are
+// clamped above their lower bounds — so, unlike geom.NewRect, no error path
+// exists and Region (which cannot return an error) may call it directly.
+// Degenerate configurations (a sub-unit extent) get a clamped-but-valid
+// region instead of the panic they used to get.
+func modelSpace(e, last float64) geom.Rect {
+	if e < 1 {
+		e = 1
+	}
+	if last <= 1 {
+		last = 2
+	}
+	return geom.Rect{Lo: geom.Point{0, 0, 1}, Hi: geom.Point{e, e, last}}
+}
+
 // knnUDF is the paper's K-nearest-neighbors UDF.
 type knnUDF struct{ db *DB }
 
 func (u knnUDF) Name() string { return "KNN" }
 
 func (u knnUDF) Region() geom.Rect {
-	e := u.db.Extent()
-	return geom.MustRect(geom.Point{0, 0, 1}, geom.Point{e, e, 64})
+	return modelSpace(u.db.Extent(), 64)
 }
 
 func (u knnUDF) Execute(p geom.Point) (cpu, io float64, err error) {
@@ -42,6 +57,9 @@ func (u knnUDF) Execute(p geom.Point) (cpu, io float64, err error) {
 	if err != nil {
 		return 0, 0, fmt.Errorf("spatialdb: KNN at %v: %w", p, err)
 	}
+	if err := udf.CheckCosts(stats.CPU, stats.IO); err != nil {
+		return 0, 0, fmt.Errorf("spatialdb: KNN at %v: %w", p, err)
+	}
 	return stats.CPU, stats.IO, nil
 }
 
@@ -52,14 +70,16 @@ func (u winUDF) Name() string { return "WIN" }
 
 func (u winUDF) Region() geom.Rect {
 	e := u.db.Extent()
-	maxArea := (e / 4) * (e / 4)
-	return geom.MustRect(geom.Point{0, 0, 1}, geom.Point{e, e, maxArea})
+	return modelSpace(e, (e/4)*(e/4))
 }
 
 func (u winUDF) Execute(p geom.Point) (cpu, io float64, err error) {
 	side := math.Sqrt(p[2])
 	_, stats, err := u.db.Window(p[0]-side/2, p[1]-side/2, side, side)
 	if err != nil {
+		return 0, 0, fmt.Errorf("spatialdb: WIN at %v: %w", p, err)
+	}
+	if err := udf.CheckCosts(stats.CPU, stats.IO); err != nil {
 		return 0, 0, fmt.Errorf("spatialdb: WIN at %v: %w", p, err)
 	}
 	return stats.CPU, stats.IO, nil
@@ -72,12 +92,15 @@ func (u rangeUDF) Name() string { return "RANGE" }
 
 func (u rangeUDF) Region() geom.Rect {
 	e := u.db.Extent()
-	return geom.MustRect(geom.Point{0, 0, 1}, geom.Point{e, e, e / 8})
+	return modelSpace(e, e/8)
 }
 
 func (u rangeUDF) Execute(p geom.Point) (cpu, io float64, err error) {
 	_, stats, err := u.db.Range(p[0], p[1], p[2])
 	if err != nil {
+		return 0, 0, fmt.Errorf("spatialdb: RANGE at %v: %w", p, err)
+	}
+	if err := udf.CheckCosts(stats.CPU, stats.IO); err != nil {
 		return 0, 0, fmt.Errorf("spatialdb: RANGE at %v: %w", p, err)
 	}
 	return stats.CPU, stats.IO, nil

@@ -117,21 +117,28 @@ type Config struct {
 
 func (c Config) withDefaults() Config {
 	if c.Region.Dims() == 0 {
-		c.Region = geom.MustRect(
-			geom.Point{0, 0, 0, 0}, geom.Point{1000, 1000, 1000, 1000})
+		// Built literally rather than via NewRect: the bounds are
+		// compile-time constants with 0 < 1000 in every dimension, so no
+		// error path exists.
+		c.Region = geom.Rect{
+			Lo: geom.Point{0, 0, 0, 0}, Hi: geom.Point{1000, 1000, 1000, 1000}}
 	}
 	if c.NumPeaks == 0 {
 		c.NumPeaks = 50
 	}
+	//lint:ignore floatguard exact zero is the documented unset-field sentinel
 	if c.MaxCost == 0 {
 		c.MaxCost = 10000
 	}
+	//lint:ignore floatguard exact zero is the documented unset-field sentinel
 	if c.ZipfS == 0 {
 		c.ZipfS = 1
 	}
+	//lint:ignore floatguard exact zero is the documented unset-field sentinel
 	if c.DecayFraction == 0 {
 		c.DecayFraction = 0.1
 	}
+	//lint:ignore floatguard exact zero is the documented unset-field sentinel
 	if c.GaussianSigma == 0 {
 		c.GaussianSigma = 0.2
 	}

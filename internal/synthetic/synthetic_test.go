@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 )
 
 func TestGenerateValidation(t *testing.T) {
@@ -63,7 +64,7 @@ func TestCostAtPeakAndBeyondD(t *testing.T) {
 func TestCostZeroFarFromAllPeaks(t *testing.T) {
 	// A single peak in a corner: the opposite corner is ~1 diagonal away,
 	// far beyond D = 0.1 diagonal.
-	region := geom.MustRect(geom.Point{0, 0}, geom.Point{100, 100})
+	region := geomtest.MustRect(geom.Point{0, 0}, geom.Point{100, 100})
 	s, err := Generate(Config{Region: region, NumPeaks: 0, Seed: 1})
 	if err != nil {
 		t.Fatal(err)

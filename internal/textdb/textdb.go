@@ -62,6 +62,7 @@ func (c Config) withDefaults() Config {
 	if c.MeanDocLen == 0 {
 		c.MeanDocLen = 120
 	}
+	//lint:ignore floatguard exact zero is the documented unset-field sentinel
 	if c.ZipfS == 0 {
 		c.ZipfS = 1
 	}

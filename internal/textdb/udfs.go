@@ -19,6 +19,18 @@ import (
 // cost) falls off Zipf-style with rank, giving the skewed, nonlinear cost
 // surfaces the paper observes for its real UDFs.
 
+// modelSpace returns the model-variable rectangle [(0,1) .. (vocab, hiArg)).
+// It is valid by construction — vocab is clamped to at least 1 and every
+// hiArg at the call sites is a constant above 1 — so, unlike geom.NewRect,
+// no error path exists and Region (which cannot return an error) may call
+// it directly.
+func modelSpace(vocab, hiArg float64) geom.Rect {
+	if vocab < 1 {
+		vocab = 1
+	}
+	return geom.Rect{Lo: geom.Point{0, 1}, Hi: geom.Point{vocab, hiArg}}
+}
+
 // wordsFrom materializes n keyword IDs starting at the given rank, spaced by
 // a stride so multi-keyword queries mix frequent and rarer words.
 func (db *DB) wordsFrom(rank float64, n int) []int {
@@ -49,7 +61,7 @@ type simpleUDF struct{ db *DB }
 func (u simpleUDF) Name() string { return "SIMPLE" }
 
 func (u simpleUDF) Region() geom.Rect {
-	return geom.MustRect(geom.Point{0, 1}, geom.Point{float64(u.db.VocabSize()), 7})
+	return modelSpace(float64(u.db.VocabSize()), 7)
 }
 
 func (u simpleUDF) Execute(p geom.Point) (cpu, io float64, err error) {
@@ -61,6 +73,9 @@ func (u simpleUDF) Execute(p geom.Point) (cpu, io float64, err error) {
 	if err != nil {
 		return 0, 0, fmt.Errorf("textdb: SIMPLE at %v: %w", p, err)
 	}
+	if err := udf.CheckCosts(stats.CPU, stats.IO); err != nil {
+		return 0, 0, fmt.Errorf("textdb: SIMPLE at %v: %w", p, err)
+	}
 	return stats.CPU, stats.IO, nil
 }
 
@@ -70,12 +85,15 @@ type threshUDF struct{ db *DB }
 func (u threshUDF) Name() string { return "THRESH" }
 
 func (u threshUDF) Region() geom.Rect {
-	return geom.MustRect(geom.Point{0, 1}, geom.Point{float64(u.db.VocabSize()), 6})
+	return modelSpace(float64(u.db.VocabSize()), 6)
 }
 
 func (u threshUDF) Execute(p geom.Point) (cpu, io float64, err error) {
 	_, stats, err := u.db.SearchThreshold(u.db.wordsFrom(p[0], 5), int(p[1]))
 	if err != nil {
+		return 0, 0, fmt.Errorf("textdb: THRESH at %v: %w", p, err)
+	}
+	if err := udf.CheckCosts(stats.CPU, stats.IO); err != nil {
 		return 0, 0, fmt.Errorf("textdb: THRESH at %v: %w", p, err)
 	}
 	return stats.CPU, stats.IO, nil
@@ -87,12 +105,15 @@ type proxUDF struct{ db *DB }
 func (u proxUDF) Name() string { return "PROX" }
 
 func (u proxUDF) Region() geom.Rect {
-	return geom.MustRect(geom.Point{0, 1}, geom.Point{float64(u.db.VocabSize()), 60})
+	return modelSpace(float64(u.db.VocabSize()), 60)
 }
 
 func (u proxUDF) Execute(p geom.Point) (cpu, io float64, err error) {
 	_, stats, err := u.db.SearchProximity(u.db.wordsFrom(p[0], 2), int(p[1]))
 	if err != nil {
+		return 0, 0, fmt.Errorf("textdb: PROX at %v: %w", p, err)
+	}
+	if err := udf.CheckCosts(stats.CPU, stats.IO); err != nil {
 		return 0, 0, fmt.Errorf("textdb: PROX at %v: %w", p, err)
 	}
 	return stats.CPU, stats.IO, nil

@@ -5,7 +5,12 @@
 // interface, mirroring the paper's six "real" UDFs.
 package udf
 
-import "mlq/internal/geom"
+import (
+	"fmt"
+	"math"
+
+	"mlq/internal/geom"
+)
 
 // UDF is one instrumented user-defined function.
 type UDF interface {
@@ -24,4 +29,19 @@ type UDF interface {
 	// and produced no costs; a production engine treats that as a failed
 	// predicate evaluation, never as a reason to crash.
 	Execute(p geom.Point) (cpu, io float64, err error)
+}
+
+// CheckCosts validates the measured costs of one execution against the
+// finite-cost invariant: the SSE/SSEG bookkeeping of §4.2 corrupts silently
+// once a NaN or Inf reaches a model, so every Execute implementation guards
+// its return path with this check and reports a failed measurement as an
+// error instead.
+func CheckCosts(cpu, io float64) error {
+	if math.IsNaN(cpu) || math.IsInf(cpu, 0) || cpu < 0 {
+		return fmt.Errorf("udf: measured CPU cost %g is not a finite non-negative value", cpu)
+	}
+	if math.IsNaN(io) || math.IsInf(io, 0) || io < 0 {
+		return fmt.Errorf("udf: measured IO cost %g is not a finite non-negative value", io)
+	}
+	return nil
 }

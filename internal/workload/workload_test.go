@@ -5,6 +5,7 @@ import (
 
 	"mlq/internal/dist"
 	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
 	"mlq/internal/synthetic"
 )
 
@@ -129,7 +130,7 @@ func TestConcatValidation(t *testing.T) {
 
 func TestConcatSwitchesSources(t *testing.T) {
 	// Two "sources" pinned to opposite corners via tiny Gaussian spread.
-	region := geom.MustRect(geom.Point{0, 0}, geom.Point{100, 100})
+	region := geomtest.MustRect(geom.Point{0, 0}, geom.Point{100, 100})
 	a, _ := dist.NewGaussianRandom(region, 1, 1e-9, 1)
 	b, _ := dist.NewGaussianRandom(region, 1, 1e-9, 2)
 	c, err := NewConcat([]dist.PointSource{a, b}, []int{5, 5})
