@@ -1,7 +1,7 @@
 # Convenience targets for the MLQ reproduction.
 GO ?= go
 
-.PHONY: all build vet test race bench repro repro-quick fuzz chaos clean fmt lint check
+.PHONY: all build vet test race bench bench-smoke repro repro-quick fuzz chaos clean fmt lint check
 
 all: build vet test
 
@@ -37,6 +37,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: catches bit-rotted benchmark code
+# without paying for real measurements (CI runs this).
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Regenerate every figure of the paper at full workload sizes.
 repro:

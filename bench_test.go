@@ -22,6 +22,7 @@ import (
 	"mlq/internal/quadtree"
 	"mlq/internal/spatialdb"
 	"mlq/internal/synthetic"
+	"mlq/internal/telemetry"
 	"mlq/internal/textdb"
 	"mlq/internal/udf"
 )
@@ -215,6 +216,28 @@ func BenchmarkPredict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t.PredictBeta(pts[i%len(pts)], 1)
+	}
+}
+
+// BenchmarkPredictTelemetry pins the observability contract: Predict carries
+// no instrumentation at all (the engine counts predictions instead), so an
+// instrumented tree predicts at the same speed as a bare one.
+func BenchmarkPredictTelemetry(b *testing.B) {
+	pts := randPoints(4096, 8)
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			t := newBenchTree(b, quadtree.Eager, 92)
+			if mode == "on" {
+				t.Instrument(telemetry.New(), nil, telemetry.L("model", "bench"))
+			}
+			for i := 0; i < 20000; i++ {
+				t.Insert(pts[i%len(pts)], float64(i%10000))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.PredictBeta(pts[i%len(pts)], 1)
+			}
+		})
 	}
 }
 

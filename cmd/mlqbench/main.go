@@ -14,12 +14,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"mlq/internal/dist"
 	"mlq/internal/harness"
 	"mlq/internal/spatialdb"
+	"mlq/internal/telemetry"
 	"mlq/internal/textdb"
 	"mlq/internal/udf"
 )
@@ -31,17 +33,58 @@ func main() {
 	queries := flag.Int("queries", 0, "override the test-workload length (0 = paper's values)")
 	mem := flag.Int("mem", 0, "override the model memory limit in bytes (0 = paper's 1.8 KB)")
 	trials := flag.Int("trials", 1, "replicate accuracy cells across N seeds (fig8 reports mean±std)")
+	telemetryAddr := flag.String("telemetry", "", "serve live metrics on this address while experiments run (e.g. localhost:9090, :0 for a free port; empty disables)")
+	traceOut := flag.String("trace-out", "", "write feedback-loop trace spans as JSONL to this file (empty disables)")
 	flag.Parse()
 
-	if err := run(*exp, *seed, *quick, *queries, *mem, *trials); err != nil {
+	reg, tr, cleanup, err := setupTelemetry(*telemetryAddr, *traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlqbench:", err)
+		os.Exit(1)
+	}
+	defer cleanup()
+
+	if err := run(*exp, *seed, *quick, *queries, *mem, *trials, reg, tr); err != nil {
 		fmt.Fprintln(os.Stderr, "mlqbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, seed int64, quick bool, queries, mem, trials int) error {
-	synthOpts := harness.Options{Seed: seed, Queries: 5000, MemoryLimit: mem, Trials: trials}
-	realOpts := harness.Options{Seed: seed, Queries: 2500, MemoryLimit: mem}
+// setupTelemetry starts the exposition server and trace sink per the CLI
+// flags. All returns are nil/no-op when both flags are empty.
+func setupTelemetry(addr, traceOut string) (*telemetry.Registry, *telemetry.Tracer, func(), error) {
+	cleanup := func() {}
+	var reg *telemetry.Registry
+	var sink io.Writer
+	if addr != "" {
+		reg = telemetry.New()
+		srv, err := telemetry.Serve(addr, reg)
+		if err != nil {
+			return nil, nil, cleanup, err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving %s\n", srv.URL())
+		cleanup = func() { srv.Close() }
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			cleanup()
+			return nil, nil, func() {}, fmt.Errorf("opening trace sink: %w", err)
+		}
+		sink = f
+		prev := cleanup
+		cleanup = func() { prev(); f.Close() }
+	}
+	var tr *telemetry.Tracer
+	if reg != nil || sink != nil {
+		tr = telemetry.NewTracer(reg, nil, sink)
+	}
+	return reg, tr, cleanup, nil
+}
+
+func run(exp string, seed int64, quick bool, queries, mem, trials int, reg *telemetry.Registry, tr *telemetry.Tracer) error {
+	synthOpts := harness.Options{Seed: seed, Queries: 5000, MemoryLimit: mem, Trials: trials, Telemetry: reg, Tracer: tr}
+	realOpts := harness.Options{Seed: seed, Queries: 2500, MemoryLimit: mem, Telemetry: reg, Tracer: tr}
 	if quick {
 		synthOpts.Queries, realOpts.Queries = 600, 400
 	}

@@ -32,6 +32,7 @@ import (
 	"mlq/internal/minisql"
 	"mlq/internal/quadtree"
 	"mlq/internal/spatialdb"
+	"mlq/internal/telemetry"
 	"mlq/internal/textdb"
 )
 
@@ -42,17 +43,32 @@ func main() {
 	rows := flag.Int("rows", 2000, "rows in the requests table")
 	seed := flag.Int64("seed", 1, "random seed")
 	compare := flag.Bool("compare", true, "also run the naive as-written plan and report the speedup")
+	telemetryAddr := flag.String("telemetry", "", "serve live metrics on this address while the query runs (e.g. localhost:9090; empty disables)")
 	flag.Parse()
 
-	if err := run(*query, *rows, *seed, *compare); err != nil {
+	var reg *telemetry.Registry
+	if *telemetryAddr != "" {
+		reg = telemetry.New()
+		srv, err := telemetry.Serve(*telemetryAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlqsql:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving %s\n", srv.URL())
+		defer srv.Close()
+	}
+
+	if err := run(*query, *rows, *seed, *compare, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "mlqsql:", err)
 		os.Exit(1)
 	}
 }
 
 // buildDB assembles the substrates, the requests table, and the UDF
-// registrations. Fresh models every call so plans can be compared fairly.
-func buildDB(rows int, seed int64) (*minisql.DB, error) {
+// registrations. Fresh models every call so plans can be compared fairly. A
+// non-nil registry attaches each UDF's cost and selectivity model trees and
+// the two page caches to telemetry.
+func buildDB(rows int, seed int64, reg *telemetry.Registry) (*minisql.DB, error) {
 	tdb, err := textdb.Generate(textdb.Config{Seed: seed})
 	if err != nil {
 		return nil, err
@@ -206,9 +222,19 @@ func buildDB(rows int, seed int64) (*minisql.DB, error) {
 			return nil, err
 		}
 		f.SelModel = sel
+		if reg != nil {
+			f.Model.(*core.MLQ).Tree().Instrument(reg, nil,
+				telemetry.L("udf", f.Name), telemetry.L("model", "cost"))
+			sel.(*core.MLQ).Tree().Instrument(reg, nil,
+				telemetry.L("udf", f.Name), telemetry.L("model", "sel"))
+		}
 		if err := db.AddFunc(f); err != nil {
 			return nil, err
 		}
+	}
+	if reg != nil {
+		tdb.Cache().Instrument(reg, telemetry.L("db", "text"))
+		sdb.Cache().Instrument(reg, telemetry.L("db", "spatial"))
 	}
 	return db, nil
 }
@@ -254,9 +280,9 @@ func sqrtPos(v float64) float64 {
 
 func maxF(a, b float64) float64 { return math.Max(a, b) }
 
-func run(query string, rows int, seed int64, compare bool) error {
+func run(query string, rows int, seed int64, compare bool, reg *telemetry.Registry) error {
 	fmt.Fprintln(os.Stderr, "building substrates...")
-	db, err := buildDB(rows, seed)
+	db, err := buildDB(rows, seed, reg)
 	if err != nil {
 		return err
 	}
@@ -274,7 +300,9 @@ func run(query string, rows int, seed int64, compare bool) error {
 	if !compare {
 		return nil
 	}
-	naiveDB, err := buildDB(rows, seed)
+	// The naive comparison DB is deliberately uninstrumented: two sets of
+	// fresh trees publishing into the same series would interleave.
+	naiveDB, err := buildDB(rows, seed, nil)
 	if err != nil {
 		return err
 	}

@@ -7,22 +7,22 @@ import (
 )
 
 func TestRunDefaultQuery(t *testing.T) {
-	if err := run(defaultQuery, 300, 1, true); err != nil {
+	if err := run(defaultQuery, 300, 1, true, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadQuery(t *testing.T) {
-	if err := run("SELECT * FROM nope", 50, 1, false); err == nil {
+	if err := run("SELECT * FROM nope", 50, 1, false, nil); err == nil {
 		t.Error("unknown table accepted")
 	}
-	if err := run("not sql at all", 50, 1, false); err == nil {
+	if err := run("not sql at all", 50, 1, false, nil); err == nil {
 		t.Error("garbage accepted")
 	}
 }
 
 func TestAllRegisteredUDFsExecute(t *testing.T) {
-	db, err := buildDB(120, 2)
+	db, err := buildDB(120, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

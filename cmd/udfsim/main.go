@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -20,6 +21,7 @@ import (
 	"mlq/internal/geom"
 	"mlq/internal/quadtree"
 	"mlq/internal/spatialdb"
+	"mlq/internal/telemetry"
 	"mlq/internal/textdb"
 )
 
@@ -27,14 +29,43 @@ func main() {
 	rows := flag.Int("rows", 3000, "table size (number of simulated queries)")
 	seed := flag.Int64("seed", 1, "random seed")
 	mem := flag.Int("mem", 1843, "cost-model memory limit in bytes")
+	telemetryAddr := flag.String("telemetry", "", "serve live metrics on this address while the queries run (e.g. localhost:9090; empty disables)")
+	traceOut := flag.String("trace-out", "", "write feedback-loop trace spans as JSONL to this file (empty disables)")
 	flag.Parse()
-	if err := run(*rows, *seed, *mem); err != nil {
+
+	var reg *telemetry.Registry
+	var sink io.Writer
+	if *telemetryAddr != "" {
+		reg = telemetry.New()
+		srv, err := telemetry.Serve(*telemetryAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "udfsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving %s\n", srv.URL())
+		defer srv.Close()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "udfsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = f
+	}
+	var tr *telemetry.Tracer
+	if reg != nil || sink != nil {
+		tr = telemetry.NewTracer(reg, nil, sink)
+	}
+
+	if err := run(*rows, *seed, *mem, reg, tr); err != nil {
 		fmt.Fprintln(os.Stderr, "udfsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rows int, seed int64, mem int) error {
+func run(rows int, seed int64, mem int, reg *telemetry.Registry, tr *telemetry.Tracer) error {
 	fmt.Println("building substrates (text corpus + spatial map)...")
 	tdb, err := textdb.Generate(textdb.Config{Seed: seed})
 	if err != nil {
@@ -124,7 +155,7 @@ func run(rows int, seed int64, mem int) error {
 	if err != nil {
 		return err
 	}
-	naive, err := engine.ExecuteQuery(table, naivePreds, engine.OrderAsGiven)
+	naive, err := engine.ExecuteQueryTraced(table, naivePreds, engine.OrderAsGiven, tr)
 	if err != nil {
 		return err
 	}
@@ -134,7 +165,19 @@ func run(rows int, seed int64, mem int) error {
 	if err != nil {
 		return err
 	}
-	tuned, err := engine.ExecuteQuery(table, tunedPreds, engine.OrderByRank)
+	// Only the self-tuned plan is instrumented: its predicates, model trees
+	// and the page caches publish live while the query runs.
+	for _, p := range tunedPreds {
+		p.Instrument(reg)
+		if mlq, ok := p.Model.(*core.MLQ); ok {
+			mlq.Tree().Instrument(reg, tr, telemetry.L("udf", p.Name))
+		}
+	}
+	if reg != nil {
+		tdb.Cache().Instrument(reg, telemetry.L("db", "text"))
+		sdb.Cache().Instrument(reg, telemetry.L("db", "spatial"))
+	}
+	tuned, err := engine.ExecuteQueryTraced(table, tunedPreds, engine.OrderByRank, tr)
 	if err != nil {
 		return err
 	}

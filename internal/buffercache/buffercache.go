@@ -50,8 +50,12 @@ type Cache struct {
 	order    *list.List // front = most recent (LRU) / newest (FIFO, Clock)
 	byID     map[pagestore.PageID]*list.Element
 
-	hits   int64
-	misses int64
+	hits      int64
+	misses    int64
+	evictions int64
+	faults    int64 // physical reads that returned an error
+
+	tel *cacheTelemetry // nil unless Instrument was called
 }
 
 type entry struct {
@@ -103,10 +107,17 @@ func (c *Cache) Get(id pagestore.PageID) ([]byte, error) {
 		case Clock:
 			e.ref = true
 		}
+		if c.tel != nil {
+			c.tel.publish(c)
+		}
 		return e.data, nil
 	}
 	data, err := c.store.Read(id)
 	if err != nil {
+		c.faults++
+		if c.tel != nil {
+			c.tel.publish(c)
+		}
 		return nil, err
 	}
 	c.misses++
@@ -114,11 +125,15 @@ func (c *Cache) Get(id pagestore.PageID) ([]byte, error) {
 		c.evict()
 	}
 	c.byID[id] = c.order.PushFront(&entry{id: id, data: data})
+	if c.tel != nil {
+		c.tel.publish(c)
+	}
 	return data, nil
 }
 
 // evict removes one page per the replacement policy.
 func (c *Cache) evict() {
+	c.evictions++
 	switch c.policy {
 	case LRU, FIFO:
 		// LRU keeps recency order by moving hits to the front, so the
@@ -150,6 +165,23 @@ func (c *Cache) Hits() int64 { return c.hits }
 
 // Misses returns the number of physical reads performed (the IO cost unit).
 func (c *Cache) Misses() int64 { return c.misses }
+
+// Evictions returns the number of pages evicted to make room.
+func (c *Cache) Evictions() int64 { return c.evictions }
+
+// Faults returns the number of physical reads that returned an error (the
+// page never entered the cache and the error propagated to the caller).
+func (c *Cache) Faults() int64 { return c.faults }
+
+// HitRatio returns hits/(hits+misses), or 0 before any lookup. Faulted reads
+// are neither hits nor misses — they never produced a page.
+func (c *Cache) HitRatio() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
 
 // Len returns the number of cached pages.
 func (c *Cache) Len() int { return c.order.Len() }

@@ -1,0 +1,49 @@
+package buffercache
+
+import "mlq/internal/telemetry"
+
+// cacheTelemetry mirrors the cache's counters into a telemetry registry. The
+// cache publishes after every Get from its owning goroutine; scrapes read the
+// atomic metric values without touching the (not concurrency-safe) cache.
+type cacheTelemetry struct {
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	evictions *telemetry.Counter
+	faults    *telemetry.Counter
+	pages     *telemetry.Gauge
+	capacity  *telemetry.Gauge
+	hitRatio  *telemetry.Gauge
+}
+
+// Instrument registers the cache's metrics under mlq_buffercache_* with the
+// given labels (typically db="text"/"spatial") and begins publishing them on
+// every lookup. Passing a nil registry detaches the cache from telemetry.
+func (c *Cache) Instrument(reg *telemetry.Registry, labels ...telemetry.Label) {
+	if reg == nil {
+		c.tel = nil
+		return
+	}
+	tel := &cacheTelemetry{
+		hits:      reg.Counter("mlq_buffercache_hits_total", "lookups served from the cache", labels...),
+		misses:    reg.Counter("mlq_buffercache_misses_total", "lookups that performed a physical read", labels...),
+		evictions: reg.Counter("mlq_buffercache_evictions_total", "pages evicted to make room", labels...),
+		faults:    reg.Counter("mlq_buffercache_read_faults_total", "physical reads that returned an error", labels...),
+		pages:     reg.Gauge("mlq_buffercache_pages", "pages currently cached", labels...),
+		capacity:  reg.Gauge("mlq_buffercache_capacity_pages", "cache capacity in pages", labels...),
+		hitRatio:  reg.Gauge("mlq_buffercache_hit_ratio", "hits / (hits + misses) over the cache's lifetime", labels...),
+	}
+	c.tel = tel
+	tel.publish(c)
+}
+
+// publish pushes the cache's current counters into the registered metrics.
+// It must be called from the goroutine that owns the cache.
+func (tel *cacheTelemetry) publish(c *Cache) {
+	tel.hits.Store(c.hits)
+	tel.misses.Store(c.misses)
+	tel.evictions.Store(c.evictions)
+	tel.faults.Store(c.faults)
+	tel.pages.SetInt(int64(c.order.Len()))
+	tel.capacity.SetInt(int64(c.capacity))
+	tel.hitRatio.Set(c.HitRatio())
+}

@@ -1,0 +1,128 @@
+package buffercache
+
+import (
+	"errors"
+	"testing"
+
+	"mlq/internal/pagestore"
+	"mlq/internal/telemetry"
+)
+
+func newTestStore(t *testing.T, pages int) (*pagestore.Store, []pagestore.PageID) {
+	t.Helper()
+	s, err := pagestore.New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]pagestore.PageID, pages)
+	for i := range ids {
+		ids[i] = s.Alloc()
+		if err := s.Write(ids[i], []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, ids
+}
+
+// TestInstrumentPublishes walks a hit/miss/eviction sequence and checks the
+// registry series track the cache's own counters exactly.
+func TestInstrumentPublishes(t *testing.T) {
+	store, ids := newTestStore(t, 3)
+	c, err := New(store, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	c.Instrument(reg, telemetry.L("db", "test"))
+
+	lbl := telemetry.L("db", "test")
+	if got := reg.Gauge("mlq_buffercache_capacity_pages", "", lbl).Value(); got != 2 {
+		t.Errorf("capacity gauge = %g, want 2", got)
+	}
+
+	mustGet := func(id pagestore.PageID) {
+		t.Helper()
+		if _, err := c.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGet(ids[0]) // miss
+	mustGet(ids[0]) // hit
+	mustGet(ids[1]) // miss
+	mustGet(ids[2]) // miss + eviction
+
+	if got := reg.Counter("mlq_buffercache_hits_total", "", lbl).Value(); got != 1 {
+		t.Errorf("hits series = %d, want 1", got)
+	}
+	if got := reg.Counter("mlq_buffercache_misses_total", "", lbl).Value(); got != 3 {
+		t.Errorf("misses series = %d, want 3", got)
+	}
+	if got := reg.Counter("mlq_buffercache_evictions_total", "", lbl).Value(); got != 1 {
+		t.Errorf("evictions series = %d, want 1", got)
+	}
+	if got := reg.Gauge("mlq_buffercache_pages", "", lbl).Value(); got != 2 {
+		t.Errorf("pages gauge = %g, want 2", got)
+	}
+	if got := reg.Gauge("mlq_buffercache_hit_ratio", "", lbl).Value(); got != 0.25 {
+		t.Errorf("hit ratio gauge = %g, want 0.25", got)
+	}
+}
+
+// TestInstrumentReadFaults injects page-read errors through the pagestore
+// fault hook and checks they surface as mlq_buffercache_read_faults_total —
+// the registry-visible signal the chaos harness watches.
+func TestInstrumentReadFaults(t *testing.T) {
+	store, ids := newTestStore(t, 2)
+	c, err := New(store, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	c.Instrument(reg, telemetry.L("db", "test"))
+	lbl := telemetry.L("db", "test")
+
+	faultErr := errors.New("injected read fault")
+	store.SetReadFault(func(pagestore.PageID) error { return faultErr })
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get(ids[0]); !errors.Is(err, faultErr) {
+			t.Fatalf("faulted Get returned %v, want injected fault", err)
+		}
+	}
+	if got := reg.Counter("mlq_buffercache_read_faults_total", "", lbl).Value(); got != 3 {
+		t.Errorf("fault series = %d, want 3", got)
+	}
+	// Faults are neither hits nor misses: the ratio gauge must not move.
+	if got := reg.Gauge("mlq_buffercache_hit_ratio", "", lbl).Value(); got != 0 {
+		t.Errorf("hit ratio after faults only = %g, want 0", got)
+	}
+
+	// Clearing the hook resumes normal reads and publishing.
+	store.SetReadFault(nil)
+	if _, err := c.Get(ids[0]); err != nil {
+		t.Fatalf("recovered read failed: %v", err)
+	}
+	if got := reg.Counter("mlq_buffercache_misses_total", "", lbl).Value(); got != 1 {
+		t.Errorf("misses after recovery = %d, want 1", got)
+	}
+	if got := reg.Counter("mlq_buffercache_read_faults_total", "", lbl).Value(); got != 3 {
+		t.Errorf("fault series moved after recovery: %d", got)
+	}
+}
+
+// TestInstrumentDetach checks a nil registry detaches publishing.
+func TestInstrumentDetach(t *testing.T) {
+	store, ids := newTestStore(t, 1)
+	c, err := New(store, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	c.Instrument(reg, telemetry.L("db", "test"))
+	c.Instrument(nil)
+	if _, err := c.Get(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("mlq_buffercache_misses_total", "", telemetry.L("db", "test")).Value(); got != 0 {
+		t.Errorf("detached cache still publishing: misses = %d", got)
+	}
+}

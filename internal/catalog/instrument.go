@@ -1,0 +1,66 @@
+package catalog
+
+import (
+	"sync/atomic"
+
+	"mlq/internal/telemetry"
+)
+
+// persistCounters are package-level because SaveFile/LoadFile are free
+// functions: every catalog save and recovery in the process counts here,
+// whatever path it targets. They are atomics so telemetry can read them from
+// the exposition goroutine while saves run elsewhere.
+var persistCounters struct {
+	saves        atomic.Int64
+	saveFailures atomic.Int64
+	bakRotations atomic.Int64
+	loads        atomic.Int64
+	degraded     atomic.Int64
+	restored     atomic.Int64
+	dropped      atomic.Int64
+}
+
+// PersistStats is a snapshot of the process-wide persistence counters.
+type PersistStats struct {
+	// Saves counts successful SaveFile calls; SaveFailures the failed ones.
+	Saves, SaveFailures int64
+	// BakRotations counts primaries rotated to the .bak generation.
+	BakRotations int64
+	// Loads counts successful LoadFile calls; DegradedLoads the subset that
+	// were anything other than a clean primary read.
+	Loads, DegradedLoads int64
+	// RestoredEntries and DroppedEntries total the per-load report lists.
+	RestoredEntries, DroppedEntries int64
+}
+
+// Stats returns the current process-wide persistence counters.
+func Stats() PersistStats {
+	return PersistStats{
+		Saves:           persistCounters.saves.Load(),
+		SaveFailures:    persistCounters.saveFailures.Load(),
+		BakRotations:    persistCounters.bakRotations.Load(),
+		Loads:           persistCounters.loads.Load(),
+		DegradedLoads:   persistCounters.degraded.Load(),
+		RestoredEntries: persistCounters.restored.Load(),
+		DroppedEntries:  persistCounters.dropped.Load(),
+	}
+}
+
+// Instrument registers the persistence counters under mlq_catalog_* as
+// pull-based metrics: the registry reads the package atomics at exposition
+// time, so there is no publish step and no goroutine constraint.
+func Instrument(reg *telemetry.Registry, labels ...telemetry.Label) {
+	if reg == nil {
+		return
+	}
+	cf := func(name, help string, v *atomic.Int64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(v.Load()) }, labels...)
+	}
+	cf("mlq_catalog_saves_total", "successful crash-safe catalog saves", &persistCounters.saves)
+	cf("mlq_catalog_save_failures_total", "catalog saves that failed and were rolled back", &persistCounters.saveFailures)
+	cf("mlq_catalog_bak_rotations_total", "primary catalogs rotated to the .bak generation", &persistCounters.bakRotations)
+	cf("mlq_catalog_loads_total", "successful catalog loads", &persistCounters.loads)
+	cf("mlq_catalog_degraded_loads_total", "loads that fell back to the backup or salvaged a damaged primary", &persistCounters.degraded)
+	cf("mlq_catalog_restored_entries_total", "entries recovered from the backup generation", &persistCounters.restored)
+	cf("mlq_catalog_dropped_entries_total", "entries lost to corruption in both generations", &persistCounters.dropped)
+}

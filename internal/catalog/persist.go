@@ -56,18 +56,23 @@ func SaveFile(path string, c *Catalog, opts ...SaveOption) error {
 	}
 	if werr != nil {
 		os.Remove(tmp.Name())
+		persistCounters.saveFailures.Add(1)
 		return fmt.Errorf("catalog: writing %s: %w", path, werr)
 	}
 	if _, err := os.Stat(path); err == nil {
 		if err := os.Rename(path, path+BackupSuffix); err != nil {
 			os.Remove(tmp.Name())
+			persistCounters.saveFailures.Add(1)
 			return fmt.Errorf("catalog: rotating backup of %s: %w", path, err)
 		}
+		persistCounters.bakRotations.Add(1)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
+		persistCounters.saveFailures.Add(1)
 		return fmt.Errorf("catalog: installing %s: %w", path, err)
 	}
+	persistCounters.saves.Add(1)
 	return nil
 }
 
@@ -98,6 +103,19 @@ func (r *LoadReport) Degraded() bool {
 // missing primary with a missing backup returns an error wrapping
 // fs.ErrNotExist.
 func LoadFile(path string) (*Catalog, *LoadReport, error) {
+	c, rep, err := loadFile(path)
+	if err == nil {
+		persistCounters.loads.Add(1)
+		if rep.Degraded() {
+			persistCounters.degraded.Add(1)
+		}
+		persistCounters.restored.Add(int64(len(rep.Restored)))
+		persistCounters.dropped.Add(int64(len(rep.Dropped)))
+	}
+	return c, rep, err
+}
+
+func loadFile(path string) (*Catalog, *LoadReport, error) {
 	primary, perr := readCatalogFile(path)
 	if perr == nil {
 		return primary, &LoadReport{Source: "primary"}, nil

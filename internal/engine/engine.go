@@ -50,9 +50,14 @@ type Predicate struct {
 	passed    int64
 	costSum   float64
 
+	costPredictions int64 // Model.Predict calls made while planning
+	selPredictions  int64 // SelModel.Predict calls made while planning
+
 	execFailures int64 // panicking executions, recovered
 	costGuard    Guard
 	selGuard     Guard
+
+	tel *predTelemetry // nil unless Instrument was called
 }
 
 // Health reports the predicate's fault-handling counters: recovered
@@ -213,11 +218,13 @@ func ExecuteQuery(table *Table, preds []*Predicate, policy OrderPolicy) (Result,
 					// instead. Predictions are also sanitized — a model
 					// emitting NaN/Inf/negative must not poison the rank.
 					if p.Model != nil && !p.costGuard.Open() {
+						p.costPredictions++
 						if v, ok := p.Model.Predict(pt); ok && core.ValidCost(v) {
 							cost = v
 						}
 					}
 					if p.SelModel != nil && !p.selGuard.Open() {
+						p.selPredictions++
 						if v, ok := p.SelModel.Predict(pt); ok && core.ValidCost(v) {
 							sel = clamp01(v)
 						}
@@ -236,6 +243,9 @@ func ExecuteQuery(table *Table, preds []*Predicate, policy OrderPolicy) (Result,
 				// The UDF panicked: the row fails this predicate, nothing
 				// is observed, and the query carries on.
 				res.Faults.ExecFailures++
+				if p.tel != nil {
+					p.tel.publish(p)
+				}
 				pass = false
 				break
 			}
@@ -257,6 +267,9 @@ func ExecuteQuery(table *Table, preds []*Predicate, policy OrderPolicy) (Result,
 					}
 					res.Faults.count(p.selGuard.Feed(p.SelModel, pt, outcome))
 				}
+			}
+			if p.tel != nil {
+				p.tel.publish(p)
 			}
 			if !ok {
 				pass = false

@@ -17,6 +17,7 @@ import (
 	"mlq/internal/metrics"
 	"mlq/internal/pagestore"
 	"mlq/internal/spatialdb"
+	"mlq/internal/telemetry"
 	"mlq/internal/textdb"
 	"mlq/internal/udf"
 )
@@ -85,6 +86,18 @@ type ChaosCell struct {
 	Saves        int64 // catalog save/load cycles
 	FailedSaves  int64 // saves that reported an error (truncating tears)
 	Degraded     int64 // catalog loads needing salvage or the .bak
+
+	// Health is the per-UDF fault-handling breakdown: which predicate
+	// absorbed the panics, quarantines and breaker trips the aggregate
+	// counters above sum over.
+	Health []ChaosUDFHealth
+}
+
+// ChaosUDFHealth is one UDF's fault-handling record within a chaos cell.
+type ChaosUDFHealth struct {
+	UDF          string
+	ExecFailures int64 // executions lost to injected panics or page faults
+	Guard        engine.GuardStats
 }
 
 // chaosState is one UDF's feedback loop under chaos: a fresh self-tuning MLQ
@@ -98,6 +111,32 @@ type chaosState struct {
 	prior float64
 	guard engine.Guard
 	src   dist.PointSource
+
+	execFailures int64 // per-UDF share of the cell's ExecFailures
+
+	// Telemetry handles (all inert when telemetry is disabled).
+	label   telemetry.Label
+	preds   *telemetry.Counter
+	gm      *engine.GuardMetrics
+	tracker *telemetry.ErrorTracker
+}
+
+// instrument attaches the state's current model tree and feedback counters to
+// the options' registry/tracer. Called once per cell and again after a
+// catalog reload swaps in an adopted tree — the registry hands back the same
+// series for the same labels, so the metrics continue seamlessly.
+func (s *chaosState) instrument(opts Options) {
+	if opts.Telemetry == nil && opts.Tracer == nil {
+		return
+	}
+	s.label = telemetry.L("udf", s.u.Name())
+	s.mlq.Tree().Instrument(opts.Telemetry, opts.Tracer, s.label)
+	s.preds = opts.Telemetry.Counter("mlq_engine_predictions_total",
+		"model Predict calls made while planning", s.label)
+	s.gm = engine.NewGuardMetrics(opts.Telemetry, s.label)
+	if s.tracker == nil {
+		s.tracker = telemetry.NewErrorTracker(opts.Telemetry, s.label)
+	}
 }
 
 // Chaos runs the robustness experiment: the full Figure-1 feedback loop —
@@ -121,6 +160,15 @@ func Chaos(cfg ChaosConfig, opts Options) ([]ChaosCell, error) {
 	}
 	udfs := []udf.UDF{tdb.UDFs()[0], sdb.UDFs()[1]} // SIMPLE and WIN
 	stores := []*pagestore.Store{tdb.Store(), sdb.Store()}
+
+	if opts.Telemetry != nil {
+		// The page caches and the catalog persist across cells, so they are
+		// instrumented once; the per-cell model trees and guards re-attach
+		// inside runChaosCell.
+		tdb.Cache().Instrument(opts.Telemetry, telemetry.L("db", "text"))
+		sdb.Cache().Instrument(opts.Telemetry, telemetry.L("db", "spatial"))
+		catalog.Instrument(opts.Telemetry)
+	}
 
 	// A-priori training for the static fallback level and the constant
 	// prior, collected before any fault site is armed.
@@ -231,6 +279,7 @@ func runChaosCell(inj *faults.Injector, rate float64, udfs []udf.UDF, stores []*
 			u: u, mlq: mlq, fb: fb, hist: hists[i], prior: priors[i],
 			guard: engine.Guard{K: cfg.BreakerK}, src: src,
 		}
+		states[i].instrument(opts)
 	}
 
 	saveEvery := 0
@@ -245,25 +294,35 @@ func runChaosCell(inj *faults.Injector, rate float64, udfs []udf.UDF, stores []*
 	for q := 0; q < opts.Queries; q++ {
 		for _, s := range states {
 			p := s.src.Next()
+			sp := opts.Tracer.Start("predict", s.label)
 			pred, ok := s.fb.Predict(p)
+			sp.End()
+			s.preds.Inc()
 			if !ok || !core.ValidCost(pred) {
 				return cell, fmt.Errorf("model %s answered invalid prediction (%v, %v) — degradation chain broken",
 					s.fb.Name(), pred, ok)
 			}
 			cell.Executions++
+			sp = opts.Tracer.Start("execute", s.label)
 			actual, failed := chaosExecute(s.u, p, inj)
+			sp.End()
 			if failed {
 				// The execution produced no cost: no sample, no feedback,
 				// and — the entire point — no crash.
 				cell.ExecFailures++
+				s.execFailures++
 				continue
 			}
 			nae.Add(pred, actual)
+			s.tracker.Observe(pred, actual)
 			obs, corrupted := inj.MaybeCorruptCost(actual)
 			if corrupted {
 				cell.Corrupted++
 			}
-			switch s.guard.Feed(s.fb, p, obs) {
+			sp = opts.Tracer.Start("observe", s.label)
+			fed := s.guard.Feed(s.fb, p, obs)
+			sp.End()
+			switch fed {
 			case engine.FedQuarantined:
 				cell.Quarantined++
 			case engine.FedRejected:
@@ -271,9 +330,13 @@ func runChaosCell(inj *faults.Injector, rate float64, udfs []udf.UDF, stores []*
 			case engine.FedSkipped:
 				cell.Skipped++
 			}
+			s.gm.Publish(s.guard.Stats())
 		}
 		if saveEvery > 0 && (q+1)%saveEvery == 0 {
-			if err := chaosSaveLoad(path, states, inj, &cell); err != nil {
+			sp := opts.Tracer.Start("save")
+			err := chaosSaveLoad(path, states, inj, &cell, opts)
+			sp.End()
+			if err != nil {
 				return cell, err
 			}
 		}
@@ -281,6 +344,11 @@ func runChaosCell(inj *faults.Injector, rate float64, udfs []udf.UDF, stores []*
 	cell.NAE = nae.Value()
 	for _, s := range states {
 		cell.BreakerTrips += s.guard.Stats().Trips
+		cell.Health = append(cell.Health, ChaosUDFHealth{
+			UDF:          s.u.Name(),
+			ExecFailures: s.execFailures,
+			Guard:        s.guard.Stats(),
+		})
 	}
 	cell.PageFaults = inj.Stats(faults.PageRead).Fired
 	cell.Panics = inj.Stats(faults.UDFPanic).Fired
@@ -309,7 +377,7 @@ func chaosExecute(u udf.UDF, p geom.Point, inj *faults.Injector) (cost float64, 
 // mid-workload. A truncating tear fails the save and the previous generation
 // lives on; a bit-flip tear corrupts the primary silently and the load
 // salvages around it.
-func chaosSaveLoad(path string, states []*chaosState, inj *faults.Injector, cell *ChaosCell) error {
+func chaosSaveLoad(path string, states []*chaosState, inj *faults.Injector, cell *ChaosCell, opts Options) error {
 	c := catalog.New()
 	for _, s := range states {
 		if err := c.Put(s.u.Name(), s.mlq, nil); err != nil {
@@ -347,6 +415,9 @@ func chaosSaveLoad(path string, states []*chaosState, inj *faults.Injector, cell
 			return err
 		}
 		s.mlq, s.fb = mlq, fb
+		// The adopted tree replaces the instrumented one; re-attach so its
+		// (continuing) series track the model that is actually live.
+		s.instrument(opts)
 	}
 	return nil
 }

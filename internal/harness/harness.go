@@ -16,6 +16,7 @@ import (
 	"mlq/internal/metrics"
 	"mlq/internal/quadtree"
 	"mlq/internal/synthetic"
+	"mlq/internal/telemetry"
 	"mlq/internal/workload"
 )
 
@@ -80,6 +81,15 @@ type Options struct {
 	Trials int
 	// Seed drives all randomness.
 	Seed int64
+
+	// Telemetry, when set, receives live metrics from the experiment's
+	// models, caches and feedback loops (scrapable mid-run — see
+	// internal/telemetry). Nil disables all instrumentation; the
+	// experiments' results are identical either way.
+	Telemetry *telemetry.Registry
+	// Tracer, when set, records the feedback-loop stages (predict, execute,
+	// observe, compress, save) as spans. Nil disables tracing.
+	Tracer *telemetry.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -164,6 +174,20 @@ func NewModel(m Method, region geom.Rect, opts Options, training []histogram.Sam
 	default:
 		return nil, fmt.Errorf("harness: unknown method %d", int(m))
 	}
+}
+
+// instrumentModel attaches the model's quadtree (when it has one) to the
+// options' telemetry registry and tracer under the given labels, and returns
+// an ErrorTracker for its rolling NAE. With telemetry disabled everything is
+// nil and the returned tracker is an inert nil.
+func (o Options) instrumentModel(model core.Model, labels ...telemetry.Label) *telemetry.ErrorTracker {
+	if o.Telemetry == nil && o.Tracer == nil {
+		return nil
+	}
+	if mlq, ok := model.(*core.MLQ); ok {
+		mlq.Tree().Instrument(o.Telemetry, o.Tracer, labels...)
+	}
+	return telemetry.NewErrorTracker(o.Telemetry, labels...)
 }
 
 // trainingFor collects the SH a-priori training set: the paper trains the

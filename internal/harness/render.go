@@ -271,4 +271,30 @@ func RenderChaos(w io.Writer, rows []ChaosCell) {
 		)
 	}
 	t.Fprint(w)
+
+	health := Table{
+		Title: "\nPer-UDF fault handling (engine.Health: recovered panics and observation-guard state)",
+		Header: []string{"rate", "udf", "exec-failures", "fed", "quarantined",
+			"rejected", "skipped", "trips", "breaker"},
+	}
+	any := false
+	for _, c := range rows {
+		for _, h := range c.Health {
+			any = true
+			breaker := "closed"
+			if h.Guard.Open {
+				breaker = "OPEN"
+			}
+			health.AddRow(
+				fmt.Sprintf("%.2f", c.Rate), h.UDF,
+				fmt.Sprintf("%d", h.ExecFailures), fmt.Sprintf("%d", h.Guard.Fed),
+				fmt.Sprintf("%d", h.Guard.Quarantined), fmt.Sprintf("%d", h.Guard.Rejected),
+				fmt.Sprintf("%d", h.Guard.Skipped), fmt.Sprintf("%d", h.Guard.Trips),
+				breaker,
+			)
+		}
+	}
+	if any {
+		health.Fprint(w)
+	}
 }

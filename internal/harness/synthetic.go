@@ -8,6 +8,7 @@ import (
 	"mlq/internal/dist"
 	"mlq/internal/metrics"
 	"mlq/internal/synthetic"
+	"mlq/internal/telemetry"
 	"mlq/internal/workload"
 )
 
@@ -33,6 +34,7 @@ func RunSyntheticNAE(m Method, cost synthetic.CostFunc, kind dist.Kind, opts Opt
 	if err != nil {
 		return 0, err
 	}
+	tracker := opts.instrumentModel(model, telemetry.L("model", m.String()))
 	var nae metrics.NAE
 	for {
 		q, ok := stream.Next()
@@ -41,6 +43,7 @@ func RunSyntheticNAE(m Method, cost synthetic.CostFunc, kind dist.Kind, opts Opt
 		}
 		pred, _ := model.Predict(q.Point) // untrained models predict 0
 		nae.Add(pred, q.True)
+		tracker.Observe(pred, q.True)
 		if err := model.Observe(q.Point, q.Observed); err != nil {
 			return 0, err
 		}

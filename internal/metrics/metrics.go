@@ -173,8 +173,10 @@ func (q *Quantiles) AddValue(v float64) {
 		q.sample = append(q.sample, v)
 		return
 	}
-	if j := q.rng.Int63n(q.seen); int(j) < q.cap {
-		q.sample[j] = v
+	// Compare in int64: int(j) truncates on 32-bit platforms once seen
+	// exceeds 2^31, which would admit out-of-range indices into the sample.
+	if j := q.rng.Int63n(q.seen); j < int64(q.cap) {
+		q.sample[int(j)] = v
 	}
 }
 

@@ -65,13 +65,17 @@ func (t *Tree) compress() {
 	//lint:ignore detertime stopwatch feeding APC/AUC accounting; the duration is never consulted by any decision
 	start := time.Now()
 	defer func() {
-		t.compressTime += time.Since(start)
+		d := time.Since(start)
+		t.compressTime += d
 		t.compressions++
 		if t.cfg.Strategy == Lazy {
 			// Re-snapshot th_SSE = α·SSE(root) (Eq. 7). Before the
 			// first compression the threshold is zero, so lazy
 			// behaves eagerly until memory first fills up.
 			t.thSSE = t.cfg.Alpha * t.root.sse()
+		}
+		if t.tel != nil {
+			t.tel.compressDone(t, d)
 		}
 	}()
 
@@ -91,6 +95,7 @@ func (t *Tree) compress() {
 	}
 	collect(t.root)
 	heap.Init(&h)
+	t.ssegQueueDepth = h.Len()
 
 	needFree := int(t.cfg.Gamma * float64(t.cfg.MemoryLimit))
 	if needFree < t.cfg.NodeBytes {

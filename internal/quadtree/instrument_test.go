@@ -1,0 +1,126 @@
+package quadtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlq/internal/geom"
+	"mlq/internal/telemetry"
+)
+
+// TestInstrumentPublishes inserts past the memory limit and checks that the
+// registry series mirror the tree's own counters — including the compression
+// counters published from inside the compress pass.
+func TestInstrumentPublishes(t *testing.T) {
+	tr := mustTree(t, Config{
+		Region:      geom.UnitCube(2),
+		MaxDepth:    6,
+		MemoryLimit: 40 * DefaultNodeBytes,
+	})
+	reg := telemetry.New()
+	var clk telemetry.FakeClock
+	tracer := telemetry.NewTracer(reg, &clk, nil)
+	lbl := telemetry.L("model", "cost")
+	tr.Instrument(reg, tracer, lbl)
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		p := geom.Point{rng.Float64(), rng.Float64()}
+		if err := tr.Insert(p, rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := reg.Counter("mlq_quadtree_inserts_total", "", lbl).Value(); got != tr.Inserts() {
+		t.Errorf("inserts series = %d, tree says %d", got, tr.Inserts())
+	}
+	if got := reg.Gauge("mlq_quadtree_nodes", "", lbl).Value(); got != float64(tr.NodeCount()) {
+		t.Errorf("nodes gauge = %g, tree says %d", got, tr.NodeCount())
+	}
+	if got := reg.Gauge("mlq_quadtree_memory_bytes", "", lbl).Value(); got != float64(tr.MemoryUsed()) {
+		t.Errorf("memory gauge = %g, tree says %d", got, tr.MemoryUsed())
+	}
+	wantUtil := float64(tr.MemoryUsed()) / float64(tr.Config().MemoryLimit)
+	if got := reg.Gauge("mlq_quadtree_memory_utilization", "", lbl).Value(); got != wantUtil {
+		t.Errorf("utilization gauge = %g, want %g", got, wantUtil)
+	}
+	if tr.Compressions() == 0 {
+		t.Fatal("workload did not trigger compression; the test needs a tighter limit")
+	}
+	if got := reg.Counter("mlq_quadtree_compressions_total", "", lbl).Value(); got != tr.Compressions() {
+		t.Errorf("compressions series = %d, tree says %d", got, tr.Compressions())
+	}
+	if got := reg.Counter("mlq_quadtree_removed_nodes_total", "", lbl).Value(); got != tr.RemovedNodes() {
+		t.Errorf("removed series = %d, tree says %d", got, tr.RemovedNodes())
+	}
+	if got := reg.Gauge("mlq_quadtree_sseg_queue_depth", "", lbl).Value(); got != float64(tr.SSEGQueueDepth()) {
+		t.Errorf("sseg queue gauge = %g, tree says %d", got, tr.SSEGQueueDepth())
+	}
+	eager := reg.Counter("mlq_quadtree_eager_inserts_total", "", lbl).Value()
+	deferred := reg.Counter("mlq_quadtree_deferred_inserts_total", "", lbl).Value()
+	if eager != tr.EagerInserts() || deferred != tr.DeferredInserts() {
+		t.Errorf("insert-mode series = (%d, %d), tree says (%d, %d)",
+			eager, deferred, tr.EagerInserts(), tr.DeferredInserts())
+	}
+	if eager+deferred != tr.Inserts() {
+		t.Errorf("eager %d + deferred %d != inserts %d", eager, deferred, tr.Inserts())
+	}
+
+	// Every compression pass is recorded as a "compress" span.
+	h := reg.Histogram("mlq_trace_span_seconds", "", telemetry.L("span", "compress"), lbl)
+	if got := h.Count(); got != tr.Compressions() {
+		t.Errorf("compress span count = %d, compressions = %d", got, tr.Compressions())
+	}
+}
+
+// TestInstrumentDetach checks nil/nil stops publishing, and that a detached
+// clone does not inherit the original's telemetry.
+func TestInstrumentDetach(t *testing.T) {
+	tr := mustTree(t, unitCfg(2))
+	reg := telemetry.New()
+	lbl := telemetry.L("model", "cost")
+	tr.Instrument(reg, nil, lbl)
+
+	if err := tr.Insert(geom.Point{0.5, 0.5}, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := reg.Counter("mlq_quadtree_inserts_total", "", lbl)
+	if c.Value() != 1 {
+		t.Fatalf("instrumented insert not published: %d", c.Value())
+	}
+
+	clone := tr.Clone()
+	if err := clone.Insert(geom.Point{0.25, 0.25}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Value() != 1 {
+		t.Errorf("clone published into the original's series: %d", c.Value())
+	}
+
+	tr.Instrument(nil, nil)
+	if err := tr.Insert(geom.Point{0.75, 0.75}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if c.Value() != 1 {
+		t.Errorf("detached tree still publishing: %d", c.Value())
+	}
+}
+
+// TestInstrumentNilTracer checks a registry-only instrumentation survives
+// compression (the span hook must tolerate a nil tracer).
+func TestInstrumentNilTracer(t *testing.T) {
+	tr := mustTree(t, Config{
+		Region:      geom.UnitCube(2),
+		MemoryLimit: 20 * DefaultNodeBytes,
+	})
+	tr.Instrument(telemetry.New(), nil)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		if err := tr.Insert(geom.Point{rng.Float64(), rng.Float64()}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Compressions() == 0 {
+		t.Error("no compression ran")
+	}
+}

@@ -262,11 +262,16 @@ type Tree struct {
 	nodeCount int
 	thSSE     float64 // lazy partitioning threshold; 0 until first compression
 
-	inserts       int64
-	compressions  int64
-	removedNodes  int64
-	compressTime  time.Duration
-	childCapacity uint32 // 2^d
+	inserts         int64
+	eagerInserts    int64 // inserts that partitioned down to MaxDepth
+	deferredInserts int64 // inserts stopped early by the lazy SSE threshold
+	compressions    int64
+	removedNodes    int64
+	ssegQueueDepth  int // candidate-leaf queue size of the latest compression
+	compressTime    time.Duration
+	childCapacity   uint32 // 2^d
+
+	tel *treeTelemetry // nil unless Instrument was called
 }
 
 // New returns an empty tree for the given configuration.
@@ -295,6 +300,21 @@ func (t *Tree) MemoryUsed() int { return t.nodeCount * t.cfg.NodeBytes }
 
 // Inserts returns the number of data points inserted so far.
 func (t *Tree) Inserts() int64 { return t.inserts }
+
+// EagerInserts returns how many inserts partitioned all the way down to
+// MaxDepth (every insert under MLQ-E; under MLQ-L those that kept finding
+// refinable nodes).
+func (t *Tree) EagerInserts() int64 { return t.eagerInserts }
+
+// DeferredInserts returns how many inserts stopped early because the leaf's
+// SSE was under the lazy threshold th_SSE — the work MLQ-L's deferral
+// avoids. Always zero under MLQ-E.
+func (t *Tree) DeferredInserts() int64 { return t.deferredInserts }
+
+// SSEGQueueDepth returns the candidate-leaf queue size of the most recent
+// compression pass: how many leaves competed for removal. Zero before the
+// first compression.
+func (t *Tree) SSEGQueueDepth() int { return t.ssegQueueDepth }
 
 // Compressions returns how many compression passes have run.
 func (t *Tree) Compressions() int64 { return t.compressions }
@@ -332,10 +352,12 @@ func (t *Tree) Insert(p geom.Point, value float64) error {
 	cn := t.root
 	region := t.cfg.Region
 	cn.add(value)
+	deferred := false
 	for depth := 0; depth < t.cfg.MaxDepth; depth++ {
 		// Fig. 4 line 3-4: descend while the current node should be
 		// refined (SSE at or above threshold) or already has children.
 		if cn.isLeaf() && cn.sse() < th {
+			deferred = true
 			break
 		}
 		idx := region.ChildIndex(p)
@@ -350,9 +372,17 @@ func (t *Tree) Insert(p geom.Point, value float64) error {
 		cn.add(value)
 	}
 	t.inserts++
+	if deferred {
+		t.deferredInserts++
+	} else {
+		t.eagerInserts++
+	}
 
 	if t.MemoryUsed() > t.cfg.MemoryLimit {
 		t.compress()
+	}
+	if t.tel != nil {
+		t.tel.publish(t)
 	}
 	return nil
 }

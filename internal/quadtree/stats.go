@@ -116,25 +116,31 @@ func (t *Tree) TSSENC() float64 {
 
 // Stats summarizes the tree's current shape.
 type Stats struct {
-	Nodes        int
-	Leaves       int
-	MaxDepth     int
-	MemoryBytes  int
-	Inserts      int64
-	Compressions int64
-	RemovedNodes int64
-	TSSENC       float64
+	Nodes           int
+	Leaves          int
+	MaxDepth        int
+	MemoryBytes     int
+	Inserts         int64
+	EagerInserts    int64
+	DeferredInserts int64
+	Compressions    int64
+	RemovedNodes    int64
+	SSEGQueueDepth  int
+	TSSENC          float64
 }
 
 // Stats returns a snapshot of the tree's shape and lifetime counters.
 func (t *Tree) Stats() Stats {
 	s := Stats{
-		Nodes:        t.nodeCount,
-		MemoryBytes:  t.MemoryUsed(),
-		Inserts:      t.inserts,
-		Compressions: t.compressions,
-		RemovedNodes: t.removedNodes,
-		TSSENC:       t.TSSENC(),
+		Nodes:           t.nodeCount,
+		MemoryBytes:     t.MemoryUsed(),
+		Inserts:         t.inserts,
+		EagerInserts:    t.eagerInserts,
+		DeferredInserts: t.deferredInserts,
+		Compressions:    t.compressions,
+		RemovedNodes:    t.removedNodes,
+		SSEGQueueDepth:  t.ssegQueueDepth,
+		TSSENC:          t.TSSENC(),
 	}
 	t.Walk(func(b Block) bool {
 		if b.Children == 0 {
@@ -226,16 +232,22 @@ func (t *Tree) Clone() *Tree {
 		}
 		return c
 	}
+	// The clone deliberately does not inherit t.tel: two trees publishing
+	// into one set of gauges would interleave meaninglessly. Instrument the
+	// clone separately if it should be observable.
 	clone := &Tree{
-		cfg:           t.cfg,
-		root:          rec(t.root, nil),
-		nodeCount:     t.nodeCount,
-		thSSE:         t.thSSE,
-		inserts:       t.inserts,
-		compressions:  t.compressions,
-		removedNodes:  t.removedNodes,
-		compressTime:  t.compressTime,
-		childCapacity: t.childCapacity,
+		cfg:             t.cfg,
+		root:            rec(t.root, nil),
+		nodeCount:       t.nodeCount,
+		thSSE:           t.thSSE,
+		inserts:         t.inserts,
+		eagerInserts:    t.eagerInserts,
+		deferredInserts: t.deferredInserts,
+		compressions:    t.compressions,
+		removedNodes:    t.removedNodes,
+		ssegQueueDepth:  t.ssegQueueDepth,
+		compressTime:    t.compressTime,
+		childCapacity:   t.childCapacity,
 	}
 	clone.cfg.Region = t.cfg.Region.Clone()
 	return clone

@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// ErrorTracker exports a model's live prediction accuracy: the rolling NAE
+// of Eq. 10 (Σ|PC−AC| / Σ|AC|) as mlq_model_nae, the approximate p95 of the
+// absolute error stream as mlq_model_abs_error_p95 (from the
+// mlq_model_abs_error histogram), and a sample counter. It is the registry
+// face of the internal/metrics accumulators: the harness feeds it the same
+// (predicted, actual) pairs it feeds metrics.NAE, and the gauges answer
+// scrapes concurrently via atomics.
+//
+// A nil *ErrorTracker is a no-op.
+type ErrorTracker struct {
+	absErr    floatAdder
+	absActual floatAdder
+	hist      *Histogram
+	samples   *Counter
+}
+
+// NewErrorTracker registers the model-error series under the given labels
+// (typically model="MLQ-E" or predicate="WIN") and returns the feed handle.
+// Returns nil on a nil registry.
+func NewErrorTracker(reg *Registry, labels ...Label) *ErrorTracker {
+	if reg == nil {
+		return nil
+	}
+	t := &ErrorTracker{
+		hist:    reg.Histogram("mlq_model_abs_error", "absolute prediction error |predicted-actual|", labels...),
+		samples: reg.Counter("mlq_model_samples_total", "prediction/actual pairs scored", labels...),
+	}
+	reg.GaugeFunc("mlq_model_nae", "rolling normalized absolute error (Eq. 10)",
+		func() float64 {
+			denom := t.absActual.Value()
+			if denom <= 0 {
+				return 0
+			}
+			return t.absErr.Value() / denom
+		}, labels...)
+	reg.GaugeFunc("mlq_model_abs_error_p95", "approximate p95 of the absolute prediction error",
+		func() float64 { return t.hist.Quantile(0.95) }, labels...)
+	return t
+}
+
+// Observe scores one prediction/actual pair. Non-finite pairs are dropped —
+// the tracker reports on the feedback loop, it must not be poisoned by it.
+func (t *ErrorTracker) Observe(predicted, actual float64) {
+	if t == nil {
+		return
+	}
+	e := math.Abs(predicted - actual)
+	if math.IsNaN(e) || math.IsInf(e, 0) {
+		return
+	}
+	t.absErr.Add(e)
+	t.absActual.Add(math.Abs(actual))
+	t.hist.Observe(e)
+	t.samples.Inc()
+}
+
+// floatAdder is an atomic float64 accumulator.
+type floatAdder struct {
+	bits atomic.Uint64
+}
+
+// Add folds v in.
+func (a *floatAdder) Add(v float64) {
+	for {
+		old := a.bits.Load()
+		if a.bits.CompareAndSwap(old, floatBits(bitsFloat(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated sum.
+func (a *floatAdder) Value() float64 { return bitsFloat(a.bits.Load()) }

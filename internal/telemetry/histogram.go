@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: numBuckets power-of-two buckets. Bucket i holds
+// observations v with upperBound(i-1) < v <= upperBound(i), where
+// upperBound(i) = 2^(i+bucketMinExp). Observations at or below the smallest
+// bound land in bucket 0; observations above the largest bound land in the
+// overflow bucket (rendered under le="+Inf" together with the total count).
+//
+// The span 2^-30 (~1 ns when observing seconds, ~1e-9 when observing
+// unitless errors) to 2^+33 (~8.6e9) covers every signal this repository
+// records with ~2x resolution, which is plenty for p95-style tail gauges.
+const (
+	numBuckets   = 64
+	bucketMinExp = -30
+)
+
+// Histogram is a fixed-layout log-bucketed histogram. The zero value is
+// usable; all methods are atomic and nil-safe. Quantiles are approximate:
+// a quantile resolves to the upper bound of the bucket containing it, so the
+// relative error is bounded by the 2x bucket width.
+type Histogram struct {
+	buckets  [numBuckets]atomic.Int64
+	overflow atomic.Int64
+	count    atomic.Int64
+	sumBits  atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// bucketIndex maps an observation to its bucket, or numBuckets for overflow.
+func bucketIndex(v float64) int {
+	if v <= upperBound(0) {
+		return 0
+	}
+	// frexp: v = frac * 2^exp with frac in [0.5, 1) — so 2^(exp-1) < v <= 2^exp
+	// for every non-power-of-two v, and v == 2^(exp-1) exactly otherwise.
+	frac, exp := math.Frexp(v)
+	//lint:ignore floatguard frexp returns exactly 0.5 for powers of two; the comparison routes them to the closed upper bound
+	if frac == 0.5 {
+		exp--
+	}
+	i := exp - bucketMinExp
+	if i < 0 {
+		return 0
+	}
+	if i >= numBuckets {
+		return numBuckets
+	}
+	return i
+}
+
+// upperBound returns bucket i's inclusive upper bound 2^(i+bucketMinExp).
+func upperBound(i int) float64 {
+	return math.Ldexp(1, i+bucketMinExp)
+}
+
+// Observe records one value. NaN and Inf observations are dropped — the
+// registry must never become the component that propagates a poisoned float.
+// Negative values count toward the first bucket (log buckets have no
+// negative range; the signals recorded here are durations and magnitudes).
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	if i := bucketIndex(v); i == numBuckets {
+		h.overflow.Add(1)
+	} else {
+		h.buckets[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, floatBits(bitsFloat(old)+v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return bitsFloat(h.sumBits.Load())
+}
+
+// Quantile returns an approximation of the p-quantile (p in [0, 1]) of the
+// observed values: the upper bound of the bucket the quantile falls in, or 0
+// before any observation. Overflowed observations resolve to +Inf— callers
+// exposing a tail gauge get an honest "off the scale" instead of a clamp.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := int64(math.Ceil(p * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return upperBound(i)
+		}
+	}
+	return math.Inf(1)
+}
+
+// snapshot returns a consistent-enough copy for rendering: per-bucket
+// counts, overflow, count and sum. Concurrent observers may land between the
+// loads; exposition tolerates that (cumulative buckets are rendered from the
+// same snapshot, so they are internally monotone).
+func (h *Histogram) snapshot() (buckets [numBuckets]int64, overflow, count int64, sum float64) {
+	if h == nil {
+		return
+	}
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	overflow = h.overflow.Load()
+	sum = bitsFloat(h.sumBits.Load())
+	// Derive the rendered total from the same bucket loads so that
+	// sum(buckets)+overflow == count always holds within one exposition.
+	count = overflow
+	for _, b := range buckets {
+		count += b
+	}
+	return buckets, overflow, count, sum
+}
+
+// floatBits and bitsFloat convert float64 values to the uint64 payload the
+// atomic fields store.
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0},
+		{-3, 0},                     // negative clamps to the first bucket
+		{upperBound(0), 0},          // 2^-30: closed upper bound of bucket 0
+		{upperBound(0) * 1.0001, 1}, // just above it
+		{1, 30 - 0},                 // 2^0: i with i+bucketMinExp == 0 → i = 30
+		{1.5, 31},                   // (2^0, 2^1]
+		{2, 31},                     // 2^1 exactly: closed upper bound
+		{upperBound(numBuckets - 1), numBuckets - 1},
+		{upperBound(numBuckets-1) * 2, numBuckets}, // overflow
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every bucket's upper bound must land in its own bucket (closed bound).
+	for i := 0; i < numBuckets; i++ {
+		if got := bucketIndex(upperBound(i)); got != i {
+			t.Errorf("bucketIndex(upperBound(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{0.5, 1, 2, 4} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN())   // dropped
+	h.Observe(math.Inf(1))  // dropped
+	h.Observe(math.Inf(-1)) // dropped
+	if got := h.Count(); got != 4 {
+		t.Errorf("Count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 7.5 {
+		t.Errorf("Sum = %g, want 7.5", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(1) // all in the bucket with upper bound 1
+	}
+	if got := h.Quantile(0.5); got != 1 {
+		t.Errorf("p50 = %g, want 1 (bucket upper bound)", got)
+	}
+	h.Observe(1e12) // way past the largest bound → overflow
+	if got := h.Quantile(1); !math.IsInf(got, 1) {
+		t.Errorf("p100 with overflow = %g, want +Inf", got)
+	}
+	if got := h.Quantile(0.5); got != 1 {
+		t.Errorf("p50 after one overflow = %g, want 1", got)
+	}
+}
+
+func TestHistogramQuantileClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(3)
+	if h.Quantile(-1) != h.Quantile(0) {
+		t.Error("p<0 not clamped")
+	}
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Error("p>1 not clamped")
+	}
+}

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// jsonHistogram is the JSON exposition of one histogram series.
+type jsonHistogram struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// WriteJSON renders the registry as a single expvar-style JSON object keyed
+// by the full series name (name{labels}): scalars for counters and gauges, a
+// {count, sum, p50, p95, p99} summary for histograms. encoding/json sorts
+// map keys, so the output is deterministic. Non-finite scalar values are
+// rendered as strings ("+Inf", "NaN") since JSON has no spelling for them.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make(map[string]any)
+	for _, f := range r.snapshot() {
+		for _, v := range f.sortedSeries(r) {
+			key := f.name
+			if v.sig != "" {
+				key += "{" + v.sig + "}"
+			}
+			if f.kind == kindHistogram {
+				_, _, count, sum := v.hist.snapshot()
+				out[key] = jsonHistogram{
+					Count: count,
+					Sum:   jsonSafe(sum),
+					P50:   jsonSafe(v.hist.Quantile(0.50)),
+					P95:   jsonSafe(v.hist.Quantile(0.95)),
+					P99:   jsonSafe(v.hist.Quantile(0.99)),
+				}
+				continue
+			}
+			val := v.value()
+			if math.IsNaN(val) || math.IsInf(val, 0) {
+				out[key] = formatValue(val)
+			} else {
+				out[key] = val
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// jsonSafe clamps non-finite values to 0 inside histogram summaries (an
+// empty histogram's quantile is 0 already; an overflowed one reports +Inf,
+// which JSON cannot carry — the Prometheus exposition keeps the real value).
+func jsonSafe(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}

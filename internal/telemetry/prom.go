@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series sorted by label
+// signature, label values escaped, histograms rendered with cumulative
+// buckets plus _sum and _count. The ordering is deterministic so the output
+// can be golden-tested and diffed between scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshot() {
+		if err := writeFamily(w, f, f.sortedSeries(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFamily renders one family's HELP/TYPE header and every series.
+func writeFamily(w io.Writer, f *family, views []seriesView) error {
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	for _, v := range views {
+		var err error
+		if f.kind == kindHistogram {
+			err = writeHistogram(w, f.name, v)
+		} else {
+			_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, promLabels(v.labels, nil), formatValue(v.value()))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram series: cumulative non-empty buckets,
+// the +Inf bucket, _sum and _count.
+func writeHistogram(w io.Writer, name string, v seriesView) error {
+	buckets, _, count, sum := v.hist.snapshot()
+	var cum int64
+	for i, b := range buckets {
+		if b == 0 {
+			continue
+		}
+		cum += b
+		le := Label{Key: "le", Value: formatValue(upperBound(i))}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(v.labels, &le), cum); err != nil {
+			return err
+		}
+	}
+	le := Label{Key: "le", Value: "+Inf"}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(v.labels, &le), count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, promLabels(v.labels, nil), formatValue(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(v.labels, nil), count)
+	return err
+}
+
+// promLabels renders {k="v",...}, appending extra (the histogram le label)
+// last, or an empty string for an unlabeled series.
+func promLabels(labels []Label, extra *Label) string {
+	if len(labels) == 0 && extra == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extra != nil {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extra.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text format: backslash, double
+// quote and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes HELP text: backslash and newline only.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatValue renders a sample value: shortest round-trip float, with the
+// text format's spellings for the non-finite values.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}

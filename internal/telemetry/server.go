@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the exposition mux:
+//
+//	/metrics       Prometheus text format
+//	/metrics.json  expvar-style JSON
+//	/debug/pprof/  the standard runtime profiles
+//
+// Mount it on any server, or use Serve for the common case.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// A client hanging up mid-scrape surfaces here; there is no one
+		// to report it to and the next scrape starts fresh.
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a live exposition endpoint started with Serve.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Serve starts the exposition server on addr (e.g. "localhost:9090";
+// ":0" picks a free port — read it back from Addr). The server runs until
+// Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	if r == nil {
+		return nil, fmt.Errorf("telemetry: registry is required")
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listening on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// Serve returns ErrServerClosed on Close; any earlier error just
+		// ends exposition — the instrumented run itself must not die with it.
+		_ = srv.Serve(lis)
+	}()
+	return &Server{lis: lis, srv: srv}, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:9090".
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// URL returns the scrape URL, e.g. "http://127.0.0.1:9090/metrics".
+func (s *Server) URL() string {
+	if s == nil {
+		return ""
+	}
+	return "http://" + s.Addr() + "/metrics"
+}
+
+// Close stops the server immediately.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

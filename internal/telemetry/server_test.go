@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeAndScrape(t *testing.T) {
+	r := New()
+	r.Counter("mlq_test_served_total", "served").Store(7)
+
+	s, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if !strings.HasPrefix(s.URL(), "http://127.0.0.1:") {
+		t.Errorf("URL = %q", s.URL())
+	}
+
+	resp, err := http.Get(s.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(body), "mlq_test_served_total 7") {
+		t.Errorf("scrape missing counter:\n%s", body)
+	}
+
+	resp, err = http.Get("http://" + s.Addr() + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("JSON Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(body), `"mlq_test_served_total": 7`) {
+		t.Errorf("JSON scrape missing counter:\n%s", body)
+	}
+
+	resp, err = http.Get("http://" + s.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if _, err := http.Get(s.URL()); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}
+
+func TestServeRequiresRegistry(t *testing.T) {
+	if _, err := Serve("127.0.0.1:0", nil); err == nil {
+		t.Error("Serve(nil registry) did not fail")
+	}
+}
+
+func TestNilServerAccessors(t *testing.T) {
+	var s *Server
+	if s.Addr() != "" || s.URL() != "" {
+		t.Error("nil server has an address")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer records the stages of the Figure-1 feedback loop — plan, predict,
+// execute, observe, compress — as spans. Every finished span feeds a
+// per-stage duration histogram (mlq_trace_span_seconds{span=...}) in the
+// registry and, when a sink is configured, one JSONL line, so a chaos run
+// produces a machine-readable timeline next to its human-readable tables.
+//
+// A nil *Tracer is fully inert: Start returns an inert Span, End and Event
+// are no-ops. Tracer is safe for concurrent use.
+type Tracer struct {
+	clock Clock
+	reg   *Registry
+
+	mu   sync.Mutex
+	sink io.Writer
+	seq  int64
+}
+
+// NewTracer builds a tracer over the given registry (may be nil — spans then
+// only reach the sink), clock (nil means the wall clock) and JSONL sink (may
+// be nil — spans then only reach the registry histograms).
+func NewTracer(reg *Registry, clock Clock, sink io.Writer) *Tracer {
+	if clock == nil {
+		clock = Wall
+	}
+	return &Tracer{clock: clock, reg: reg, sink: sink}
+}
+
+// Span is one in-flight traced stage. The zero value (from a nil tracer) is
+// inert.
+type Span struct {
+	tr     *Tracer
+	name   string
+	labels []Label
+	start  time.Time
+}
+
+// Start opens a span. Labels identify the subject (e.g. predicate="WIN").
+func (t *Tracer) Start(name string, labels ...Label) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tr: t, name: name, labels: labels, start: t.clock.Now()}
+}
+
+// End closes the span, records its duration histogram and emits its JSONL
+// line.
+func (s Span) End() {
+	if s.tr == nil {
+		return
+	}
+	s.tr.record(s.name, s.start, s.tr.clock.Now().Sub(s.start), s.labels)
+}
+
+// ObserveSpan records a stage whose duration was measured externally (e.g.
+// the quadtree's compression stopwatch): the span is stamped as ending now.
+func (t *Tracer) ObserveSpan(name string, d time.Duration, labels ...Label) {
+	if t == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.record(name, t.clock.Now().Add(-d), d, labels)
+}
+
+// Event records an instantaneous point event (e.g. a breaker trip or a
+// catalog save): a zero-duration JSONL line plus a counter
+// mlq_trace_events_total{event=...}.
+func (t *Tracer) Event(name string, labels ...Label) {
+	if t == nil {
+		return
+	}
+	t.reg.Counter("mlq_trace_events_total",
+		"instantaneous trace events by name", append([]Label{{Key: "event", Value: name}}, labels...)...).Inc()
+	t.emit(traceLine{Kind: "event", Name: name, StartUS: t.clock.Now().UnixMicro(), Labels: labelMap(labels)})
+}
+
+// record is the shared span completion path.
+func (t *Tracer) record(name string, start time.Time, d time.Duration, labels []Label) {
+	t.reg.Histogram("mlq_trace_span_seconds",
+		"feedback-loop stage durations in seconds",
+		append([]Label{{Key: "span", Value: name}}, labels...)...).Observe(d.Seconds())
+	dur := d.Microseconds()
+	t.emit(traceLine{Kind: "span", Name: name, StartUS: start.UnixMicro(), DurUS: &dur, Labels: labelMap(labels)})
+}
+
+// traceLine is one JSONL record. Field order is fixed by the struct; the
+// Labels map is rendered with sorted keys by encoding/json — the whole line
+// is deterministic under a FakeClock.
+type traceLine struct {
+	Seq     int64             `json:"seq"`
+	Kind    string            `json:"kind"`
+	Name    string            `json:"name"`
+	StartUS int64             `json:"start_us"`
+	DurUS   *int64            `json:"dur_us,omitempty"`
+	Labels  map[string]string `json:"labels,omitempty"`
+}
+
+// emit serializes one line to the sink under the tracer lock; sequence
+// numbers are assigned inside it so lines land in the file in seq order.
+func (t *Tracer) emit(line traceLine) {
+	if t.sink == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	line.Seq = t.seq
+	b, err := json.Marshal(line)
+	if err != nil {
+		return // a label value that cannot marshal must not kill the run
+	}
+	b = append(b, '\n')
+	_, _ = t.sink.Write(b) // sink errors must not propagate into the feedback loop
+}
+
+// labelMap converts labels for JSONL rendering; nil for none.
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerDeterministicJSONL(t *testing.T) {
+	run := func() string {
+		var clk FakeClock
+		clk.Set(time.Unix(1000, 0))
+		var buf bytes.Buffer
+		tr := NewTracer(nil, &clk, &buf)
+
+		sp := tr.Start("predict", L("udf", "WIN"))
+		clk.Advance(250 * time.Microsecond)
+		sp.End()
+
+		tr.ObserveSpan("compress", 3*time.Millisecond, L("model", "MLQ-E"))
+		tr.Event("breaker_trip", L("udf", "WIN"))
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("trace output not deterministic under FakeClock:\n%s\nvs\n%s", a, b)
+	}
+
+	lines := strings.Split(strings.TrimSpace(a), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), a)
+	}
+	var first traceLine
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Seq != 1 || first.Kind != "span" || first.Name != "predict" {
+		t.Errorf("first line = %+v", first)
+	}
+	if first.DurUS == nil || *first.DurUS != 250 {
+		t.Errorf("dur_us = %v, want 250", first.DurUS)
+	}
+	if first.StartUS != time.Unix(1000, 0).UnixMicro() {
+		t.Errorf("start_us = %d", first.StartUS)
+	}
+	if first.Labels["udf"] != "WIN" {
+		t.Errorf("labels = %v", first.Labels)
+	}
+	var second traceLine
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	// ObserveSpan back-dates the start so start+dur == now.
+	if second.Seq != 2 || *second.DurUS != 3000 {
+		t.Errorf("second line = %+v", second)
+	}
+	wantStart := time.Unix(1000, 0).Add(250*time.Microsecond - 3*time.Millisecond).UnixMicro()
+	if second.StartUS != wantStart {
+		t.Errorf("back-dated start_us = %d, want %d", second.StartUS, wantStart)
+	}
+	var third traceLine
+	if err := json.Unmarshal([]byte(lines[2]), &third); err != nil {
+		t.Fatal(err)
+	}
+	if third.Kind != "event" || third.DurUS != nil {
+		t.Errorf("event line = %+v", third)
+	}
+}
+
+func TestTracerFeedsRegistry(t *testing.T) {
+	r := New()
+	var clk FakeClock
+	tr := NewTracer(r, &clk, nil) // no sink: registry only
+
+	sp := tr.Start("observe", L("udf", "SIMPLE"))
+	clk.Advance(2 * time.Millisecond)
+	sp.End()
+	tr.Event("catalog_save")
+
+	h := r.Histogram("mlq_trace_span_seconds", "", L("span", "observe"), L("udf", "SIMPLE"))
+	if h.Count() != 1 {
+		t.Errorf("span histogram count = %d, want 1", h.Count())
+	}
+	if h.Sum() != 0.002 {
+		t.Errorf("span histogram sum = %g, want 0.002", h.Sum())
+	}
+	c := r.Counter("mlq_trace_events_total", "", L("event", "catalog_save"))
+	if c.Value() != 1 {
+		t.Errorf("event counter = %d, want 1", c.Value())
+	}
+}
+
+func TestObserveSpanClampsNegative(t *testing.T) {
+	r := New()
+	tr := NewTracer(r, &FakeClock{}, nil)
+	tr.ObserveSpan("x", -5*time.Second)
+	h := r.Histogram("mlq_trace_span_seconds", "", L("span", "x"))
+	if h.Count() != 1 || h.Sum() != 0 {
+		t.Errorf("negative duration not clamped: count=%d sum=%g", h.Count(), h.Sum())
+	}
+}
+
+func TestTracerBadSinkSurvives(t *testing.T) {
+	tr := NewTracer(nil, &FakeClock{}, failingWriter{})
+	sp := tr.Start("x")
+	sp.End() // must not panic or propagate the sink error
+	tr.Event("y")
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) {
+	return 0, errWrite
+}
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "sink closed" }
