@@ -1,7 +1,7 @@
 # Convenience targets for the MLQ reproduction.
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke repro repro-quick fuzz chaos clean fmt lint check
+.PHONY: all build vet test race bench bench-smoke bench-concurrency repro repro-quick fuzz chaos clean fmt lint check
 
 all: build vet test
 
@@ -42,6 +42,14 @@ bench:
 # without paying for real measurements (CI runs this).
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Concurrency scaling of the epoch/snapshot publisher versus the mutex
+# baseline: the mlqbench throughput/staleness table plus the parallel
+# predict and sorted-span child-lookup micro-benchmarks. All wall-clock
+# numbers — machine-dependent by design, so not part of repro.
+bench-concurrency:
+	$(GO) run ./cmd/mlqbench -exp concurrency
+	$(GO) test -run=NONE -bench='PredictParallel|ChildLookup' -benchmem . ./internal/quadtree
 
 # Regenerate every figure of the paper at full workload sizes.
 repro:

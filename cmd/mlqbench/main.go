@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig8, fig9, fig10, fig11, fig12, shift, nn, leo, memcurve, cache, chaos, ablate")
+	exp := flag.String("exp", "all", "experiment to run: all, fig8, fig9, fig10, fig11, fig12, shift, nn, leo, memcurve, cache, chaos, ablate, concurrency (concurrency is excluded from all: its numbers are machine-dependent wall-clock throughput)")
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "shrink workloads ~10x for a fast smoke run")
 	queries := flag.Int("queries", 0, "override the test-workload length (0 = paper's values)")
@@ -282,8 +282,23 @@ func run(exp string, seed int64, quick bool, queries, mem, trials int, reg *tele
 		return err
 	}
 
+	// The concurrency experiment is deliberately not part of "all": every
+	// number it prints is machine-dependent wall-clock throughput, so folding
+	// it into the default run would make `mlqbench` output unstable across
+	// hosts without adding any figure the paper reproduces.
+	if exp == "concurrency" {
+		did = true
+		start := time.Now()
+		rows, err := harness.Concurrency(nil, synthOpts)
+		if err != nil {
+			return fmt.Errorf("concurrency: %w", err)
+		}
+		harness.RenderConcurrency(os.Stdout, rows)
+		fmt.Printf("[concurrency completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
 	if !did {
-		return fmt.Errorf("unknown experiment %q (want all, fig8, fig9, fig10, fig11, fig12, shift, nn, leo, memcurve, cache, chaos, ablate)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, fig8, fig9, fig10, fig11, fig12, shift, nn, leo, memcurve, cache, chaos, ablate, concurrency)", exp)
 	}
 	return nil
 }

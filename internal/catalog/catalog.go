@@ -5,7 +5,8 @@
 // knowledge survives restarts.
 //
 // Both model families of this library serialize: self-tuning MLQ models
-// (*core.MLQ) and static histograms (*histogram.Histogram).
+// (*core.MLQ, or *core.Publisher persisting its published snapshot) and
+// static histograms (*histogram.Histogram).
 package catalog
 
 import (
@@ -39,13 +40,15 @@ func New() *Catalog {
 	return &Catalog{entries: make(map[string]*Entry)}
 }
 
-// persistable verifies that a model is of a serializable concrete type.
+// persistable verifies that a model is of a serializable concrete type. A
+// *core.Publisher persists as its current published snapshot (an MLQ blob),
+// so a concurrent feedback loop can be cataloged without stopping it.
 func persistable(m core.Model) error {
 	switch m.(type) {
-	case nil, *core.MLQ, *histogram.Histogram:
+	case nil, *core.MLQ, *core.Publisher, *histogram.Histogram:
 		return nil
 	default:
-		return fmt.Errorf("catalog: model type %T is not serializable (want *core.MLQ or *histogram.Histogram)", m)
+		return fmt.Errorf("catalog: model type %T is not serializable (want *core.MLQ, *core.Publisher or *histogram.Histogram)", m)
 	}
 }
 
@@ -120,6 +123,15 @@ func encodeModel(w io.Writer, m core.Model) error {
 	case *core.MLQ:
 		tag = slotMLQ
 		if _, err := v.WriteTo(&blob); err != nil {
+			return err
+		}
+	case *core.Publisher:
+		// Persist the published snapshot: the same MLQ frame an unwrapped
+		// model would write, so the entry decodes as *core.MLQ and can be
+		// re-wrapped (or not) at load time. Callers wanting zero staleness
+		// in the saved state should Flush first.
+		tag = slotMLQ
+		if _, err := v.Snapshot().WriteTo(&blob); err != nil {
 			return err
 		}
 	case *histogram.Histogram:

@@ -1,0 +1,170 @@
+package catalog
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mlq/internal/core"
+	"mlq/internal/geom"
+	"mlq/internal/quadtree"
+)
+
+// The testdata catalogs were written by a one-shot generator (cmd/gengolden, removed after use) against the pre-arena
+// (pointer-linked) quadtree: prearena.catalog is the second SaveFile
+// generation and prearena.catalog.bak the first, both committed permanently.
+// They prove that catalogs persisted before the arena refactor keep loading
+// through the crash-safe loader, models intact. Do not regenerate them.
+
+func copyGolden(t *testing.T, dir, name string) string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "prearena.catalog"+filepath.Ext(name))
+	if name == "prearena.catalog" {
+		dst = filepath.Join(dir, "prearena.catalog")
+	}
+	if err := os.WriteFile(dst, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+func checkPrearenaModels(t *testing.T, c *Catalog, wantRange bool) {
+	t.Helper()
+	win, ok := c.Get("WIN")
+	if !ok {
+		t.Fatal("WIN entry missing")
+	}
+	cpu, okCPU := win.CPU.(*core.MLQ)
+	ioM, okIO := win.IO.(*core.MLQ)
+	if !okCPU || !okIO {
+		t.Fatalf("WIN models decoded as %T/%T, want *core.MLQ", win.CPU, win.IO)
+	}
+	if cpu.Tree().Config().Strategy != quadtree.Eager || ioM.Tree().Config().Strategy != quadtree.Lazy {
+		t.Error("WIN strategies wrong after decode")
+	}
+	if err := cpu.Tree().Validate(); err != nil {
+		t.Errorf("WIN cpu tree invalid: %v", err)
+	}
+	if err := ioM.Tree().Validate(); err != nil {
+		t.Errorf("WIN io tree invalid: %v", err)
+	}
+	if _, ok := cpu.Predict(geom.Point{4, 4, 4}); !ok {
+		t.Error("WIN cpu model cannot predict after decode")
+	}
+	rng, haveRange := c.Get("RANGE")
+	if haveRange != wantRange {
+		t.Fatalf("RANGE present=%v, want %v", haveRange, wantRange)
+	}
+	if wantRange {
+		if _, ok := rng.CPU.(*core.MLQ); !ok {
+			t.Fatalf("RANGE cpu decoded as %T", rng.CPU)
+		}
+		if rng.IO != nil {
+			t.Error("RANGE io slot should be nil")
+		}
+	}
+}
+
+func TestPrearenaCatalogLoads(t *testing.T) {
+	dir := t.TempDir()
+	path := copyGolden(t, dir, "prearena.catalog")
+	copyGolden(t, dir, "prearena.catalog.bak")
+	c, rep, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded() {
+		t.Errorf("clean pre-arena primary loaded degraded: %+v", rep)
+	}
+	// Second generation: WIN plus RANGE.
+	checkPrearenaModels(t, c, true)
+}
+
+func TestPrearenaBackupStillRecovers(t *testing.T) {
+	// Destroy the primary: the loader must fall back to the pre-arena .bak
+	// (the first generation, WIN only).
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prearena.catalog")
+	if err := os.WriteFile(path, []byte("garbage, not a catalog"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	copyGolden(t, dir, "prearena.catalog.bak")
+	c, rep, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Source != "backup" {
+		t.Errorf("load source %q, want backup", rep.Source)
+	}
+	checkPrearenaModels(t, c, false)
+}
+
+func TestPrearenaCatalogRoundTripsByteIdentical(t *testing.T) {
+	// Decoding pre-arena models into arena trees and re-encoding the catalog
+	// must reproduce the stream byte for byte: entry order is sorted by
+	// name, and each MLQ blob round-trips through the creation-order
+	// invariant.
+	raw, err := os.ReadFile(filepath.Join("testdata", "prearena.catalog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatalf("re-encoded catalog (%d bytes) differs from pre-arena stream (%d bytes)", buf.Len(), len(raw))
+	}
+}
+
+func TestPublisherPersistsAsMLQ(t *testing.T) {
+	m, err := core.NewMLQ(quadtree.Config{Region: geom.UnitCube(2), MemoryLimit: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := core.NewPublisher(m, core.PublisherConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	for i := 0; i < 200; i++ {
+		if err := pub.Observe(geom.Point{float64(i%10) / 10, 0.5}, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pub.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	if err := c.Put("F", pub, nil); err != nil {
+		t.Fatalf("publisher not persistable: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := got.Get("F")
+	if !ok {
+		t.Fatal("entry missing after round trip")
+	}
+	mlq, ok := e.CPU.(*core.MLQ)
+	if !ok {
+		t.Fatalf("publisher entry decoded as %T, want *core.MLQ", e.CPU)
+	}
+	if mlq.Tree().Inserts() != 200 {
+		t.Errorf("decoded tree has %d inserts, want 200 (flushed state)", mlq.Tree().Inserts())
+	}
+}

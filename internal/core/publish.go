@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"mlq/internal/geom"
+	"mlq/internal/quadtree"
+	"mlq/internal/telemetry"
+)
+
+// Publisher turns a single-threaded MLQ tree into a concurrency-safe Model
+// using epoch/snapshot publishing instead of a lock:
+//
+//   - Predict loads the current immutable quadtree.Snapshot through one
+//     atomic pointer read and descends it with zero locks — any number of
+//     optimizer threads predict in parallel and never contend with learning;
+//   - Observe enqueues the observation on a bounded channel and returns; a
+//     single writer goroutine drains the queue in batches, applies each batch
+//     to the live tree, and publishes a fresh snapshot (a new epoch) when the
+//     batch is done.
+//
+// The price is bounded staleness: a prediction may miss observations that
+// are still queued or inside the writer's current batch — at most
+// QueueCapacity + MaxBatch of them, and Staleness() reports the live value.
+// This batched-Observe design deviates from the paper, whose feedback loop
+// is synchronous and single-threaded (§5's experiments interleave exactly
+// one Predict with one Observe); the serial path remains available by using
+// MLQ directly (or Synchronized, kept as the lock-based baseline), and the
+// two converge to the identical tree because the writer applies observations
+// in arrival order — batching changes latency, never ordering. See DESIGN.md
+// §9.
+type Publisher struct {
+	cur atomic.Pointer[epochState]
+
+	// queue carries observations to the writer goroutine; stop tells
+	// Observe the publisher is closed.
+	queue chan observation
+	stop  chan struct{}
+
+	submitted atomic.Int64 // observations accepted by Observe
+	applied   atomic.Int64 // observations folded into a published snapshot
+
+	region   geom.Rect // frozen copy for synchronous Observe validation
+	name     string
+	maxBatch int
+
+	writerDone chan struct{}
+	flushReq   chan flushRequest
+	closeOnce  sync.Once
+	closeErr   error
+
+	errMu       sync.Mutex
+	deferredErr error // first unreported writer-side insert failure
+
+	tel *publisherTelemetry // nil unless Instrument was called
+}
+
+var _ Model = (*Publisher)(nil)
+
+// epochState is one published generation: the snapshot plus its epoch number.
+type epochState struct {
+	snap  *quadtree.Snapshot
+	epoch uint64
+}
+
+type observation struct {
+	p      geom.Point
+	actual float64
+}
+
+type flushRequest struct {
+	target int64 // apply at least this many observations before replying
+	done   chan error
+}
+
+// PublisherConfig tunes the writer side of a Publisher. The zero value is
+// usable.
+type PublisherConfig struct {
+	// QueueCapacity bounds the ingest queue. Observe blocks once the queue
+	// is full, which is what bounds staleness. Default 1024.
+	QueueCapacity int
+	// MaxBatch bounds how many queued observations the writer folds into
+	// the tree before it must publish a fresh snapshot. Default 64.
+	MaxBatch int
+}
+
+func (c PublisherConfig) withDefaults() PublisherConfig {
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 1024
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	return c
+}
+
+// NewPublisher wraps the MLQ model and starts the writer goroutine. The
+// Publisher takes ownership of the model's tree: the caller must not touch
+// m (or its tree) again except through the Publisher. Close releases the
+// writer goroutine and hands the tree back.
+func NewPublisher(m *MLQ, cfg PublisherConfig) (*Publisher, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: NewPublisher requires a model")
+	}
+	cfg = cfg.withDefaults()
+	pub := &Publisher{
+		queue:      make(chan observation, cfg.QueueCapacity),
+		stop:       make(chan struct{}),
+		region:     m.tree.Config().Region.Clone(),
+		name:       m.Name(),
+		maxBatch:   cfg.MaxBatch,
+		writerDone: make(chan struct{}),
+		flushReq:   make(chan flushRequest),
+	}
+	pub.cur.Store(&epochState{snap: m.tree.Snapshot(), epoch: 0})
+	go pub.writer(m)
+	return pub, nil
+}
+
+// Predict implements Model against the current snapshot: one atomic load,
+// no locks, no contention with the writer.
+func (pub *Publisher) Predict(p geom.Point) (float64, bool) {
+	return pub.cur.Load().snap.Predict(p)
+}
+
+// PredictBeta predicts against the current snapshot with an explicit β.
+func (pub *Publisher) PredictBeta(p geom.Point, beta int) (float64, bool) {
+	return pub.cur.Load().snap.PredictBeta(p, beta)
+}
+
+// Observe implements Model: it validates the observation synchronously
+// (dimension and finiteness errors are the caller's, not the writer's) and
+// enqueues it for the writer goroutine. Observe blocks only when the queue
+// is full; it returns an error without enqueuing once Close has begun.
+func (pub *Publisher) Observe(p geom.Point, actual float64) error {
+	if len(p) != pub.region.Dims() {
+		return fmt.Errorf("core: observation has %d dims, model has %d", len(p), pub.region.Dims())
+	}
+	if math.IsNaN(actual) || math.IsInf(actual, 0) {
+		return fmt.Errorf("core: cost value must be finite, got %g", actual)
+	}
+	// Copy the point: the caller may reuse its backing array after Observe
+	// returns, but the writer reads it asynchronously.
+	o := observation{p: append(geom.Point(nil), p...), actual: actual}
+	select {
+	case <-pub.stop:
+		return fmt.Errorf("core: publisher is closed")
+	default:
+	}
+	select {
+	case pub.queue <- o:
+		pub.submitted.Add(1)
+		if pub.tel != nil {
+			pub.tel.submitted.Inc()
+		}
+		return nil
+	case <-pub.stop:
+		return fmt.Errorf("core: publisher is closed")
+	}
+}
+
+// Name implements Model.
+func (pub *Publisher) Name() string { return pub.name }
+
+// Snapshot returns the current published snapshot. Callers may hold it as
+// long as they like; it never changes.
+func (pub *Publisher) Snapshot() *quadtree.Snapshot { return pub.cur.Load().snap }
+
+// Epoch returns the current snapshot's generation number. It starts at 0
+// (the empty or freshly wrapped tree) and increases by exactly 1 per
+// published batch, so readers can detect and order refreshes.
+func (pub *Publisher) Epoch() uint64 { return pub.cur.Load().epoch }
+
+// Staleness returns how many accepted observations are not yet reflected in
+// the published snapshot (queued or mid-batch). It is bounded above by
+// QueueCapacity + MaxBatch.
+func (pub *Publisher) Staleness() int64 {
+	s := pub.submitted.Load() - pub.applied.Load()
+	if s < 0 {
+		// Observe increments submitted after its enqueue succeeds, so a
+		// batch can be counted as applied before its submissions are; the
+		// window is benign but must not read as negative staleness.
+		return 0
+	}
+	return s
+}
+
+// Flush blocks until every observation accepted before the call is applied
+// and published, then returns the writer's first insert error since the
+// previous Flush (nil in normal operation). It is the barrier the serial
+// experiments and the catalog use to get a loss-free snapshot.
+func (pub *Publisher) Flush() error {
+	target := pub.submitted.Load()
+	req := flushRequest{target: target, done: make(chan error, 1)}
+	select {
+	case pub.flushReq <- req:
+		return <-req.done
+	case <-pub.writerDone:
+		return fmt.Errorf("core: publisher is closed")
+	}
+}
+
+// Close drains the queue, publishes a final snapshot, stops the writer
+// goroutine and returns the writer's first unreported insert error. Close is
+// idempotent; Observe calls racing with it either enqueue in time for the
+// final batch or report the publisher closed.
+func (pub *Publisher) Close() error {
+	pub.closeOnce.Do(func() {
+		close(pub.stop)
+		<-pub.writerDone
+		pub.closeErr = pub.drainErr()
+	})
+	return pub.closeErr
+}
+
+// writer is the single goroutine that owns the tree after NewPublisher.
+func (pub *Publisher) writer(m *MLQ) {
+	defer close(pub.writerDone)
+	var epoch uint64
+	batch := make([]observation, 0, pub.maxBatch)
+
+	apply := func() {
+		if len(batch) == 0 {
+			return
+		}
+		for _, o := range batch {
+			if err := m.Observe(o.p, o.actual); err != nil {
+				// Validation already ran in Observe, so this is a tree-level
+				// failure; record it for Flush/Close rather than dying.
+				pub.recordErr(err)
+			}
+		}
+		epoch++
+		pub.cur.Store(&epochState{snap: m.tree.Snapshot(), epoch: epoch})
+		pub.applied.Add(int64(len(batch)))
+		if pub.tel != nil {
+			pub.tel.publish(pub, len(batch))
+		}
+		batch = batch[:0]
+	}
+
+	// fill appends queued observations without blocking, up to maxBatch.
+	fill := func() {
+		for len(batch) < pub.maxBatch {
+			select {
+			case o := <-pub.queue:
+				batch = append(batch, o)
+			default:
+				return
+			}
+		}
+	}
+
+	// drain applies everything currently in the queue (Observe enqueues
+	// before it increments submitted, so once submitted reads N the queue
+	// already held all N) and returns when nothing accepted remains unapplied.
+	drain := func() {
+		for {
+			fill()
+			if len(batch) == 0 && pub.applied.Load() >= pub.submitted.Load() {
+				return
+			}
+			apply()
+		}
+	}
+
+	for {
+		select {
+		case o := <-pub.queue:
+			batch = append(batch, o)
+			fill()
+			apply()
+		case req := <-pub.flushReq:
+			// Everything accepted before the Flush call is already in the
+			// queue (see drain), so non-blocking fills reach the target.
+			for pub.applied.Load() < req.target {
+				fill()
+				apply()
+			}
+			req.done <- pub.drainErr()
+		case <-pub.stop:
+			// Final drain: everything accepted before Close is applied and
+			// published, so no acknowledged observation is lost.
+			drain()
+			return
+		}
+	}
+}
+
+func (pub *Publisher) recordErr(err error) {
+	pub.errMu.Lock()
+	if pub.deferredErr == nil {
+		pub.deferredErr = err
+	}
+	pub.errMu.Unlock()
+	if pub.tel != nil {
+		pub.tel.writerErrs.Inc()
+	}
+}
+
+func (pub *Publisher) drainErr() error {
+	pub.errMu.Lock()
+	defer pub.errMu.Unlock()
+	err := pub.deferredErr
+	pub.deferredErr = nil
+	return err
+}
+
+// publisherTelemetry mirrors the publisher's feedback-loop health into a
+// telemetry registry.
+type publisherTelemetry struct {
+	epoch      *telemetry.Gauge
+	staleness  *telemetry.Gauge
+	queueDepth *telemetry.Gauge
+	nodes      *telemetry.Gauge
+
+	submitted  *telemetry.Counter
+	appliedC   *telemetry.Counter
+	batches    *telemetry.Counter
+	writerErrs *telemetry.Counter
+}
+
+// Instrument registers the publisher's metrics under mlq_publisher_* with
+// the given labels. Gauges are published by the writer goroutine at every
+// epoch; the queue-depth gauge is sampled at the same points.
+func (pub *Publisher) Instrument(reg *telemetry.Registry, labels ...telemetry.Label) {
+	if reg == nil {
+		pub.tel = nil
+		return
+	}
+	pub.tel = &publisherTelemetry{
+		epoch:      reg.Gauge("mlq_publisher_epoch", "generation number of the published snapshot", labels...),
+		staleness:  reg.Gauge("mlq_publisher_staleness", "accepted observations not yet in the published snapshot", labels...),
+		queueDepth: reg.Gauge("mlq_publisher_queue_depth", "observations waiting in the ingest queue", labels...),
+		nodes:      reg.Gauge("mlq_publisher_snapshot_nodes", "node count of the published snapshot", labels...),
+
+		submitted:  reg.Counter("mlq_publisher_observations_total", "observations accepted by Observe", labels...),
+		appliedC:   reg.Counter("mlq_publisher_applied_total", "observations folded into published snapshots", labels...),
+		batches:    reg.Counter("mlq_publisher_batches_total", "batches applied and published", labels...),
+		writerErrs: reg.Counter("mlq_publisher_writer_errors_total", "tree-level insert failures on the writer goroutine", labels...),
+	}
+}
+
+// publish pushes the post-batch state into the registered metrics. Called
+// from the writer goroutine only.
+func (tel *publisherTelemetry) publish(pub *Publisher, batchLen int) {
+	st := pub.cur.Load()
+	tel.epoch.SetInt(int64(st.epoch))
+	tel.staleness.SetInt(pub.Staleness())
+	tel.queueDepth.SetInt(int64(len(pub.queue)))
+	tel.nodes.SetInt(int64(st.snap.NodeCount()))
+	tel.appliedC.Add(int64(batchLen))
+	tel.batches.Inc()
+}

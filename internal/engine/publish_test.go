@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"mlq/internal/core"
+	"mlq/internal/geom"
+)
+
+// The engine needs no special case for the epoch/snapshot publisher: it
+// implements core.Model, so a predicate backed by one gets lock-free
+// prediction during planning and batched feedback after execution. These
+// tests pin that wiring end to end.
+
+func newPublisher(t *testing.T) *core.Publisher {
+	t.Helper()
+	pub, err := core.NewPublisher(newModel(t), core.PublisherConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pub.Close() })
+	return pub
+}
+
+func TestPublisherBackedPredicateTrains(t *testing.T) {
+	tb := randomTable(5, 300)
+	pub := newPublisher(t)
+	p := &Predicate{
+		Name:  "p",
+		Exec:  func(row Row) (bool, float64) { return true, 3 * (1 + row[0]) },
+		Point: func(row Row) geom.Point { return geom.Point{row[0]} },
+		Model: pub,
+	}
+	if _, err := ExecuteQuery(tb, []*Predicate{p}, OrderByRank); err != nil {
+		t.Fatal(err)
+	}
+	// Feedback flows through the batching writer; after a flush the published
+	// snapshot must have learned the cost surface cost(x) = 3(1+x).
+	if err := pub.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{10, 50, 90} {
+		got, ok := pub.Predict(geom.Point{x})
+		if !ok {
+			t.Fatalf("publisher-backed model untrained at %g", x)
+		}
+		want := 3 * (1 + x)
+		if got < want*0.5 || got > want*1.5 {
+			t.Errorf("prediction at %g = %g, want ~%g", x, got, want)
+		}
+	}
+}
+
+func TestPublisherBackedConcurrentQueries(t *testing.T) {
+	// Many sessions planning and executing against one shared cost model:
+	// the scenario the epoch/snapshot design exists for. Each goroutine gets
+	// its own Predicate (per-predicate planning counters are not shared
+	// state) but all of them feed and read the same publisher.
+	pub := newPublisher(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			tb := randomTable(seed, 200)
+			p := &Predicate{
+				Name:  "p",
+				Exec:  func(row Row) (bool, float64) { return row[1] < 50, 1 + row[0] },
+				Point: func(row Row) geom.Point { return geom.Point{row[0]} },
+				Model: pub,
+			}
+			for i := 0; i < 5; i++ {
+				if _, err := ExecuteQuery(tb, []*Predicate{p}, OrderByRank); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(g + 10))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := pub.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pub.Predict(geom.Point{50}); !ok {
+		t.Error("shared model learned nothing from concurrent sessions")
+	}
+}

@@ -90,11 +90,17 @@ func checkFloatEq(pkg *Package, expr *ast.BinaryExpr) *Finding {
 }
 
 // costFuncName reports whether name denotes a cost-producing function under
-// rule 2.
+// rule 2. Unexported spellings count too: the quadtree's shared prediction
+// helpers (predictBeta and friends, one implementation for Tree and
+// Snapshot) are the hot path itself, and exported wrappers delegating to
+// them are clean exactly because the delegate is under the rule.
 func costFuncName(name string) bool {
 	return strings.HasPrefix(name, "Predict") ||
+		strings.HasPrefix(name, "predict") ||
 		strings.HasPrefix(name, "Estimate") ||
-		strings.HasPrefix(name, "Execute")
+		strings.HasPrefix(name, "estimate") ||
+		strings.HasPrefix(name, "Execute") ||
+		strings.HasPrefix(name, "execute")
 }
 
 // guardNames are callees accepted as finite-ness guards: the math

@@ -1,5 +1,5 @@
 // Package lint is mlqlint's analysis framework: a standard-library-only
-// static-analysis driver (go/ast + go/parser + go/types) with five
+// static-analysis driver (go/ast + go/parser + go/types) with six
 // project-specific analyzers that enforce the cost-model invariants the
 // paper's feedback loop (Fig. 1) assumes implicitly:
 //
@@ -14,6 +14,9 @@
 //     in planning or compression-decision code paths.
 //   - errcheck-core: the feedback loop's own error returns (Model.Observe,
 //     udf.Execute, catalog save/load) are never dropped.
+//   - frozensnapshot: published snapshots are immutable — no writes through
+//     quadtree.Snapshot or core's epochState (the lock-free read path of
+//     the epoch/snapshot publisher depends on it).
 //
 // Findings can be suppressed at the site with a justified comment:
 //
@@ -72,6 +75,7 @@ func All() []Analyzer {
 		SeededRand{},
 		DeterTime{},
 		ErrcheckCore{},
+		FrozenSnapshot{},
 	}
 }
 

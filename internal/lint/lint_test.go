@@ -160,6 +160,23 @@ func TestErrcheckCoreGolden(t *testing.T) {
 	checkGolden(t, ErrcheckCore{}, pkg)
 }
 
+func TestFrozenSnapshotGolden(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/frozensnapshot", "mlq/internal/quadtree"})
+	checkGolden(t, FrozenSnapshot{}, pkg)
+}
+
+func TestFrozenSnapshotCoreGolden(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/frozensnapshot_core", "mlq/internal/core"})
+	checkGolden(t, FrozenSnapshot{}, pkg)
+}
+
+func TestFrozenSnapshotSkipsUnlistedTypes(t *testing.T) {
+	// The same sources under a different import path define a Snapshot that
+	// is not in the frozen list: writes to it are ordinary writes.
+	pkg := loadFixture(t, fixtureDir{"testdata/src/frozensnapshot", "mlq/internal/fixture/frozensnapshot"})
+	checkSilent(t, FrozenSnapshot{}, pkg)
+}
+
 func TestAnalyzerNamesUnique(t *testing.T) {
 	seen := make(map[string]bool)
 	for _, a := range All() {

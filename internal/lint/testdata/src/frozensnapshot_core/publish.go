@@ -1,0 +1,20 @@
+// Fixture for the frozensnapshot analyzer, loaded as mlq/internal/core:
+// epochState is the cell the publisher's atomic pointer shares with
+// readers, so republication must build a fresh value.
+package core
+
+type epochState struct {
+	epoch uint64
+}
+
+func republishInPlace(st *epochState) {
+	st.epoch++ // want "frozen"
+}
+
+func patchCurrent(st *epochState, e uint64) {
+	st.epoch = e // want "frozen"
+}
+
+func freshValueIsFine(prev *epochState) *epochState {
+	return &epochState{epoch: prev.epoch + 1}
+}

@@ -1,0 +1,77 @@
+package quadtree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// linearChild is the lookup the sorted spans replaced: a left-to-right scan
+// of the parent's child entries. It exists only as the benchmark baseline.
+func linearChild(a *arena, n int32, idx uint32) int32 {
+	nd := &a.nodes[n]
+	for _, k := range a.kids[nd.kidOff : nd.kidOff+nd.kidLen] {
+		if k.idx == idx {
+			return k.ref
+		}
+	}
+	return -1
+}
+
+// spanArena builds a one-level arena whose root has width children with
+// quadrant indices 0..width-1, inserted in random order so the sorted-insert
+// path of addChild is exercised.
+func spanArena(b *testing.B, width int) *arena {
+	b.Helper()
+	a := &arena{nodes: []node{{parent: noParent}}}
+	perm := rand.New(rand.NewSource(int64(width))).Perm(width)
+	for _, idx := range perm {
+		a.addChild(0, uint32(idx))
+	}
+	if got := int(a.nodes[0].kidLen); got != width {
+		b.Fatalf("built span of %d entries, want %d", got, width)
+	}
+	return a
+}
+
+// BenchmarkChildLookup compares the binary search over the sorted span
+// against the linear scan it replaced, at the span widths a d-dimensional
+// tree produces (2^d children: d=2..4 for the paper's workloads, 6 for the
+// stress configs). The sorted order is maintained by addChild either way, so
+// the comparison isolates pure lookup cost on the Predict descent.
+func BenchmarkChildLookup(b *testing.B) {
+	for _, width := range []int{4, 16, 64} {
+		a := spanArena(b, width)
+		// Probe indices cycle through hits at every position plus one miss.
+		probes := make([]uint32, width+1)
+		for i := 0; i < width; i++ {
+			probes[i] = uint32(i)
+		}
+		probes[width] = uint32(width) // not present
+		b.Run(fmt.Sprintf("binary-%d", width), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a.child(0, probes[i%len(probes)])
+			}
+		})
+		b.Run(fmt.Sprintf("linear-%d", width), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				linearChild(a, 0, probes[i%len(probes)])
+			}
+		})
+	}
+}
+
+// TestLinearChildAgrees pins the baseline used by BenchmarkChildLookup to
+// the real lookup, so the benchmark always compares equivalent functions.
+func TestLinearChildAgrees(t *testing.T) {
+	a := &arena{nodes: []node{{parent: noParent}}}
+	perm := rand.New(rand.NewSource(3)).Perm(16)
+	for _, idx := range perm {
+		a.addChild(0, uint32(idx))
+	}
+	for idx := uint32(0); idx < 18; idx++ {
+		if got, want := linearChild(a, 0, idx), a.child(0, idx); got != want {
+			t.Errorf("linearChild(%d) = %d, child = %d", idx, got, want)
+		}
+	}
+}

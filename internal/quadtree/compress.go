@@ -10,7 +10,7 @@ import (
 // node's summary, and therefore every other SSEG, untouched — so keys are
 // computed once at push time.
 type heapItem struct {
-	n    *node
+	ref  int32
 	sseg float64
 }
 
@@ -32,18 +32,18 @@ func (h *leafHeap) Pop() interface{} {
 // victimKey returns the ordering key for compression victims under the
 // configured policy: SSEG (the paper's), point count, or a deterministic
 // pseudo-random key (for ablations — see harness.Ablate("policy", ...)).
-func (t *Tree) victimKey() func(*node) float64 {
+func (t *Tree) victimKey() func(int32) float64 {
 	switch t.cfg.Policy {
 	case CompressCount:
-		return func(n *node) float64 { return float64(n.count) }
+		return func(n int32) float64 { return float64(t.a.nodes[n].count) }
 	case CompressRandom:
 		seq := uint64(t.compressions)*2654435761 + 1
-		return func(n *node) float64 {
+		return func(n int32) float64 {
 			seq = seq*6364136223846793005 + 1442695040888963407
 			return float64(seq >> 11)
 		}
 	default:
-		return (*node).sseg
+		return t.a.sseg
 	}
 }
 
@@ -61,6 +61,13 @@ func (t *Tree) Compress() { t.compress() }
 // Summaries of surviving nodes are untouched: every ancestor already counts
 // the removed leaf's points, so predictions simply fall back to coarser
 // resolutions (the minimal increase in TSSENC the SSEG ordering guarantees).
+//
+// Victims are collected depth-first with children visited in creation
+// order — the same enumeration the pointer-linked implementation's child
+// slices produced — so heap layout, tie-breaking and the stateful random
+// policy's key assignment are all preserved bit-for-bit. The pass ends with
+// a stable arena compaction, which keeps slot order equal to creation order
+// for the next pass.
 func (t *Tree) compress() {
 	//lint:ignore detertime stopwatch feeding APC/AUC accounting; the duration is never consulted by any decision
 	start := time.Now()
@@ -72,7 +79,7 @@ func (t *Tree) compress() {
 			// Re-snapshot th_SSE = α·SSE(root) (Eq. 7). Before the
 			// first compression the threshold is zero, so lazy
 			// behaves eagerly until memory first fills up.
-			t.thSSE = t.cfg.Alpha * t.root.sse()
+			t.thSSE = t.cfg.Alpha * t.a.sse(0)
 		}
 		if t.tel != nil {
 			t.tel.compressDone(t, d)
@@ -81,19 +88,26 @@ func (t *Tree) compress() {
 
 	key := t.victimKey()
 	h := make(leafHeap, 0, t.nodeCount)
-	var collect func(n *node)
-	collect = func(n *node) {
-		if n.isLeaf() {
-			if n.parent != nil {
-				h = append(h, heapItem{n: n, sseg: key(n)})
+	// The collect recursion reuses one scratch buffer for the per-level
+	// creation-order views; each level records its own window into it.
+	scratch := t.collectScratch[:0]
+	var collect func(n int32)
+	collect = func(n int32) {
+		if t.a.isLeaf(n) {
+			if n != 0 {
+				h = append(h, heapItem{ref: n, sseg: key(n)})
 			}
 			return
 		}
-		for _, c := range n.kids {
-			collect(c.n)
+		base := len(scratch)
+		scratch = t.a.creationOrder(n, scratch)
+		for i := base; i < len(scratch); i++ {
+			collect(scratch[i].ref)
 		}
+		scratch = scratch[:base]
 	}
-	collect(t.root)
+	collect(0)
+	t.collectScratch = scratch[:0]
 	heap.Init(&h)
 	t.ssegQueueDepth = h.Len()
 
@@ -107,22 +121,26 @@ func (t *Tree) compress() {
 			break
 		}
 		it := heap.Pop(&h).(heapItem)
-		leaf := it.n
-		parent := leaf.parent
-		// Unlink. The parent's child slice holds the only other
-		// reference to the leaf.
-		for _, c := range parent.kids {
-			if c.n == leaf {
-				parent.removeChild(c.idx)
+		leaf := it.ref
+		parent := t.a.nodes[leaf].parent
+		// Unlink. The parent's span holds the only reference to the leaf.
+		for _, c := range t.a.span(parent) {
+			if c.ref == leaf {
+				t.a.removeChild(parent, c.idx)
 				break
 			}
 		}
-		leaf.parent = nil
+		t.a.nodes[leaf].parent = deadParent
 		t.nodeCount--
 		t.removedNodes++
 		freed += t.cfg.NodeBytes
-		if parent != t.root && parent.isLeaf() {
-			heap.Push(&h, heapItem{n: parent, sseg: key(parent)})
+		if parent != 0 && t.a.isLeaf(parent) {
+			heap.Push(&h, heapItem{ref: parent, sseg: key(parent)})
 		}
 	}
+
+	// Stable compaction: squeeze the dead slots out of the arena and drop
+	// the kids-slice garbage, so slot order keeps equalling creation order.
+	t.a.compactNodes()
+	t.a.compactKids()
 }

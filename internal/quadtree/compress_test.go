@@ -67,8 +67,8 @@ func TestCompressNeverRemovesRoot(t *testing.T) {
 	if tr.NodeCount() != 1 {
 		t.Errorf("node count %d, want 1 (root only fits)", tr.NodeCount())
 	}
-	if tr.root.count != 200 {
-		t.Errorf("root count %d, want 200 (summaries survive compression)", tr.root.count)
+	if tr.a.nodes[0].count != 200 {
+		t.Errorf("root count %d, want 200 (summaries survive compression)", tr.a.nodes[0].count)
 	}
 	if err := tr.Validate(); err != nil {
 		t.Fatal(err)
@@ -137,7 +137,7 @@ func TestLazyThresholdSetAfterCompression(t *testing.T) {
 	if tr.Threshold() <= 0 {
 		t.Error("lazy threshold must be positive after compression with noisy data")
 	}
-	want := tr.Config().Alpha * tr.root.sse()
+	want := tr.Config().Alpha * tr.a.sse(0)
 	// The threshold was snapshotted at the last compression; root SSE has
 	// moved since, so only check it is in a plausible range.
 	if tr.Threshold() > want*10 {
@@ -184,11 +184,11 @@ func TestCompressionPreservesRootSummary(t *testing.T) {
 		sum += v
 		tr.Insert(geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}, v)
 	}
-	if tr.root.count != n {
-		t.Errorf("root count %d, want %d", tr.root.count, n)
+	if tr.a.nodes[0].count != n {
+		t.Errorf("root count %d, want %d", tr.a.nodes[0].count, n)
 	}
-	if !approxEq(tr.root.sum, sum, 1e-6) {
-		t.Errorf("root sum %g, want %g", tr.root.sum, sum)
+	if !approxEq(tr.a.nodes[0].sum, sum, 1e-6) {
+		t.Errorf("root sum %g, want %g", tr.a.nodes[0].sum, sum)
 	}
 }
 
@@ -206,7 +206,7 @@ func TestCompressOnEmptyTree(t *testing.T) {
 func TestSSEGRootInfinite(t *testing.T) {
 	tr := mustTree(t, unitCfg(1))
 	tr.Insert(geom.Point{0.5}, 1)
-	if !math.IsInf(tr.root.sseg(), 1) {
+	if !math.IsInf(tr.a.sseg(0), 1) {
 		t.Error("root SSEG must be +Inf so it is never a removal candidate")
 	}
 }

@@ -27,7 +27,7 @@ func (t *Tree) Merge(other *Tree) error {
 			return fmt.Errorf("quadtree: merge region mismatch at dimension %d", i)
 		}
 	}
-	t.mergeNode(t.root, other.root, 0)
+	t.mergeNode(0, &other.a, 0, 0)
 	t.inserts += other.inserts
 	if t.MemoryUsed() > t.cfg.MemoryLimit {
 		t.compress()
@@ -38,21 +38,26 @@ func (t *Tree) Merge(other *Tree) error {
 // mergeNode adds src's summaries into dst recursively, deep-copying any
 // subtree dst lacks (respecting the receiver's MaxDepth: deeper source
 // nodes fold into the deepest kept ancestor implicitly, since ancestors
-// already carry their descendants' points in their own summaries).
-func (t *Tree) mergeNode(dst, src *node, depth int) {
-	dst.sum += src.sum
-	dst.ss += src.ss
-	dst.count += src.count
-	for _, c := range src.kids {
+// already carry their descendants' points in their own summaries). Source
+// children are visited in creation order so the copied nodes are created in
+// the same order an insert-by-insert replay would have produced.
+func (t *Tree) mergeNode(dst int32, src *arena, srcN int32, depth int) {
+	sn := src.nodes[srcN]
+	d := &t.a.nodes[dst]
+	d.sum += sn.sum
+	d.ss += sn.ss
+	d.count += sn.count
+	var scratch []kidRef
+	scratch = src.creationOrder(srcN, scratch)
+	for _, c := range scratch {
 		if depth >= t.cfg.MaxDepth {
 			break
 		}
-		child := dst.child(c.idx)
-		if child == nil {
-			child = &node{parent: dst}
-			dst.kids = append(dst.kids, childEntry{idx: c.idx, n: child})
+		child := t.a.child(dst, c.idx)
+		if child < 0 {
+			child = t.a.addChild(dst, c.idx)
 			t.nodeCount++
 		}
-		t.mergeNode(child, c.n, depth+1)
+		t.mergeNode(child, src, c.ref, depth+1)
 	}
 }

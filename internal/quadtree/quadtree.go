@@ -9,6 +9,11 @@
 // The tree never stores individual data points; its memory use is exactly
 // NodeCount() * Config.NodeBytes and is kept at or below Config.MemoryLimit
 // by automatic compression.
+//
+// Nodes live in a flat arena (see arena.go) rather than as pointer-linked
+// heap objects, which makes the whole tree copyable in a few slice copies;
+// Snapshot exploits that to hand out immutable read-only views that are safe
+// for concurrent prediction while the tree keeps learning.
 package quadtree
 
 import (
@@ -175,90 +180,12 @@ func (c Config) validate() error {
 	return nil
 }
 
-// childEntry is one non-empty child slot of a node. Children are kept in a
-// small slice rather than a 2^d array so empty blocks cost nothing.
-type childEntry struct {
-	idx uint32
-	n   *node
-}
-
-// node holds the summary information of one block (§4.1): the sum, count and
-// sum of squares of the values of every data point that maps into the block
-// (including points also counted by its descendants).
-type node struct {
-	sum    float64
-	ss     float64
-	count  int64
-	parent *node
-	kids   []childEntry
-}
-
-// child returns the child with the given index, or nil.
-func (n *node) child(idx uint32) *node {
-	for _, c := range n.kids {
-		if c.idx == idx {
-			return c.n
-		}
-	}
-	return nil
-}
-
-// removeChild unlinks the child with the given index.
-func (n *node) removeChild(idx uint32) {
-	for i, c := range n.kids {
-		if c.idx == idx {
-			n.kids = append(n.kids[:i], n.kids[i+1:]...)
-			return
-		}
-	}
-}
-
-// isLeaf reports whether the node has no children.
-func (n *node) isLeaf() bool { return len(n.kids) == 0 }
-
-// avg returns S(b)/C(b) (Eq. 3), or 0 for an empty block.
-func (n *node) avg() float64 {
-	if n.count == 0 {
-		return 0
-	}
-	return n.sum / float64(n.count)
-}
-
-// sse returns SSE(b) = SS(b) − C(b)·AVG(b)² (Eq. 4), clamped at zero against
-// floating-point cancellation.
-func (n *node) sse() float64 {
-	if n.count == 0 {
-		return 0
-	}
-	v := n.ss - n.sum*n.sum/float64(n.count)
-	if v < 0 {
-		return 0
-	}
-	return v
-}
-
-// sseg returns SSEG(b) = C(b)·(AVG(p) − AVG(b))² (Eq. 9), the increase in
-// TSSENC caused by removing b. The root has no parent and is never removed.
-func (n *node) sseg() float64 {
-	if n.parent == nil {
-		return math.Inf(1)
-	}
-	d := n.parent.avg() - n.avg()
-	return float64(n.count) * d * d
-}
-
-// add folds one observation into the node's summary.
-func (n *node) add(v float64) {
-	n.sum += v
-	n.ss += v * v
-	n.count++
-}
-
-// Tree is a memory-limited quadtree. It is not safe for concurrent use; wrap
-// it (or the core.Model built on it) with a lock for concurrent callers.
+// Tree is a memory-limited quadtree. It is not safe for concurrent use; for
+// concurrent readers take a Snapshot (or wrap the core.Model built on it
+// with the snapshot-publishing machinery in core).
 type Tree struct {
 	cfg       Config
-	root      *node
+	a         arena
 	nodeCount int
 	thSSE     float64 // lazy partitioning threshold; 0 until first compression
 
@@ -270,6 +197,10 @@ type Tree struct {
 	ssegQueueDepth  int // candidate-leaf queue size of the latest compression
 	compressTime    time.Duration
 	childCapacity   uint32 // 2^d
+
+	// collectScratch is the reusable creation-order buffer of the
+	// compression pass's victim collection (see compress).
+	collectScratch []kidRef
 
 	tel *treeTelemetry // nil unless Instrument was called
 }
@@ -283,7 +214,7 @@ func New(cfg Config) (*Tree, error) {
 	cfg.Region = cfg.Region.Clone()
 	return &Tree{
 		cfg:           cfg,
-		root:          &node{},
+		a:             arena{nodes: []node{{parent: noParent}}},
 		nodeCount:     1,
 		childCapacity: 1 << uint(cfg.Region.Dims()),
 	}, nil
@@ -349,27 +280,26 @@ func (t *Tree) Insert(p geom.Point, value float64) error {
 	p = t.cfg.Region.Clamp(p)
 
 	th := t.Threshold()
-	cn := t.root
+	cn := int32(0)
 	region := t.cfg.Region
-	cn.add(value)
+	t.a.add(cn, value)
 	deferred := false
 	for depth := 0; depth < t.cfg.MaxDepth; depth++ {
 		// Fig. 4 line 3-4: descend while the current node should be
 		// refined (SSE at or above threshold) or already has children.
-		if cn.isLeaf() && cn.sse() < th {
+		if t.a.isLeaf(cn) && t.a.sse(cn) < th {
 			deferred = true
 			break
 		}
 		idx := region.ChildIndex(p)
-		child := cn.child(idx)
-		if child == nil {
-			child = &node{parent: cn}
-			cn.kids = append(cn.kids, childEntry{idx: idx, n: child})
+		child := t.a.child(cn, idx)
+		if child < 0 {
+			child = t.a.addChild(cn, idx)
 			t.nodeCount++
 		}
 		region = region.Child(idx)
 		cn = child
-		cn.add(value)
+		t.a.add(cn, value)
 	}
 	t.inserts++
 	if deferred {
@@ -380,6 +310,11 @@ func (t *Tree) Insert(p geom.Point, value float64) error {
 
 	if t.MemoryUsed() > t.cfg.MemoryLimit {
 		t.compress()
+	} else if t.a.kidGarbage > len(t.a.kids)/2 && t.a.kidGarbage > 64 {
+		// Span relocations leave holes in the kids slice; when trees run
+		// under their memory limit for long stretches no compression pass
+		// comes along to compact them, so bound the garbage here.
+		t.a.compactKids()
 	}
 	if t.tel != nil {
 		t.tel.publish(t)
@@ -399,29 +334,7 @@ func (t *Tree) Predict(p geom.Point) (value float64, ok bool) {
 // it falls back to the root average so that predictions are available from
 // the very first observation.
 func (t *Tree) PredictBeta(p geom.Point, beta int) (value float64, ok bool) {
-	if t.root.count == 0 {
-		return 0, false
-	}
-	if beta < 1 {
-		beta = 1
-	}
-	p = t.cfg.Region.Clamp(p)
-	best := t.root
-	cn := t.root
-	region := t.cfg.Region
-	for {
-		if cn.count >= int64(beta) {
-			best = cn
-		}
-		idx := region.ChildIndex(p)
-		child := cn.child(idx)
-		if child == nil {
-			break
-		}
-		region = region.Child(idx)
-		cn = child
-	}
-	return finiteAvg(best)
+	return predictBeta(&t.a, t.cfg.Region, p, beta)
 }
 
 // Estimate is a prediction with its supporting evidence: the block's mean,
@@ -440,8 +353,8 @@ type Estimate struct {
 // Insert rejects NaN/Inf observations, so a non-finite block average can
 // only mean summary corruption — report "no information" rather than let it
 // poison a plan choice (§4.2's SSE math corrupts silently past this point).
-func finiteAvg(n *node) (float64, bool) {
-	v := n.avg()
+func finiteAvg(a *arena, n int32) (float64, bool) {
+	v := a.avg(n)
 	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return 0, false
 	}
@@ -451,69 +364,122 @@ func finiteAvg(n *node) (float64, bool) {
 // PredictEstimate is PredictBeta returning the full Estimate. ok is false
 // only when the tree has seen no data at all.
 func (t *Tree) PredictEstimate(p geom.Point, beta int) (Estimate, bool) {
-	if t.root.count == 0 {
+	return predictEstimate(&t.a, t.cfg.Region, p, beta)
+}
+
+// PredictDepth returns, alongside the prediction, the depth of the block the
+// prediction was taken from. Useful for diagnostics and tests.
+func (t *Tree) PredictDepth(p geom.Point, beta int) (value float64, depth int, ok bool) {
+	return predictDepth(&t.a, t.cfg.Region, p, beta)
+}
+
+// The prediction algorithms take the arena and config explicitly so that
+// Tree and the immutable Snapshot share one implementation of the hot path.
+
+// descend walks from the root to the deepest block containing p, returning
+// the lowest slot whose count is at least beta and its depth (Fig. 3's
+// search). This is the hot path every prediction pays, so it avoids the
+// conveniences the mutation paths use: the arena slices are hoisted into
+// locals, each node is loaded exactly once per level, the child binary
+// search is inlined over the shared kids slice, and the region bounds are
+// narrowed in scratch buffers instead of allocating a fresh Rect per level
+// with geom.Rect.Child. The midpoint arithmetic is the same expression
+// Rect.ChildIndex and Rect.Child evaluate, so the descent visits exactly
+// the slots the allocating version would.
+func descend(a *arena, region geom.Rect, p geom.Point, beta int) (best int32, bestDepth int) {
+	nodes, kids := a.nodes, a.kids
+	var lobuf, hibuf, midbuf [8]float64
+	var lo, hi, mids []float64
+	if n := len(region.Lo); n <= len(lobuf) {
+		lo, hi, mids = lobuf[:n], hibuf[:n], midbuf[:n]
+	} else {
+		lo, hi, mids = make([]float64, n), make([]float64, n), make([]float64, n)
+	}
+	copy(lo, region.Lo)
+	copy(hi, region.Hi)
+	cn := int32(0)
+	for d := 0; ; d++ {
+		nd := &nodes[cn]
+		if nd.count >= int64(beta) {
+			best, bestDepth = cn, d
+		}
+		var idx uint32
+		for i, v := range p {
+			mid := lo[i] + (hi[i]-lo[i])/2
+			mids[i] = mid
+			if v >= mid {
+				idx |= 1 << uint(i)
+			}
+		}
+		l, h := nd.kidOff, nd.kidOff+nd.kidLen
+		for l < h {
+			m := (l + h) >> 1
+			if kids[m].idx < idx {
+				l = m + 1
+			} else {
+				h = m
+			}
+		}
+		if l >= nd.kidOff+nd.kidLen || kids[l].idx != idx {
+			return best, bestDepth
+		}
+		for i := range mids {
+			if idx&(1<<uint(i)) != 0 {
+				lo[i] = mids[i]
+			} else {
+				hi[i] = mids[i]
+			}
+		}
+		cn = kids[l].ref
+	}
+}
+
+// predictBeta implements Fig. 3 over an arena.
+func predictBeta(a *arena, region geom.Rect, p geom.Point, beta int) (value float64, ok bool) {
+	if a.nodes[0].count == 0 {
+		return 0, false
+	}
+	if beta < 1 {
+		beta = 1
+	}
+	best, _ := descend(a, region, region.Clamp(p), beta)
+	return finiteAvg(a, best)
+}
+
+// predictEstimate implements PredictEstimate over an arena.
+func predictEstimate(a *arena, region geom.Rect, p geom.Point, beta int) (Estimate, bool) {
+	if a.nodes[0].count == 0 {
 		return Estimate{}, false
 	}
 	if beta < 1 {
 		beta = 1
 	}
-	p = t.cfg.Region.Clamp(p)
-	best, bestDepth := t.root, 0
-	cn := t.root
-	region := t.cfg.Region
-	for d := 0; ; d++ {
-		if cn.count >= int64(beta) {
-			best, bestDepth = cn, d
-		}
-		idx := region.ChildIndex(p)
-		child := cn.child(idx)
-		if child == nil {
-			break
-		}
-		region = region.Child(idx)
-		cn = child
-	}
+	best, bestDepth := descend(a, region, region.Clamp(p), beta)
 	var std float64
-	if best.count > 0 {
-		std = math.Sqrt(best.sse() / float64(best.count))
+	if a.nodes[best].count > 0 {
+		std = math.Sqrt(a.sse(best) / float64(a.nodes[best].count))
 	}
-	v, ok := finiteAvg(best)
+	v, ok := finiteAvg(a, best)
 	if !ok {
 		return Estimate{}, false
 	}
 	return Estimate{
 		Value:  v,
 		StdDev: std,
-		Count:  best.count,
+		Count:  a.nodes[best].count,
 		Depth:  bestDepth,
 	}, true
 }
 
-// PredictDepth returns, alongside the prediction, the depth of the block the
-// prediction was taken from. Useful for diagnostics and tests.
-func (t *Tree) PredictDepth(p geom.Point, beta int) (value float64, depth int, ok bool) {
-	if t.root.count == 0 {
+// predictDepth implements PredictDepth over an arena.
+func predictDepth(a *arena, region geom.Rect, p geom.Point, beta int) (value float64, depth int, ok bool) {
+	if a.nodes[0].count == 0 {
 		return 0, 0, false
 	}
 	if beta < 1 {
 		beta = 1
 	}
-	p = t.cfg.Region.Clamp(p)
-	best, bestDepth := t.root, 0
-	cn := t.root
-	region := t.cfg.Region
-	for d := 0; ; d++ {
-		if cn.count >= int64(beta) {
-			best, bestDepth = cn, d
-		}
-		idx := region.ChildIndex(p)
-		child := cn.child(idx)
-		if child == nil {
-			break
-		}
-		region = region.Child(idx)
-		cn = child
-	}
-	v, ok := finiteAvg(best)
+	best, bestDepth := descend(a, region, region.Clamp(p), beta)
+	v, ok := finiteAvg(a, best)
 	return v, bestDepth, ok
 }

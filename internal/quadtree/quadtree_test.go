@@ -243,26 +243,28 @@ func TestSSENCAndSSEGMatchDefinitions(t *testing.T) {
 			ref.insert(p, v)
 		}
 		// Check SSENC at every node against the reference.
-		var check func(n *node, block geom.Rect)
-		check = func(n *node, block geom.Rect) {
+		var check func(n int32, block geom.Rect)
+		check = func(n int32, block geom.Rect) {
+			kids := tr.a.creationOrder(n, nil)
 			var childRects []geom.Rect
-			for _, c := range n.kids {
+			for _, c := range kids {
 				childRects = append(childRects, block.Child(c.idx))
 			}
 			want := ref.ssenc(block, childRects)
-			if !approxEq(n.ssenc(), want, 1e-6) {
-				t.Fatalf("trial %d: SSENC mismatch: summary %g direct %g", trial, n.ssenc(), want)
+			got, _ := ssenc(&tr.a, n, nil)
+			if !approxEq(got, want, 1e-6) {
+				t.Fatalf("trial %d: SSENC mismatch: summary %g direct %g", trial, got, want)
 			}
-			for _, c := range n.kids {
-				check(c.n, block.Child(c.idx))
+			for _, c := range kids {
+				check(c.ref, block.Child(c.idx))
 			}
 		}
-		check(tr.root, region)
+		check(0, region)
 
 		// Check SSEG (Eq. 9) == Eq. 8 at every leaf.
-		var checkLeaf func(n *node, block geom.Rect, parentBlock geom.Rect, parentKids []geom.Rect)
-		checkLeaf = func(n *node, block geom.Rect, parentBlock geom.Rect, parentKids []geom.Rect) {
-			if n.isLeaf() && n.parent != nil {
+		var checkLeaf func(n int32, block geom.Rect, parentBlock geom.Rect, parentKids []geom.Rect)
+		checkLeaf = func(n int32, block geom.Rect, parentBlock geom.Rect, parentKids []geom.Rect) {
+			if tr.a.isLeaf(n) && tr.a.nodes[n].parent != noParent {
 				before := ref.ssenc(parentBlock, parentKids)
 				var after []geom.Rect
 				for _, k := range parentKids {
@@ -280,24 +282,26 @@ func TestSSENCAndSSEGMatchDefinitions(t *testing.T) {
 				afterVal := ref.ssenc(parentBlock, after)
 				leafSSENC := ref.ssenc(block, nil)
 				eq8 := afterVal - (leafSSENC + before)
-				if !approxEq(n.sseg(), eq8, 1e-6) {
-					t.Fatalf("trial %d: SSEG Eq9 %g != Eq8 %g", trial, n.sseg(), eq8)
+				if !approxEq(tr.a.sseg(n), eq8, 1e-6) {
+					t.Fatalf("trial %d: SSEG Eq9 %g != Eq8 %g", trial, tr.a.sseg(n), eq8)
 				}
 			}
+			kids := tr.a.creationOrder(n, nil)
 			var kidRects []geom.Rect
-			for _, c := range n.kids {
+			for _, c := range kids {
 				kidRects = append(kidRects, block.Child(c.idx))
 			}
-			for _, c := range n.kids {
-				checkLeaf(c.n, block.Child(c.idx), block, kidRects)
+			for _, c := range kids {
+				checkLeaf(c.ref, block.Child(c.idx), block, kidRects)
 			}
 		}
+		rootSpan := tr.a.creationOrder(0, nil)
 		var rootKids []geom.Rect
-		for _, c := range tr.root.kids {
+		for _, c := range rootSpan {
 			rootKids = append(rootKids, region.Child(c.idx))
 		}
-		for _, c := range tr.root.kids {
-			checkLeaf(c.n, region.Child(c.idx), region, rootKids)
+		for _, c := range rootSpan {
+			checkLeaf(c.ref, region.Child(c.idx), region, rootKids)
 		}
 	}
 }

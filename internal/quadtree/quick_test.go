@@ -110,9 +110,9 @@ func TestQuickRootSummaryExact(t *testing.T) {
 			sum += op.V
 			ss += op.V * op.V
 		}
-		return tr.root.count == int64(len(s)) &&
-			approxEq(tr.root.sum, sum, 1e-9) &&
-			approxEq(tr.root.ss, ss, 1e-9)
+		return tr.a.nodes[0].count == int64(len(s)) &&
+			approxEq(tr.a.nodes[0].sum, sum, 1e-9) &&
+			approxEq(tr.a.nodes[0].ss, ss, 1e-9)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
 		t.Error(err)
@@ -179,9 +179,9 @@ func TestQuickCloneEquivalent(t *testing.T) {
 			}
 		}
 		// Diverge the original; the clone's root must not move.
-		beforeCount := cl.root.count
+		beforeCount := cl.a.nodes[0].count
 		tr.Insert(geom.Point{0.5, 0.5}, 1)
-		return cl.root.count == beforeCount && cl.Validate() == nil
+		return cl.a.nodes[0].count == beforeCount && cl.Validate() == nil
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)

@@ -13,6 +13,14 @@ import (
 // reloaded at optimizer startup, so the model's knowledge survives restarts.
 // The format is a compact private binary encoding (little-endian), versioned
 // so it can evolve.
+//
+// The frame layout is unchanged from the pre-arena implementation: a header,
+// the region bounds, then the nodes depth-first with each node's children
+// written in creation order. Because the arena keeps slot order equal to
+// creation order (see arena.go), a tree built by the same insert sequence
+// emits byte-identical frames to the pointer-linked implementation, and
+// pre-arena catalogs load unchanged — Read records children in file order,
+// which reconstructs creation order exactly.
 
 const (
 	serialMagic   = 0x4d4c5154 // "MLQT"
@@ -21,6 +29,13 @@ const (
 
 // WriteTo serializes the tree. It implements io.WriterTo.
 func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	return writeArena(w, &t.a, t.cfg, t.thSSE, t.inserts, t.compressions, t.removedNodes)
+}
+
+// writeArena is the shared encoder behind Tree.WriteTo and Snapshot.WriteTo.
+// It only reads the arena, so concurrent use on an immutable snapshot is
+// safe; the creation-order scratch is local for the same reason.
+func writeArena(w io.Writer, a *arena, cfg Config, thSSE float64, inserts, compressions, removedNodes int64) (int64, error) {
 	cw := &countingWriter{w: bufio.NewWriter(w)}
 	write := func(vs ...interface{}) error {
 		for _, v := range vs {
@@ -30,37 +45,43 @@ func (t *Tree) WriteTo(w io.Writer) (int64, error) {
 		}
 		return nil
 	}
-	d := t.cfg.Region.Dims()
+	d := cfg.Region.Dims()
 	if err := write(
 		uint32(serialMagic), uint32(serialVersion), uint32(d),
-		uint32(t.cfg.Strategy), uint32(t.cfg.Policy), uint32(t.cfg.MaxDepth), uint32(t.cfg.Beta),
-		t.cfg.Alpha, t.cfg.Gamma,
-		uint64(t.cfg.MemoryLimit), uint64(t.cfg.NodeBytes),
-		t.thSSE, t.inserts, t.compressions, t.removedNodes,
+		uint32(cfg.Strategy), uint32(cfg.Policy), uint32(cfg.MaxDepth), uint32(cfg.Beta),
+		cfg.Alpha, cfg.Gamma,
+		uint64(cfg.MemoryLimit), uint64(cfg.NodeBytes),
+		thSSE, inserts, compressions, removedNodes,
 	); err != nil {
 		return cw.n, err
 	}
 	for i := 0; i < d; i++ {
-		if err := write(t.cfg.Region.Lo[i], t.cfg.Region.Hi[i]); err != nil {
+		if err := write(cfg.Region.Lo[i], cfg.Region.Hi[i]); err != nil {
 			return cw.n, err
 		}
 	}
-	var rec func(n *node) error
-	rec = func(n *node) error {
-		if err := write(n.sum, n.ss, n.count, uint32(len(n.kids))); err != nil {
+	var scratch []kidRef
+	var rec func(n int32) error
+	rec = func(n int32) error {
+		nd := &a.nodes[n]
+		if err := write(nd.sum, nd.ss, nd.count, uint32(nd.kidLen)); err != nil {
 			return err
 		}
-		for _, c := range n.kids {
+		base := len(scratch)
+		scratch = a.creationOrder(n, scratch)
+		for i := base; i < len(scratch); i++ {
+			c := scratch[i]
 			if err := write(c.idx); err != nil {
 				return err
 			}
-			if err := rec(c.n); err != nil {
+			if err := rec(c.ref); err != nil {
 				return err
 			}
 		}
+		scratch = scratch[:base]
 		return nil
 	}
-	if err := rec(t.root); err != nil {
+	if err := rec(0); err != nil {
 		return cw.n, err
 	}
 	return cw.n, cw.w.(*bufio.Writer).Flush()
@@ -125,39 +146,39 @@ func Read(r io.Reader) (*Tree, error) {
 	t.compressions = compressions
 	t.removedNodes = removed
 
-	t.nodeCount = 0
-	var rec func(parent *node, depth int) (*node, error)
-	rec = func(parent *node, depth int) (*node, error) {
-		if depth > int(maxDepth) {
-			return nil, fmt.Errorf("quadtree: node deeper than MaxDepth %d", maxDepth)
-		}
-		n := &node{parent: parent}
+	// Decode depth-first into the arena. Children are allocated in file
+	// order, so slot order reproduces the writer's creation order; spans
+	// are maintained index-sorted by addChild as always.
+	var rec func(n int32, depth int) error
+	rec = func(n int32, depth int) error {
 		var kids uint32
-		if err := read(&n.sum, &n.ss, &n.count, &kids); err != nil {
-			return nil, fmt.Errorf("quadtree: reading node: %w", err)
+		nd := &t.a.nodes[n]
+		if err := read(&nd.sum, &nd.ss, &nd.count, &kids); err != nil {
+			return fmt.Errorf("quadtree: reading node: %w", err)
 		}
 		if kids > t.childCapacity {
-			return nil, fmt.Errorf("quadtree: node claims %d children, capacity %d", kids, t.childCapacity)
+			return fmt.Errorf("quadtree: node claims %d children, capacity %d", kids, t.childCapacity)
 		}
-		t.nodeCount++
 		for i := uint32(0); i < kids; i++ {
+			if depth+1 > int(maxDepth) {
+				return fmt.Errorf("quadtree: node deeper than MaxDepth %d", maxDepth)
+			}
 			var idx uint32
 			if err := read(&idx); err != nil {
-				return nil, fmt.Errorf("quadtree: reading child index: %w", err)
+				return fmt.Errorf("quadtree: reading child index: %w", err)
 			}
-			child, err := rec(n, depth+1)
-			if err != nil {
-				return nil, err
+			child := t.a.addChild(n, idx)
+			t.nodeCount++
+			if err := rec(child, depth+1); err != nil {
+				return err
 			}
-			n.kids = append(n.kids, childEntry{idx: idx, n: child})
 		}
-		return n, nil
+		return nil
 	}
-	root, err := rec(nil, 0)
-	if err != nil {
+	if err := rec(0, 0); err != nil {
 		return nil, err
 	}
-	t.root = root
+	t.a.compactKids()
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("quadtree: decoded tree invalid: %w", err)
 	}

@@ -44,31 +44,41 @@ func (b Block) SSE() float64 {
 	return v
 }
 
-// Walk visits every node in depth-first order, parents before children.
-// The callback returns false to stop the walk early.
+// Walk visits every node in depth-first order, parents before children and
+// children in creation order. The callback returns false to stop the walk
+// early.
 func (t *Tree) Walk(fn func(Block) bool) {
-	var rec func(n *node, region geom.Rect, depth int) bool
-	rec = func(n *node, region geom.Rect, depth int) bool {
+	walkArena(&t.a, t.cfg, t.childCapacity, fn)
+}
+
+// walkArena is the shared traversal behind Tree.Walk and Snapshot.Walk. It
+// allocates its creation-order views per node instead of using tree-owned
+// scratch, so callbacks may re-enter the tree and snapshots may be walked
+// concurrently.
+func walkArena(a *arena, cfg Config, childCapacity uint32, fn func(Block) bool) {
+	var rec func(n int32, region geom.Rect, depth int) bool
+	rec = func(n int32, region geom.Rect, depth int) bool {
+		nd := a.nodes[n]
 		b := Block{
 			Region:     region,
 			Depth:      depth,
-			Sum:        n.sum,
-			SumSquares: n.ss,
-			Count:      n.count,
-			Children:   len(n.kids),
-			Full:       uint32(len(n.kids)) == t.childCapacity,
+			Sum:        nd.sum,
+			SumSquares: nd.ss,
+			Count:      nd.count,
+			Children:   int(nd.kidLen),
+			Full:       uint32(nd.kidLen) == childCapacity,
 		}
 		if !fn(b) {
 			return false
 		}
-		for _, c := range n.kids {
-			if !rec(c.n, region.Child(c.idx), depth+1) {
+		for _, c := range a.creationOrder(n, nil) {
+			if !rec(c.ref, region.Child(c.idx), depth+1) {
 				return false
 			}
 		}
 		return true
 	}
-	rec(t.root, t.cfg.Region, 0)
+	rec(0, cfg.Region, 0)
 }
 
 // ssenc returns SSENC(b) (Eq. 5): the sum of squared deviations, from b's
@@ -77,40 +87,59 @@ func (t *Tree) Walk(fn func(Block) bool) {
 //
 //	SSENC(b) = SS_nc − 2·AVG(b)·S_nc + C_nc·AVG(b)²
 //
-// where the _nc aggregates are b's minus the sum of its children's.
-func (n *node) ssenc() float64 {
-	if n.count == 0 {
-		return 0
+// where the _nc aggregates are b's minus the sum of its children's, summed
+// in creation order so the floating-point result matches the pointer-linked
+// implementation to the last bit.
+func ssenc(a *arena, n int32, scratch []kidRef) (float64, []kidRef) {
+	nd := a.nodes[n]
+	if nd.count == 0 {
+		return 0, scratch
 	}
-	sNC, ssNC := n.sum, n.ss
-	cNC := n.count
-	for _, c := range n.kids {
-		sNC -= c.n.sum
-		ssNC -= c.n.ss
-		cNC -= c.n.count
+	sNC, ssNC := nd.sum, nd.ss
+	cNC := nd.count
+	base := len(scratch)
+	scratch = a.creationOrder(n, scratch)
+	for _, c := range scratch[base:] {
+		cn := a.nodes[c.ref]
+		sNC -= cn.sum
+		ssNC -= cn.ss
+		cNC -= cn.count
 	}
-	avg := n.avg()
+	scratch = scratch[:base]
+	avg := a.avg(n)
 	v := ssNC - 2*avg*sNC + float64(cNC)*avg*avg
 	if v < 0 {
-		return 0
+		return 0, scratch
 	}
-	return v
+	return v, scratch
 }
 
 // TSSENC returns the tree's total SSENC over non-full nodes (Eq. 6), the
 // quantity compression minimizes the increase of.
 func (t *Tree) TSSENC() float64 {
+	return tssenc(&t.a, t.childCapacity)
+}
+
+func tssenc(a *arena, childCapacity uint32) float64 {
 	var total float64
-	var rec func(n *node)
-	rec = func(n *node) {
-		if uint32(len(n.kids)) != t.childCapacity {
-			total += n.ssenc()
+	var scratch []kidRef
+	var rec func(n int32)
+	rec = func(n int32) {
+		nd := a.nodes[n]
+		if uint32(nd.kidLen) != childCapacity {
+			var v float64
+			v, scratch = ssenc(a, n, scratch)
+			total += v
 		}
-		for _, c := range n.kids {
-			rec(c.n)
+		base := len(scratch)
+		scratch = a.creationOrder(n, scratch)
+		order := append([]kidRef(nil), scratch[base:]...)
+		scratch = scratch[:base]
+		for _, c := range order {
+			rec(c.ref)
 		}
 	}
-	rec(t.root)
+	rec(0)
 	return total
 }
 
@@ -154,58 +183,75 @@ func (t *Tree) Stats() Stats {
 	return s
 }
 
-// Validate checks the structural invariants of the tree and returns the
+// Validate checks the structural invariants of the tree — the paper's
+// summary invariants and the arena layout invariants — and returns the
 // first violation found, or nil. It is used heavily by the property tests
 // and is cheap enough to run in production assertions.
 func (t *Tree) Validate() error {
+	if len(t.a.nodes) == 0 {
+		return fmt.Errorf("empty arena")
+	}
+	if t.a.nodes[0].parent != noParent {
+		return fmt.Errorf("root has a parent")
+	}
+	if len(t.a.nodes) != t.nodeCount {
+		return fmt.Errorf("arena has %d slots but %d nodes are tracked (uncompacted garbage outside compress)", len(t.a.nodes), t.nodeCount)
+	}
 	count := 0
-	var rec func(n *node, depth int) error
-	rec = func(n *node, depth int) error {
+	var rec func(n int32, depth int) error
+	rec = func(n int32, depth int) error {
 		count++
+		nd := t.a.nodes[n]
 		if depth > t.cfg.MaxDepth {
 			return fmt.Errorf("node at depth %d exceeds MaxDepth %d", depth, t.cfg.MaxDepth)
 		}
-		if n.count < 0 {
-			return fmt.Errorf("negative count %d at depth %d", n.count, depth)
+		if nd.parent == deadParent {
+			return fmt.Errorf("dead slot %d reachable at depth %d", n, depth)
 		}
-		if n.sse() < 0 {
+		if nd.count < 0 {
+			return fmt.Errorf("negative count %d at depth %d", nd.count, depth)
+		}
+		if t.a.sse(n) < 0 {
 			return fmt.Errorf("negative SSE at depth %d", depth)
 		}
-		seen := make(map[uint32]bool, len(n.kids))
+		if nd.kidOff < 0 || nd.kidLen < 0 || int(nd.kidOff)+int(nd.kidLen) > len(t.a.kids) {
+			return fmt.Errorf("span [%d,%d) of slot %d out of kids bounds %d", nd.kidOff, nd.kidOff+nd.kidLen, n, len(t.a.kids))
+		}
+		span := t.a.span(n)
 		var childCount int64
 		var childSS float64
-		for _, c := range n.kids {
+		for i, c := range span {
 			if c.idx >= t.childCapacity {
 				return fmt.Errorf("child index %d out of range (capacity %d)", c.idx, t.childCapacity)
 			}
-			if seen[c.idx] {
-				return fmt.Errorf("duplicate child index %d at depth %d", c.idx, depth)
+			if i > 0 && span[i-1].idx >= c.idx {
+				return fmt.Errorf("span of slot %d not strictly sorted by quadrant index at position %d", n, i)
 			}
-			seen[c.idx] = true
-			if c.n.parent != n {
-				return fmt.Errorf("broken parent pointer at depth %d child %d", depth, c.idx)
+			if c.ref <= 0 || int(c.ref) >= len(t.a.nodes) {
+				return fmt.Errorf("child ref %d of slot %d out of arena bounds", c.ref, n)
 			}
-			if c.n.count == 0 {
+			cn := t.a.nodes[c.ref]
+			if cn.parent != n {
+				return fmt.Errorf("broken parent link at depth %d child %d", depth, c.idx)
+			}
+			if cn.count == 0 {
 				return fmt.Errorf("empty child node at depth %d child %d", depth+1, c.idx)
 			}
-			childCount += c.n.count
-			childSS += c.n.ss
-			if err := rec(c.n, depth+1); err != nil {
+			childCount += cn.count
+			childSS += cn.ss
+			if err := rec(c.ref, depth+1); err != nil {
 				return err
 			}
 		}
-		if childCount > n.count {
-			return fmt.Errorf("children count %d exceeds parent count %d at depth %d", childCount, n.count, depth)
+		if childCount > nd.count {
+			return fmt.Errorf("children count %d exceeds parent count %d at depth %d", childCount, nd.count, depth)
 		}
-		if childSS > n.ss*(1+1e-9)+1e-9 {
-			return fmt.Errorf("children sum-of-squares %g exceeds parent %g at depth %d", childSS, n.ss, depth)
+		if childSS > nd.ss*(1+1e-9)+1e-9 {
+			return fmt.Errorf("children sum-of-squares %g exceeds parent %g at depth %d", childSS, nd.ss, depth)
 		}
 		return nil
 	}
-	if t.root.parent != nil {
-		return fmt.Errorf("root has a parent")
-	}
-	if err := rec(t.root, 0); err != nil {
+	if err := rec(0, 0); err != nil {
 		return err
 	}
 	if count != t.nodeCount {
@@ -217,27 +263,17 @@ func (t *Tree) Validate() error {
 	return nil
 }
 
-// Clone returns a deep copy of the tree. An optimizer can snapshot a model
-// under a brief lock and keep predicting from the copy while the original
-// continues to learn.
+// Clone returns a deep copy of the tree: two slice copies, regardless of
+// size. An optimizer can snapshot a model under a brief lock and keep
+// predicting from the copy while the original continues to learn — or use
+// Snapshot, which returns an immutable view sharing the same cost.
 func (t *Tree) Clone() *Tree {
-	var rec func(n *node, parent *node) *node
-	rec = func(n *node, parent *node) *node {
-		c := &node{sum: n.sum, ss: n.ss, count: n.count, parent: parent}
-		if len(n.kids) > 0 {
-			c.kids = make([]childEntry, len(n.kids))
-			for i, k := range n.kids {
-				c.kids[i] = childEntry{idx: k.idx, n: rec(k.n, c)}
-			}
-		}
-		return c
-	}
 	// The clone deliberately does not inherit t.tel: two trees publishing
 	// into one set of gauges would interleave meaninglessly. Instrument the
 	// clone separately if it should be observable.
 	clone := &Tree{
 		cfg:             t.cfg,
-		root:            rec(t.root, nil),
+		a:               t.a.clone(),
 		nodeCount:       t.nodeCount,
 		thSSE:           t.thSSE,
 		inserts:         t.inserts,
