@@ -1,7 +1,7 @@
 # Convenience targets for the MLQ reproduction.
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-concurrency repro repro-quick fuzz chaos clean fmt lint check
+.PHONY: all build vet test race bench bench-smoke bench-concurrency repro repro-quick fuzz chaos chaos-latency clean fmt lint check
 
 all: build vet test
 
@@ -66,11 +66,19 @@ fuzz:
 	$(GO) test -fuzz '^FuzzRead$$' -fuzztime 30s ./internal/histogram
 	$(GO) test -fuzz '^FuzzRead$$' -fuzztime 30s ./internal/catalog
 	$(GO) test -fuzz '^FuzzRecover$$' -fuzztime 30s ./internal/catalog
+	$(GO) test -fuzz '^FuzzReplay$$' -fuzztime 30s ./internal/journal
 
 # Fault-injection sweep: the hardened feedback loop under corrupted
 # observations, UDF panics, page-read failures and torn catalog writes.
 chaos:
 	$(GO) run ./cmd/mlqbench -exp chaos -quick
+
+# Slow-disk sweep: retry/backoff latency charged into IO cost observations,
+# Publisher journaling with replay-equivalence checks, bounded NAE
+# inflation. Virtual-time latency — the sweep is fast and deterministic.
+chaos-latency:
+	$(GO) run ./cmd/mlqbench -exp chaoslatency -quick
+	$(GO) test -fuzz '^FuzzReplay$$' -fuzztime 10s ./internal/journal
 
 clean:
 	$(GO) clean ./...

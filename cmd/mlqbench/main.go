@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig8, fig9, fig10, fig11, fig12, shift, nn, leo, memcurve, cache, chaos, ablate, concurrency (concurrency is excluded from all: its numbers are machine-dependent wall-clock throughput)")
+	exp := flag.String("exp", "all", "experiment to run: all, fig8, fig9, fig10, fig11, fig12, shift, nn, leo, memcurve, cache, chaos, chaoslatency, ablate, concurrency (concurrency is excluded from all: its numbers are machine-dependent wall-clock throughput)")
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "shrink workloads ~10x for a fast smoke run")
 	queries := flag.Int("queries", 0, "override the test-workload length (0 = paper's values)")
@@ -268,6 +268,20 @@ func run(exp string, seed int64, quick bool, queries, mem, trials int, reg *tele
 		return err
 	}
 
+	if err := runExp("chaoslatency", func() error {
+		// Like chaos, this experiment builds its own databases: the latency
+		// hooks and retry policies it installs must never touch the caches
+		// the other experiments share.
+		rows, err := harness.ChaosLatency(harness.ChaosLatencyConfig{}, realOpts)
+		if err != nil {
+			return err
+		}
+		harness.RenderChaosLatency(os.Stdout, rows)
+		return nil
+	}); err != nil {
+		return err
+	}
+
 	if err := runExp("ablate", func() error {
 		for _, param := range harness.AblationParams() {
 			rows, err := harness.Ablate(param, nil, synthOpts)
@@ -298,7 +312,7 @@ func run(exp string, seed int64, quick bool, queries, mem, trials int, reg *tele
 	}
 
 	if !did {
-		return fmt.Errorf("unknown experiment %q (want all, fig8, fig9, fig10, fig11, fig12, shift, nn, leo, memcurve, cache, chaos, ablate, concurrency)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, fig8, fig9, fig10, fig11, fig12, shift, nn, leo, memcurve, cache, chaos, chaoslatency, ablate, concurrency)", exp)
 	}
 	return nil
 }

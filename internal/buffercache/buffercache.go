@@ -7,7 +7,9 @@ package buffercache
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
+	"time"
 
 	"mlq/internal/pagestore"
 )
@@ -41,6 +43,80 @@ func (p Policy) String() string {
 	}
 }
 
+// ErrDeadlineExceeded reports a read abandoned because its retry schedule
+// would overrun the policy's per-read latency Deadline. It wraps the last
+// physical read error; test with errors.Is.
+var ErrDeadlineExceeded = errors.New("buffercache: read deadline exceeded")
+
+// RetryPolicy makes physical page reads resilient to transient faults: a
+// failed read is retried up to MaxAttempts times with exponential backoff,
+// and the whole schedule is bounded by a per-read Deadline. All delay in the
+// policy is *modeled*, never slept — the cache runs on virtual time, so a
+// degraded disk changes measured IO cost deterministically instead of making
+// test runs slow and flaky. The accumulated backoff (plus any injected
+// slow-read latency) is charged into the IO cost a Meter reports, which is
+// the point: under a flaky disk the feedback loop observes inflated IO costs
+// and the self-tuning models absorb the degradation instead of diverging.
+//
+// The zero value disables retries and charges latency at DefaultUnitLatency.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of physical read attempts per lookup.
+	// Values <= 1 mean a single attempt (no retry).
+	MaxAttempts int
+	// BaseDelay is the modeled backoff before the second attempt.
+	BaseDelay time.Duration
+	// Multiplier grows the backoff per attempt (values < 1 mean 2).
+	Multiplier float64
+	// Deadline bounds the modeled latency (injected + backoff) of one
+	// lookup; a retry that would overrun it fails with ErrDeadlineExceeded
+	// instead. Zero means unbounded.
+	Deadline time.Duration
+	// UnitLatency converts modeled latency into IO cost units: the nominal
+	// service time of one clean physical read. Zero means
+	// DefaultUnitLatency.
+	UnitLatency time.Duration
+}
+
+// DefaultUnitLatency is the assumed service time of one clean physical read
+// when RetryPolicy.UnitLatency is unset: 1ms, a spinning-disk-era page read,
+// matching the paper's Oracle setup where IO cost is counted in page reads.
+const DefaultUnitLatency = time.Millisecond
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts > 1 {
+		return p.MaxAttempts
+	}
+	return 1
+}
+
+func (p RetryPolicy) multiplier() float64 {
+	if p.Multiplier >= 1 {
+		return p.Multiplier
+	}
+	return 2
+}
+
+func (p RetryPolicy) unit() time.Duration {
+	if p.UnitLatency > 0 {
+		return p.UnitLatency
+	}
+	return DefaultUnitLatency
+}
+
+// RetryStats are the cache's cumulative resilience counters.
+type RetryStats struct {
+	// Retries counts repeated physical read attempts (attempt 2 and up).
+	Retries int64
+	// Exhausted counts lookups that failed after the full attempt budget.
+	Exhausted int64
+	// DeadlineExceeded counts lookups abandoned by the latency deadline.
+	DeadlineExceeded int64
+	// SlowReads counts physical attempts that were charged injected latency.
+	SlowReads int64
+	// Latency is the total modeled latency charged (injected + backoff).
+	Latency time.Duration
+}
+
 // Cache is a fixed-capacity page cache over a pagestore.Store.
 // It is not safe for concurrent use.
 type Cache struct {
@@ -54,6 +130,11 @@ type Cache struct {
 	misses    int64
 	evictions int64
 	faults    int64 // physical reads that returned an error
+
+	retry      RetryPolicy
+	latencyFor func(pagestore.PageID) time.Duration // nil = no injected latency
+	retryStats RetryStats
+	charged    float64 // modeled latency in IO cost units (Latency / UnitLatency)
 
 	tel *cacheTelemetry // nil unless Instrument was called
 }
@@ -94,6 +175,89 @@ func NewWithPolicy(store *pagestore.Store, capacity int, policy Policy) (*Cache,
 // Policy returns the cache's replacement policy.
 func (c *Cache) Policy() Policy { return c.policy }
 
+// SetRetryPolicy installs the read retry/backoff/deadline policy. The zero
+// policy restores the default single-attempt behavior.
+func (c *Cache) SetRetryPolicy(p RetryPolicy) { c.retry = p }
+
+// Retry returns the installed retry policy.
+func (c *Cache) Retry() RetryPolicy { return c.retry }
+
+// SetReadLatency installs (or, with nil, removes) the injected-latency hook,
+// consulted once per physical read attempt. The returned delay is modeled —
+// charged, never slept; wire it to faults.Injector.PageReadDelay to simulate
+// a slow disk.
+func (c *Cache) SetReadLatency(f func(pagestore.PageID) time.Duration) { c.latencyFor = f }
+
+// RetryStats returns the cache's cumulative resilience counters.
+func (c *Cache) RetryStats() RetryStats { return c.retryStats }
+
+// ChargedUnits returns the total modeled latency charged so far, expressed
+// in IO cost units (clean-read equivalents). Zero whenever no latency was
+// injected and no retry backed off — the fault-free path's IO costs are
+// bit-identical with or without a policy installed.
+func (c *Cache) ChargedUnits() float64 { return c.charged }
+
+// charge folds one lookup's modeled latency into the cost accounting.
+func (c *Cache) charge(lat time.Duration) {
+	if lat <= 0 {
+		return
+	}
+	c.retryStats.Latency += lat
+	c.charged += float64(lat) / float64(c.retry.unit())
+}
+
+// readThrough performs one physical read under the retry policy, charging
+// all modeled latency (injected slow-read delays plus retry backoff) of the
+// lookup. Virtual time only: nothing here sleeps.
+func (c *Cache) readThrough(id pagestore.PageID) ([]byte, error) {
+	var lat time.Duration
+	backoff := c.retry.BaseDelay
+	attempts := c.retry.attempts()
+	for attempt := 1; ; attempt++ {
+		if attempt > 1 {
+			c.retryStats.Retries++
+		}
+		if c.latencyFor != nil {
+			if d := c.latencyFor(id); d > 0 {
+				c.retryStats.SlowReads++
+				lat += d
+			}
+		}
+		if c.retry.Deadline > 0 && lat > c.retry.Deadline {
+			// The modeled completion time overran the client's patience:
+			// the lookup is abandoned at the deadline (that much latency
+			// was really spent waiting) regardless of what the disk would
+			// eventually have returned.
+			c.retryStats.DeadlineExceeded++
+			c.charge(c.retry.Deadline)
+			return nil, fmt.Errorf("%w: page %d stalled %v against a %v deadline",
+				ErrDeadlineExceeded, id, lat, c.retry.Deadline)
+		}
+		data, err := c.store.Read(id)
+		if err == nil {
+			c.charge(lat)
+			return data, nil
+		}
+		if attempt >= attempts {
+			if attempts > 1 {
+				c.retryStats.Exhausted++
+			}
+			c.charge(lat)
+			return nil, err
+		}
+		if c.retry.Deadline > 0 && lat+backoff > c.retry.Deadline {
+			// Waited lat so far; the next backoff would bust the budget, so
+			// give up now and charge only the time actually waited.
+			c.retryStats.DeadlineExceeded++
+			c.charge(lat)
+			return nil, fmt.Errorf("%w: page %d still failing after %d attempts and %v of %v budget: %v",
+				ErrDeadlineExceeded, id, attempt, lat, c.retry.Deadline, err)
+		}
+		lat += backoff
+		backoff = time.Duration(float64(backoff) * c.retry.multiplier())
+	}
+}
+
 // Get returns the contents of page id, reading through the cache. A hit
 // costs nothing; a miss performs one physical read and may evict a page
 // per the replacement policy. The returned slice must not be modified.
@@ -112,7 +276,7 @@ func (c *Cache) Get(id pagestore.PageID) ([]byte, error) {
 		}
 		return e.data, nil
 	}
-	data, err := c.store.Read(id)
+	data, err := c.readThrough(id)
 	if err != nil {
 		c.faults++
 		if c.tel != nil {
@@ -195,14 +359,27 @@ func (c *Cache) Invalidate() {
 	c.byID = make(map[pagestore.PageID]*list.Element, c.capacity)
 }
 
-// Meter measures the IO cost of one query: snapshot before, Delta after.
+// Meter measures the IO cost of one query: snapshot before, Delta/Cost after.
 type Meter struct {
-	cache  *Cache
-	misses int64
+	cache   *Cache
+	misses  int64
+	charged float64
 }
 
-// NewMeter snapshots the cache's miss counter.
-func (c *Cache) NewMeter() Meter { return Meter{cache: c, misses: c.misses} }
+// NewMeter snapshots the cache's miss and latency-charge counters.
+func (c *Cache) NewMeter() Meter {
+	return Meter{cache: c, misses: c.misses, charged: c.charged}
+}
 
 // Delta returns the physical reads performed since the snapshot.
 func (m Meter) Delta() int64 { return m.cache.misses - m.misses }
+
+// Cost returns the modeled IO cost since the snapshot: physical reads plus
+// the latency charged by the retry policy and any injected slow reads,
+// expressed in clean-read equivalents. On a healthy disk Cost equals
+// float64(Delta()) exactly, so feeding Cost to the IO cost models changes
+// nothing until a fault makes the disk slow — at which point predictions
+// self-tune to the degraded service time instead of diverging from it.
+func (m Meter) Cost() float64 {
+	return float64(m.Delta()) + m.cache.charged - m.charged
+}

@@ -13,6 +13,12 @@ type cacheTelemetry struct {
 	pages     *telemetry.Gauge
 	capacity  *telemetry.Gauge
 	hitRatio  *telemetry.Gauge
+
+	retries   *telemetry.Counter
+	exhausted *telemetry.Counter
+	deadlines *telemetry.Counter
+	slowReads *telemetry.Counter
+	charged   *telemetry.Gauge
 }
 
 // Instrument registers the cache's metrics under mlq_buffercache_* with the
@@ -31,6 +37,12 @@ func (c *Cache) Instrument(reg *telemetry.Registry, labels ...telemetry.Label) {
 		pages:     reg.Gauge("mlq_buffercache_pages", "pages currently cached", labels...),
 		capacity:  reg.Gauge("mlq_buffercache_capacity_pages", "cache capacity in pages", labels...),
 		hitRatio:  reg.Gauge("mlq_buffercache_hit_ratio", "hits / (hits + misses) over the cache's lifetime", labels...),
+
+		retries:   reg.Counter("mlq_buffercache_retries_total", "repeated physical read attempts under the retry policy", labels...),
+		exhausted: reg.Counter("mlq_buffercache_retry_exhausted_total", "lookups that failed after the full retry budget", labels...),
+		deadlines: reg.Counter("mlq_buffercache_read_deadline_exceeded_total", "lookups abandoned by the per-read latency deadline", labels...),
+		slowReads: reg.Counter("mlq_buffercache_slow_reads_total", "physical read attempts charged injected latency", labels...),
+		charged:   reg.Gauge("mlq_buffercache_latency_charged_units", "modeled latency charged into IO cost, in clean-read equivalents", labels...),
 	}
 	c.tel = tel
 	tel.publish(c)
@@ -46,4 +58,9 @@ func (tel *cacheTelemetry) publish(c *Cache) {
 	tel.pages.SetInt(int64(c.order.Len()))
 	tel.capacity.SetInt(int64(c.capacity))
 	tel.hitRatio.Set(c.HitRatio())
+	tel.retries.Store(c.retryStats.Retries)
+	tel.exhausted.Store(c.retryStats.Exhausted)
+	tel.deadlines.Store(c.retryStats.DeadlineExceeded)
+	tel.slowReads.Store(c.retryStats.SlowReads)
+	tel.charged.Set(c.charged)
 }

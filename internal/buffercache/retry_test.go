@@ -1,0 +1,190 @@
+package buffercache
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mlq/internal/pagestore"
+)
+
+// retryFixture builds a cache over a small store with a controllable
+// per-read fault script: failures[i] fails the i-th physical read attempt.
+func retryFixture(t *testing.T, capacity int) (*Cache, *pagestore.Store) {
+	t.Helper()
+	store, err := pagestore.New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		id := store.Alloc()
+		if err := store.Write(id, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := New(store, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, store
+}
+
+// failN makes the next n physical reads fail, then heal.
+func failN(store *pagestore.Store, n int) *int {
+	left := n
+	store.SetReadFault(func(pagestore.PageID) error {
+		if left > 0 {
+			left--
+			return fmt.Errorf("transient fault")
+		}
+		return nil
+	})
+	return &left
+}
+
+func TestRetryAbsorbsTransientFault(t *testing.T) {
+	c, store := retryFixture(t, 4)
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, UnitLatency: time.Millisecond})
+	failN(store, 2)
+	data, err := c.Get(0)
+	if err != nil {
+		t.Fatalf("retries did not absorb a 2-failure fault: %v", err)
+	}
+	if data[0] != 0 {
+		t.Fatalf("wrong page contents %v", data)
+	}
+	st := c.RetryStats()
+	if st.Retries != 2 || st.Exhausted != 0 {
+		t.Fatalf("stats %+v, want 2 retries, 0 exhausted", st)
+	}
+	// Backoff 1ms then 2ms: 3ms modeled latency = 3 IO cost units charged.
+	if st.Latency != 3*time.Millisecond {
+		t.Fatalf("latency %v, want 3ms", st.Latency)
+	}
+	if c.ChargedUnits() != 3 {
+		t.Fatalf("charged %g units, want 3", c.ChargedUnits())
+	}
+	if c.Faults() != 0 {
+		t.Fatalf("a retried-and-recovered lookup counted as a fault")
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	c, store := retryFixture(t, 4)
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, UnitLatency: time.Millisecond})
+	failN(store, 99)
+	if _, err := c.Get(0); err == nil {
+		t.Fatal("permanently failing read succeeded")
+	}
+	st := c.RetryStats()
+	if st.Retries != 2 || st.Exhausted != 1 {
+		t.Fatalf("stats %+v, want 2 retries, 1 exhausted", st)
+	}
+	if c.Faults() != 1 {
+		t.Fatalf("faults %d, want 1", c.Faults())
+	}
+	// The failed lookup still charged its backoff: the client really waited.
+	if c.ChargedUnits() != 3 {
+		t.Fatalf("charged %g units, want 3", c.ChargedUnits())
+	}
+}
+
+func TestRetryDeadlineStopsBackoff(t *testing.T) {
+	c, store := retryFixture(t, 4)
+	c.SetRetryPolicy(RetryPolicy{
+		MaxAttempts: 10, BaseDelay: time.Millisecond, Multiplier: 2,
+		Deadline: 5 * time.Millisecond, UnitLatency: time.Millisecond,
+	})
+	failN(store, 99)
+	_, err := c.Get(0)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err %v, want ErrDeadlineExceeded", err)
+	}
+	st := c.RetryStats()
+	// Backoffs 1+2=3ms fit the 5ms budget; the 4ms third backoff would not.
+	if st.Retries != 2 || st.DeadlineExceeded != 1 || st.Exhausted != 0 {
+		t.Fatalf("stats %+v, want 2 retries, 1 deadline, 0 exhausted", st)
+	}
+	if st.Latency != 3*time.Millisecond {
+		t.Fatalf("latency %v, want 3ms (the waited backoff)", st.Latency)
+	}
+}
+
+func TestInjectedLatencyCharged(t *testing.T) {
+	c, _ := retryFixture(t, 4)
+	c.SetRetryPolicy(RetryPolicy{UnitLatency: time.Millisecond})
+	slow := 5 * time.Millisecond
+	c.SetReadLatency(func(pagestore.PageID) time.Duration { return slow })
+	meter := c.NewMeter()
+	if _, err := c.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	// One miss + 5 units of injected latency.
+	if got := meter.Cost(); got != 6 {
+		t.Fatalf("Cost %g, want 6 (1 read + 5 latency units)", got)
+	}
+	if meter.Delta() != 1 {
+		t.Fatalf("Delta %d, want 1", meter.Delta())
+	}
+	// A hit performs no physical read: no latency consulted, no charge.
+	meter = c.NewMeter()
+	if _, err := c.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := meter.Cost(); got != 0 {
+		t.Fatalf("hit charged %g, want 0", got)
+	}
+	if st := c.RetryStats(); st.SlowReads != 1 {
+		t.Fatalf("slow reads %d, want 1", st.SlowReads)
+	}
+}
+
+func TestStallBeyondDeadlineFailsLookup(t *testing.T) {
+	c, _ := retryFixture(t, 4)
+	c.SetRetryPolicy(RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond,
+		Deadline: 10 * time.Millisecond, UnitLatency: time.Millisecond,
+	})
+	c.SetReadLatency(func(pagestore.PageID) time.Duration { return time.Second })
+	meter := c.NewMeter()
+	_, err := c.Get(0)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("stalled read: err %v, want ErrDeadlineExceeded", err)
+	}
+	// The client abandoned the lookup at the deadline: exactly the budget is
+	// charged, not the full stall.
+	if got := meter.Cost(); got != 10 {
+		t.Fatalf("Cost %g, want 10 (the deadline)", got)
+	}
+	if st := c.RetryStats(); st.DeadlineExceeded != 1 {
+		t.Fatalf("stats %+v, want 1 deadline exceeded", st)
+	}
+}
+
+func TestZeroPolicyIsTransparent(t *testing.T) {
+	// Identical access patterns with and without an (idle) retry policy must
+	// produce identical counters and costs — the resilience layer is free
+	// until a fault fires.
+	run := func(withPolicy bool) (int64, int64, float64) {
+		c, _ := retryFixture(t, 2)
+		if withPolicy {
+			c.SetRetryPolicy(RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, Deadline: 50 * time.Millisecond})
+		}
+		meter := c.NewMeter()
+		for _, id := range []pagestore.PageID{0, 1, 2, 0, 1, 3, 0} {
+			if _, err := c.Get(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Hits(), c.Misses(), meter.Cost()
+	}
+	h0, m0, cost0 := run(false)
+	h1, m1, cost1 := run(true)
+	if h0 != h1 || m0 != m1 || cost0 != cost1 {
+		t.Fatalf("policy not transparent: (%d,%d,%g) vs (%d,%d,%g)", h0, m0, cost0, h1, m1, cost1)
+	}
+	if cost0 != float64(m0) {
+		t.Fatalf("fault-free Cost %g != miss count %d", cost0, m0)
+	}
+}

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"mlq/internal/geom"
+	"mlq/internal/journal"
+)
+
+// gatedPublisher builds a publisher whose writer is parked on an admit gate:
+// until the returned release func is called the writer consumes nothing, so
+// the queue saturates deterministically.
+func gatedPublisher(t *testing.T, cfg PublisherConfig) (*Publisher, func()) {
+	t.Helper()
+	gate := make(chan struct{})
+	pub, err := newPublisherGated(publisherModel(t), cfg, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var once sync.Once
+	release := func() { once.Do(func() { close(gate) }) }
+	t.Cleanup(func() { release(); pub.Close() })
+	return pub, release
+}
+
+func TestPublisherCloseIdempotentObserveTyped(t *testing.T) {
+	pub, err := NewPublisher(publisherModel(t), PublisherConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Observe(geom.Point{0.5, 0.5}, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent Closes must all return the same answer without panicking
+	// (double close of the stop channel was the historical hazard).
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = pub.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent Close %d returned %v", i, err)
+		}
+	}
+	if err := pub.Close(); err != nil {
+		t.Fatalf("repeat Close returned %v", err)
+	}
+
+	if err := pub.Observe(geom.Point{0.5, 0.5}, 2); !errors.Is(err, ErrPublisherClosed) {
+		t.Fatalf("Observe after Close: err %v, want ErrPublisherClosed", err)
+	}
+	if err := pub.Flush(); !errors.Is(err, ErrPublisherClosed) {
+		t.Fatalf("Flush after Close: err %v, want ErrPublisherClosed", err)
+	}
+	// Prediction against the last published snapshot must keep working.
+	if _, ok := pub.Predict(geom.Point{0.5, 0.5}); !ok {
+		t.Fatal("Predict stopped working after Close")
+	}
+}
+
+func TestPublisherOverflowPolicies(t *testing.T) {
+	const capacity = 4
+	cases := []struct {
+		name     string
+		cfg      PublisherConfig
+		overflow int // Observes beyond capacity
+		check    func(t *testing.T, pub *Publisher, overflowErrs []error)
+	}{
+		{
+			name:     "block-times-out",
+			cfg:      PublisherConfig{QueueCapacity: capacity, Overflow: OverflowBlock, ObserveTimeout: 20 * time.Millisecond},
+			overflow: 2,
+			check: func(t *testing.T, pub *Publisher, overflowErrs []error) {
+				for i, err := range overflowErrs {
+					if !errors.Is(err, ErrObserveTimeout) {
+						t.Fatalf("overflow Observe %d: err %v, want ErrObserveTimeout", i, err)
+					}
+				}
+				st := pub.Stats()
+				if st.Submitted != capacity || st.Timeouts != 2 || st.Dropped != 0 || st.Rejected != 0 {
+					t.Fatalf("stats %+v, want 4 submitted / 2 timeouts", st)
+				}
+			},
+		},
+		{
+			name:     "drop-oldest-sheds-head",
+			cfg:      PublisherConfig{QueueCapacity: capacity, Overflow: OverflowDropOldest},
+			overflow: 3,
+			check: func(t *testing.T, pub *Publisher, overflowErrs []error) {
+				for i, err := range overflowErrs {
+					if err != nil {
+						t.Fatalf("DropOldest Observe %d must not fail: %v", i, err)
+					}
+				}
+				st := pub.Stats()
+				if st.Submitted != capacity+3 || st.Dropped != 3 || st.Timeouts != 0 || st.Rejected != 0 {
+					t.Fatalf("stats %+v, want 7 submitted / 3 dropped", st)
+				}
+				// Staleness counts pending only: 7 accepted - 3 dropped = 4.
+				if got := pub.Staleness(); got != capacity {
+					t.Fatalf("staleness %d, want %d", got, capacity)
+				}
+			},
+		},
+		{
+			name:     "reject-sheds-tail",
+			cfg:      PublisherConfig{QueueCapacity: capacity, Overflow: OverflowReject},
+			overflow: 3,
+			check: func(t *testing.T, pub *Publisher, overflowErrs []error) {
+				for i, err := range overflowErrs {
+					if !errors.Is(err, ErrQueueFull) {
+						t.Fatalf("overflow Observe %d: err %v, want ErrQueueFull", i, err)
+					}
+				}
+				st := pub.Stats()
+				if st.Submitted != capacity || st.Rejected != 3 || st.Dropped != 0 || st.Timeouts != 0 {
+					t.Fatalf("stats %+v, want 4 submitted / 3 rejected", st)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pub, release := gatedPublisher(t, tc.cfg)
+			p := geom.Point{0.5, 0.5}
+			for i := 0; i < capacity; i++ {
+				if err := pub.Observe(p, float64(i)); err != nil {
+					t.Fatalf("Observe %d within capacity failed: %v", i, err)
+				}
+			}
+			overflowErrs := make([]error, tc.overflow)
+			for i := range overflowErrs {
+				overflowErrs[i] = pub.Observe(p, float64(capacity+i))
+			}
+			tc.check(t, pub, overflowErrs)
+
+			// Release the writer: everything still pending must apply, the
+			// loss accounting must balance, and staleness must hit zero.
+			release()
+			if err := pub.Flush(); err != nil {
+				t.Fatalf("Flush after release: %v", err)
+			}
+			st := pub.Stats()
+			if st.Applied+st.Dropped != st.Submitted {
+				t.Fatalf("accounting broken: %+v (applied+dropped != submitted)", st)
+			}
+			if got := pub.Staleness(); got != 0 {
+				t.Fatalf("staleness %d after Flush, want 0", got)
+			}
+			if got := pub.Snapshot().Inserts(); got != st.Applied {
+				t.Fatalf("snapshot inserts %d, want %d applied", got, st.Applied)
+			}
+		})
+	}
+}
+
+// TestPublisherOverflowHammer saturates a tiny queue from several goroutines
+// under each non-blocking policy while readers predict, then checks the loss
+// accounting balances exactly. Run with -race to exercise the eviction path's
+// channel races.
+func TestPublisherOverflowHammer(t *testing.T) {
+	for _, policy := range []OverflowPolicy{OverflowDropOldest, OverflowReject} {
+		t.Run(policy.String(), func(t *testing.T) {
+			pub, err := NewPublisher(publisherModel(t), PublisherConfig{
+				QueueCapacity: 8, MaxBatch: 4, Overflow: policy,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const goroutines, perG = 4, 500
+			var wg sync.WaitGroup
+			rejected := make([]int64, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(g)))
+					for i := 0; i < perG; i++ {
+						p := geom.Point{rng.Float64(), rng.Float64()}
+						err := pub.Observe(p, rng.Float64()*100)
+						switch {
+						case err == nil:
+						case errors.Is(err, ErrQueueFull):
+							rejected[g]++
+						default:
+							t.Errorf("goroutine %d: unexpected Observe error %v", g, err)
+							return
+						}
+						pub.Predict(p)
+					}
+				}(g)
+			}
+			wg.Wait()
+			if err := pub.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			st := pub.Stats()
+			var totalRejected int64
+			for _, r := range rejected {
+				totalRejected += r
+			}
+			if st.Rejected != totalRejected {
+				t.Fatalf("stats rejected %d, callers saw %d", st.Rejected, totalRejected)
+			}
+			if st.Submitted+st.Rejected != goroutines*perG {
+				t.Fatalf("stats %+v: submitted+rejected != %d attempts", st, goroutines*perG)
+			}
+			if st.Applied+st.Dropped != st.Submitted {
+				t.Fatalf("accounting broken after hammer: %+v", st)
+			}
+			if policy == OverflowDropOldest && st.Rejected != 0 {
+				t.Fatalf("DropOldest rejected %d observations", st.Rejected)
+			}
+			if err := pub.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPublisherJournalReplayAfterKill simulates a crash: observations flow
+// through a journaled publisher, the process "dies" without Close, the tail
+// of the journal is torn, and a fresh model replays what survived. The
+// recovered model must be byte-identical to a clean model fed the same
+// prefix, and the loss must stay within the documented MaxBatch bound.
+func TestPublisherJournalReplayAfterKill(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "observations.mlqj")
+	jn, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, maxBatch = 137, 16
+	pub, err := NewPublisher(publisherModel(t), PublisherConfig{
+		MaxBatch: maxBatch, Journal: jn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	points := make([]geom.Point, n)
+	values := make([]float64, n)
+	for i := 0; i < n; i++ {
+		points[i] = geom.Point{rng.Float64(), rng.Float64()}
+		values[i] = rng.Float64() * 50
+		if err := pub.Observe(points[i], values[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pub.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill: no Close, no journal Close. Tear the last frame as an unsynced
+	// page cache would.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := f.Stat()
+	if err := f.Truncate(info.Size() - 5); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recovered := publisherModel(t)
+	applied, truncated, err := ReplayJournal(recovered, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated == 0 {
+		t.Fatal("torn tail not reported")
+	}
+	if lost := n - applied; lost < 1 || lost > maxBatch {
+		t.Fatalf("lost %d observations, want 1..%d (at most one batch)", lost, maxBatch)
+	}
+
+	clean := publisherModel(t)
+	for i := 0; i < applied; i++ {
+		if err := clean.Observe(points[i], values[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var recBytes, cleanBytes bytesBuffer
+	if _, err := recovered.WriteTo(&recBytes); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clean.WriteTo(&cleanBytes); err != nil {
+		t.Fatal(err)
+	}
+	if !recBytes.Equal(&cleanBytes) {
+		t.Fatal("replayed model differs from a clean run over the same prefix")
+	}
+}
+
+// bytesBuffer is a minimal io.Writer collecting bytes for comparison.
+type bytesBuffer struct{ b []byte }
+
+func (w *bytesBuffer) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }
+func (w *bytesBuffer) Equal(o *bytesBuffer) bool   { return string(w.b) == string(o.b) }
+
+func TestPublisherCheckpointTruncatesJournal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "observations.mlqj")
+	jn, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn.Close()
+	pub, err := NewPublisher(publisherModel(t), PublisherConfig{Journal: jn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	for i := 0; i < 20; i++ {
+		if err := pub.Observe(geom.Point{0.25, 0.75}, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pub.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if jn.Len() != 0 {
+		t.Fatalf("journal holds %d records after Checkpoint, want 0", jn.Len())
+	}
+	if pub.Staleness() != 0 {
+		t.Fatalf("staleness %d after Checkpoint, want 0", pub.Staleness())
+	}
+	// Post-checkpoint observations land in the (now empty) journal, so a
+	// replay only re-applies what the checkpointed snapshot lacks.
+	for i := 0; i < 5; i++ {
+		if err := pub.Observe(geom.Point{0.25, 0.75}, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pub.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if jn.Len() != 5 {
+		t.Fatalf("journal holds %d records, want the 5 post-checkpoint ones", jn.Len())
+	}
+	st := pub.Stats()
+	if st.Journaled != 25 || st.JournalErrors != 0 {
+		t.Fatalf("stats %+v, want 25 journaled / 0 errors", st)
+	}
+}
+
+// TestPublisherJournalFullDegradesGracefully proves a journal at capacity
+// costs crash-safety, never liveness: Observe keeps succeeding and the
+// overflow is counted.
+func TestPublisherJournalFullDegradesGracefully(t *testing.T) {
+	dir := t.TempDir()
+	jn, err := journal.Create(filepath.Join(dir, "bounded.mlqj"), journal.WithMaxRecords(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn.Close()
+	pub, err := NewPublisher(publisherModel(t), PublisherConfig{Journal: jn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	for i := 0; i < 10; i++ {
+		if err := pub.Observe(geom.Point{0.5, 0.5}, float64(i)); err != nil {
+			t.Fatalf("Observe %d failed after journal filled: %v", i, err)
+		}
+	}
+	if err := pub.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := pub.Stats()
+	if st.Journaled != 3 || st.JournalErrors != 7 {
+		t.Fatalf("stats %+v, want 3 journaled / 7 journal errors", st)
+	}
+	if st.Applied != 10 {
+		t.Fatalf("applied %d, want all 10 despite the full journal", st.Applied)
+	}
+}

@@ -1,15 +1,68 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mlq/internal/geom"
+	"mlq/internal/journal"
 	"mlq/internal/quadtree"
 	"mlq/internal/telemetry"
 )
+
+// Typed Publisher errors, so callers can distinguish backpressure outcomes
+// from validation failures with errors.Is and react per policy.
+var (
+	// ErrPublisherClosed reports an Observe or Flush against a Publisher
+	// whose Close has begun. The observation was not accepted.
+	ErrPublisherClosed = errors.New("core: publisher is closed")
+	// ErrQueueFull reports an Observe shed by the Reject overflow policy
+	// because the ingest queue was at capacity. The observation was not
+	// accepted; the caller may retry, downsample, or drop.
+	ErrQueueFull = errors.New("core: publisher queue is full")
+	// ErrObserveTimeout reports a blocking Observe abandoned by the
+	// per-Observe deadline before queue space appeared. The observation was
+	// not accepted.
+	ErrObserveTimeout = errors.New("core: observe deadline exceeded")
+)
+
+// OverflowPolicy decides what Observe does when the ingest queue is full.
+// The choice trades the three things a saturated feedback loop can sacrifice:
+// caller latency (Block), oldest data (DropOldest), or newest data (Reject).
+type OverflowPolicy int
+
+const (
+	// OverflowBlock makes Observe wait for queue space (bounded by the
+	// per-Observe deadline, if one is configured). No observation is lost;
+	// staleness stays <= QueueCapacity + MaxBatch. The default.
+	OverflowBlock OverflowPolicy = iota
+	// OverflowDropOldest evicts the oldest queued observation to admit the
+	// new one. Observe never blocks; the model prefers fresh feedback and
+	// Stats().Dropped counts the sacrifice.
+	OverflowDropOldest
+	// OverflowReject sheds the new observation with ErrQueueFull. Observe
+	// never blocks and the queue's contents are never sacrificed; the
+	// caller decides what to do with the rejected observation.
+	OverflowReject
+)
+
+// String names the policy for flags and telemetry.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case OverflowBlock:
+		return "block"
+	case OverflowDropOldest:
+		return "drop-oldest"
+	case OverflowReject:
+		return "reject"
+	default:
+		return fmt.Sprintf("OverflowPolicy(%d)", int(p))
+	}
+}
 
 // Publisher turns a single-threaded MLQ tree into a concurrency-safe Model
 // using epoch/snapshot publishing instead of a lock:
@@ -42,10 +95,23 @@ type Publisher struct {
 
 	submitted atomic.Int64 // observations accepted by Observe
 	applied   atomic.Int64 // observations folded into a published snapshot
+	dropped   atomic.Int64 // accepted observations evicted by DropOldest
+	rejected  atomic.Int64 // observations shed by Reject (never accepted)
+	timeouts  atomic.Int64 // blocking Observes abandoned by the deadline
 
 	region   geom.Rect // frozen copy for synchronous Observe validation
 	name     string
 	maxBatch int
+
+	overflow   OverflowPolicy
+	obsTimeout time.Duration // bounds a blocking Observe; 0 = wait forever
+
+	jmu         sync.Mutex // serializes journal appends across observers
+	journal     *journal.Journal
+	journaled   atomic.Int64 // records appended to the journal
+	journalErrs atomic.Int64 // appends that failed (journal full or IO error)
+
+	admit chan struct{} // test-only writer gate; nil in production
 
 	writerDone chan struct{}
 	flushReq   chan flushRequest
@@ -85,6 +151,21 @@ type PublisherConfig struct {
 	// MaxBatch bounds how many queued observations the writer folds into
 	// the tree before it must publish a fresh snapshot. Default 64.
 	MaxBatch int
+	// Overflow selects what Observe does when the queue is full. Default
+	// OverflowBlock (the pre-policy behavior).
+	Overflow OverflowPolicy
+	// ObserveTimeout bounds how long a blocking Observe (OverflowBlock)
+	// waits for queue space before failing with ErrObserveTimeout. Zero
+	// means wait until space appears or the publisher closes. The timer is
+	// armed only on the full-queue path, so an unsaturated loop never
+	// touches the clock.
+	ObserveTimeout time.Duration
+	// Journal, when non-nil, receives every accepted observation before it
+	// is applied, making the feedback loop crash-safe: after a kill,
+	// ReplayJournal feeds the surviving prefix into a fresh model. Append
+	// failures degrade gracefully (counted, never fatal). The caller owns
+	// the journal's lifecycle; Close does not close it.
+	Journal *journal.Journal
 }
 
 func (c PublisherConfig) withDefaults() PublisherConfig {
@@ -102,8 +183,21 @@ func (c PublisherConfig) withDefaults() PublisherConfig {
 // m (or its tree) again except through the Publisher. Close releases the
 // writer goroutine and hands the tree back.
 func NewPublisher(m *MLQ, cfg PublisherConfig) (*Publisher, error) {
+	return newPublisherGated(m, cfg, nil)
+}
+
+// newPublisherGated is the test seam behind NewPublisher: when admit is
+// non-nil the writer consumes one token from it per loop iteration, letting
+// tests hold the queue saturated deterministically while they probe the
+// overflow policies. Production always passes nil.
+func newPublisherGated(m *MLQ, cfg PublisherConfig, admit chan struct{}) (*Publisher, error) {
 	if m == nil {
 		return nil, fmt.Errorf("core: NewPublisher requires a model")
+	}
+	switch cfg.Overflow {
+	case OverflowBlock, OverflowDropOldest, OverflowReject:
+	default:
+		return nil, fmt.Errorf("core: unknown overflow policy %d", int(cfg.Overflow))
 	}
 	cfg = cfg.withDefaults()
 	pub := &Publisher{
@@ -112,8 +206,12 @@ func NewPublisher(m *MLQ, cfg PublisherConfig) (*Publisher, error) {
 		region:     m.tree.Config().Region.Clone(),
 		name:       m.Name(),
 		maxBatch:   cfg.MaxBatch,
+		overflow:   cfg.Overflow,
+		obsTimeout: cfg.ObserveTimeout,
+		journal:    cfg.Journal,
 		writerDone: make(chan struct{}),
 		flushReq:   make(chan flushRequest),
+		admit:      admit,
 	}
 	pub.cur.Store(&epochState{snap: m.tree.Snapshot(), epoch: 0})
 	go pub.writer(m)
@@ -133,8 +231,9 @@ func (pub *Publisher) PredictBeta(p geom.Point, beta int) (float64, bool) {
 
 // Observe implements Model: it validates the observation synchronously
 // (dimension and finiteness errors are the caller's, not the writer's) and
-// enqueues it for the writer goroutine. Observe blocks only when the queue
-// is full; it returns an error without enqueuing once Close has begun.
+// enqueues it for the writer goroutine. What happens when the queue is full
+// depends on the configured OverflowPolicy; Observe returns
+// ErrPublisherClosed without enqueuing once Close has begun.
 func (pub *Publisher) Observe(p geom.Point, actual float64) error {
 	if len(p) != pub.region.Dims() {
 		return fmt.Errorf("core: observation has %d dims, model has %d", len(p), pub.region.Dims())
@@ -147,18 +246,110 @@ func (pub *Publisher) Observe(p geom.Point, actual float64) error {
 	o := observation{p: append(geom.Point(nil), p...), actual: actual}
 	select {
 	case <-pub.stop:
-		return fmt.Errorf("core: publisher is closed")
+		return ErrPublisherClosed
 	default:
 	}
+
+	switch pub.overflow {
+	case OverflowReject:
+		select {
+		case pub.queue <- o:
+		default:
+			pub.rejected.Add(1)
+			if pub.tel != nil {
+				pub.tel.rejected.Inc()
+			}
+			return ErrQueueFull
+		}
+	case OverflowDropOldest:
+		for enqueued := false; !enqueued; {
+			select {
+			case pub.queue <- o:
+				enqueued = true
+			default:
+				// Full: evict the oldest queued observation and try again.
+				// The inner select races the eviction against the writer
+				// freeing a slot itself, so we never evict more than needed.
+				select {
+				case <-pub.queue:
+					pub.dropped.Add(1)
+					if pub.tel != nil {
+						pub.tel.dropped.Inc()
+					}
+				case pub.queue <- o:
+					enqueued = true
+				case <-pub.stop:
+					return ErrPublisherClosed
+				}
+			}
+		}
+	default: // OverflowBlock
+		if err := pub.blockingEnqueue(o); err != nil {
+			return err
+		}
+	}
+
+	pub.accepted(o)
+	return nil
+}
+
+// blockingEnqueue waits for queue space, bounded by the per-Observe deadline
+// when one is configured. The fast path (queue has room) never arms a timer.
+func (pub *Publisher) blockingEnqueue(o observation) error {
 	select {
 	case pub.queue <- o:
-		pub.submitted.Add(1)
-		if pub.tel != nil {
-			pub.tel.submitted.Inc()
-		}
 		return nil
+	default:
+	}
+	if pub.obsTimeout <= 0 {
+		select {
+		case pub.queue <- o:
+			return nil
+		case <-pub.stop:
+			return ErrPublisherClosed
+		}
+	}
+	timer := time.NewTimer(pub.obsTimeout)
+	defer timer.Stop()
+	select {
+	case pub.queue <- o:
+		return nil
+	case <-timer.C:
+		pub.timeouts.Add(1)
+		if pub.tel != nil {
+			pub.tel.timeouts.Inc()
+		}
+		return fmt.Errorf("%w: queue full for %v", ErrObserveTimeout, pub.obsTimeout)
 	case <-pub.stop:
-		return fmt.Errorf("core: publisher is closed")
+		return ErrPublisherClosed
+	}
+}
+
+// accepted performs the post-enqueue bookkeeping for an accepted
+// observation: counters, telemetry, and the crash-safety journal.
+func (pub *Publisher) accepted(o observation) {
+	pub.submitted.Add(1)
+	if pub.tel != nil {
+		pub.tel.submitted.Inc()
+	}
+	if pub.journal == nil {
+		return
+	}
+	pub.jmu.Lock()
+	err := pub.journal.Append(o.p, o.actual)
+	pub.jmu.Unlock()
+	if err != nil {
+		// Journaling degrades gracefully: a full or failing journal costs
+		// crash-safety for this observation, never liveness of the loop.
+		pub.journalErrs.Add(1)
+		if pub.tel != nil {
+			pub.tel.journalErrs.Inc()
+		}
+		return
+	}
+	pub.journaled.Add(1)
+	if pub.tel != nil {
+		pub.tel.journaled.Inc()
 	}
 }
 
@@ -176,9 +367,10 @@ func (pub *Publisher) Epoch() uint64 { return pub.cur.Load().epoch }
 
 // Staleness returns how many accepted observations are not yet reflected in
 // the published snapshot (queued or mid-batch). It is bounded above by
-// QueueCapacity + MaxBatch.
+// QueueCapacity + MaxBatch. Observations evicted by DropOldest stopped
+// being pending the moment they were dropped, so they do not count.
 func (pub *Publisher) Staleness() int64 {
-	s := pub.submitted.Load() - pub.applied.Load()
+	s := pub.submitted.Load() - pub.applied.Load() - pub.dropped.Load()
 	if s < 0 {
 		// Observe increments submitted after its enqueue succeeds, so a
 		// batch can be counted as applied before its submissions are; the
@@ -186,6 +378,32 @@ func (pub *Publisher) Staleness() int64 {
 		return 0
 	}
 	return s
+}
+
+// PublisherStats is a point-in-time snapshot of the publisher's acceptance
+// and loss accounting. Submitted = Applied + Dropped + pending; Rejected and
+// Timeouts count observations that were never accepted.
+type PublisherStats struct {
+	Submitted     int64 // observations accepted by Observe
+	Applied       int64 // folded into a published snapshot
+	Dropped       int64 // accepted, then evicted by OverflowDropOldest
+	Rejected      int64 // shed by OverflowReject (not accepted)
+	Timeouts      int64 // blocking Observes abandoned by the deadline (not accepted)
+	Journaled     int64 // accepted observations persisted to the journal
+	JournalErrors int64 // journal appends that failed (full or IO error)
+}
+
+// Stats returns the publisher's cumulative acceptance/loss counters.
+func (pub *Publisher) Stats() PublisherStats {
+	return PublisherStats{
+		Submitted:     pub.submitted.Load(),
+		Applied:       pub.applied.Load(),
+		Dropped:       pub.dropped.Load(),
+		Rejected:      pub.rejected.Load(),
+		Timeouts:      pub.timeouts.Load(),
+		Journaled:     pub.journaled.Load(),
+		JournalErrors: pub.journalErrs.Load(),
+	}
 }
 
 // Flush blocks until every observation accepted before the call is applied
@@ -199,8 +417,25 @@ func (pub *Publisher) Flush() error {
 	case pub.flushReq <- req:
 		return <-req.done
 	case <-pub.writerDone:
-		return fmt.Errorf("core: publisher is closed")
+		return ErrPublisherClosed
 	}
+}
+
+// Checkpoint flushes the publisher, then truncates the journal: every
+// journaled observation is now reflected in the published snapshot, so a
+// durable save of the model (e.g. catalog.SaveFile of Snapshot) supersedes
+// the journal's contents. Call it right after such a save to keep the
+// journal's bounded capacity from filling with already-persisted history.
+func (pub *Publisher) Checkpoint() error {
+	if err := pub.Flush(); err != nil {
+		return err
+	}
+	if pub.journal == nil {
+		return nil
+	}
+	pub.jmu.Lock()
+	defer pub.jmu.Unlock()
+	return pub.journal.Reset()
 }
 
 // Close drains the queue, publishes a final snapshot, stops the writer
@@ -260,7 +495,7 @@ func (pub *Publisher) writer(m *MLQ) {
 	drain := func() {
 		for {
 			fill()
-			if len(batch) == 0 && pub.applied.Load() >= pub.submitted.Load() {
+			if len(batch) == 0 && pub.applied.Load()+pub.dropped.Load() >= pub.submitted.Load() {
 				return
 			}
 			apply()
@@ -268,6 +503,17 @@ func (pub *Publisher) writer(m *MLQ) {
 	}
 
 	for {
+		if pub.admit != nil {
+			// Test gate: hold the writer here until the test feeds a token,
+			// keeping the queue deterministically saturated. Close still
+			// drains — shutdown must not depend on the gate.
+			select {
+			case <-pub.admit:
+			case <-pub.stop:
+				drain()
+				return
+			}
+		}
 		select {
 		case o := <-pub.queue:
 			batch = append(batch, o)
@@ -276,7 +522,9 @@ func (pub *Publisher) writer(m *MLQ) {
 		case req := <-pub.flushReq:
 			// Everything accepted before the Flush call is already in the
 			// queue (see drain), so non-blocking fills reach the target.
-			for pub.applied.Load() < req.target {
+			// Dropped observations count toward it: they were accepted and
+			// are resolved, just not by applying.
+			for pub.applied.Load()+pub.dropped.Load() < req.target {
 				fill()
 				apply()
 			}
@@ -309,6 +557,26 @@ func (pub *Publisher) drainErr() error {
 	return err
 }
 
+// ReplayJournal feeds a crash-safety journal's surviving records into m in
+// order, returning how many were applied and how many trailing bytes were
+// cut as a torn/corrupt tail (expected after a kill — not an error). A
+// missing file replays zero records. Records the model rejects (wrong
+// dimensionality — a foreign journal) abort the replay with an error. Call
+// it on the fresh MLQ before wrapping it in a Publisher.
+func ReplayJournal(m *MLQ, path string) (applied int, truncated int64, err error) {
+	recs, truncated, err := journal.ReplayFile(path)
+	if err != nil {
+		return 0, truncated, err
+	}
+	for _, r := range recs {
+		if err := m.Observe(geom.Point(r.Point), r.Value); err != nil {
+			return applied, truncated, fmt.Errorf("core: journal replay at record %d: %w", applied, err)
+		}
+		applied++
+	}
+	return applied, truncated, nil
+}
+
 // publisherTelemetry mirrors the publisher's feedback-loop health into a
 // telemetry registry.
 type publisherTelemetry struct {
@@ -321,6 +589,12 @@ type publisherTelemetry struct {
 	appliedC   *telemetry.Counter
 	batches    *telemetry.Counter
 	writerErrs *telemetry.Counter
+
+	dropped     *telemetry.Counter
+	rejected    *telemetry.Counter
+	timeouts    *telemetry.Counter
+	journaled   *telemetry.Counter
+	journalErrs *telemetry.Counter
 }
 
 // Instrument registers the publisher's metrics under mlq_publisher_* with
@@ -341,6 +615,12 @@ func (pub *Publisher) Instrument(reg *telemetry.Registry, labels ...telemetry.La
 		appliedC:   reg.Counter("mlq_publisher_applied_total", "observations folded into published snapshots", labels...),
 		batches:    reg.Counter("mlq_publisher_batches_total", "batches applied and published", labels...),
 		writerErrs: reg.Counter("mlq_publisher_writer_errors_total", "tree-level insert failures on the writer goroutine", labels...),
+
+		dropped:     reg.Counter("mlq_publisher_dropped_total", "accepted observations evicted by the drop-oldest overflow policy", labels...),
+		rejected:    reg.Counter("mlq_publisher_rejected_total", "observations shed by the reject overflow policy", labels...),
+		timeouts:    reg.Counter("mlq_publisher_observe_timeouts_total", "blocking Observes abandoned by the per-Observe deadline", labels...),
+		journaled:   reg.Counter("mlq_publisher_journaled_total", "accepted observations persisted to the crash-safety journal", labels...),
+		journalErrs: reg.Counter("mlq_publisher_journal_errors_total", "journal appends that failed (journal full or IO error)", labels...),
 	}
 }
 

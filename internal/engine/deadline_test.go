@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"testing"
+
+	"mlq/internal/geom"
+)
+
+// deadlineTable yields rows whose first column directly sets the UDF cost.
+func deadlineTable(costs ...float64) *Table {
+	tb := &Table{Name: "t"}
+	for _, c := range costs {
+		tb.Rows = append(tb.Rows, Row{c})
+	}
+	return tb
+}
+
+func TestCostDeadlineAbortsSlowExecutions(t *testing.T) {
+	model := newModel(t)
+	sel := newModel(t)
+	p := &Predicate{
+		Name:         "slow",
+		Exec:         func(row Row) (bool, float64) { return true, row[0] },
+		Point:        func(row Row) geom.Point { return geom.Point{row[0]} },
+		Model:        model,
+		SelModel:     sel,
+		CostDeadline: 10,
+	}
+	// Costs 3 and 7 complete; 50 and 80 overrun the 10-unit budget.
+	tb := deadlineTable(3, 50, 7, 80)
+	res, err := ExecuteQuery(tb, []*Predicate{p}, OrderAsGiven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selected != 2 {
+		t.Fatalf("selected %d rows, want 2 (deadline-aborted rows fail the predicate)", res.Selected)
+	}
+	if res.Faults.DeadlineExceeded != 2 {
+		t.Fatalf("faults %+v, want 2 deadline exceeded", res.Faults)
+	}
+	if !res.Faults.Any() {
+		t.Fatal("FaultStats.Any must report deadline aborts")
+	}
+	// Completed rows charge their cost; aborted rows charge exactly the
+	// budget: 3 + 7 + 10 + 10.
+	if res.TotalCost != 30 {
+		t.Fatalf("total cost %g, want 30", res.TotalCost)
+	}
+	h := p.Health()
+	if h.DeadlineExceeded != 2 {
+		t.Fatalf("health %+v, want 2 deadline exceeded", h)
+	}
+	// Censored observations are quarantined on both guards and never reach
+	// the models.
+	if h.Cost.Censored != 2 || h.Cost.Quarantined != 2 || h.Sel.Censored != 2 {
+		t.Fatalf("guard stats cost=%+v sel=%+v, want 2 censored each", h.Cost, h.Sel)
+	}
+	if h.Cost.Open {
+		t.Fatal("censoring must not trip the breaker")
+	}
+	if got := model.Tree().Inserts(); got != 2 {
+		t.Fatalf("cost model holds %d observations, want only the 2 completed", got)
+	}
+	// Running averages see only completed executions.
+	if p.Evaluated() != 2 {
+		t.Fatalf("evaluated %d, want 2", p.Evaluated())
+	}
+	if p.MeanCost() != 5 {
+		t.Fatalf("mean cost %g, want 5 (censored costs excluded)", p.MeanCost())
+	}
+}
+
+func TestCostDeadlineZeroDisables(t *testing.T) {
+	p := &Predicate{
+		Name: "any",
+		Exec: func(row Row) (bool, float64) { return true, row[0] },
+	}
+	tb := deadlineTable(3, 50, 7, 80)
+	res, err := ExecuteQuery(tb, []*Predicate{p}, OrderAsGiven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selected != 4 || res.Faults.Any() {
+		t.Fatalf("zero deadline changed behavior: %+v", res)
+	}
+	if res.TotalCost != 140 {
+		t.Fatalf("total cost %g, want 140", res.TotalCost)
+	}
+}
+
+func TestCostDeadlineWithRankOrdering(t *testing.T) {
+	// A deadline-aborted predicate must not derail per-row planning: the
+	// query keeps re-planning, later rows still execute, and the counters
+	// stay exact. Cost grows with the row value, so the first rows complete
+	// (teaching the model) and the rest overrun the budget.
+	slow := &Predicate{
+		Name:         "slow",
+		Exec:         func(row Row) (bool, float64) { return true, 4 * row[0] },
+		Point:        func(row Row) geom.Point { return geom.Point{row[0]} },
+		Model:        newModel(t),
+		CostDeadline: 10,
+	}
+	fast := &Predicate{
+		Name:  "fast",
+		Exec:  func(row Row) (bool, float64) { return true, 1 },
+		Point: func(row Row) geom.Point { return geom.Point{row[0]} },
+		Model: newModel(t),
+	}
+	tb := deadlineTable(1, 2, 3, 4, 5) // slow costs 4, 8, 12, 16, 20
+	res, err := ExecuteQuery(tb, []*Predicate{slow, fast}, OrderByRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selected != 2 {
+		t.Fatalf("selected %d, want 2 (rows 3..5 hit the deadline)", res.Selected)
+	}
+	if res.Faults.DeadlineExceeded != 3 {
+		t.Fatalf("faults %+v, want 3 deadline exceeded", res.Faults)
+	}
+	if got := slow.Health().DeadlineExceeded; got != 3 {
+		t.Fatalf("slow health reports %d deadline aborts, want 3", got)
+	}
+	if slow.Evaluated() != 2 {
+		t.Fatalf("slow evaluated %d completed executions, want 2", slow.Evaluated())
+	}
+	if fast.Evaluated() != 2 {
+		t.Fatalf("fast evaluated %d, want 2 (runs only on rows surviving slow)", fast.Evaluated())
+	}
+}

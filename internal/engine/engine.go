@@ -45,10 +45,22 @@ type Predicate struct {
 	// BreakerK overrides the circuit breakers' consecutive-rejection
 	// threshold (default DefaultBreakerK).
 	BreakerK int
+	// CostDeadline is the per-execution cost budget, in the same units Exec
+	// reports. An execution whose actual cost exceeds it is treated as
+	// timed out: the row fails this predicate, TotalCost is charged the
+	// deadline (the abort point — mirroring buffercache's deadline
+	// semantics), and the observation is censored into the guards'
+	// quarantine machinery because only a lower bound on the true cost is
+	// known. Zero disables the deadline. The budget is cost units, not wall
+	// time: the engine never reads a clock, so deadline behavior stays
+	// deterministic and replayable.
+	CostDeadline float64
 
 	evaluated int64
 	passed    int64
 	costSum   float64
+
+	deadlineExceeded int64 // executions aborted by CostDeadline
 
 	costPredictions int64 // Model.Predict calls made while planning
 	selPredictions  int64 // SelModel.Predict calls made while planning
@@ -66,6 +78,9 @@ type Health struct {
 	// ExecFailures counts UDF executions that panicked and were recovered;
 	// each marked its row failed for this predicate.
 	ExecFailures int64
+	// DeadlineExceeded counts executions aborted by CostDeadline; each
+	// marked its row failed and censored its observation.
+	DeadlineExceeded int64
 	// Cost is the cost-model observation guard's state.
 	Cost GuardStats
 	// Sel is the selectivity-model observation guard's state.
@@ -75,9 +90,10 @@ type Health struct {
 // Health returns the predicate's fault counters.
 func (p *Predicate) Health() Health {
 	return Health{
-		ExecFailures: p.execFailures,
-		Cost:         p.costGuard.Stats(),
-		Sel:          p.selGuard.Stats(),
+		ExecFailures:     p.execFailures,
+		DeadlineExceeded: p.deadlineExceeded,
+		Cost:             p.costGuard.Stats(),
+		Sel:              p.selGuard.Stats(),
 	}
 }
 
@@ -151,11 +167,16 @@ type FaultStats struct {
 	Rejected int64
 	// Skipped counts observations dropped by open circuit breakers.
 	Skipped int64
+	// DeadlineExceeded counts executions aborted by a predicate's
+	// CostDeadline; their observations are censored (also counted in
+	// Quarantined via the guards).
+	DeadlineExceeded int64
 }
 
 // Any reports whether any fault handling happened.
 func (f FaultStats) Any() bool {
-	return f.ExecFailures != 0 || f.Quarantined != 0 || f.Rejected != 0 || f.Skipped != 0
+	return f.ExecFailures != 0 || f.Quarantined != 0 || f.Rejected != 0 ||
+		f.Skipped != 0 || f.DeadlineExceeded != 0
 }
 
 // Result summarizes one query execution.
@@ -243,6 +264,31 @@ func ExecuteQuery(table *Table, preds []*Predicate, policy OrderPolicy) (Result,
 				// The UDF panicked: the row fails this predicate, nothing
 				// is observed, and the query carries on.
 				res.Faults.ExecFailures++
+				if p.tel != nil {
+					p.tel.publish(p)
+				}
+				pass = false
+				break
+			}
+			if p.CostDeadline > 0 && cost > p.CostDeadline {
+				// The UDF overran its budget: in a real engine the
+				// invocation would have been aborted at the deadline, so
+				// the row fails, exactly the budget is charged (the abort
+				// point, not the never-observed full cost), and the guards
+				// censor the observation — only a lower bound on the true
+				// cost is known, and feeding a truncated value would bias
+				// the model low.
+				p.deadlineExceeded++
+				res.Faults.DeadlineExceeded++
+				res.TotalCost += p.CostDeadline
+				if p.Point != nil {
+					if p.Model != nil {
+						p.costGuard.Censor()
+					}
+					if p.SelModel != nil {
+						p.selGuard.Censor()
+					}
+				}
 				if p.tel != nil {
 					p.tel.publish(p)
 				}

@@ -37,6 +37,7 @@ type GuardStats struct {
 	Quarantined int64 // invalid values stopped before the model
 	Rejected    int64 // model Observe errors
 	Skipped     int64 // dropped while the breaker was open
+	Censored    int64 // deadline-aborted observations (subset of Quarantined)
 	Trips       int64 // times the breaker opened
 	Open        bool  // current breaker state
 }
@@ -103,6 +104,18 @@ func (g *Guard) Feed(m core.Model, p geom.Point, actual float64) FeedResult {
 	g.consecutive = 0
 	g.open = false
 	return FedOK
+}
+
+// Censor records an observation whose true value is unknown because the
+// execution was aborted (e.g. by a predicate's CostDeadline): only a lower
+// bound on the cost exists. Feeding the truncated value would bias the model
+// low, so censored observations are quarantined — kept away from the model
+// entirely — and additionally counted in GuardStats.Censored. The breaker
+// state is untouched: a censored execution says the UDF is slow, not that
+// the model is broken.
+func (g *Guard) Censor() {
+	g.stats.Quarantined++
+	g.stats.Censored++
 }
 
 // Stats returns the guard's counters.

@@ -12,6 +12,7 @@ type GuardMetrics struct {
 	quarantined *telemetry.Counter
 	rejected    *telemetry.Counter
 	skipped     *telemetry.Counter
+	censored    *telemetry.Counter
 	trips       *telemetry.Counter
 	open        *telemetry.Gauge
 }
@@ -27,6 +28,7 @@ func NewGuardMetrics(reg *telemetry.Registry, labels ...telemetry.Label) *GuardM
 		quarantined: reg.Counter("mlq_engine_quarantined_total", "invalid observed values (NaN/Inf/negative) stopped before the model", labels...),
 		rejected:    reg.Counter("mlq_engine_rejected_observations_total", "model Observe errors absorbed by the guard", labels...),
 		skipped:     reg.Counter("mlq_engine_skipped_observations_total", "observations dropped while the breaker was open", labels...),
+		censored:    reg.Counter("mlq_engine_censored_observations_total", "deadline-aborted executions whose cost is known only as a lower bound", labels...),
 		trips:       reg.Counter("mlq_engine_breaker_trips_total", "times the circuit breaker opened", labels...),
 		open:        reg.Gauge("mlq_engine_breaker_open", "1 while the breaker is open and the planner falls back to running averages", labels...),
 	}
@@ -42,6 +44,7 @@ func (gt *GuardMetrics) Publish(s GuardStats) {
 	gt.quarantined.Store(s.Quarantined)
 	gt.rejected.Store(s.Rejected)
 	gt.skipped.Store(s.Skipped)
+	gt.censored.Store(s.Censored)
 	gt.trips.Store(s.Trips)
 	if s.Open {
 		gt.open.Set(1)
@@ -57,6 +60,7 @@ type predTelemetry struct {
 	evaluations  *telemetry.Counter
 	passed       *telemetry.Counter
 	execFailures *telemetry.Counter
+	deadlines    *telemetry.Counter
 	costPreds    *telemetry.Counter
 	selPreds     *telemetry.Counter
 
@@ -87,6 +91,7 @@ func (p *Predicate) Instrument(reg *telemetry.Registry, labels ...telemetry.Labe
 		evaluations:  reg.Counter("mlq_engine_evaluations_total", "UDF executions, including recovered panics", base...),
 		passed:       reg.Counter("mlq_engine_passed_total", "rows that passed the predicate", base...),
 		execFailures: reg.Counter("mlq_engine_exec_failures_total", "UDF executions that panicked and were recovered", base...),
+		deadlines:    reg.Counter("mlq_engine_deadline_exceeded_total", "UDF executions aborted by the predicate's cost deadline", base...),
 		costPreds:    reg.Counter("mlq_engine_predictions_total", "model Predict calls made while planning", costL...),
 		selPreds:     reg.Counter("mlq_engine_predictions_total", "model Predict calls made while planning", selL...),
 
@@ -106,6 +111,7 @@ func (tel *predTelemetry) publish(p *Predicate) {
 	tel.evaluations.Store(p.evaluated)
 	tel.passed.Store(p.passed)
 	tel.execFailures.Store(p.execFailures)
+	tel.deadlines.Store(p.deadlineExceeded)
 	tel.costPreds.Store(p.costPredictions)
 	tel.selPreds.Store(p.selPredictions)
 	tel.meanCost.Set(p.MeanCost())

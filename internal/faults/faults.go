@@ -34,6 +34,10 @@ const (
 	UDFPanic Site = "udf.panic"
 	// PageRead fails (and optionally delays) a physical page read.
 	PageRead Site = "page.read"
+	// PageLatency slows a physical page read without failing it: the read
+	// succeeds but is charged a modeled service delay — a flaky disk that
+	// surfaces as latency instead of errors.
+	PageLatency Site = "page.latency"
 	// CatalogTear tears a catalog write: the stream is truncated mid-write
 	// or has one bit flipped at a chosen offset.
 	CatalogTear Site = "catalog.tear"
@@ -48,8 +52,18 @@ type SiteConfig struct {
 	// deterministic fault placement.
 	Schedule []int64
 	// Delay is slept before a PageRead fault surfaces, simulating a stalled
-	// disk. Ignored by the other sites.
+	// disk. For PageLatency it is the base modeled delay of one slow read
+	// (returned, never slept — the latency model uses virtual time so runs
+	// stay deterministic and fast). Ignored by the other sites.
 	Delay time.Duration
+	// Jitter widens a PageLatency delay by a uniform draw in [0, Jitter],
+	// taken from the injector's seeded stream. Ignored by the other sites.
+	Jitter time.Duration
+	// Burst makes a fired PageLatency site stay hot for the next Burst-1
+	// consultations too, modeling a disk that goes slow for a stretch of
+	// consecutive reads rather than independently per read. Ignored by the
+	// other sites.
+	Burst int
 }
 
 // SiteStats reports one site's activity.
@@ -61,10 +75,11 @@ type SiteStats struct {
 }
 
 type siteState struct {
-	cfg      SiteConfig
-	schedule map[int64]bool
-	hits     int64
-	fired    int64
+	cfg       SiteConfig
+	schedule  map[int64]bool
+	hits      int64
+	fired     int64
+	burstLeft int // remaining forced firings of an in-progress latency burst
 }
 
 // Injector is a seeded fault injector. It is safe for concurrent use. The
@@ -223,6 +238,49 @@ func (in *Injector) PageReadError() error {
 		time.Sleep(delay)
 	}
 	return fmt.Errorf("faults: injected page-read failure (fault %d)", in.Stats(PageRead).Fired)
+}
+
+// PageReadDelay consults the PageLatency site and returns the modeled
+// service delay of one physical read: zero when the site does not fire, the
+// configured Delay plus a seeded uniform draw in [0, Jitter] when it does.
+// With Burst > 1 a firing keeps the site hot for the next Burst-1
+// consultations, each drawing its own jitter — a stretch of consecutive slow
+// reads. The delay is returned, never slept: callers charge it into their
+// latency accounting (buffercache converts it to IO cost units), keeping
+// chaos runs deterministic and fast regardless of the injected severity.
+func (in *Injector) PageReadDelay() time.Duration {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st, ok := in.sites[PageLatency]
+	if !ok {
+		return 0
+	}
+	var fire bool
+	if st.burstLeft > 0 {
+		// Mid-burst: this consultation is slow regardless of the dice, and
+		// fireLocked must not roll them (a burst is one fault event whose
+		// length is configured, not re-drawn).
+		st.burstLeft--
+		st.hits++
+		st.fired++
+		fire = true
+	} else if in.fireLocked(PageLatency) {
+		fire = true
+		if st.cfg.Burst > 1 {
+			st.burstLeft = st.cfg.Burst - 1
+		}
+	}
+	if !fire {
+		return 0
+	}
+	d := st.cfg.Delay
+	if st.cfg.Jitter > 0 {
+		d += time.Duration(in.rng.Int63n(int64(st.cfg.Jitter) + 1))
+	}
+	return d
 }
 
 // MaybePanic consults the UDFPanic site and panics when it fires. Call it

@@ -1,0 +1,102 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPageReadDelayNilAndUnarmed(t *testing.T) {
+	var nilInj *Injector
+	if d := nilInj.PageReadDelay(); d != 0 {
+		t.Fatalf("nil injector returned delay %v", d)
+	}
+	in := New(1)
+	if d := in.PageReadDelay(); d != 0 {
+		t.Fatalf("un-enabled site returned delay %v", d)
+	}
+	if s := in.Stats(PageLatency); s.Hits != 0 || s.Fired != 0 {
+		t.Fatalf("un-enabled site recorded activity: %+v", s)
+	}
+}
+
+func TestPageReadDelaySlowDisk(t *testing.T) {
+	in := New(7)
+	in.Enable(PageLatency, SiteConfig{Probability: 1, Delay: 5 * time.Millisecond})
+	for i := 0; i < 10; i++ {
+		if d := in.PageReadDelay(); d != 5*time.Millisecond {
+			t.Fatalf("read %d: delay %v, want 5ms", i, d)
+		}
+	}
+	if s := in.Stats(PageLatency); s.Hits != 10 || s.Fired != 10 {
+		t.Fatalf("stats %+v, want 10 hits, 10 fired", s)
+	}
+}
+
+func TestPageReadDelayScheduledStall(t *testing.T) {
+	// A stall is a scheduled, rare, huge delay: only the listed hit is slow.
+	in := New(7)
+	in.Enable(PageLatency, SiteConfig{Schedule: []int64{3}, Delay: time.Second})
+	var got []time.Duration
+	for i := 0; i < 5; i++ {
+		got = append(got, in.PageReadDelay())
+	}
+	for i, d := range got {
+		want := time.Duration(0)
+		if i == 2 {
+			want = time.Second
+		}
+		if d != want {
+			t.Fatalf("hit %d: delay %v, want %v", i+1, d, want)
+		}
+	}
+}
+
+func TestPageReadDelayJitterDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		in := New(42)
+		in.Enable(PageLatency, SiteConfig{Probability: 1, Delay: time.Millisecond, Jitter: time.Millisecond})
+		out := make([]time.Duration, 20)
+		for i := range out {
+			out[i] = in.PageReadDelay()
+		}
+		return out
+	}
+	a, b := run(), run()
+	varied := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d: same seed produced %v then %v", i, a[i], b[i])
+		}
+		if a[i] < time.Millisecond || a[i] > 2*time.Millisecond {
+			t.Fatalf("hit %d: delay %v outside [Delay, Delay+Jitter]", i, a[i])
+		}
+		if a[i] != a[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter produced 20 identical delays")
+	}
+}
+
+func TestPageReadDelayBurst(t *testing.T) {
+	// A scheduled firing with Burst 4 keeps the next 3 consultations slow
+	// too, with no probability enabled so nothing else fires.
+	in := New(3)
+	in.Enable(PageLatency, SiteConfig{Schedule: []int64{2}, Delay: time.Millisecond, Burst: 4})
+	var slow int
+	for i := 0; i < 10; i++ {
+		if in.PageReadDelay() > 0 {
+			slow++
+			if i < 1 || i > 4 {
+				t.Fatalf("consultation %d slow, want burst covering 2..5 only", i+1)
+			}
+		}
+	}
+	if slow != 4 {
+		t.Fatalf("%d slow reads, want burst of 4", slow)
+	}
+	if s := in.Stats(PageLatency); s.Fired != 4 {
+		t.Fatalf("fired %d, want 4", s.Fired)
+	}
+}

@@ -252,6 +252,26 @@ func RenderCachePolicies(w io.Writer, rows []CachePolicyRow) {
 	t.Fprint(w)
 }
 
+// RenderChaosLatency prints the slow-disk resilience experiment.
+func RenderChaosLatency(w io.Writer, rows []ChaosLatencyCell) {
+	t := Table{
+		Title: "Chaos latency: IO-cost accuracy vs disk degradation (SIMPLE + WIN;\n" +
+			"injected slow reads + transient read faults, charged into observations via the retry policy)",
+		Header: []string{"severity", "NAE", "execs", "failed", "slow-reads",
+			"retries", "charged-units", "journaled", "replayed"},
+	}
+	for _, c := range rows {
+		t.AddRow(
+			fmt.Sprintf("%.0fx", c.Severity), f4(c.NAE),
+			fmt.Sprintf("%d", c.Executions), fmt.Sprintf("%d", c.ExecFailures),
+			fmt.Sprintf("%d", c.SlowReads), fmt.Sprintf("%d", c.Retries),
+			fmt.Sprintf("%.1f", c.ChargedUnits),
+			fmt.Sprintf("%d", c.Journaled), fmt.Sprintf("%d", c.Replayed),
+		)
+	}
+	t.Fprint(w)
+}
+
 // RenderChaos prints the chaos experiment's degradation table.
 func RenderChaos(w io.Writer, rows []ChaosCell) {
 	t := Table{

@@ -1,0 +1,245 @@
+// Package journal is a bounded, CRC-framed, append-only observation journal:
+// the crash-safety net under an asynchronous feedback loop. A core.Publisher
+// acknowledges an observation as soon as it is queued, long before the writer
+// goroutine folds it into a published (let alone persisted) snapshot — so a
+// crash between acknowledgement and the next catalog save would silently lose
+// learning. The journal closes that window: every accepted observation is
+// appended here first, the file is truncated at each checkpoint (after the
+// model state it covers has been made durable), and on restart Replay
+// recovers the tail of observations the last save missed.
+//
+// The on-disk format reuses the catalog's framing discipline (magic + version
+// header, then self-describing CRC32-checked records) so damage is contained:
+// a torn tail or a flipped bit costs the damaged record and everything after
+// it, never the valid prefix — Replay returns what survived and how much was
+// cut, and it never fails on damage alone.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+const (
+	magic   = 0x4d4c514a // "MLQJ"
+	version = 1
+
+	headerSize = 8
+
+	// MaxDims bounds one record's point dimensionality; anything larger in a
+	// stream is damage, not data.
+	MaxDims = 255
+	// DefaultMaxRecords bounds the journal when Create is given no limit.
+	DefaultMaxRecords = 1 << 16
+)
+
+// ErrFull reports an Append refused because the journal holds MaxRecords
+// records. The caller's remedy is a checkpoint (persist the model, then
+// Reset); callers that cannot checkpoint degrade to unjournaled operation and
+// should count the refusals.
+var ErrFull = fmt.Errorf("journal: record limit reached (checkpoint and Reset to continue)")
+
+// Record is one journaled observation: the model point and the observed cost.
+type Record struct {
+	Point []float64
+	Value float64
+}
+
+// recordSize returns the framed size of a record with the given
+// dimensionality: u32 length + u32 CRC + u8 dims + point + value.
+func recordSize(dims int) int { return 4 + 4 + 1 + 8*dims + 8 }
+
+// Journal is an open journal file accepting appends. It is not safe for
+// concurrent use; the Publisher serializes appends on its Observe path.
+type Journal struct {
+	f       *os.File
+	path    string
+	records int
+	max     int
+	sync    bool
+}
+
+// Option configures Create.
+type Option func(*Journal)
+
+// WithMaxRecords bounds the journal at n records (default DefaultMaxRecords).
+func WithMaxRecords(n int) Option {
+	return func(j *Journal) {
+		if n > 0 {
+			j.max = n
+		}
+	}
+}
+
+// WithSync makes every Append fsync, trading throughput for power-loss
+// durability. Without it an append survives process death immediately (the
+// write reaches the OS before Append returns) but a machine crash can lose
+// the OS-buffered tail.
+func WithSync() Option {
+	return func(j *Journal) { j.sync = true }
+}
+
+// Create opens a fresh journal at path, truncating whatever was there: the
+// caller replays any prior journal *before* creating the new one.
+func Create(path string, opts ...Option) (*Journal, error) {
+	j := &Journal{path: path, max: DefaultMaxRecords}
+	for _, o := range opts {
+		o(j)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: creating %s: %w", path, err)
+	}
+	j.f = f
+	if err := j.writeHeader(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return j, nil
+}
+
+func (j *Journal) writeHeader() error {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	binary.LittleEndian.PutUint32(hdr[4:8], version)
+	if _, err := j.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("journal: writing header: %w", err)
+	}
+	return nil
+}
+
+// Append logs one observation. The frame is issued as a single write so a
+// crash tears at most the final record, which Replay's CRC then cuts.
+func (j *Journal) Append(point []float64, value float64) error {
+	if j.records >= j.max {
+		return ErrFull
+	}
+	if len(point) == 0 || len(point) > MaxDims {
+		return fmt.Errorf("journal: point has %d dims, want 1..%d", len(point), MaxDims)
+	}
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("journal: value must be finite, got %g", value)
+	}
+	payload := make([]byte, 1+8*len(point)+8)
+	payload[0] = byte(len(point))
+	for i, v := range point {
+		binary.LittleEndian.PutUint64(payload[1+8*i:], math.Float64bits(v))
+	}
+	binary.LittleEndian.PutUint64(payload[1+8*len(point):], math.Float64bits(value))
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: appending record: %w", err)
+	}
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: syncing append: %w", err)
+		}
+	}
+	j.records++
+	return nil
+}
+
+// Len returns the number of records appended since Create or the last Reset.
+func (j *Journal) Len() int { return j.records }
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Reset is the checkpoint: it truncates the journal back to an empty header
+// and syncs. Call it only after the model state covering the journaled
+// observations has been made durable (e.g. catalog.SaveFile succeeded) — the
+// records are unrecoverable afterwards.
+func (j *Journal) Reset() error {
+	if err := j.f.Truncate(headerSize); err != nil {
+		return fmt.Errorf("journal: truncating %s: %w", j.path, err)
+	}
+	if _, err := j.f.Seek(headerSize, io.SeekStart); err != nil {
+		return fmt.Errorf("journal: seeking %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: syncing %s: %w", j.path, err)
+	}
+	j.records = 0
+	return nil
+}
+
+// Close syncs and closes the file. The journal is left on disk: a clean
+// shutdown checkpoints (Reset) first, a crash leaves the records for Replay.
+func (j *Journal) Close() error {
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return fmt.Errorf("journal: syncing on close: %w", err)
+	}
+	return j.f.Close()
+}
+
+// Replay decodes a journal stream, recovering the valid record prefix.
+// Damage — a truncated tail, a flipped bit, an implausible frame — ends the
+// replay at the last intact record: the prefix and the number of bytes cut
+// are returned with a nil error, because a torn tail is the expected shape of
+// a crash, not a failure. Only an unreadable stream or a header that was
+// never a journal returns an error.
+func Replay(r io.Reader) (recs []Record, truncated int64, err error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: reading stream: %w", err)
+	}
+	if len(data) < headerSize {
+		return nil, 0, fmt.Errorf("journal: stream too short for header (%d bytes)", len(data))
+	}
+	if m := binary.LittleEndian.Uint32(data[0:4]); m != magic {
+		return nil, 0, fmt.Errorf("journal: bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != version {
+		return nil, 0, fmt.Errorf("journal: unsupported version %d", v)
+	}
+	rest := data[headerSize:]
+	for len(rest) > 0 {
+		if len(rest) < 8 {
+			break // torn mid-frame-header
+		}
+		size := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if size < 1+8+8 || size > uint32(recordSize(MaxDims)-8) || int(size) > len(rest)-8 {
+			break // implausible or torn frame
+		}
+		payload := rest[8 : 8+size]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // flipped bit
+		}
+		dims := int(payload[0])
+		if dims == 0 || uint32(1+8*dims+8) != size {
+			break // frame passed CRC but describes an impossible record
+		}
+		rec := Record{Point: make([]float64, dims)}
+		for i := 0; i < dims; i++ {
+			rec.Point[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[1+8*i:]))
+		}
+		rec.Value = math.Float64frombits(binary.LittleEndian.Uint64(payload[1+8*dims:]))
+		recs = append(recs, rec)
+		rest = rest[8+size:]
+	}
+	return recs, int64(len(rest)), nil
+}
+
+// ReplayFile replays the journal at path. A missing file replays empty (no
+// journal simply means nothing to recover); any other open error propagates.
+func ReplayFile(path string) (recs []Record, truncated int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("journal: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return Replay(f)
+}

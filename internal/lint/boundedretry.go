@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BoundedRetry enforces the resilience layer's termination contract: a loop
+// that retries a fallible operation must make progress toward giving up. An
+// unbounded hot retry turns any persistent fault — a dead page, a wedged
+// store — into a livelock, and the feedback loop then starves instead of
+// quarantining the fault and moving on (the buffercache RetryPolicy exists
+// precisely so retries are budgeted in attempts and modeled latency).
+//
+// A loop is retry-shaped when its condition or body compares an error
+// against nil AND the error path can reach the next iteration — the
+// `if err != nil { continue }` / `if err == nil { break }` family. Loops
+// whose error branch exits (`if err != nil { return err }`, the shape of
+// every stream-consumer and parser loop) are not retries: the fault is
+// propagated, not swallowed. Range loops are exempt: they are bounded by
+// the collection. A retry-shaped loop passes if it carries either
+//
+//   - an attempt bound: an ordered comparison between integer counts
+//     (`attempt >= attempts`, `i < max`), or
+//   - a backoff/deadline: an ordered comparison involving a time.Duration
+//     or time.Time (`lat > deadline`), a time.Sleep/After/NewTimer/Tick
+//     call, a context Done/Deadline/Err consultation, or a select
+//     statement (channel-driven pacing or cancellation).
+//
+// Function literals inside the loop are skipped in every search: a
+// closure's error handling and bounds belong to the closure, not to the
+// loop that spawns it. Genuinely intentional unbounded retries — none exist
+// in this repo today — must justify themselves at the site with
+// //lint:ignore boundedretry <reason>.
+type BoundedRetry struct{}
+
+func (BoundedRetry) Name() string { return "boundedretry" }
+func (BoundedRetry) Doc() string {
+	return "retry loops must bound attempts or carry a backoff/deadline (termination under persistent faults)"
+}
+
+func (BoundedRetry) Run(pkg *Package) []Finding {
+	if !isInternal(pkg) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			if !retryShaped(pkg, loop) {
+				return true
+			}
+			if hasAttemptBound(pkg, loop) || hasBackoffOrDeadline(pkg, loop) {
+				return true
+			}
+			out = append(out, finding(pkg, "boundedretry", loop.For,
+				"retry loop without an attempt bound or backoff/deadline; a persistent fault spins it forever"))
+			return true
+		})
+	}
+	return out
+}
+
+// loopInspect walks the loop's condition and body with f, skipping function
+// literals.
+func loopInspect(loop *ast.ForStmt, f func(ast.Node) bool) {
+	walk := func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(n)
+	}
+	if loop.Cond != nil {
+		ast.Inspect(loop.Cond, walk)
+	}
+	ast.Inspect(loop.Body, walk)
+}
+
+// retryShaped reports whether the loop compares an error against nil with
+// an error path that reaches the next iteration. An err-nil comparison in
+// the loop condition itself (`for err != nil`) is always retry evidence.
+// For an if statement testing an error, the error branch — the body under
+// `!= nil`, the else (or fall-through) under `== nil` — counts only when it
+// does not exit the loop; error branches ending in return/break/goto
+// propagate the fault instead of retrying. Comparisons in any other
+// position (a bool assignment, a switch case) are counted conservatively.
+func retryShaped(pkg *Package, loop *ast.ForStmt) bool {
+	if loop.Cond != nil && len(errNilCompares(pkg, loop.Cond)) > 0 {
+		return true
+	}
+	shaped := false
+	consumed := make(map[*ast.BinaryExpr]bool)
+	loopInspect(loop, func(n ast.Node) bool {
+		if shaped {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			for _, be := range errNilCompares(pkg, n.Cond) {
+				consumed[be] = true
+				if errPathIterates(n, be.Op) {
+					shaped = true
+				}
+			}
+		case *ast.BinaryExpr:
+			if !consumed[n] && isErrNilCompare(pkg, n) {
+				shaped = true
+			}
+		}
+		return !shaped
+	})
+	return shaped
+}
+
+// errPathIterates reports whether the error branch of an if testing an
+// error can fall out into the rest of the loop body (and so reach the next
+// iteration).
+func errPathIterates(ifs *ast.IfStmt, op token.Token) bool {
+	if op == token.NEQ {
+		// `if err != nil { ... }`: the body is the error branch.
+		return !exitsLoop(ifs.Body)
+	}
+	// `if err == nil { ... } [else { ... }]`: the else — or, absent one,
+	// the fall-through — is the error branch.
+	if ifs.Else == nil {
+		return true
+	}
+	if blk, ok := ifs.Else.(*ast.BlockStmt); ok {
+		return !exitsLoop(blk)
+	}
+	return true // else-if chain: assume it can fall through
+}
+
+// exitsLoop reports whether a block's final statement leaves the loop.
+// `continue` and fall-through iterate; empty blocks fall through.
+func exitsLoop(blk *ast.BlockStmt) bool {
+	if len(blk.List) == 0 {
+		return false
+	}
+	switch last := blk.List[len(blk.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.BREAK || last.Tok == token.GOTO
+	}
+	return false
+}
+
+// errNilCompares collects the error-vs-nil comparisons inside expr.
+func errNilCompares(pkg *Package, expr ast.Expr) []*ast.BinaryExpr {
+	var out []*ast.BinaryExpr
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok && isErrNilCompare(pkg, be) {
+			out = append(out, be)
+		}
+		return true
+	})
+	return out
+}
+
+func isErrNilCompare(pkg *Package, be *ast.BinaryExpr) bool {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return false
+	}
+	xt, yt := pkg.Info.Types[be.X], pkg.Info.Types[be.Y]
+	return (isErrorType(xt.Type) && yt.IsNil()) || (isErrorType(yt.Type) && xt.IsNil())
+}
+
+// hasAttemptBound reports an ordered comparison between plain integer
+// counts — the `attempt >= attempts` / `i < max` shape. Duration operands
+// do not count here; they are deadline evidence, not attempt evidence.
+func hasAttemptBound(pkg *Package, loop *ast.ForStmt) bool {
+	found := false
+	loopInspect(loop, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !orderedOp(be.Op) {
+			return true
+		}
+		if isCountType(typeOf(pkg, be.X)) && isCountType(typeOf(pkg, be.Y)) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasBackoffOrDeadline reports time-budget evidence: a comparison against a
+// Duration or Time, a timer-package call, a context consultation, or a
+// select statement.
+func hasBackoffOrDeadline(pkg *Package, loop *ast.ForStmt) bool {
+	found := false
+	loopInspect(loop, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.BinaryExpr:
+			if orderedOp(n.Op) && (isTimePkgType(typeOf(pkg, n.X)) || isTimePkgType(typeOf(pkg, n.Y))) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(pkg, n); fn != nil {
+				switch {
+				case isPkgFunc(fn, "time", "Sleep"),
+					isPkgFunc(fn, "time", "After"),
+					isPkgFunc(fn, "time", "NewTimer"),
+					isPkgFunc(fn, "time", "Tick"):
+					found = true
+				case fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+					(fn.Name() == "Done" || fn.Name() == "Deadline" || fn.Name() == "Err"):
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func orderedOp(op token.Token) bool {
+	return op == token.LSS || op == token.LEQ || op == token.GTR || op == token.GEQ
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isCountType reports a plain integer — excluding time-package named types,
+// whose underlying int64 would otherwise let a deadline comparison
+// masquerade as an attempt bound.
+func isCountType(t types.Type) bool {
+	if t == nil || isTimePkgType(t) {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isTimePkgType reports a named type declared in package time (Duration,
+// Time, ...).
+func isTimePkgType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}

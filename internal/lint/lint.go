@@ -1,5 +1,5 @@
 // Package lint is mlqlint's analysis framework: a standard-library-only
-// static-analysis driver (go/ast + go/parser + go/types) with six
+// static-analysis driver (go/ast + go/parser + go/types) with seven
 // project-specific analyzers that enforce the cost-model invariants the
 // paper's feedback loop (Fig. 1) assumes implicitly:
 //
@@ -17,6 +17,9 @@
 //   - frozensnapshot: published snapshots are immutable — no writes through
 //     quadtree.Snapshot or core's epochState (the lock-free read path of
 //     the epoch/snapshot publisher depends on it).
+//   - boundedretry: retry loops terminate under persistent faults — every
+//     loop retrying a fallible operation bounds its attempts or carries a
+//     backoff/deadline (the buffercache RetryPolicy contract).
 //
 // Findings can be suppressed at the site with a justified comment:
 //
@@ -76,6 +79,7 @@ func All() []Analyzer {
 		DeterTime{},
 		ErrcheckCore{},
 		FrozenSnapshot{},
+		BoundedRetry{},
 	}
 }
 

@@ -177,6 +177,16 @@ func TestFrozenSnapshotSkipsUnlistedTypes(t *testing.T) {
 	checkSilent(t, FrozenSnapshot{}, pkg)
 }
 
+func TestBoundedRetryGolden(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/boundedretry", "mlq/internal/fixture/boundedretry"})
+	checkGolden(t, BoundedRetry{}, pkg)
+}
+
+func TestBoundedRetrySkipsNonInternal(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/boundedretry", "mlq/cmd/fixture"})
+	checkSilent(t, BoundedRetry{}, pkg)
+}
+
 func TestAnalyzerNamesUnique(t *testing.T) {
 	seen := make(map[string]bool)
 	for _, a := range All() {

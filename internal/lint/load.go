@@ -71,6 +71,7 @@ func findModule(dir string) (root, modPath string, err error) {
 	if err != nil {
 		return "", "", err
 	}
+	//lint:ignore boundedretry walks up a finite directory tree; the filepath.Dir fixpoint check below terminates at the root
 	for d := abs; ; d = filepath.Dir(d) {
 		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
 		if err == nil {

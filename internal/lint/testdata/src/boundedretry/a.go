@@ -1,0 +1,167 @@
+// Package fixture exercises the boundedretry analyzer. The golden test
+// loads it under mlq/internal/fixture/boundedretry (in scope) and under
+// mlq/cmd/fixture (out of scope, no findings).
+package fixture
+
+import (
+	"errors"
+	"time"
+)
+
+var errTransient = errors.New("transient")
+
+func op() error { return errTransient }
+
+func read() ([]byte, error) { return nil, errTransient }
+
+// HotSpin retries forever with no budget of any kind.
+func HotSpin() []byte {
+	for { // want "retry loop without an attempt bound or backoff/deadline"
+		data, err := read()
+		if err != nil {
+			continue
+		}
+		return data
+	}
+}
+
+// SpinUntilNil keeps the retry in the loop condition; still unbounded.
+func SpinUntilNil() {
+	err := op()
+	for err != nil { // want "retry loop without an attempt bound or backoff/deadline"
+		err = op()
+	}
+}
+
+// BoundedAttempts caps the number of tries: compliant.
+func BoundedAttempts(max int) error {
+	var err error
+	for attempt := 0; attempt < max; attempt++ {
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// InnerBound keeps the cap inside the body (the buffercache readThrough
+// shape, `for attempt := 1; ; attempt++`): compliant.
+func InnerBound(attempts int) error {
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		if attempt >= attempts {
+			return err
+		}
+	}
+}
+
+// DeadlineBudget abandons the lookup once modeled latency overruns the
+// deadline: compliant via the Duration comparison.
+func DeadlineBudget(deadline time.Duration) error {
+	var lat time.Duration
+	backoff := time.Millisecond
+	for {
+		if err := op(); err == nil {
+			return nil
+		}
+		if lat+backoff > deadline {
+			return errTransient
+		}
+		lat += backoff
+		backoff *= 2
+	}
+}
+
+// SleepBackoff paces the retry with a real sleep: compliant.
+func SleepBackoff() {
+	for {
+		if err := op(); err == nil {
+			return
+		}
+		time.Sleep(time.Second)
+	}
+}
+
+// SelectPaced blocks on a channel each round (ticker/cancellation shape):
+// compliant.
+func SelectPaced(tick, stop chan struct{}) error {
+	for {
+		if err := op(); err == nil {
+			return nil
+		}
+		select {
+		case <-tick:
+		case <-stop:
+			return errTransient
+		}
+	}
+}
+
+// DrainStream consumes a finite stream; the error path exits the loop, so
+// this propagates faults rather than retrying them.
+func DrainStream() error {
+	for {
+		data, err := read()
+		if err != nil {
+			return err
+		}
+		if len(data) == 0 {
+			return nil
+		}
+	}
+}
+
+// ElseReturn exits on the error path via the else branch: not a retry.
+func ElseReturn() error {
+	for {
+		if err := op(); err == nil {
+			break
+		} else {
+			return err
+		}
+	}
+	return nil
+}
+
+// RangeDrain retries each element but is bounded by the collection; range
+// loops are out of scope.
+func RangeDrain(ids []int) int {
+	ok := 0
+	for range ids {
+		if err := op(); err != nil {
+			continue
+		}
+		ok++
+	}
+	return ok
+}
+
+// ClosureErrors spawns workers whose error handling belongs to the closure,
+// not to this loop: not retry-shaped.
+func ClosureErrors(n int) {
+	i := 0
+	for {
+		if i >= n {
+			return
+		}
+		i++
+		go func() {
+			if err := op(); err != nil {
+				return
+			}
+		}()
+	}
+}
+
+// JustifiedSpin violates the rule but carries a justified suppression.
+func JustifiedSpin() {
+	//lint:ignore boundedretry fixture: simulated wait loop, fault cleared by test harness
+	for {
+		if err := op(); err == nil {
+			return
+		}
+	}
+}

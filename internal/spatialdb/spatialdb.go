@@ -106,7 +106,9 @@ func (c Config) withDefaults() Config {
 type ExecStats struct {
 	// CPU counts work units: objects examined plus cells visited.
 	CPU float64
-	// IO counts physical page reads (buffer-cache misses).
+	// IO is the modeled IO cost: physical page reads (buffer-cache misses)
+	// plus any retry/slow-disk latency the cache charged, in clean-read
+	// equivalents. Equals the plain miss count on a healthy disk.
 	IO float64
 	// Wall is the real execution time.
 	Wall time.Duration
@@ -316,7 +318,7 @@ func (db *DB) run(body func(stats *ExecStats) error) (ExecStats, error) {
 	start := time.Now()
 	err := body(&stats)
 	stats.Wall = time.Since(start)
-	stats.IO = float64(meter.Delta())
+	stats.IO = meter.Cost()
 	return stats, err
 }
 

@@ -96,8 +96,10 @@ type ExecStats struct {
 	// CPU is the work-unit count: postings decoded plus per-candidate
 	// evaluation work. Deterministic for a given query and corpus.
 	CPU float64
-	// IO is the number of physical page reads (buffer-cache misses).
-	// Depends on cache state, hence noisy across repetitions.
+	// IO is the modeled IO cost: physical page reads (buffer-cache misses)
+	// plus any retry/slow-disk latency the cache charged, in clean-read
+	// equivalents. Depends on cache state, hence noisy across repetitions;
+	// equals the plain miss count on a healthy disk.
 	IO float64
 	// Wall is the real execution time.
 	Wall time.Duration
@@ -226,7 +228,7 @@ func (db *DB) run(body func(stats *ExecStats) error) (ExecStats, error) {
 	start := time.Now()
 	err := body(&stats)
 	stats.Wall = time.Since(start)
-	stats.IO = float64(meter.Delta())
+	stats.IO = meter.Cost()
 	return stats, err
 }
 
