@@ -1,7 +1,7 @@
 # Convenience targets for the MLQ reproduction.
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-concurrency repro repro-quick fuzz chaos chaos-latency clean fmt lint check
+.PHONY: all build vet test race bench bench-smoke bench-concurrency repro repro-quick fuzz chaos chaos-latency chaos-repl clean fmt lint check
 
 all: build vet test
 
@@ -67,6 +67,7 @@ fuzz:
 	$(GO) test -fuzz '^FuzzRead$$' -fuzztime 30s ./internal/catalog
 	$(GO) test -fuzz '^FuzzRecover$$' -fuzztime 30s ./internal/catalog
 	$(GO) test -fuzz '^FuzzReplay$$' -fuzztime 30s ./internal/journal
+	$(GO) test -fuzz '^FuzzTailFollow$$' -fuzztime 30s ./internal/journal
 
 # Fault-injection sweep: the hardened feedback loop under corrupted
 # observations, UDF panics, page-read failures and torn catalog writes.
@@ -79,6 +80,13 @@ chaos:
 chaos-latency:
 	$(GO) run ./cmd/mlqbench -exp chaoslatency -quick
 	$(GO) test -fuzz '^FuzzReplay$$' -fuzztime 10s ./internal/journal
+
+# Replication chaos: kill primaries mid-stream, partition and heal followers,
+# then assert zero acked loss beyond one batch and byte-identical convergence
+# across the whole replica fleet. Deterministic — seeded faults, no clocks.
+chaos-repl:
+	$(GO) run ./cmd/mlqbench -exp chaosrepl -quick
+	$(GO) test -race ./internal/replica/
 
 clean:
 	$(GO) clean ./...

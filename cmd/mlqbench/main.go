@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig8, fig9, fig10, fig11, fig12, shift, nn, leo, memcurve, cache, chaos, chaoslatency, ablate, concurrency (concurrency is excluded from all: its numbers are machine-dependent wall-clock throughput)")
+	exp := flag.String("exp", "all", "experiment to run: all, fig8, fig9, fig10, fig11, fig12, shift, nn, leo, memcurve, cache, chaos, chaoslatency, chaosrepl, ablate, concurrency (concurrency is excluded from all: its numbers are machine-dependent wall-clock throughput)")
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "shrink workloads ~10x for a fast smoke run")
 	queries := flag.Int("queries", 0, "override the test-workload length (0 = paper's values)")
@@ -282,6 +282,20 @@ func run(exp string, seed int64, quick bool, queries, mem, trials int, reg *tele
 		return err
 	}
 
+	if err := runExp("chaosrepl", func() error {
+		// The replication chaos experiment is self-contained: it builds its
+		// own replica groups, journals and checkpoints in a scratch dir and
+		// asserts byte-identical convergence internally.
+		rows, err := harness.ChaosRepl(harness.ChaosReplConfig{}, realOpts)
+		if err != nil {
+			return err
+		}
+		harness.RenderChaosRepl(os.Stdout, rows)
+		return nil
+	}); err != nil {
+		return err
+	}
+
 	if err := runExp("ablate", func() error {
 		for _, param := range harness.AblationParams() {
 			rows, err := harness.Ablate(param, nil, synthOpts)
@@ -312,7 +326,7 @@ func run(exp string, seed int64, quick bool, queries, mem, trials int, reg *tele
 	}
 
 	if !did {
-		return fmt.Errorf("unknown experiment %q (want all, fig8, fig9, fig10, fig11, fig12, shift, nn, leo, memcurve, cache, chaos, chaoslatency, ablate, concurrency)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, fig8, fig9, fig10, fig11, fig12, shift, nn, leo, memcurve, cache, chaos, chaoslatency, chaosrepl, ablate, concurrency)", exp)
 	}
 	return nil
 }

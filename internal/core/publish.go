@@ -106,10 +106,23 @@ type Publisher struct {
 	overflow   OverflowPolicy
 	obsTimeout time.Duration // bounds a blocking Observe; 0 = wait forever
 
-	jmu         sync.Mutex // serializes journal appends across observers
+	// jmu serializes the accepted-observation pipeline across observers:
+	// sequence assignment, the journal append, and the subscriber fan-out
+	// happen as one critical section, so every consumer of the accepted
+	// stream (the journal, replication subscribers) sees the identical
+	// order. With a single ingress (or externally serialized Observes) that
+	// order is also the writer's apply order; concurrent unserialized
+	// observers may be applied in a different interleaving than they were
+	// journaled, which batching preserves but replication fences out by
+	// serializing at the group boundary (see internal/replica).
+	jmu         sync.Mutex
+	seq         uint64        // accepted-observation sequence, 1-based
+	subs        []*subscriber // accepted-observation fan-out hooks
 	journal     *journal.Journal
 	journaled   atomic.Int64 // records appended to the journal
 	journalErrs atomic.Int64 // appends that failed (journal full or IO error)
+
+	onPublish atomic.Pointer[func(epoch uint64, applied int64)]
 
 	admit chan struct{} // test-only writer gate; nil in production
 
@@ -325,20 +338,35 @@ func (pub *Publisher) blockingEnqueue(o observation) error {
 	}
 }
 
+// subscriber is one registered accepted-observation hook.
+type subscriber struct {
+	fn func(seq uint64, p geom.Point, actual float64)
+}
+
 // accepted performs the post-enqueue bookkeeping for an accepted
-// observation: counters, telemetry, and the crash-safety journal.
+// observation: counters, telemetry, the crash-safety journal, and the
+// subscriber fan-out. Sequence assignment, journal append and fan-out share
+// one critical section (see jmu) so all consumers agree on the order.
 func (pub *Publisher) accepted(o observation) {
 	pub.submitted.Add(1)
 	if pub.tel != nil {
 		pub.tel.submitted.Inc()
 	}
+	pub.jmu.Lock()
+	pub.seq++
+	seq := pub.seq
+	var jerr error
+	if pub.journal != nil {
+		jerr = pub.journal.Append(o.p, o.actual)
+	}
+	for _, s := range pub.subs {
+		s.fn(seq, o.p, o.actual)
+	}
+	pub.jmu.Unlock()
 	if pub.journal == nil {
 		return
 	}
-	pub.jmu.Lock()
-	err := pub.journal.Append(o.p, o.actual)
-	pub.jmu.Unlock()
-	if err != nil {
+	if jerr != nil {
 		// Journaling degrades gracefully: a full or failing journal costs
 		// crash-safety for this observation, never liveness of the loop.
 		pub.journalErrs.Add(1)
@@ -351,6 +379,55 @@ func (pub *Publisher) accepted(o observation) {
 	if pub.tel != nil {
 		pub.tel.journaled.Inc()
 	}
+}
+
+// Subscribe registers fn to be called synchronously for every observation
+// the publisher accepts from now on, with a 1-based sequence number that
+// totals the publisher's accepted stream. The callback runs on the
+// observer's goroutine inside the accepted-observation critical section —
+// after the observation is enqueued and journaled, before Observe returns —
+// so callbacks for seq n and n+1 never race each other and arrive in
+// sequence order. Keep callbacks fast and non-blocking (hand off to a queue;
+// replication streams do): a slow subscriber backpressures every Observe.
+// The point slice is the publisher's own copy and must not be mutated.
+// The returned cancel removes the subscription; it is safe to call twice.
+func (pub *Publisher) Subscribe(fn func(seq uint64, p geom.Point, actual float64)) (cancel func()) {
+	s := &subscriber{fn: fn}
+	pub.jmu.Lock()
+	pub.subs = append(pub.subs, s)
+	pub.jmu.Unlock()
+	return func() {
+		pub.jmu.Lock()
+		for i, cur := range pub.subs {
+			if cur == s {
+				pub.subs = append(pub.subs[:i], pub.subs[i+1:]...)
+				break
+			}
+		}
+		pub.jmu.Unlock()
+	}
+}
+
+// AcceptedSeq returns the sequence number of the most recently accepted
+// observation (0 before any). It is the high-water mark a replication
+// follower measures its lag against.
+func (pub *Publisher) AcceptedSeq() uint64 {
+	pub.jmu.Lock()
+	defer pub.jmu.Unlock()
+	return pub.seq
+}
+
+// OnPublish registers fn to be called from the writer goroutine immediately
+// after each snapshot publish, with the new epoch and the cumulative count
+// of observations applied through it. Replication uses it to stream epoch
+// watermarks so followers can report their staleness in epochs. Install it
+// before the first Observe; passing nil removes the hook.
+func (pub *Publisher) OnPublish(fn func(epoch uint64, applied int64)) {
+	if fn == nil {
+		pub.onPublish.Store(nil)
+		return
+	}
+	pub.onPublish.Store(&fn)
 }
 
 // Name implements Model.
@@ -409,8 +486,19 @@ func (pub *Publisher) Stats() PublisherStats {
 // Flush blocks until every observation accepted before the call is applied
 // and published, then returns the writer's first insert error since the
 // previous Flush (nil in normal operation). It is the barrier the serial
-// experiments and the catalog use to get a loss-free snapshot.
+// experiments and the catalog use to get a loss-free snapshot. After Close,
+// Flush always reports ErrPublisherClosed — never a stale drained writer
+// error, which belongs to the Close that performed the final drain.
 func (pub *Publisher) Flush() error {
+	select {
+	case <-pub.writerDone:
+		// The writer is gone: the queue was drained by Close, and Close's
+		// return value owns any deferred writer error. Reporting it again
+		// here (or worse, stealing it before Close reads it) would hand a
+		// stale error to a caller whose observations were never accepted.
+		return ErrPublisherClosed
+	default:
+	}
 	target := pub.submitted.Load()
 	req := flushRequest{target: target, done: make(chan error, 1)}
 	select {
@@ -471,6 +559,9 @@ func (pub *Publisher) writer(m *MLQ) {
 		epoch++
 		pub.cur.Store(&epochState{snap: m.tree.Snapshot(), epoch: epoch})
 		pub.applied.Add(int64(len(batch)))
+		if fn := pub.onPublish.Load(); fn != nil {
+			(*fn)(epoch, pub.applied.Load())
+		}
 		if pub.tel != nil {
 			pub.tel.publish(pub, len(batch))
 		}

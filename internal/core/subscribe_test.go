@@ -1,0 +1,188 @@
+package core
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"mlq/internal/geom"
+	"mlq/internal/journal"
+)
+
+// TestPublisherSubscribeStreamsAcceptedOrder checks the replication hook's
+// contract: every accepted observation is delivered exactly once, with a
+// contiguous 1-based sequence, in the same order the journal records it.
+func TestPublisherSubscribeStreamsAcceptedOrder(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "obs.mlqj")
+	jn, err := journal.Create(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := NewPublisher(publisherModel(t), PublisherConfig{Journal: jn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type got struct {
+		seq uint64
+		p   geom.Point
+		v   float64
+	}
+	var streamed []got
+	cancel := pub.Subscribe(func(seq uint64, p geom.Point, v float64) {
+		streamed = append(streamed, got{seq, p, v})
+	})
+	const n = 50
+	for i := 0; i < n; i++ {
+		p := geom.Point{float64(i%10) / 10, float64(i%7) / 7}
+		if err := pub.Observe(p, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != n {
+		t.Fatalf("streamed %d observations, want %d", len(streamed), n)
+	}
+	for i, g := range streamed {
+		if g.seq != uint64(i+1) {
+			t.Fatalf("observation %d carried seq %d, want %d", i, g.seq, i+1)
+		}
+		if g.v != float64(i) {
+			t.Fatalf("observation %d out of order: value %g", i, g.v)
+		}
+	}
+	if pub.AcceptedSeq() != n {
+		t.Fatalf("AcceptedSeq = %d, want %d", pub.AcceptedSeq(), n)
+	}
+	// The journal saw the identical stream in the identical order.
+	recs, cut, err := journal.ReplayFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 0 || len(recs) != n {
+		t.Fatalf("journal: %d records, %d cut", len(recs), cut)
+	}
+	for i, r := range recs {
+		if r.Value != streamed[i].v {
+			t.Fatalf("journal record %d value %g, subscriber saw %g", i, r.Value, streamed[i].v)
+		}
+	}
+	cancel()
+	cancel() // idempotent
+}
+
+func TestPublisherSubscribeCancelStopsDelivery(t *testing.T) {
+	pub, err := NewPublisher(publisherModel(t), PublisherConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	var mu sync.Mutex
+	var count int
+	cancel := pub.Subscribe(func(uint64, geom.Point, float64) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	if err := pub.Observe(geom.Point{0.1, 0.1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := pub.Observe(geom.Point{0.2, 0.2}, 2); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 1 {
+		t.Fatalf("delivered %d observations, want 1 (cancel must stop the stream)", count)
+	}
+}
+
+func TestPublisherOnPublishReportsEpochWatermarks(t *testing.T) {
+	pub, err := NewPublisher(publisherModel(t), PublisherConfig{MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	type mark struct {
+		epoch   uint64
+		applied int64
+	}
+	var marks []mark
+	pub.OnPublish(func(epoch uint64, applied int64) {
+		mu.Lock()
+		marks = append(marks, mark{epoch, applied})
+		mu.Unlock()
+	})
+	const n = 17
+	for i := 0; i < n; i++ {
+		if err := pub.Observe(geom.Point{float64(i%5) / 5, 0.5}, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(marks) == 0 {
+		t.Fatal("no publish marks delivered")
+	}
+	var lastEpoch uint64
+	var lastApplied int64
+	for i, m := range marks {
+		if m.epoch != lastEpoch+1 {
+			t.Fatalf("mark %d: epoch %d after %d, want contiguous", i, m.epoch, lastEpoch)
+		}
+		if m.applied <= lastApplied {
+			t.Fatalf("mark %d: applied %d not monotonic after %d", i, m.applied, lastApplied)
+		}
+		lastEpoch, lastApplied = m.epoch, m.applied
+	}
+	if lastApplied != n {
+		t.Fatalf("final mark applied %d, want %d", lastApplied, n)
+	}
+}
+
+// TestPublisherFlushAfterCloseTyped pins the satellite fix: once Close has
+// completed, Flush (and Checkpoint, which starts with one) must report the
+// typed ErrPublisherClosed — never a stale writer error drained by Close.
+func TestPublisherFlushAfterCloseTyped(t *testing.T) {
+	jn, err := journal.Create(filepath.Join(t.TempDir(), "obs.mlqj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn.Close()
+	pub, err := NewPublisher(publisherModel(t), PublisherConfig{Journal: jn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Observe(geom.Point{0.3, 0.3}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := pub.Flush(); !errors.Is(err, ErrPublisherClosed) {
+			t.Fatalf("Flush #%d after Close: got %v, want ErrPublisherClosed", i, err)
+		}
+	}
+	if err := pub.Checkpoint(); !errors.Is(err, ErrPublisherClosed) {
+		t.Fatalf("Checkpoint after Close: got %v, want ErrPublisherClosed", err)
+	}
+	// The journal was not truncated by the failed Checkpoint: the record is
+	// still there for replay.
+	recs, _, err := journal.ReplayFile(jn.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("journal holds %d records after refused checkpoint, want 1", len(recs))
+	}
+}

@@ -41,6 +41,17 @@ const (
 	// CatalogTear tears a catalog write: the stream is truncated mid-write
 	// or has one bit flipped at a chosen offset.
 	CatalogTear Site = "catalog.tear"
+	// ReplicaDrop silently loses one replication stream message in flight —
+	// the sender believes it was delivered (fire-and-forget streaming), the
+	// follower discovers the gap and must catch up from the journal.
+	ReplicaDrop Site = "replica.drop"
+	// ReplicaDup delivers one replication stream message twice; followers
+	// must deduplicate by sequence number or double-apply learning.
+	ReplicaDup Site = "replica.dup"
+	// ReplicaReorder holds one replication stream message back and delivers
+	// it after its successor — adjacent-swap reordering, the building block
+	// of arbitrary interleavings across repeated firings.
+	ReplicaReorder Site = "replica.reorder"
 )
 
 // SiteConfig controls when a site fires.

@@ -1,0 +1,400 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mlq/internal/core"
+	"mlq/internal/dist"
+	"mlq/internal/faults"
+	"mlq/internal/geom"
+	"mlq/internal/metrics"
+	"mlq/internal/replica"
+)
+
+// chaosReplNetFaultP is the per-record probability of each network fault
+// (drop, duplicate, reorder) in the net-chaos scenario.
+const chaosReplNetFaultP = 0.05
+
+// ChaosReplConfig parameterizes the replication chaos experiment.
+type ChaosReplConfig struct {
+	// Replicas is the group size including the primary. Default 3.
+	Replicas int
+	// Scenarios selects which fault stories run. Default all four:
+	// clean, kill-primary, partition-heal, net-chaos.
+	Scenarios []string
+	// MaxBatch is the primary publisher's batch bound — and therefore the
+	// hard ceiling on acknowledged observations a failover may lose, which
+	// every scenario asserts. Default 16.
+	MaxBatch int
+	// InboxCapacity bounds follower stream inboxes; with MaxBatch it bounds
+	// the follower staleness the clean scenario asserts. Default 1024.
+	InboxCapacity int
+	// Dir is the scratch directory for journals and checkpoints. Empty
+	// means a fresh temp directory, removed afterwards.
+	Dir string
+}
+
+func (c ChaosReplConfig) withDefaults() ChaosReplConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if len(c.Scenarios) == 0 {
+		c.Scenarios = []string{"clean", "kill-primary", "partition-heal", "net-chaos"}
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.InboxCapacity <= 0 {
+		c.InboxCapacity = 1024
+	}
+	return c
+}
+
+// ChaosReplCell is one scenario's outcome: the replication accounting that
+// proves convergence was earned, not assumed.
+type ChaosReplCell struct {
+	Scenario string
+	NAE      float64 // primary-side prediction accuracy over the workload
+
+	Acked        uint64 // acknowledged observation high-water mark
+	AckedLost    uint64 // acknowledged observations lost across failovers
+	Failovers    int64
+	FencedWrites int64  // writes rejected with ErrFencedTerm
+	MaxLag       uint64 // max follower sequence lag sampled mid-run (reachable followers)
+
+	Catchup    int64 // records recovered via journal catch-up / checkpoint resync
+	Duplicates int64 // stream records deduplicated by followers
+
+	Dropped, Duplicated, Reordered, Partitioned int64 // transport fault plane
+}
+
+// chaosReplCost is the deterministic synthetic cost surface the workload
+// observes: nonlinear enough that the quadtree actually refines, cheap
+// enough that the experiment measures replication, not UDF execution.
+func chaosReplCost(p geom.Point) float64 {
+	return 5 + 0.3*p[0]*p[0] + 1.7*p[1] + 0.02*p[0]*p[1]
+}
+
+// ChaosRepl runs the replicated-fleet chaos experiment: a primary streams
+// the Figure-1 feedback loop's observations to followers while the harness
+// kills primaries mid-stream, partitions and heals followers, and (in the
+// net-chaos scenario) drops, duplicates and reorders the stream itself.
+// Every scenario ends in Converge and asserts:
+//
+//   - byte-identical model serialization across every live replica;
+//   - when no acknowledged observation was lost, bit-identity with a plain
+//     single-Publisher run of the same workload (the replication layer is
+//     transparent — the clean scenario's version of severity 0);
+//   - acknowledged loss bounded by one publisher batch (MaxBatch);
+//   - zero follower lag after convergence, and mid-run staleness within
+//     the inbox + batch bound for reachable followers;
+//   - no divergence hazards (failed record applies) anywhere.
+func ChaosRepl(cfg ChaosReplConfig, opts Options) ([]ChaosReplCell, error) {
+	opts = opts.withDefaults()
+	cfg = cfg.withDefaults()
+
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "mlq-chaosrepl-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	region, err := geom.NewRect(geom.Point{0, 0}, geom.Point{100, 100})
+	if err != nil {
+		return nil, err
+	}
+
+	// The transparency reference: the identical workload through one plain
+	// Publisher, no replication anywhere near it.
+	want, err := chaosReplReference(region, opts, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaosrepl: reference run: %w", err)
+	}
+
+	var cells []ChaosReplCell
+	for si, sc := range cfg.Scenarios {
+		cell, err := runChaosReplScenario(sc, region, want, cfg, opts, filepath.Join(dir, fmt.Sprintf("s%d", si)))
+		if err != nil {
+			return nil, fmt.Errorf("chaosrepl: scenario %s: %w", sc, err)
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+// chaosReplReference serializes the single-Publisher ground truth.
+func chaosReplReference(region geom.Rect, opts Options, cfg ChaosReplConfig) ([]byte, error) {
+	model, err := NewModel(MLQE, region, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	pub, err := core.NewPublisher(model.(*core.MLQ), core.PublisherConfig{MaxBatch: cfg.MaxBatch})
+	if err != nil {
+		return nil, err
+	}
+	src, err := dist.NewSourceSeeded(dist.KindUniform, region, opts.Queries, opts.Seed, opts.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	for q := 0; q < opts.Queries; q++ {
+		p := src.Next()
+		if err := pub.Observe(p, chaosReplCost(p)); err != nil {
+			return nil, err
+		}
+	}
+	if err := pub.Flush(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if _, err := pub.Snapshot().WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	if err := pub.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// runChaosReplScenario drives one fault story end to end.
+func runChaosReplScenario(sc string, region geom.Rect, want []byte, cfg ChaosReplConfig, opts Options, dir string) (ChaosReplCell, error) {
+	cell := ChaosReplCell{Scenario: sc}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return cell, err
+	}
+
+	var inj *faults.Injector
+	if sc == "net-chaos" {
+		inj = faults.New(opts.Seed + 7919)
+		inj.Enable(faults.ReplicaDrop, faults.SiteConfig{Probability: chaosReplNetFaultP})
+		inj.Enable(faults.ReplicaDup, faults.SiteConfig{Probability: chaosReplNetFaultP})
+		inj.Enable(faults.ReplicaReorder, faults.SiteConfig{Probability: chaosReplNetFaultP})
+	}
+
+	mlqCfg := opts.mlqConfig(MLQE, region)
+	g, err := replica.New(replica.Config{
+		Replicas:      cfg.Replicas,
+		Dir:           dir,
+		NewModel:      func() (*core.MLQ, error) { return core.NewMLQ(mlqCfg) },
+		Transport:     replica.NewMemTransport(inj),
+		MaxBatch:      cfg.MaxBatch,
+		InboxCapacity: cfg.InboxCapacity,
+		Telemetry:     replica.NewGroupTelemetry(opts.Telemetry),
+	})
+	if err != nil {
+		return cell, err
+	}
+	defer g.Close()
+
+	src, err := dist.NewSourceSeeded(dist.KindUniform, region, opts.Queries, opts.Seed, opts.Seed+1)
+	if err != nil {
+		return cell, err
+	}
+
+	// Scenario event schedule, by workload index. The partition victim is
+	// always the last replica (never the initial primary r0).
+	n := opts.Queries
+	victim := fmt.Sprintf("r%d", cfg.Replicas-1)
+	var downed []string
+	events := map[int]func() error{}
+	switch sc {
+	case "clean":
+	case "kill-primary":
+		events[n/2] = func() error {
+			old := g.PrimaryID()
+			stale := g.Handle()
+			if _, err := g.Failover(); err != nil {
+				return err
+			}
+			downed = append(downed, old)
+			return expectFenced(stale)
+		}
+	case "partition-heal":
+		events[n/4] = func() error { g.Transport().Partition(victim); return nil }
+		// The checkpoint compacts the journal while the victim is cut off,
+		// so healing alone cannot repair it — only a checkpoint resync can.
+		events[n/2] = func() error { return g.Checkpoint() }
+		events[3*n/4] = func() error { g.Transport().Heal(victim); return nil }
+	case "net-chaos":
+		events[n/3] = func() error { g.Transport().Partition(victim); return nil }
+		events[n/2] = func() error {
+			old := g.PrimaryID()
+			stale := g.Handle()
+			if _, err := g.Failover(); err != nil {
+				return err
+			}
+			downed = append(downed, old)
+			return expectFenced(stale)
+		}
+		events[2*n/3] = func() error { g.Transport().Heal(victim); return nil }
+	default:
+		return cell, fmt.Errorf("unknown scenario %q", sc)
+	}
+
+	var nae metrics.NAE
+	h := g.Handle()
+	for q := 0; q < n; q++ {
+		if ev, ok := events[q]; ok {
+			if err := ev(); err != nil {
+				return cell, err
+			}
+			h = g.Handle() // events may have moved the term
+		}
+		p := src.Next()
+		actual := chaosReplCost(p)
+		if pred, ok := g.Predict(g.PrimaryID(), p); ok {
+			if !core.ValidCost(pred) {
+				return cell, fmt.Errorf("primary predicted invalid %v", pred)
+			}
+			nae.Add(pred, actual)
+		}
+		if err := h.Observe(p, actual); err != nil {
+			return cell, fmt.Errorf("observe %d: %w", q, err)
+		}
+		if q%64 == 0 {
+			cell.MaxLag = maxUint64(cell.MaxLag, sampleFollowerLag(g))
+		}
+	}
+	cell.NAE = nae.Value()
+
+	// Resurrect every killed primary before the convergence check: the
+	// rejoin path (checkpoint resync + journal suffix) is part of what the
+	// scenario proves.
+	for _, id := range downed {
+		if err := g.Rejoin(id); err != nil {
+			return cell, fmt.Errorf("rejoin %s: %w", id, err)
+		}
+	}
+	if err := g.Converge(); err != nil {
+		return cell, fmt.Errorf("converge: %w", err)
+	}
+
+	st := g.Stats()
+	cell.Acked = st.Acked
+	cell.AckedLost = st.AckedLost
+	cell.Failovers = st.Failovers
+	cell.FencedWrites = st.FencedWrites
+	cell.Dropped = st.Transport.Dropped
+	cell.Duplicated = st.Transport.Duplicated
+	cell.Reordered = st.Transport.Reordered
+	cell.Partitioned = st.Transport.Partitioned
+	for _, rs := range st.Replicas {
+		cell.Catchup += rs.Catchup
+		cell.Duplicates += rs.Duplicates
+	}
+
+	// --- Assertions -----------------------------------------------------
+
+	if st.AckedLost > uint64(cfg.MaxBatch) {
+		return cell, fmt.Errorf("lost %d acknowledged observations, bound is one batch (%d)", st.AckedLost, cfg.MaxBatch)
+	}
+	if errs := g.ApplyErrors(); len(errs) != 0 {
+		return cell, fmt.Errorf("divergence hazards recorded: %v", errs)
+	}
+
+	// Byte-identical convergence across every live replica — and, when
+	// nothing acknowledged was lost, bit-identity with the plain
+	// single-Publisher reference.
+	var first []byte
+	live := 0
+	for _, id := range g.IDs() {
+		b, err := g.ModelBytes(id)
+		if err != nil {
+			return cell, fmt.Errorf("%s did not come back: %w", id, err)
+		}
+		live++
+		if first == nil {
+			first = b
+		} else if !bytes.Equal(first, b) {
+			return cell, fmt.Errorf("%s diverged after heal (%d vs %d bytes)", id, len(b), len(first))
+		}
+	}
+	if live != cfg.Replicas {
+		return cell, fmt.Errorf("%d of %d replicas serving after heal", live, cfg.Replicas)
+	}
+	if st.AckedLost == 0 {
+		if st.Acked != uint64(n) {
+			return cell, fmt.Errorf("acked %d of %d workload observations with zero loss", st.Acked, n)
+		}
+		if !bytes.Equal(first, want) {
+			return cell, fmt.Errorf("replicated fleet diverged from the single-Publisher reference — replication is not transparent")
+		}
+	}
+
+	// Staleness: zero lag everywhere after convergence; bounded samples
+	// mid-run in the undisturbed scenario.
+	for _, rs := range st.Replicas {
+		if rs.Role == replica.RoleFollower && rs.LagEpochs != 0 {
+			return cell, fmt.Errorf("%s still lags %d epochs after converge", rs.ID, rs.LagEpochs)
+		}
+		if rs.Applied != st.Acked {
+			return cell, fmt.Errorf("%s applied %d of %d acked after converge", rs.ID, rs.Applied, st.Acked)
+		}
+	}
+	if sc == "clean" && cell.MaxLag > uint64(cfg.InboxCapacity+cfg.MaxBatch) {
+		return cell, fmt.Errorf("clean-run follower staleness %d exceeds inbox+batch bound %d", cell.MaxLag, cfg.InboxCapacity+cfg.MaxBatch)
+	}
+
+	// Scenario-specific accounting.
+	switch sc {
+	case "clean":
+		if st.Failovers != 0 || st.FencedWrites != 0 || st.AckedLost != 0 {
+			return cell, fmt.Errorf("clean scenario reported fault activity: %+v", st)
+		}
+	case "kill-primary", "net-chaos":
+		if st.Failovers == 0 {
+			return cell, fmt.Errorf("no failover recorded")
+		}
+		if st.FencedWrites == 0 {
+			return cell, fmt.Errorf("stale handle was never fenced")
+		}
+		if cell.Catchup == 0 {
+			return cell, fmt.Errorf("rejoin recovered no records")
+		}
+	case "partition-heal":
+		if cell.Catchup == 0 {
+			return cell, fmt.Errorf("healed partition recovered no records")
+		}
+	}
+	return cell, nil
+}
+
+// expectFenced asserts a demoted lineage's handle reports ErrFencedTerm.
+func expectFenced(h *replica.Handle) error {
+	p := geom.Point{1, 1}
+	err := h.Observe(p, chaosReplCost(p))
+	if !errors.Is(err, replica.ErrFencedTerm) {
+		return fmt.Errorf("stale handle observe returned %v, want ErrFencedTerm", err)
+	}
+	return nil
+}
+
+// sampleFollowerLag returns the largest acked-minus-applied gap over the
+// reachable followers right now.
+func sampleFollowerLag(g *replica.Group) uint64 {
+	st := g.Stats()
+	var max uint64
+	for _, rs := range st.Replicas {
+		if rs.Role != replica.RoleFollower || g.Transport().Cut(rs.ID) {
+			continue
+		}
+		if st.Acked > rs.Applied {
+			max = maxUint64(max, st.Acked-rs.Applied)
+		}
+	}
+	return max
+}
+
+func maxUint64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

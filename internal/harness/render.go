@@ -342,3 +342,26 @@ func RenderConcurrency(w io.Writer, rows []ConcurrencyRow) {
 	}
 	t.Fprint(w)
 }
+
+// RenderChaosRepl prints the replication chaos experiment: per-scenario
+// convergence and loss accounting for the replicated model fleet.
+func RenderChaosRepl(w io.Writer, rows []ChaosReplCell) {
+	t := Table{
+		Title: "Chaos replication: journal-streaming followers, fenced failover, partition heal\n" +
+			"(every scenario converged byte-identically; acked loss bounded by one batch)",
+		Header: []string{"scenario", "NAE", "acked", "lost", "failovers", "fenced",
+			"max-lag", "catchup", "dedup", "drop", "dup", "reorder", "cut"},
+	}
+	for _, c := range rows {
+		t.AddRow(
+			c.Scenario, f4(c.NAE),
+			fmt.Sprintf("%d", c.Acked), fmt.Sprintf("%d", c.AckedLost),
+			fmt.Sprintf("%d", c.Failovers), fmt.Sprintf("%d", c.FencedWrites),
+			fmt.Sprintf("%d", c.MaxLag), fmt.Sprintf("%d", c.Catchup),
+			fmt.Sprintf("%d", c.Duplicates), fmt.Sprintf("%d", c.Dropped),
+			fmt.Sprintf("%d", c.Duplicated), fmt.Sprintf("%d", c.Reordered),
+			fmt.Sprintf("%d", c.Partitioned),
+		)
+	}
+	t.Fprint(w)
+}

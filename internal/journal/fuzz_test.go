@@ -67,3 +67,87 @@ func FuzzReplay(f *testing.F) {
 		}
 	})
 }
+
+// FuzzTailFollow feeds arbitrary bytes to the incremental tail decoder in
+// arbitrary fragmentation: it must never panic, and the records it emits
+// must be a prefix of what the batch Replay decoder recovers from the same
+// stream — truncated or duplicated frames and flipped bits cost records,
+// never correctness. (A prefix, not equality: Replay condemns an implausible
+// frame size as permanent damage, while the tail decoder must hold position
+// on it — mid-append, the same bytes are a frame whose header is still being
+// written.)
+func FuzzTailFollow(f *testing.F) {
+	j, err := Create(filepath.Join(f.TempDir(), "seed.journal"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := j.Append([]float64{float64(i) / 12, 0.5}, float64(i)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	j.Close()
+	valid, err := os.ReadFile(j.Path())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid, uint8(7))
+	f.Add(valid[:len(valid)-3], uint8(1))
+	f.Add(append(append([]byte{}, valid...), valid[headerSize:]...), uint8(16))
+	f.Add([]byte{}, uint8(3))
+
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
+		step := int(chunk)%64 + 1
+		var dec TailDecoder
+		var got []Record
+		for off := 0; off < len(data); off += step {
+			end := off + step
+			if end > len(data) {
+				end = len(data)
+			}
+			dec.Feed(data[off:end])
+			for {
+				rec, err := dec.Next()
+				if err != nil {
+					if err == ErrNoRecord {
+						break
+					}
+					// Permanent header error: nothing more ever comes out.
+					if _, err2 := dec.Next(); err2 == nil {
+						t.Fatal("decoder emitted a record after a permanent error")
+					}
+					return
+				}
+				if len(rec.Point) == 0 || len(rec.Point) > MaxDims {
+					t.Fatalf("tail decoder emitted a record with %d dims", len(rec.Point))
+				}
+				got = append(got, rec)
+			}
+		}
+		want, _, err := Replay(bytes.NewReader(data))
+		if err != nil {
+			// Replay rejected the stream outright (bad header); the tail
+			// decoder must not have produced records from it either.
+			if len(got) != 0 {
+				t.Fatalf("tail decoder emitted %d records from a stream Replay rejects", len(got))
+			}
+			return
+		}
+		if len(got) > len(want) {
+			t.Fatalf("tail decoder emitted %d records, Replay only %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Value != want[i].Value && !(math.IsNaN(got[i].Value) && math.IsNaN(want[i].Value)) {
+				t.Fatalf("record %d value: tail %v, replay %v", i, got[i].Value, want[i].Value)
+			}
+			if len(got[i].Point) != len(want[i].Point) {
+				t.Fatalf("record %d dims: tail %d, replay %d", i, len(got[i].Point), len(want[i].Point))
+			}
+			for d := range got[i].Point {
+				if got[i].Point[d] != want[i].Point[d] && !(math.IsNaN(got[i].Point[d]) && math.IsNaN(want[i].Point[d])) {
+					t.Fatalf("record %d dim %d: tail %v, replay %v", i, d, got[i].Point[d], want[i].Point[d])
+				}
+			}
+		}
+	})
+}

@@ -17,11 +17,14 @@ package journal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
+	"syscall"
 )
 
 const (
@@ -84,7 +87,10 @@ func WithSync() Option {
 }
 
 // Create opens a fresh journal at path, truncating whatever was there: the
-// caller replays any prior journal *before* creating the new one.
+// caller replays any prior journal *before* creating the new one. The parent
+// directory is fsynced so the new directory entry is durable immediately — a
+// crash right after Create cannot leave a journal that appends succeeded
+// against but that never existed on disk.
 func Create(path string, opts ...Option) (*Journal, error) {
 	j := &Journal{path: path, max: DefaultMaxRecords}
 	for _, o := range opts {
@@ -100,7 +106,28 @@ func Create(path string, opts ...Option) (*Journal, error) {
 		os.Remove(path)
 		return nil, err
 	}
+	if err := syncDir(path); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
 	return j, nil
+}
+
+// syncDir fsyncs the directory containing path, making the directory entry
+// (a create, a rename) itself durable. Filesystems that refuse to fsync a
+// directory opened read-only (EINVAL on some network mounts) are tolerated:
+// on those the rename durability is whatever the mount provides.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("journal: opening parent dir of %s: %w", path, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("journal: syncing parent dir of %s: %w", path, err)
+	}
+	return nil
 }
 
 func (j *Journal) writeHeader() error {
@@ -153,21 +180,55 @@ func (j *Journal) Len() int { return j.records }
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }
 
-// Reset is the checkpoint: it truncates the journal back to an empty header
-// and syncs. Call it only after the model state covering the journaled
-// observations has been made durable (e.g. catalog.SaveFile succeeded) — the
-// records are unrecoverable afterwards.
+// Reset is the checkpoint: it replaces the journal with an empty one. Call
+// it only after the model state covering the journaled observations has been
+// made durable (e.g. catalog.SaveFile succeeded) — the records are
+// unrecoverable afterwards.
+//
+// The replacement is truncate-and-recreate, not truncate-in-place: a fresh
+// header-only file is written beside the journal, fsynced, renamed over the
+// path, and the parent directory is fsynced. The directory fsync is the
+// durability point — without it a crash immediately after a checkpoint could
+// resurrect the old directory entry, replaying observations the durable
+// model already contains (double-applied learning). Recreating also gives
+// concurrent tail readers (journal streaming, replica catch-up) a frozen
+// file: a reader holding the old inode sees a stable byte stream to its
+// final record and detects the rotation via TailReader.Rotated, instead of
+// racing a truncation under its read offset.
 func (j *Journal) Reset() error {
-	if err := j.f.Truncate(headerSize); err != nil {
-		return fmt.Errorf("journal: truncating %s: %w", j.path, err)
+	tmp := j.path + ".reset"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: creating %s: %w", tmp, err)
 	}
-	if _, err := j.f.Seek(headerSize, io.SeekStart); err != nil {
-		return fmt.Errorf("journal: seeking %s: %w", j.path, err)
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	binary.LittleEndian.PutUint32(hdr[4:8], version)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: writing header to %s: %w", tmp, err)
 	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("journal: syncing %s: %w", j.path, err)
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: syncing %s: %w", tmp, err)
 	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: renaming %s over %s: %w", tmp, j.path, err)
+	}
+	if err := syncDir(j.path); err != nil {
+		f.Close()
+		return err
+	}
+	old := j.f
+	j.f = f
 	j.records = 0
+	if err := old.Close(); err != nil {
+		return fmt.Errorf("journal: closing pre-checkpoint file of %s: %w", j.path, err)
+	}
 	return nil
 }
 

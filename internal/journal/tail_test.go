@@ -1,0 +1,220 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTailReaderFollowsAppends(t *testing.T) {
+	j := tmpJournal(t)
+	tr, err := OpenTail(j.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	if _, err := tr.Next(); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("empty journal: got err %v, want ErrNoRecord", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Append([]float64{float64(i), 0.5}, float64(i*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		rec, err := tr.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec.Point[0] != float64(i) || rec.Value != float64(i*i) {
+			t.Fatalf("record %d: got %+v", i, rec)
+		}
+	}
+	if _, err := tr.Next(); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("caught-up tail: got err %v, want ErrNoRecord", err)
+	}
+	// The tail grows; the same reader picks the new record up.
+	if err := j.Append([]float64{9, 9}, 81); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Value != 81 {
+		t.Fatalf("followed record: got %+v", rec)
+	}
+}
+
+func TestTailReaderSkipRecords(t *testing.T) {
+	j := tmpJournal(t)
+	for i := 0; i < 10; i++ {
+		if err := j.Append([]float64{float64(i)}, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := OpenTail(j.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if n, err := tr.SkipRecords(7); err != nil || n != 7 {
+		t.Fatalf("SkipRecords = %d, %v", n, err)
+	}
+	rec, err := tr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Value != 7 {
+		t.Fatalf("after skip: got value %g, want 7", rec.Value)
+	}
+	// Skipping past the end reports how far it got and ErrNoRecord.
+	if n, err := tr.SkipRecords(10); !errors.Is(err, ErrNoRecord) || n != 2 {
+		t.Fatalf("over-skip = %d, %v; want 2, ErrNoRecord", n, err)
+	}
+}
+
+func TestTailReaderIgnoresTornTailUntilComplete(t *testing.T) {
+	j := tmpJournal(t)
+	if err := j.Append([]float64{0.1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Write half a frame by hand: the reader must hold position, then emit
+	// the record once the second half lands.
+	full := filepath.Join(t.TempDir(), "frame.journal")
+	j2, err := Create(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append([]float64{0.9}, 9); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	frame, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame = frame[headerSize:]
+
+	f, err := os.OpenFile(j.Path(), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame[:len(frame)/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := OpenTail(j.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if rec, err := tr.Next(); err != nil || rec.Value != 1 {
+		t.Fatalf("first record: %+v, %v", rec, err)
+	}
+	if _, err := tr.Next(); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("half frame: got err %v, want ErrNoRecord", err)
+	}
+	if _, err := f.Write(frame[len(frame)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rec, err := tr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Value != 9 {
+		t.Fatalf("completed frame: got %+v", rec)
+	}
+}
+
+func TestTailReaderDetectsRotation(t *testing.T) {
+	j := tmpJournal(t)
+	for i := 0; i < 3; i++ {
+		if err := j.Append([]float64{float64(i)}, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := OpenTail(j.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.SkipRecords(2); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint rotates the file. The reader finishes the frozen inode
+	// (one record left), then reports the rotation.
+	if err := j.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if rec, err := tr.Next(); err != nil || rec.Value != 2 {
+		t.Fatalf("frozen tail after rotation: %+v, %v", rec, err)
+	}
+	if _, err := tr.Next(); !errors.Is(err, ErrRotated) {
+		t.Fatalf("got err %v, want ErrRotated", err)
+	}
+	// Reopening at the path follows the successor journal.
+	tr2, err := OpenTail(j.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	if err := j.Append([]float64{5}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if rec, err := tr2.Next(); err != nil || rec.Value != 5 {
+		t.Fatalf("successor journal: %+v, %v", rec, err)
+	}
+}
+
+// TestCheckpointKillWindow covers the crash window immediately after a
+// checkpoint: once Reset returns, the pre-checkpoint records must be gone
+// from the path no matter when the process dies — a replay must see the
+// empty successor journal, never a resurrected pre-checkpoint file (which
+// would double-apply observations the durable model already contains).
+func TestCheckpointKillWindow(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "obs.journal")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := j.Append([]float64{float64(i) / 8}, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill: no Close. The path must already hold the empty successor.
+	recs, cut, err := ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || cut != 0 {
+		t.Fatalf("after checkpoint kill: replayed %d records (%d cut), want 0", len(recs), cut)
+	}
+	// No stray temp file may survive the rename.
+	if _, err := os.Stat(path + ".reset"); !os.IsNotExist(err) {
+		t.Fatalf("reset temp file left behind: %v", err)
+	}
+	// The journal keeps working after its own checkpoint: appends land in
+	// the successor file and replay cleanly.
+	if err := j.Append([]float64{0.5}, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, cut, err = ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || cut != 0 || recs[0].Value != 42 {
+		t.Fatalf("post-checkpoint appends: got %d records (%d cut) %+v", len(recs), cut, recs)
+	}
+}

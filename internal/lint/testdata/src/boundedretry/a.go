@@ -156,6 +156,78 @@ func ClosureErrors(n int) {
 	}
 }
 
+type conn struct{}
+
+func (*conn) recv() (Record, error) { return Record{}, errTransient }
+
+// Record stands in for a replication stream record.
+type Record struct{ Seq uint64 }
+
+func dial() (*conn, error) { return nil, errTransient }
+
+// StreamReconnectSpin re-dials a replication stream forever: a partitioned
+// peer spins this loop at full speed. The streaming shape (dial, then an
+// inner receive loop) must not hide the unbounded outer retry.
+func StreamReconnectSpin(apply func(Record)) {
+	for { // want "retry loop without an attempt bound or backoff/deadline"
+		c, err := dial()
+		if err != nil {
+			continue
+		}
+		for {
+			rec, err := c.recv()
+			if err != nil {
+				break // reconnect
+			}
+			apply(rec)
+		}
+	}
+}
+
+// StreamReconnectBounded caps the consecutive failed dials and resets the
+// budget on progress (the replica catch-up shape): compliant.
+func StreamReconnectBounded(attempts int, apply func(Record)) error {
+	for attempt := 1; ; attempt++ {
+		c, err := dial()
+		if err != nil {
+			if attempt >= attempts {
+				return err
+			}
+			continue
+		}
+		for {
+			rec, err := c.recv()
+			if err != nil {
+				break // reconnect with remaining budget
+			}
+			apply(rec)
+			attempt = 0 // progress restores the dial budget
+		}
+	}
+}
+
+// StreamReconnectPaced blocks on a ticker/cancellation select between
+// dials: compliant via pacing.
+func StreamReconnectPaced(tick, stop chan struct{}, apply func(Record)) error {
+	for {
+		c, err := dial()
+		if err == nil {
+			for {
+				rec, err := c.recv()
+				if err != nil {
+					break
+				}
+				apply(rec)
+			}
+		}
+		select {
+		case <-tick:
+		case <-stop:
+			return errTransient
+		}
+	}
+}
+
 // JustifiedSpin violates the rule but carries a justified suppression.
 func JustifiedSpin() {
 	//lint:ignore boundedretry fixture: simulated wait loop, fault cleared by test harness

@@ -1,0 +1,140 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mlq/internal/geom"
+)
+
+// TestGroupConcurrencyHammer runs the group the way production would under
+// -race: concurrent lock-free follower reads, a primary write stream, and
+// one forced failover mid-stream. It asserts the replication invariants the
+// design note promises: terms never regress anywhere, every replica's
+// applied sequence and view epoch are monotonic, a fenced handle stays
+// fenced, and after convergence every live replica is byte-identical.
+func TestGroupConcurrencyHammer(t *testing.T) {
+	g := newTestGroup(t, Config{MaxBatch: 8})
+
+	const total = 2000
+	var stopReaders atomic.Bool
+	var wg sync.WaitGroup
+
+	// Readers: hammer lock-free predictions and view loads on every
+	// replica, asserting per-replica monotonicity of term, seq and epoch.
+	for _, id := range g.IDs() {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastTerm, lastSeq, lastEpoch uint64
+			sawView := false
+			for !stopReaders.Load() {
+				v := g.View(id)
+				if v == nil {
+					// A down replica serves nothing; its counters restart
+					// from the checkpoint when it returns, so re-baseline.
+					lastTerm, lastSeq, lastEpoch, sawView = 0, 0, 0, false
+					continue
+				}
+				if sawView {
+					if v.Term < lastTerm {
+						t.Errorf("%s term regressed %d -> %d", id, lastTerm, v.Term)
+						return
+					}
+					if v.Term == lastTerm && v.Seq < lastSeq {
+						t.Errorf("%s seq regressed %d -> %d in term %d", id, lastSeq, v.Seq, v.Term)
+						return
+					}
+					if v.Term == lastTerm && v.Epoch < lastEpoch {
+						t.Errorf("%s epoch regressed %d -> %d in term %d", id, lastEpoch, v.Epoch, v.Term)
+						return
+					}
+				}
+				lastTerm, lastSeq, lastEpoch, sawView = v.Term, v.Seq, v.Epoch, true
+				g.Predict(id, geom.Point{0.3, 0.7})
+			}
+		}()
+	}
+
+	// Writer: pushes the full workload, surviving exactly one fencing (the
+	// forced failover) by re-acquiring a handle.
+	var fencedOnce atomic.Bool
+	writerDone := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(writerDone)
+		h := g.Handle()
+		for i := 0; i < total; i++ {
+			p, v := obs(i)
+			err := h.Observe(p, v)
+			if errors.Is(err, ErrFencedTerm) {
+				fencedOnce.Store(true)
+				h = g.Handle()
+				err = h.Observe(p, v)
+			}
+			if err != nil {
+				t.Errorf("observe %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	// One failover mid-stream, from a third goroutine so it interleaves
+	// arbitrarily with writes and reads.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := g.Failover(); err != nil {
+			t.Errorf("failover: %v", err)
+		}
+	}()
+
+	<-writerDone
+	stopReaders.Store(true)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	if err := g.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Term != 2 || st.Failovers != 1 {
+		t.Fatalf("term %d failovers %d, want 2/1", st.Term, st.Failovers)
+	}
+	// Acked accounting: everything the writer got acknowledged minus what
+	// the failover provably lost must be applied on every live replica.
+	if st.AckedLost > uint64(g.cfg.MaxBatch) {
+		t.Fatalf("acked lost %d exceeds one batch (%d)", st.AckedLost, g.cfg.MaxBatch)
+	}
+	var live [][]byte
+	for _, id := range g.IDs() {
+		b, err := g.ModelBytes(id)
+		if err != nil {
+			continue // the demoted primary is down
+		}
+		live = append(live, b)
+		for _, rs := range st.Replicas {
+			if rs.ID == id && rs.Role != RoleDown && rs.Applied != st.Acked {
+				t.Fatalf("%s applied %d, acked %d", id, rs.Applied, st.Acked)
+			}
+		}
+	}
+	if len(live) < 2 {
+		t.Fatalf("only %d live replicas after one failover of 3", len(live))
+	}
+	for i := 1; i < len(live); i++ {
+		if !bytes.Equal(live[0], live[i]) {
+			t.Fatalf("live replicas diverged: %d vs %d bytes", len(live[0]), len(live[i]))
+		}
+	}
+	if errs := g.ApplyErrors(); len(errs) != 0 {
+		t.Fatalf("apply errors: %v", errs)
+	}
+}

@@ -1,0 +1,194 @@
+package replica
+
+import (
+	"errors"
+	"testing"
+
+	"mlq/internal/faults"
+	"mlq/internal/geom"
+)
+
+func rec(seq uint64) Msg {
+	return Msg{Kind: KindRecord, Rec: Record{Seq: seq, Term: 1, Point: geom.Point{0.5, 0.5}, Value: float64(seq)}}
+}
+
+// drainSeqs empties whatever is queued on ch, returning the record seqs.
+func drainSeqs(ch <-chan Msg) []uint64 {
+	var out []uint64
+	for {
+		select {
+		case m := <-ch:
+			if m.Kind == KindRecord {
+				out = append(out, m.Rec.Seq)
+			}
+		default:
+			return out
+		}
+	}
+}
+
+func TestTransportDeliversInOrder(t *testing.T) {
+	tr := NewMemTransport(nil)
+	ch := tr.Register("f", 16)
+	for seq := uint64(1); seq <= 4; seq++ {
+		if err := tr.Send("f", rec(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drainSeqs(ch)
+	if len(got) != 4 {
+		t.Fatalf("delivered %d records, want 4", len(got))
+	}
+	for i, s := range got {
+		if s != uint64(i+1) {
+			t.Fatalf("position %d carried seq %d", i, s)
+		}
+	}
+	st := tr.Stats()
+	if st.Sent != 4 || st.Delivered != 4 || st.Dropped+st.Duplicated+st.Reordered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTransportDropFaultIsDeterministic(t *testing.T) {
+	inj := faults.New(1)
+	inj.Enable(faults.ReplicaDrop, faults.SiteConfig{Schedule: []int64{2}})
+	tr := NewMemTransport(inj)
+	ch := tr.Register("f", 16)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := tr.Send("f", rec(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drainSeqs(ch)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("delivered %v, want [1 3] (seq 2 scheduled to drop)", got)
+	}
+	if st := tr.Stats(); st.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", st.Dropped)
+	}
+}
+
+func TestTransportDuplicateFault(t *testing.T) {
+	inj := faults.New(1)
+	inj.Enable(faults.ReplicaDup, faults.SiteConfig{Schedule: []int64{1}})
+	tr := NewMemTransport(inj)
+	ch := tr.Register("f", 16)
+	if err := tr.Send("f", rec(7)); err != nil {
+		t.Fatal(err)
+	}
+	got := drainSeqs(ch)
+	if len(got) != 2 || got[0] != 7 || got[1] != 7 {
+		t.Fatalf("delivered %v, want [7 7]", got)
+	}
+	if st := tr.Stats(); st.Duplicated != 1 {
+		t.Fatalf("duplicated = %d, want 1", st.Duplicated)
+	}
+}
+
+func TestTransportReorderHoldsOneBack(t *testing.T) {
+	inj := faults.New(1)
+	inj.Enable(faults.ReplicaReorder, faults.SiteConfig{Schedule: []int64{1}})
+	tr := NewMemTransport(inj)
+	ch := tr.Register("f", 16)
+	for seq := uint64(1); seq <= 2; seq++ {
+		if err := tr.Send("f", rec(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drainSeqs(ch)
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("delivered %v, want [2 1] (seq 1 held back behind its successor)", got)
+	}
+}
+
+func TestTransportFlushHeldReleasesTheSlot(t *testing.T) {
+	inj := faults.New(1)
+	inj.Enable(faults.ReplicaReorder, faults.SiteConfig{Schedule: []int64{1}})
+	tr := NewMemTransport(inj)
+	ch := tr.Register("f", 16)
+	if err := tr.Send("f", rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := drainSeqs(ch); len(got) != 0 {
+		t.Fatalf("held record leaked early: %v", got)
+	}
+	tr.FlushHeld("f")
+	if got := drainSeqs(ch); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("FlushHeld delivered %v, want [1]", got)
+	}
+}
+
+func TestTransportPartitionBlocksAndHeals(t *testing.T) {
+	tr := NewMemTransport(nil)
+	ch := tr.Register("f", 16)
+	tr.Partition("f")
+	if err := tr.Send("f", rec(1)); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("send into partition: %v, want ErrPartitioned", err)
+	}
+	if !tr.Cut("f") {
+		t.Fatal("Cut must report the partition")
+	}
+	tr.Heal("f")
+	if err := tr.Send("f", rec(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := drainSeqs(ch); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("after heal delivered %v, want [2]", got)
+	}
+	if st := tr.Stats(); st.Partitioned != 1 {
+		t.Fatalf("partitioned = %d, want 1", st.Partitioned)
+	}
+}
+
+func TestTransportOverflowCountsLoss(t *testing.T) {
+	tr := NewMemTransport(nil)
+	ch := tr.Register("f", 1)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := tr.Send("f", rec(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := drainSeqs(ch); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("delivered %v, want [1] (rest overflowed)", got)
+	}
+	if st := tr.Stats(); st.Overflowed != 2 {
+		t.Fatalf("overflowed = %d, want 2", st.Overflowed)
+	}
+}
+
+func TestTransportBarrierDrains(t *testing.T) {
+	tr := NewMemTransport(nil)
+	ch := tr.Register("f", 16)
+	if err := tr.Send("f", rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	done, err := tr.Barrier("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume in order: the record precedes the barrier.
+	m := <-ch
+	if m.Kind != KindRecord {
+		t.Fatalf("first message kind %d, want record", m.Kind)
+	}
+	b := <-ch
+	if b.Kind != kindBarrier || b.barrier == nil {
+		t.Fatalf("second message kind %d, want barrier", b.Kind)
+	}
+	close(b.barrier)
+	<-done
+}
+
+func TestTransportSendAfterCloseFails(t *testing.T) {
+	tr := NewMemTransport(nil)
+	tr.Register("f", 4)
+	tr.Close()
+	tr.Close() // idempotent
+	if err := tr.Send("f", rec(1)); err == nil {
+		t.Fatal("send after Close succeeded")
+	}
+	if _, err := tr.Barrier("f"); err == nil {
+		t.Fatal("barrier after Close succeeded")
+	}
+}
