@@ -1,7 +1,7 @@
 # Convenience targets for the MLQ reproduction.
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-concurrency repro repro-quick fuzz chaos chaos-latency chaos-repl clean fmt lint check
+.PHONY: all build vet test race race-full bench bench-smoke bench-concurrency repro repro-quick fuzz chaos chaos-latency chaos-repl clean fmt lint lint-concurrency lint-sarif check
 
 all: build vet test
 
@@ -26,6 +26,16 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/mlqlint ./...
 
+# Only the four concurrency-invariant analyzers (lock ordering, goroutine
+# lifecycles, atomic discipline, channel ownership): the fast pre-commit
+# check after touching core/replica/journal/telemetry/buffercache.
+lint-concurrency:
+	$(GO) run ./cmd/mlqlint -only lockorder,goroutinelife,atomicdiscipline,chanowner ./...
+
+# SARIF 2.1.0 findings log for CI inline annotations.
+lint-sarif:
+	$(GO) run ./cmd/mlqlint -sarif ./... > mlqlint.sarif || true
+
 # The full local gate: what CI enforces.
 check: lint test race
 
@@ -34,6 +44,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The nightly full-repo race sweep: every package under the race detector
+# with a hard timeout, not just the replica/telemetry subset PR CI runs.
+race-full:
+	$(GO) test -race -timeout 10m ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

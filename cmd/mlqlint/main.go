@@ -1,8 +1,11 @@
 // Command mlqlint is the project's static-analysis driver. It enforces the
 // cost-model invariants the paper's feedback loop assumes — no panics in
-// library code, finite costs, seeded randomness, deterministic planning,
-// and no dropped errors at the feedback seams — using only the standard
-// library's go/ast, go/parser and go/types.
+// library code, finite costs, seeded randomness, deterministic planning, no
+// dropped errors at the feedback seams — and, since the loop went
+// concurrent, the concurrency invariants the epoch/snapshot publisher and
+// the replica fleet depend on: an acyclic lock-acquisition graph, goroutines
+// with shutdown paths, atomic-access discipline, and single-owner channels.
+// All of it uses only the standard library's go/ast, go/parser and go/types.
 //
 // Usage:
 //
@@ -15,11 +18,14 @@
 // Flags:
 //
 //	-json            emit findings as a JSON array instead of text
+//	-sarif           emit findings as a SARIF 2.1.0 log (for CI annotation)
 //	-list            list the analyzers and exit
+//	-suppressions    audit mode: inventory every //lint:ignore site and exit
+//	-only a,b,...    enable exactly the named analyzers
 //	-<analyzer>=false disable one analyzer (one bool flag per analyzer)
 //
 // Findings are suppressed at the site with a justified comment on the
-// offending line or the line above:
+// offending line, the line above, or the line above a multi-line statement:
 //
 //	//lint:ignore <analyzer> <reason>
 package main
@@ -29,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mlq/internal/lint"
 )
@@ -40,7 +47,10 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("mlqlint", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	audit := fs.Bool("suppressions", false, "inventory every //lint:ignore site and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to enable exclusively")
 	all := lint.All()
 	enabled := make(map[string]*bool, len(all))
 	for _, a := range all {
@@ -49,18 +59,43 @@ func run(args []string) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "mlqlint: -json and -sarif are mutually exclusive")
+		return 2
+	}
 
 	if *list {
 		for _, a := range all {
-			fmt.Printf("%-14s %s\n", a.Name(), a.Doc())
+			fmt.Printf("%-16s %s\n", a.Name(), a.Doc())
 		}
 		return 0
 	}
 
-	var active []lint.Analyzer
+	known := make(map[string]bool, len(all))
 	for _, a := range all {
-		if *enabled[a.Name()] {
-			active = append(active, a)
+		known[a.Name()] = true
+	}
+	var active []lint.Analyzer
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "mlqlint: -only names unknown analyzer %q\n", name)
+				return 2
+			}
+			want[name] = true
+		}
+		for _, a := range all {
+			if want[a.Name()] {
+				active = append(active, a)
+			}
+		}
+	} else {
+		for _, a := range all {
+			if *enabled[a.Name()] {
+				active = append(active, a)
+			}
 		}
 	}
 
@@ -80,8 +115,13 @@ func run(args []string) int {
 		return 2
 	}
 
+	if *audit {
+		return auditSuppressions(pkgs, known)
+	}
+
 	findings := lint.Run(pkgs, active)
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -91,7 +131,13 @@ func run(args []string) int {
 			fmt.Fprintln(os.Stderr, "mlqlint:", err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		root, _ := os.Getwd()
+		if err := lint.WriteSARIF(os.Stdout, active, findings, root); err != nil {
+			fmt.Fprintln(os.Stderr, "mlqlint:", err)
+			return 2
+		}
+	default:
 		for _, f := range findings {
 			fmt.Println(f)
 		}
@@ -102,5 +148,23 @@ func run(args []string) int {
 	if len(findings) > 0 {
 		return 1
 	}
+	return 0
+}
+
+// auditSuppressions prints every //lint:ignore site with the analyzers it
+// silences and the stated reason — the repo's ledger of locally waived
+// invariants. Directives naming analyzers that do not exist are called out:
+// they suppress nothing and usually mark a typo.
+func auditSuppressions(pkgs []*lint.Package, known map[string]bool) int {
+	sites := lint.SuppressionSites(pkgs)
+	for _, s := range sites {
+		fmt.Printf("%s:%d: %s: %s\n", s.Pos.Filename, s.Pos.Line, strings.Join(s.Analyzers, ","), s.Reason)
+		for _, name := range s.Analyzers {
+			if !known[name] && name != "all" {
+				fmt.Fprintf(os.Stderr, "mlqlint: %s:%d: directive names unknown analyzer %q\n", s.Pos.Filename, s.Pos.Line, name)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mlqlint: %d suppression site(s)\n", len(sites))
 	return 0
 }

@@ -134,7 +134,10 @@ type Publisher struct {
 	errMu       sync.Mutex
 	deferredErr error // first unreported writer-side insert failure
 
-	tel *publisherTelemetry // nil unless Instrument was called
+	// tel is swapped atomically: Instrument may be called after the writer
+	// goroutine is already running (the harness instruments a live
+	// publisher), so the hot paths load it instead of reading a plain field.
+	tel atomic.Pointer[publisherTelemetry] // nil unless Instrument was called
 }
 
 var _ Model = (*Publisher)(nil)
@@ -269,8 +272,8 @@ func (pub *Publisher) Observe(p geom.Point, actual float64) error {
 		case pub.queue <- o:
 		default:
 			pub.rejected.Add(1)
-			if pub.tel != nil {
-				pub.tel.rejected.Inc()
+			if tel := pub.tel.Load(); tel != nil {
+				tel.rejected.Inc()
 			}
 			return ErrQueueFull
 		}
@@ -286,8 +289,8 @@ func (pub *Publisher) Observe(p geom.Point, actual float64) error {
 				select {
 				case <-pub.queue:
 					pub.dropped.Add(1)
-					if pub.tel != nil {
-						pub.tel.dropped.Inc()
+					if tel := pub.tel.Load(); tel != nil {
+						tel.dropped.Inc()
 					}
 				case pub.queue <- o:
 					enqueued = true
@@ -329,8 +332,8 @@ func (pub *Publisher) blockingEnqueue(o observation) error {
 		return nil
 	case <-timer.C:
 		pub.timeouts.Add(1)
-		if pub.tel != nil {
-			pub.tel.timeouts.Inc()
+		if tel := pub.tel.Load(); tel != nil {
+			tel.timeouts.Inc()
 		}
 		return fmt.Errorf("%w: queue full for %v", ErrObserveTimeout, pub.obsTimeout)
 	case <-pub.stop:
@@ -349,8 +352,8 @@ type subscriber struct {
 // one critical section (see jmu) so all consumers agree on the order.
 func (pub *Publisher) accepted(o observation) {
 	pub.submitted.Add(1)
-	if pub.tel != nil {
-		pub.tel.submitted.Inc()
+	if tel := pub.tel.Load(); tel != nil {
+		tel.submitted.Inc()
 	}
 	pub.jmu.Lock()
 	pub.seq++
@@ -370,14 +373,14 @@ func (pub *Publisher) accepted(o observation) {
 		// Journaling degrades gracefully: a full or failing journal costs
 		// crash-safety for this observation, never liveness of the loop.
 		pub.journalErrs.Add(1)
-		if pub.tel != nil {
-			pub.tel.journalErrs.Inc()
+		if tel := pub.tel.Load(); tel != nil {
+			tel.journalErrs.Inc()
 		}
 		return
 	}
 	pub.journaled.Add(1)
-	if pub.tel != nil {
-		pub.tel.journaled.Inc()
+	if tel := pub.tel.Load(); tel != nil {
+		tel.journaled.Inc()
 	}
 }
 
@@ -562,8 +565,8 @@ func (pub *Publisher) writer(m *MLQ) {
 		if fn := pub.onPublish.Load(); fn != nil {
 			(*fn)(epoch, pub.applied.Load())
 		}
-		if pub.tel != nil {
-			pub.tel.publish(pub, len(batch))
+		if tel := pub.tel.Load(); tel != nil {
+			tel.publish(pub, len(batch))
 		}
 		batch = batch[:0]
 	}
@@ -619,6 +622,7 @@ func (pub *Publisher) writer(m *MLQ) {
 				fill()
 				apply()
 			}
+			//lint:ignore chanowner req.done is a cap-1 reply slot created by Flush for exactly one reply; the send can never block
 			req.done <- pub.drainErr()
 		case <-pub.stop:
 			// Final drain: everything accepted before Close is applied and
@@ -635,8 +639,8 @@ func (pub *Publisher) recordErr(err error) {
 		pub.deferredErr = err
 	}
 	pub.errMu.Unlock()
-	if pub.tel != nil {
-		pub.tel.writerErrs.Inc()
+	if tel := pub.tel.Load(); tel != nil {
+		tel.writerErrs.Inc()
 	}
 }
 
@@ -693,10 +697,10 @@ type publisherTelemetry struct {
 // epoch; the queue-depth gauge is sampled at the same points.
 func (pub *Publisher) Instrument(reg *telemetry.Registry, labels ...telemetry.Label) {
 	if reg == nil {
-		pub.tel = nil
+		pub.tel.Store(nil)
 		return
 	}
-	pub.tel = &publisherTelemetry{
+	pub.tel.Store(&publisherTelemetry{
 		epoch:      reg.Gauge("mlq_publisher_epoch", "generation number of the published snapshot", labels...),
 		staleness:  reg.Gauge("mlq_publisher_staleness", "accepted observations not yet in the published snapshot", labels...),
 		queueDepth: reg.Gauge("mlq_publisher_queue_depth", "observations waiting in the ingest queue", labels...),
@@ -712,7 +716,7 @@ func (pub *Publisher) Instrument(reg *telemetry.Registry, labels ...telemetry.La
 		timeouts:    reg.Counter("mlq_publisher_observe_timeouts_total", "blocking Observes abandoned by the per-Observe deadline", labels...),
 		journaled:   reg.Counter("mlq_publisher_journaled_total", "accepted observations persisted to the crash-safety journal", labels...),
 		journalErrs: reg.Counter("mlq_publisher_journal_errors_total", "journal appends that failed (journal full or IO error)", labels...),
-	}
+	})
 }
 
 // publish pushes the post-batch state into the registered metrics. Called

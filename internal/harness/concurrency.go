@@ -151,13 +151,13 @@ func Concurrency(counts []int, opts Options) ([]ConcurrencyRow, error) {
 		if opts.Telemetry != nil {
 			pub.Instrument(opts.Telemetry, telemetry.L("experiment", "concurrency"))
 		}
-		var maxStale int64
+		var maxStale atomic.Int64
 		pubFeedSrc := dist.NewUniform(region, opts.Seed+13)
 		snapshotQPS := measureThroughput(n, perG, region, opts.Seed+1, func(p geom.Point) (float64, bool) {
 			s := pub.Staleness()
 			for {
-				cur := atomic.LoadInt64(&maxStale)
-				if s <= cur || atomic.CompareAndSwapInt64(&maxStale, cur, s) {
+				cur := maxStale.Load()
+				if s <= cur || maxStale.CompareAndSwap(cur, s) {
 					break
 				}
 			}
@@ -191,7 +191,7 @@ func Concurrency(counts []int, opts Options) ([]ConcurrencyRow, error) {
 			Goroutines:   n,
 			MutexQPS:     mutexQPS,
 			SnapshotQPS:  snapshotQPS,
-			MaxStaleness: maxStale,
+			MaxStaleness: maxStale.Load(),
 			FinalEpoch:   epoch,
 		}
 		if mutexQPS > 0 {

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicDiscipline generalizes frozensnapshot's immutability contract to
+// every atomically-published value in library code. Three rules:
+//
+//  1. Mixed access: a variable or field passed by address to a legacy
+//     sync/atomic function (atomic.LoadInt64(&x), ...) is atomic state;
+//     every other plain read or write of it races with the atomic users
+//     and is flagged. The fix is usually the typed API (atomic.Int64),
+//     which makes plain access impossible.
+//  2. Wholesale overwrite: assigning over a value of a sync/atomic type
+//     (x.counter = atomic.Int64{}) bypasses the atomicity the type
+//     guarantees; use its Store method.
+//  3. Load-then-mutate: writing through a pointer obtained from an atomic
+//     Load (p.Load().field = v) mutates a published snapshot in place;
+//     published values are copy-on-write and may only be swapped.
+//
+// It runs module-wide because atomic fields are frequently published by one
+// package and read by another; the loader shares type objects across
+// packages, so identity survives the boundary.
+type AtomicDiscipline struct{}
+
+// Name implements Analyzer.
+func (AtomicDiscipline) Name() string { return "atomicdiscipline" }
+
+// Doc implements Analyzer.
+func (AtomicDiscipline) Doc() string {
+	return "atomically-accessed state is never accessed plainly, and atomically-published values are swapped, not mutated"
+}
+
+// Run implements Analyzer; atomicdiscipline only runs module-wide.
+func (AtomicDiscipline) Run(*Package) []Finding { return nil }
+
+// RunModule implements ModuleAnalyzer.
+func (AtomicDiscipline) RunModule(pkgs []*Package) []Finding {
+	atomicObjs := make(map[types.Object]bool)
+	sanctioned := make(map[token.Pos]bool)
+	for _, pkg := range pkgs {
+		if !isInternal(pkg) {
+			continue
+		}
+		collectAtomicObjects(pkg, atomicObjs, sanctioned)
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		if !isInternal(pkg) {
+			continue
+		}
+		out = append(out, checkAtomicUses(pkg, atomicObjs, sanctioned)...)
+	}
+	return out
+}
+
+// collectAtomicObjects records every variable/field whose address is taken
+// as the first argument of a legacy sync/atomic call, and the positions of
+// the identifiers inside those calls (which are the sanctioned accesses).
+func collectAtomicObjects(pkg *Package, objs map[types.Object]bool, sanctioned map[token.Pos]bool) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // typed-API method (Load/Store on atomic.Int64 etc.)
+			}
+			if !legacyAtomicFunc(fn.Name()) || len(call.Args) == 0 {
+				return true
+			}
+			ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || ue.Op != token.AND {
+				return true
+			}
+			id, obj := leafUse(pkg, ue.X)
+			if obj != nil {
+				objs[obj] = true
+				sanctioned[id.Pos()] = true
+			}
+			return true
+		})
+	}
+}
+
+func legacyAtomicFunc(name string) bool {
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAtomicUses applies all three rules to one package.
+func checkAtomicUses(pkg *Package, objs map[types.Object]bool, sanctioned map[token.Pos]bool) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				obj := pkg.Info.Uses[n]
+				if obj != nil && objs[obj] && !sanctioned[n.Pos()] {
+					out = append(out, finding(pkg, "atomicdiscipline", n.Pos(),
+						"%s is accessed via sync/atomic elsewhere; this plain access races with the atomic users (use the typed atomic API)",
+						obj.Name()))
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if n.Tok != token.DEFINE && isAtomicType(typeOf(pkg, lhs)) {
+						out = append(out, finding(pkg, "atomicdiscipline", lhs.Pos(),
+							"assignment overwrites a sync/atomic value wholesale; use its Store method"))
+					}
+					if call := atomicLoadInChain(pkg, lhs); call != nil {
+						out = append(out, finding(pkg, "atomicdiscipline", lhs.Pos(),
+							"write through a pointer obtained from an atomic Load mutates a published value; copy and swap instead"))
+					}
+				}
+			case *ast.IncDecStmt:
+				if call := atomicLoadInChain(pkg, n.X); call != nil {
+					out = append(out, finding(pkg, "atomicdiscipline", n.X.Pos(),
+						"write through a pointer obtained from an atomic Load mutates a published value; copy and swap instead"))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isAtomicType reports whether t is (a named type from) package sync/atomic.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// atomicLoadInChain walks an lvalue's access chain (selectors, indexes,
+// derefs) toward its base; if the base is a call to a sync/atomic Load
+// method, the lvalue aliases a published value and writing through it is a
+// rule-3 violation.
+func atomicLoadInChain(pkg *Package, e ast.Expr) *ast.CallExpr {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return nil
+			}
+			fn, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && fn.Name() == "Load" {
+				return x
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// leafUse resolves an expression to the identifier and object it names:
+// a bare identifier or the field of a selector chain.
+func leafUse(pkg *Package, e ast.Expr) (*ast.Ident, types.Object) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e, pkg.Info.Uses[e]
+	case *ast.SelectorExpr:
+		return e.Sel, pkg.Info.Uses[e.Sel]
+	}
+	return nil, nil
+}

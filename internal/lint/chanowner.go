@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChanOwner enforces the repo's channel-ownership discipline in library
+// code:
+//
+//  1. Single closing owner: a channel (identified by the variable or field
+//     closed) may have exactly one close site. Two close sites is the shape
+//     of a double-close panic — even if today's call graph never reaches
+//     both, the next refactor can.
+//  2. Guarded sends: a send must sit under a select with a shutdown
+//     alternative (another case or a default), so a peer that stopped
+//     receiving cannot wedge the sender forever. Deliberate blocking sends
+//     — a bounded handoff slot, a synchronization barrier — are allowed
+//     with a //lint:ignore chanowner reason naming the guarantee.
+type ChanOwner struct{}
+
+// Name implements Analyzer.
+func (ChanOwner) Name() string { return "chanowner" }
+
+// Doc implements Analyzer.
+func (ChanOwner) Doc() string {
+	return "channels have one closing owner and sends carry a shutdown alternative"
+}
+
+// Run implements Analyzer.
+func (ChanOwner) Run(pkg *Package) []Finding {
+	if !isInternal(pkg) {
+		return nil
+	}
+	var out []Finding
+	out = append(out, checkCloseOwners(pkg)...)
+	out = append(out, checkGuardedSends(pkg)...)
+	return out
+}
+
+// checkCloseOwners flags every close site of a channel that is closed in
+// more than one place.
+func checkCloseOwners(pkg *Package) []Finding {
+	type site struct {
+		pos  token.Pos
+		name string
+	}
+	closes := make(map[types.Object][]site)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin || id.Name != "close" {
+				return true
+			}
+			leaf, obj := leafUse(pkg, call.Args[0])
+			if obj != nil {
+				closes[obj] = append(closes[obj], site{pos: call.Pos(), name: leaf.Name})
+			}
+			return true
+		})
+	}
+	var out []Finding
+	for _, sites := range closes {
+		if len(sites) < 2 {
+			continue
+		}
+		for _, s := range sites {
+			out = append(out, finding(pkg, "chanowner", s.pos,
+				"channel %s is closed at %d sites; a channel needs exactly one closing owner",
+				s.name, len(sites)))
+		}
+	}
+	return out
+}
+
+// checkGuardedSends flags sends that are not a case of a select carrying a
+// shutdown alternative.
+func checkGuardedSends(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		// First index which sends are select cases, and whether their
+		// select has an alternative (a second case or a default).
+		guarded := make(map[*ast.SendStmt]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			adequate := len(sel.Body.List) >= 2
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					adequate = true // default case
+				}
+			}
+			for _, c := range sel.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if ss, ok := cc.Comm.(*ast.SendStmt); ok {
+					guarded[ss] = adequate
+				}
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			ss, ok := n.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			adequate, inSelect := guarded[ss]
+			switch {
+			case !inSelect:
+				out = append(out, finding(pkg, "chanowner", ss.Pos(),
+					"blocking send outside select; add a shutdown case or justify the bounded queue with //lint:ignore"))
+			case !adequate:
+				out = append(out, finding(pkg, "chanowner", ss.Pos(),
+					"send sits in a single-case select with no shutdown alternative"))
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLife flags leak-shaped goroutines in library code: a go
+// statement whose body spins in an unconditional loop with no reachable
+// shutdown path. A loop is considered shut-down-able when it contains a
+// select (the quit-channel idiom), a comma-ok channel receive (observes
+// channel close), or a loop-exiting return/break; a goroutine whose body
+// signals a sync.WaitGroup Done is considered lifecycle-tracked by its
+// spawner. Goroutines ranging over a channel terminate when the owner
+// closes it, and bodies without unconditional loops are bounded by
+// construction — neither is flagged.
+//
+// Goroutines started through function values or interface methods are not
+// resolvable statically and are skipped.
+type GoroutineLife struct{}
+
+// Name implements Analyzer.
+func (GoroutineLife) Name() string { return "goroutinelife" }
+
+// Doc implements Analyzer.
+func (GoroutineLife) Doc() string {
+	return "goroutines spawned by library code must have a reachable shutdown path"
+}
+
+// Run implements Analyzer.
+func (GoroutineLife) Run(pkg *Package) []Finding {
+	if !isInternal(pkg) {
+		return nil
+	}
+	decls := funcDeclIndex(pkg)
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goBody(pkg, gs, decls)
+			if body == nil {
+				return true
+			}
+			if loop := leakShapedLoop(pkg, body); loop != nil {
+				out = append(out, finding(pkg, "goroutinelife", gs.Pos(),
+					"goroutine has no reachable shutdown path: unconditional loop at line %d never selects on a quit channel, observes a close, or exits",
+					pkg.Fset.Position(loop.Pos()).Line))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// funcDeclIndex maps each package-level function/method object to its
+// declaration so `go pkgFunc(...)` and `go recv.method(...)` resolve to a
+// body.
+func funcDeclIndex(pkg *Package) map[*types.Func]*ast.FuncDecl {
+	idx := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					idx[fn] = fd
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// goBody resolves the body a go statement will run: an inline literal or a
+// same-package declared function. nil when the target is not statically
+// resolvable.
+func goBody(pkg *Package, gs *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) *ast.BlockStmt {
+	if fl, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		return fl.Body
+	}
+	if fn := calleeFunc(pkg, gs.Call); fn != nil {
+		if fd, ok := decls[fn]; ok {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// leakShapedLoop returns the first unconditional for-loop in body with no
+// shutdown path, nil if the goroutine is well-shaped. Nested function
+// literals are skipped throughout: they are not this goroutine's code.
+func leakShapedLoop(pkg *Package, body *ast.BlockStmt) *ast.ForStmt {
+	if signalsWaitGroup(pkg, body) {
+		return nil
+	}
+	var bad *ast.ForStmt
+	inspectSkipFuncLit(body, func(n ast.Node) bool {
+		fs, ok := n.(*ast.ForStmt)
+		if !ok || fs.Cond != nil || bad != nil {
+			return true
+		}
+		if !loopHasShutdown(fs.Body) {
+			bad = fs
+		}
+		return true
+	})
+	return bad
+}
+
+// signalsWaitGroup reports whether the body calls sync.WaitGroup.Done —
+// the spawner tracks this goroutine's completion.
+func signalsWaitGroup(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	inspectSkipFuncLit(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pkg, call); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "sync" && fn.Name() == "Done" {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// loopHasShutdown reports whether an unconditional loop body can stop: a
+// select statement, a comma-ok receive, or a statement that exits the loop
+// (return, goto, a break belonging to this loop, or a labeled break).
+func loopHasShutdown(body *ast.BlockStmt) bool {
+	return stmtsCanStop(body.List, true)
+}
+
+func stmtsCanStop(stmts []ast.Stmt, direct bool) bool {
+	for _, s := range stmts {
+		if stmtCanStop(s, direct) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmtCanStop walks one statement; direct tracks whether a bare break here
+// still targets the unconditional loop (false once inside a nested
+// for/range/switch/select, which capture bare breaks).
+func stmtCanStop(s ast.Stmt, direct bool) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.SelectStmt:
+		return true
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.GOTO:
+			return true
+		case token.BREAK:
+			return direct || s.Label != nil
+		}
+	case *ast.AssignStmt:
+		// v, ok := <-ch observes the channel closing.
+		if len(s.Lhs) == 2 && len(s.Rhs) == 1 {
+			if ue, isRecv := s.Rhs[0].(*ast.UnaryExpr); isRecv && ue.Op == token.ARROW {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return stmtsCanStop(s.List, direct)
+	case *ast.LabeledStmt:
+		return stmtCanStop(s.Stmt, direct)
+	case *ast.IfStmt:
+		if s.Init != nil && stmtCanStop(s.Init, direct) {
+			return true
+		}
+		if stmtsCanStop(s.Body.List, direct) {
+			return true
+		}
+		return s.Else != nil && stmtCanStop(s.Else, direct)
+	case *ast.ForStmt:
+		return stmtsCanStop(s.Body.List, false)
+	case *ast.RangeStmt:
+		return stmtsCanStop(s.Body.List, false)
+	case *ast.SwitchStmt:
+		if s.Init != nil && stmtCanStop(s.Init, direct) {
+			return true
+		}
+		for _, c := range s.Body.List {
+			if stmtsCanStop(c.(*ast.CaseClause).Body, false) {
+				return true
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if stmtsCanStop(c.(*ast.CaseClause).Body, false) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inspectSkipFuncLit is ast.Inspect that does not descend into function
+// literals.
+func inspectSkipFuncLit(root ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		return f(n)
+	})
+}

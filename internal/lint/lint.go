@@ -1,5 +1,5 @@
 // Package lint is mlqlint's analysis framework: a standard-library-only
-// static-analysis driver (go/ast + go/parser + go/types) with seven
+// static-analysis driver (go/ast + go/parser + go/types) with eleven
 // project-specific analyzers that enforce the cost-model invariants the
 // paper's feedback loop (Fig. 1) assumes implicitly:
 //
@@ -20,13 +20,27 @@
 //   - boundedretry: retry loops terminate under persistent faults — every
 //     loop retrying a fallible operation bounds its attempts or carries a
 //     backoff/deadline (the buffercache RetryPolicy contract).
+//   - lockorder: the mutex-acquisition graph of the concurrency packages is
+//     acyclic — no two code paths take the same pair of locks in opposite
+//     orders (the canonical order is CanonicalLockOrder).
+//   - goroutinelife: every goroutine spawned by library code has a
+//     reachable shutdown path — a quit-channel select, a closing channel it
+//     ranges over, or a bounded loop; no fire-and-forget drainers.
+//   - atomicdiscipline: state shared through sync/atomic is never also
+//     accessed plainly, and values loaded from atomic pointers are only
+//     swapped, never mutated in place.
+//   - chanowner: each channel has exactly one closing owner, and sends in
+//     library code sit under a select with a shutdown alternative (or are a
+//     documented bounded queue).
 //
 // Findings can be suppressed at the site with a justified comment:
 //
 //	//lint:ignore <analyzer> <reason>
 //
-// placed on the offending line or the line directly above it. The reason is
-// mandatory: an unexplained suppression does not suppress.
+// placed on the offending line, the line directly above it, or the line
+// directly above a multi-line statement (the directive covers the whole
+// statement span). The reason is mandatory: an unexplained suppression does
+// not suppress.
 package lint
 
 import (
@@ -70,6 +84,15 @@ type Analyzer interface {
 	Run(pkg *Package) []Finding
 }
 
+// ModuleAnalyzer is a rule whose invariant spans package boundaries (e.g.
+// the lock-acquisition graph). The driver calls RunModule once with every
+// loaded package instead of calling Run per package; Run should return nil.
+type ModuleAnalyzer interface {
+	Analyzer
+	// RunModule reports violations across the whole package set.
+	RunModule(pkgs []*Package) []Finding
+}
+
 // All returns the full analyzer suite in stable order.
 func All() []Analyzer {
 	return []Analyzer{
@@ -80,20 +103,34 @@ func All() []Analyzer {
 		ErrcheckCore{},
 		FrozenSnapshot{},
 		BoundedRetry{},
+		LockOrder{},
+		GoroutineLife{},
+		AtomicDiscipline{},
+		ChanOwner{},
 	}
 }
 
 // Run applies the analyzers to every package, drops suppressed findings,
-// and returns the remainder sorted by position.
+// and returns the remainder sorted by position. Module analyzers see the
+// whole package set at once; everything else runs package by package.
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
-	var out []Finding
+	sup := make(suppressions)
 	for _, pkg := range pkgs {
-		sup := collectSuppressions(pkg)
-		for _, a := range analyzers {
-			for _, f := range a.Run(pkg) {
-				if !sup.matches(a.Name(), f.Pos) {
-					out = append(out, f)
-				}
+		collectSuppressions(pkg, sup)
+	}
+	var out []Finding
+	for _, a := range analyzers {
+		var found []Finding
+		if ma, ok := a.(ModuleAnalyzer); ok {
+			found = ma.RunModule(pkgs)
+		} else {
+			for _, pkg := range pkgs {
+				found = append(found, a.Run(pkg)...)
+			}
+		}
+		for _, f := range found {
+			if !sup.matches(a.Name(), f.Pos) {
+				out = append(out, f)
 			}
 		}
 	}
@@ -114,32 +151,54 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 // The reason group is mandatory.
 var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+([A-Za-z0-9_,-]+)\s+(\S.*)$`)
 
-// suppressions maps file -> line -> set of ignored analyzer names. An
-// ignore comment covers its own line and the line below it, so both
-// trailing ("stmt //lint:ignore ...") and preceding-line placement work.
+// suppressions maps file -> line -> set of ignored analyzer names. At
+// collection time a directive is expanded to every line it covers: its own
+// line, the line below, and — when either of those starts a multi-line
+// simple statement (a chained call, a wrapped composite literal) — the whole
+// statement span, so a directive above the statement suppresses findings
+// anywhere inside it.
 type suppressions map[string]map[int]map[string]bool
 
 func (s suppressions) matches(analyzer string, pos token.Position) bool {
-	lines, ok := s[pos.Filename]
-	if !ok {
-		return false
-	}
-	for _, ln := range [2]int{pos.Line, pos.Line - 1} {
-		if set, ok := lines[ln]; ok && (set[analyzer] || set["all"]) {
-			return true
-		}
+	if set, ok := s[pos.Filename][pos.Line]; ok && (set[analyzer] || set["all"]) {
+		return true
 	}
 	return false
 }
 
-func collectSuppressions(pkg *Package) suppressions {
-	s := make(suppressions)
+// stmtSpans maps each line that starts a simple (non-block) statement or
+// spec to the last line of that statement. Only leaf statements participate:
+// extending a directive over an if/for block would let one ignore swallow
+// findings in unrelated code beneath it.
+func stmtSpans(pkg *Package, file *ast.File) map[int]int {
+	spans := make(map[int]int)
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.GoStmt,
+			*ast.DeferStmt, *ast.SendStmt, *ast.IncDecStmt, *ast.DeclStmt,
+			*ast.ValueSpec:
+			start := pkg.Fset.Position(n.Pos()).Line
+			end := pkg.Fset.Position(n.End()).Line
+			if end > spans[start] {
+				spans[start] = end
+			}
+		}
+		return true
+	})
+	return spans
+}
+
+func collectSuppressions(pkg *Package, s suppressions) {
 	for _, file := range pkg.Files {
+		var spans map[int]int // built lazily: most files carry no directives
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
 				m := ignoreRe.FindStringSubmatch(c.Text)
 				if m == nil {
 					continue
+				}
+				if spans == nil {
+					spans = stmtSpans(pkg, file)
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				lines := s[pos.Filename]
@@ -147,18 +206,68 @@ func collectSuppressions(pkg *Package) suppressions {
 					lines = make(map[int]map[string]bool)
 					s[pos.Filename] = lines
 				}
-				set := lines[pos.Line]
-				if set == nil {
-					set = make(map[string]bool)
-					lines[pos.Line] = set
+				end := pos.Line + 1
+				if e := spans[pos.Line]; e > end {
+					end = e // trailing directive on the statement's first line
 				}
-				for _, name := range strings.Split(m[1], ",") {
-					set[name] = true
+				if e := spans[pos.Line+1]; e > end {
+					end = e // directive on its own line above the statement
+				}
+				for ln := pos.Line; ln <= end; ln++ {
+					set := lines[ln]
+					if set == nil {
+						set = make(map[string]bool)
+						lines[ln] = set
+					}
+					for _, name := range strings.Split(m[1], ",") {
+						set[name] = true
+					}
 				}
 			}
 		}
 	}
-	return s
+}
+
+// SuppressionSite is one //lint:ignore directive, for the -suppressions
+// audit: where it sits, which analyzers it silences, and the stated reason.
+type SuppressionSite struct {
+	Pos       token.Position `json:"pos"`
+	Analyzers []string       `json:"analyzers"`
+	Reason    string         `json:"reason"`
+}
+
+// SuppressionSites inventories every //lint:ignore directive in the loaded
+// packages, sorted by position. It is the data behind mlqlint -suppressions:
+// an auditable ledger of every invariant the repo has locally opted out of.
+func SuppressionSites(pkgs []*Package) []SuppressionSite {
+	var out []SuppressionSite
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := ignoreRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					names := strings.Split(m[1], ",")
+					sort.Strings(names)
+					out = append(out, SuppressionSite{
+						Pos:       pkg.Fset.Position(c.Pos()),
+						Analyzers: names,
+						Reason:    strings.TrimSpace(m[2]),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
 }
 
 // finding builds a Finding at a node's position.

@@ -187,6 +187,36 @@ func TestBoundedRetrySkipsNonInternal(t *testing.T) {
 	checkSilent(t, BoundedRetry{}, pkg)
 }
 
+func TestGoroutineLifeGolden(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/goroutinelife", "mlq/internal/fixture/goroutinelife"})
+	checkGolden(t, GoroutineLife{}, pkg)
+}
+
+func TestGoroutineLifeSkipsNonInternal(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/goroutinelife", "mlq/cmd/fixture"})
+	checkSilent(t, GoroutineLife{}, pkg)
+}
+
+func TestAtomicDisciplineGolden(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/atomicdiscipline", "mlq/internal/fixture/atomicdiscipline"})
+	checkGolden(t, AtomicDiscipline{}, pkg)
+}
+
+func TestAtomicDisciplineSkipsNonInternal(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/atomicdiscipline", "mlq/cmd/fixture"})
+	checkSilent(t, AtomicDiscipline{}, pkg)
+}
+
+func TestChanOwnerGolden(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/chanowner", "mlq/internal/fixture/chanowner"})
+	checkGolden(t, ChanOwner{}, pkg)
+}
+
+func TestChanOwnerSkipsNonInternal(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/chanowner", "mlq/cmd/fixture"})
+	checkSilent(t, ChanOwner{}, pkg)
+}
+
 func TestAnalyzerNamesUnique(t *testing.T) {
 	seen := make(map[string]bool)
 	for _, a := range All() {

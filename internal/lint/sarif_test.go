@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+)
+
+// sarifShape mirrors the SARIF 2.1.0 subset CI consumes; decoding into it
+// validates the emitted structure field by field.
+type sarifShape struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []struct {
+		Tool struct {
+			Driver struct {
+				Name  string `json:"name"`
+				Rules []struct {
+					ID               string `json:"id"`
+					ShortDescription struct {
+						Text string `json:"text"`
+					} `json:"shortDescription"`
+				} `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []struct {
+			RuleID    string `json:"ruleId"`
+			RuleIndex int    `json:"ruleIndex"`
+			Level     string `json:"level"`
+			Message   struct {
+				Text string `json:"text"`
+			} `json:"message"`
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI string `json:"uri"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine   int `json:"startLine"`
+						StartColumn int `json:"startColumn"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+		} `json:"results"`
+	} `json:"runs"`
+}
+
+func TestWriteSARIFShape(t *testing.T) {
+	findings := []Finding{{
+		Analyzer: "chanowner",
+		Pos:      token.Position{Filename: "/mod/internal/replica/transport.go", Line: 256, Column: 2},
+		Message:  "blocking send outside select",
+	}}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, All(), findings, "/mod"); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifShape
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if log.Schema == "" {
+		t.Error("$schema is empty")
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("want 1 run, got %d", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "mlqlint" {
+		t.Errorf("driver name = %q, want mlqlint", run.Tool.Driver.Name)
+	}
+	all := All()
+	if len(run.Tool.Driver.Rules) != len(all) {
+		t.Fatalf("want %d rule descriptors, got %d", len(all), len(run.Tool.Driver.Rules))
+	}
+	chanownerIdx := -1
+	for i, a := range all {
+		if run.Tool.Driver.Rules[i].ID != a.Name() {
+			t.Errorf("rule %d id = %q, want %q", i, run.Tool.Driver.Rules[i].ID, a.Name())
+		}
+		if run.Tool.Driver.Rules[i].ShortDescription.Text != a.Doc() {
+			t.Errorf("rule %q description mismatch", a.Name())
+		}
+		if a.Name() == "chanowner" {
+			chanownerIdx = i
+		}
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("want 1 result, got %d", len(run.Results))
+	}
+	res := run.Results[0]
+	if res.RuleID != "chanowner" || res.RuleIndex != chanownerIdx {
+		t.Errorf("result rule = %q/%d, want chanowner/%d", res.RuleID, res.RuleIndex, chanownerIdx)
+	}
+	if res.Level != "error" {
+		t.Errorf("level = %q, want error", res.Level)
+	}
+	if res.Message.Text != findings[0].Message {
+		t.Errorf("message = %q", res.Message.Text)
+	}
+	if len(res.Locations) != 1 {
+		t.Fatalf("want 1 location, got %d", len(res.Locations))
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/replica/transport.go" {
+		t.Errorf("uri = %q, want root-relative forward-slash path", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 256 || loc.Region.StartColumn != 2 {
+		t.Errorf("region = %+v, want 256:2", loc.Region)
+	}
+}
+
+func TestWriteSARIFEmptyFindings(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, All(), nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	runs := raw["runs"].([]any)
+	results, ok := runs[0].(map[string]any)["results"].([]any)
+	if !ok {
+		t.Fatal("results must be an empty array, not null: SARIF consumers reject null")
+	}
+	if len(results) != 0 {
+		t.Fatalf("want 0 results, got %d", len(results))
+	}
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/token"
+	"testing"
+)
+
+// The span regression: a //lint:ignore above (or trailing on the first line
+// of) a multi-line statement must cover every line of that statement and
+// stop at its last line. Line numbers below index into
+// testdata/src/suppressspan/a.go, which declares them load-bearing.
+
+func TestSuppressionCoversStatementSpan(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/suppressspan", "mlq/internal/fixture/suppressspan"})
+	sup := make(suppressions)
+	collectSuppressions(pkg, sup)
+	file := pkg.Fset.Position(pkg.Files[0].Pos()).Filename
+
+	at := func(line int) token.Position {
+		return token.Position{Filename: file, Line: line}
+	}
+	cases := []struct {
+		line int
+		want bool
+		why  string
+	}{
+		{17, true, "the directive's own line"},
+		{18, true, "first line of the covered statement"},
+		{20, true, "panic three lines into the statement span"},
+		{22, true, "last line of the statement span"},
+		{23, false, "closing brace past the statement"},
+		{31, false, "first statement past AfterSpan's covered span"},
+		{37, true, "trailing directive on the statement's first line"},
+		{39, true, "panic under the trailing directive's span"},
+		{42, false, "past the trailing directive's statement"},
+	}
+	for _, c := range cases {
+		if got := sup.matches("nopanic", at(c.line)); got != c.want {
+			t.Errorf("line %d (%s): matches = %v, want %v", c.line, c.why, got, c.want)
+		}
+	}
+	// The directive names nopanic only; other analyzers are not silenced
+	// anywhere in its span.
+	if sup.matches("chanowner", at(20)) {
+		t.Error("span suppression leaked to an analyzer the directive does not name")
+	}
+}
+
+// TestSuppressSpanGolden proves the span end to end through Run: the
+// fixture's in-span panics carry no want markers and must stay silent,
+// while the panic past the span is still reported.
+func TestSuppressSpanGolden(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/suppressspan", "mlq/internal/fixture/suppressspan"})
+	checkGolden(t, NoPanic{}, pkg)
+}
+
+func TestSuppressionSitesInventory(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/suppressspan", "mlq/internal/fixture/suppressspan"})
+	sites := SuppressionSites([]*Package{pkg})
+	if len(sites) != 3 {
+		t.Fatalf("want 3 suppression sites, got %d: %v", len(sites), sites)
+	}
+	wantLines := []int{17, 27, 37}
+	for i, s := range sites {
+		if s.Pos.Line != wantLines[i] {
+			t.Errorf("site %d at line %d, want %d (sorted by position)", i, s.Pos.Line, wantLines[i])
+		}
+		if len(s.Analyzers) != 1 || s.Analyzers[0] != "nopanic" {
+			t.Errorf("site %d analyzers = %v, want [nopanic]", i, s.Analyzers)
+		}
+		if s.Reason == "" {
+			t.Errorf("site %d has an empty reason", i)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package fixture exercises the atomicdiscipline analyzer: the golden test
+// loads it as mlq/internal/fixture/atomicdiscipline (in scope); the skip
+// test reloads it as mlq/cmd/fixture and expects silence.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	legacy int64        // accessed via legacy atomic functions below
+	typed  atomic.Int64 // the typed API: plain access is impossible
+}
+
+// AtomicUsers is the sanctioned access pattern for counters.legacy; these
+// calls are what put the field under atomic discipline.
+func AtomicUsers(c *counters) int64 {
+	atomic.AddInt64(&c.legacy, 1)
+	return atomic.LoadInt64(&c.legacy)
+}
+
+// PlainRead races with AtomicUsers.
+func PlainRead(c *counters) int64 {
+	return c.legacy // want "plain access races"
+}
+
+// PlainWrite races the same way.
+func PlainWrite(c *counters) {
+	c.legacy = 0 // want "plain access races"
+}
+
+// TypedIsFine: the typed API cannot be accessed plainly, so there is
+// nothing to flag.
+func TypedIsFine(c *counters) int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+// OverwriteAtomic replaces the whole atomic value, bypassing its
+// atomicity.
+func OverwriteAtomic(c *counters) {
+	c.typed = atomic.Int64{} // want "Store method"
+}
+
+type snap struct{ n int }
+
+type holder struct{ cur atomic.Pointer[snap] }
+
+// SwapIsFine publishes a fresh snapshot: the only legal way to update.
+func SwapIsFine(h *holder, s *snap) {
+	h.cur.Store(s)
+}
+
+// MutateLoaded writes through the published pointer: every lock-free
+// reader sees the tear.
+func MutateLoaded(h *holder) {
+	h.cur.Load().n = 7 // want "copy and swap"
+}
+
+// CopyThenSwap is the sanctioned read-modify-publish sequence.
+func CopyThenSwap(h *holder) {
+	next := *h.cur.Load()
+	next.n++
+	h.cur.Store(&next)
+}
+
+// SuppressedInit documents a constructor-time plain write that cannot race
+// because the value has not escaped yet.
+func SuppressedInit() *counters {
+	c := &counters{}
+	//lint:ignore atomicdiscipline fixture: constructor runs before the value escapes to any goroutine
+	c.legacy = 1
+	return c
+}

@@ -1,0 +1,64 @@
+// Package fixture exercises the chanowner analyzer: the golden test loads
+// it as mlq/internal/fixture/chanowner (in scope); the skip test reloads it
+// as mlq/cmd/fixture and expects silence.
+package fixture
+
+type worker struct {
+	quit chan struct{}
+	out  chan int
+}
+
+// Produce sends under a select with a quit alternative: the canonical
+// guarded send.
+func (w *worker) Produce(v int) {
+	select {
+	case w.out <- v:
+	case <-w.quit:
+	}
+}
+
+// ProduceNonBlocking uses a default case instead.
+func (w *worker) ProduceNonBlocking(v int) {
+	select {
+	case w.out <- v:
+	default:
+	}
+}
+
+// NakedSend can wedge forever once the receiver stops.
+func (w *worker) NakedSend(v int) {
+	w.out <- v // want "blocking send outside select"
+}
+
+// SingleCaseSelect is a naked send in select clothing.
+func (w *worker) SingleCaseSelect(v int) {
+	select {
+	case w.out <- v: // want "single-case select"
+	}
+}
+
+// Stop is quit's single closing owner: fine.
+func (w *worker) Stop() {
+	close(w.quit)
+}
+
+type doubleCloser struct{ ch chan int }
+
+// CloseA and CloseB both close the same channel: the double-close shape is
+// flagged at every site.
+func (d *doubleCloser) CloseA() {
+	close(d.ch) // want "exactly one closing owner"
+}
+
+func (d *doubleCloser) CloseB() {
+	close(d.ch) // want "exactly one closing owner"
+}
+
+// ReplySlot documents a bounded handoff: a cap-1 buffer the single send
+// can never block on.
+func ReplySlot() chan error {
+	done := make(chan error, 1)
+	//lint:ignore chanowner fixture: cap-1 reply slot, exactly one send, can never block
+	done <- nil
+	return done
+}

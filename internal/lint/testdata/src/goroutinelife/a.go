@@ -1,0 +1,136 @@
+// Package fixture exercises the goroutinelife analyzer: the golden test
+// loads it as mlq/internal/fixture/goroutinelife (in scope); the skip test
+// reloads it as mlq/cmd/fixture and expects silence.
+package fixture
+
+import "sync"
+
+// SpinForever is the leak shape the analyzer exists for: an unconditional
+// loop with no select, no close-observing receive, and no exit.
+func SpinForever(work func()) {
+	go func() { // want "no reachable shutdown path"
+		for {
+			work()
+		}
+	}()
+}
+
+// QuitChannel drains under a select with a quit case: the canonical
+// shutdown idiom.
+func QuitChannel(work func(), quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// RangeOverChannel terminates when the owner closes the channel.
+func RangeOverChannel(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// CommaOkReceive observes the close explicitly.
+func CommaOkReceive(ch chan int) {
+	go func() {
+		for {
+			v, ok := <-ch
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}()
+}
+
+// PlainReceiveLeaks never observes the close: a closed channel yields zero
+// values forever, so the loop spins on.
+func PlainReceiveLeaks(ch chan int) {
+	go func() { // want "no reachable shutdown path"
+		for {
+			v := <-ch
+			_ = v
+		}
+	}()
+}
+
+// BoundedLoop is finite by construction.
+func BoundedLoop(work func()) {
+	go func() {
+		for i := 0; i < 8; i++ {
+			work()
+		}
+	}()
+}
+
+// DirectBreak has a loop-exiting break, a reachable shutdown path.
+func DirectBreak(done func() bool) {
+	go func() {
+		for {
+			if done() {
+				break
+			}
+		}
+	}()
+}
+
+// NestedBreakDoesNotCount: the bare break exits the inner bounded loop,
+// not the unconditional outer one.
+func NestedBreakDoesNotCount(work func() bool) {
+	go func() { // want "no reachable shutdown path"
+		for {
+			for i := 0; i < 3; i++ {
+				if work() {
+					break
+				}
+			}
+		}
+	}()
+}
+
+// WaitGroupTracked signals a WaitGroup: the spawner tracks its lifecycle,
+// which the analyzer accepts as a shutdown contract.
+func WaitGroupTracked(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			work()
+		}
+	}()
+}
+
+// pump's run loop receives without observing close: leak-shaped even when
+// reached through a named method rather than a literal.
+type pump struct{ inbox chan int }
+
+func (p *pump) run() {
+	for {
+		v := <-p.inbox
+		_ = v
+	}
+}
+
+// StartPump resolves the go target to the method declaration above.
+func StartPump(p *pump) {
+	go p.run() // want "no reachable shutdown path"
+}
+
+// SuppressedDaemon documents a deliberate process-lifetime goroutine.
+func SuppressedDaemon(work func()) {
+	//lint:ignore goroutinelife fixture: process-lifetime daemon by design, reaped at exit
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,96 @@
+// Package fixture exercises lockorder's single-package cases. The golden
+// test loads it as mlq/internal/journal (in scope); the scope test reloads
+// the same sources as mlq/internal/fixture/lockorder and expects silence.
+package fixture
+
+import "sync"
+
+// X and Y form a two-lock inversion; Z self-deadlocks; P and Q form a
+// second inversion whose report is suppressed with a justified ignore.
+type X struct{ mu sync.Mutex }
+
+type Y struct{ mu sync.Mutex }
+
+type Z struct{ mu sync.Mutex }
+
+type P struct{ mu sync.Mutex }
+
+type Q struct{ mu sync.Mutex }
+
+// LockXY acquires X then Y. Together with LockYX this is a cycle; the
+// finding lands on the earliest edge of the representative cycle, which
+// starts at the lexicographically smallest lock (fixture.X.mu).
+func LockXY(x *X, y *Y) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock() // want "lock acquisition cycle fixture.X.mu -> fixture.Y.mu -> fixture.X.mu"
+	y.mu.Unlock()
+}
+
+// LockYX acquires the same pair in the opposite order.
+func LockYX(x *X, y *Y) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	x.mu.Lock()
+	x.mu.Unlock()
+}
+
+// Reacquire locks a mutex it already holds: sync.Mutex is not reentrant,
+// so this is a guaranteed self-deadlock, reported as a self-cycle.
+func Reacquire(z *Z) {
+	z.mu.Lock()
+	z.mu.Lock() // want "lock acquisition cycle fixture.Z.mu -> fixture.Z.mu"
+	z.mu.Unlock()
+	z.mu.Unlock()
+}
+
+// LockPQ / LockQP invert like X/Y, but the representative edge carries a
+// justified suppression, so no finding surfaces.
+func LockPQ(p *P, q *Q) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	//lint:ignore lockorder fixture: justified suppressions silence cycle reports
+	q.mu.Lock()
+	q.mu.Unlock()
+}
+
+func LockQP(p *P, q *Q) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	p.mu.Lock()
+	p.mu.Unlock()
+}
+
+// BranchesBalance shows the branch-aware simulation: both arms release Y
+// before X is taken again in canonical order, so no inversion exists.
+func BranchesBalance(x *X, y *Y, cond bool) {
+	x.mu.Lock()
+	if cond {
+		y.mu.Lock()
+		y.mu.Unlock()
+	} else {
+		y.mu.Lock()
+		y.mu.Unlock()
+	}
+	x.mu.Unlock()
+}
+
+// LocalMutexIgnored uses a function-local mutex: no cross-function order
+// can exist for it, so it is untracked.
+func LocalMutexIgnored() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}
+
+// ClosureDoesNotInherit spawns work in a goroutine: the held set does not
+// leak into the closure, so Y-then-X inside it (relative to the X the
+// spawner holds) is not an inversion.
+func ClosureDoesNotInherit(x *X, y *Y) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	go func(y *Y) {
+		y.mu.Lock()
+		y.mu.Unlock()
+	}(y)
+}

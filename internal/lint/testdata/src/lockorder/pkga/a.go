@@ -1,0 +1,44 @@
+// Package core seeds the cross-package half of the lockorder golden tests.
+// The test loads it under the import path mlq/internal/core, putting it in
+// lockorder's scope; its package name becomes the lock-ID prefix. It
+// contributes the edge core.A.Mu -> core.B.Mu and exports GrabA, which the
+// replica-side fixture calls while holding its own lock to close a
+// three-mutex cycle spanning the package boundary.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// A and B are lock-bearing structs; their mutexes are exported so the
+// companion fixture package can extend the acquisition graph.
+type A struct{ Mu sync.Mutex }
+
+type B struct{ Mu sync.Mutex }
+
+// LockAB acquires A then B: the edge core.A.Mu -> core.B.Mu.
+func LockAB(a *A, b *B) {
+	a.Mu.Lock()
+	defer a.Mu.Unlock()
+	b.Mu.Lock()
+	b.Mu.Unlock()
+}
+
+// GrabA acquires A alone. Called from the replica fixture under its lock,
+// it completes the cycle transitively — the inversion is only visible once
+// may-acquire sets propagate through the call graph.
+func GrabA(a *A) {
+	a.Mu.Lock()
+	a.Mu.Unlock()
+}
+
+// Shared is accessed via sync/atomic here and plainly in the replica
+// fixture: the cross-package atomicdiscipline test asserts the plain read
+// is caught even though the atomic users live in a different package.
+var Shared int64
+
+// BumpShared is the sanctioned atomic writer for Shared.
+func BumpShared() {
+	atomic.AddInt64(&Shared, 1)
+}

@@ -1,0 +1,38 @@
+// Package replica is the second half of the cross-package lockorder
+// fixture, loaded as mlq/internal/replica. Holding C.mu it both acquires
+// core.B.Mu's successor edge directly and calls back into core.GrabA,
+// closing the seeded cycle core.A.Mu -> core.B.Mu -> replica.C.mu ->
+// core.A.Mu. The analyzer must stitch these edges across the package
+// boundary and report one deterministic cycle.
+package replica
+
+import (
+	"sync"
+
+	"mlq/internal/core"
+)
+
+// C owns the replica-side lock in the seeded cycle.
+type C struct{ mu sync.Mutex }
+
+// LockBC acquires core.B.Mu then C.mu: the edge core.B.Mu -> replica.C.mu.
+func LockBC(b *core.B, c *C) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// CallbackUnderC holds C.mu across a call into core.GrabA, adding the
+// transitive edge replica.C.mu -> core.A.Mu that completes the cycle.
+func CallbackUnderC(a *core.A, c *C) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	core.GrabA(a)
+}
+
+// ReadShared reads core.Shared plainly; the atomic users live in the core
+// fixture, so only a module-wide pass can connect the two.
+func ReadShared() int64 {
+	return core.Shared
+}

@@ -1,0 +1,42 @@
+// Package fixture exercises the //lint:ignore statement-span rule: a
+// directive above a multi-line statement covers every line of that
+// statement, and nothing past it. The nopanic cases prove it end to end
+// through Run; suppress_test.go additionally asserts the covered line
+// ranges directly. Line numbers are load-bearing — keep the layout stable
+// or update suppress_test.go.
+package fixture
+
+func recover2(f func()) { // the harness recovers panics from f
+	defer func() { _ = recover() }()
+	f()
+}
+
+// WrappedCallback: the panic sits on the third line of a single multi-line
+// ExprStmt; the directive above the statement must cover it.
+func WrappedCallback() {
+	//lint:ignore nopanic fixture: the harness recovers this deliberate panic
+	recover2(
+		func() {
+			panic("line three of the statement span")
+		},
+	)
+}
+
+// AfterSpan proves the directive stops at the statement's last line.
+func AfterSpan() {
+	//lint:ignore nopanic fixture: covers only the next statement
+	recover2(
+		func() {},
+	)
+	panic("first line past the span is not covered") // want "panic in internal library code"
+}
+
+// TrailingDirective sits on the first line of a multi-line statement and
+// still covers the whole span.
+func TrailingDirective() {
+	recover2( //lint:ignore nopanic fixture: trailing placement spans the statement too
+		func() {
+			panic("covered by the trailing directive")
+		},
+	)
+}

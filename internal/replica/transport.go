@@ -253,6 +253,7 @@ func (t *MemTransport) Barrier(to string) (chan struct{}, error) {
 		return nil, fmt.Errorf("replica: unknown destination %q", to)
 	}
 	m, done := NewBarrierMsg()
+	//lint:ignore chanowner barriers must never be lost: blocking until the bounded inbox has room is the synchronization contract, and the receiver's pump is always draining
 	ch <- m
 	return done, nil
 }
