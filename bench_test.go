@@ -14,6 +14,7 @@ import (
 	"mlq/internal/core"
 	"mlq/internal/dist"
 	"mlq/internal/engine"
+	"mlq/internal/events"
 	"mlq/internal/geom"
 	"mlq/internal/geom/geomtest"
 	"mlq/internal/harness"
@@ -306,6 +307,44 @@ func BenchmarkPredictTelemetry(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				t.PredictBeta(pts[i%len(pts)], 1)
+			}
+		})
+	}
+}
+
+// BenchmarkPredictEvents pins the event-spine hot-path contract: Predict
+// emits no events and takes no recorder branch, so a publisher with the
+// causal spine and flight recorder installed predicts at the same speed as
+// one without. Emission happens only on the Observe/apply/publish paths,
+// where one pointer check gates it.
+func BenchmarkPredictEvents(b *testing.B) {
+	pts := randPoints(4096, 8)
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			m, err := core.NewMLQ(quadtree.Config{
+				Region:      geomtest.MustRect(geom.Point{0, 0, 0, 0}, geom.Point{1000, 1000, 1000, 1000}),
+				MemoryLimit: 92 * quadtree.DefaultNodeBytes,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 20000; i++ {
+				if err := m.Observe(pts[i%len(pts)], float64(i%10000)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cfg := core.PublisherConfig{}
+			if mode == "on" {
+				cfg.Events = events.New(events.Config{Seed: 1})
+			}
+			pub, err := core.NewPublisher(m, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pub.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pub.Predict(pts[i%len(pts)])
 			}
 		})
 	}

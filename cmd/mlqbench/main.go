@@ -16,9 +16,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	"mlq/internal/dist"
+	"mlq/internal/events"
 	"mlq/internal/harness"
 	"mlq/internal/spatialdb"
 	"mlq/internal/telemetry"
@@ -35,6 +39,7 @@ func main() {
 	trials := flag.Int("trials", 1, "replicate accuracy cells across N seeds (fig8 reports mean±std)")
 	telemetryAddr := flag.String("telemetry", "", "serve live metrics on this address while experiments run (e.g. localhost:9090, :0 for a free port; empty disables)")
 	traceOut := flag.String("trace-out", "", "write feedback-loop trace spans as JSONL to this file (empty disables)")
+	eventsDir := flag.String("events-dir", "", "record the causal event spine: flight-recorder dumps land in this directory and a final events.mlqbb export is written on exit (empty disables)")
 	flag.Parse()
 
 	reg, tr, cleanup, err := setupTelemetry(*telemetryAddr, *traceOut)
@@ -44,10 +49,64 @@ func main() {
 	}
 	defer cleanup()
 
-	if err := run(*exp, *seed, *quick, *queries, *mem, *trials, reg, tr); err != nil {
+	rec, err := setupEvents(*eventsDir, *seed, reg)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mlqbench:", err)
 		os.Exit(1)
 	}
+
+	if err := run(*exp, *seed, *quick, *queries, *mem, *trials, reg, tr, rec); err != nil {
+		fmt.Fprintln(os.Stderr, "mlqbench:", err)
+		os.Exit(1)
+	}
+
+	if err := exportEvents(*eventsDir, rec); err != nil {
+		fmt.Fprintln(os.Stderr, "mlqbench:", err)
+		os.Exit(1)
+	}
+}
+
+// setupEvents builds the causal event spine when -events-dir is set: fault
+// triggers auto-dump black boxes into the directory, and exportEvents writes
+// the final ring contents on exit so a healthy run still leaves a trace to
+// decode with `mlqtool trace`.
+func setupEvents(dir string, seed int64, reg *telemetry.Registry) (*events.Recorder, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("creating events dir: %w", err)
+	}
+	// 8192 slots per subsystem (512 KiB each): the replica ring sees up to
+	// eight events per observation (sends, receives, applies, epochs across
+	// the fleet) and chaos transports deliver in bursts, so the default ring
+	// would evict an observation's early hops before its late ones land.
+	rec := events.New(events.Config{Seed: uint64(seed), DumpDir: dir, RingSize: 8192})
+	if reg != nil {
+		rec.Instrument(reg)
+	}
+	return rec, nil
+}
+
+// exportEvents writes the spine's final state to events.mlqbb in the dir.
+func exportEvents(dir string, rec *events.Recorder) error {
+	if rec == nil {
+		return nil
+	}
+	path := filepath.Join(dir, "events.mlqbb")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("exporting events: %w", err)
+	}
+	if err := rec.DumpTo(f, "run-complete"); err != nil {
+		f.Close()
+		return fmt.Errorf("exporting events: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("exporting events: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "events: exported %s (decode with `mlqtool trace -dump %s`)\n", path, path)
+	return nil
 }
 
 // setupTelemetry starts the exposition server and trace sink per the CLI
@@ -82,9 +141,9 @@ func setupTelemetry(addr, traceOut string) (*telemetry.Registry, *telemetry.Trac
 	return reg, tr, cleanup, nil
 }
 
-func run(exp string, seed int64, quick bool, queries, mem, trials int, reg *telemetry.Registry, tr *telemetry.Tracer) error {
-	synthOpts := harness.Options{Seed: seed, Queries: 5000, MemoryLimit: mem, Trials: trials, Telemetry: reg, Tracer: tr}
-	realOpts := harness.Options{Seed: seed, Queries: 2500, MemoryLimit: mem, Telemetry: reg, Tracer: tr}
+func run(exp string, seed int64, quick bool, queries, mem, trials int, reg *telemetry.Registry, tr *telemetry.Tracer, rec *events.Recorder) error {
+	synthOpts := harness.Options{Seed: seed, Queries: 5000, MemoryLimit: mem, Trials: trials, Telemetry: reg, Tracer: tr, Events: rec}
+	realOpts := harness.Options{Seed: seed, Queries: 2500, MemoryLimit: mem, Telemetry: reg, Tracer: tr, Events: rec}
 	if quick {
 		synthOpts.Queries, realOpts.Queries = 600, 400
 	}
@@ -114,7 +173,12 @@ func run(exp string, seed int64, quick bool, queries, mem, trials int, reg *tele
 	}
 
 	did := false
+	// registered accumulates every experiment name runExp sees, so an unknown
+	// -exp can print the real list instead of a hand-maintained one that
+	// drifts. "all" and "concurrency" are dispatched outside runExp.
+	registered := []string{"all", "concurrency"}
 	runExp := func(name string, fn func() error) error {
+		registered = append(registered, name)
 		if exp != "all" && exp != name {
 			return nil
 		}
@@ -326,7 +390,9 @@ func run(exp string, seed int64, quick bool, queries, mem, trials int, reg *tele
 	}
 
 	if !did {
-		return fmt.Errorf("unknown experiment %q (want all, fig8, fig9, fig10, fig11, fig12, shift, nn, leo, memcurve, cache, chaos, chaoslatency, chaosrepl, ablate, concurrency)", exp)
+		sort.Strings(registered)
+		return fmt.Errorf("unknown experiment %q; registered experiments:\n  %s",
+			exp, strings.Join(registered, "\n  "))
 	}
 	return nil
 }

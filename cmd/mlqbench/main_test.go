@@ -18,7 +18,7 @@ func TestRunEachExperiment(t *testing.T) {
 	for _, exp := range []string{"fig8", "fig10", "fig12", "shift", "nn", "leo", "ablate"} {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(exp, 1, true, 120, 0, 1, nil, nil); err != nil {
+			if err := run(exp, 1, true, 120, 0, 1, nil, nil, nil); err != nil {
 				t.Fatalf("run(%q): %v", exp, err)
 			}
 		})
@@ -32,7 +32,7 @@ func TestRunRealExperimentsSmall(t *testing.T) {
 	for _, exp := range []string{"fig9", "fig11", "chaos"} {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(exp, 1, true, 60, 0, 1, nil, nil); err != nil {
+			if err := run(exp, 1, true, 60, 0, 1, nil, nil, nil); err != nil {
 				t.Fatalf("run(%q): %v", exp, err)
 			}
 		})
@@ -40,13 +40,13 @@ func TestRunRealExperimentsSmall(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nonsense", 1, true, 50, 0, 1, nil, nil); err == nil {
+	if err := run("nonsense", 1, true, 50, 0, 1, nil, nil, nil); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestRunMemoryOverride(t *testing.T) {
-	if err := run("fig8", 2, true, 100, 4096, 2, nil, nil); err != nil {
+	if err := run("fig8", 2, true, 100, 4096, 2, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -80,7 +80,7 @@ func TestTelemetryScrapeMidRun(t *testing.T) {
 	tr := telemetry.NewTracer(reg, nil, nil)
 
 	done := make(chan error, 1)
-	go func() { done <- run("chaos", 1, true, 60, 0, 1, reg, tr) }()
+	go func() { done <- run("chaos", 1, true, 60, 0, 1, reg, tr, nil) }()
 
 	scrape := func() string {
 		t.Helper()

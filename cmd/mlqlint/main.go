@@ -154,9 +154,12 @@ func run(args []string) int {
 // auditSuppressions prints every //lint:ignore site with the analyzers it
 // silences and the stated reason — the repo's ledger of locally waived
 // invariants. Directives naming analyzers that do not exist are called out:
-// they suppress nothing and usually mark a typo.
+// they suppress nothing and usually mark a typo. Reasons shorter than
+// lint.MinReasonWords words are findings (exit 1): "unreachable" tells the
+// next reader nothing about which invariant was waived or why it holds.
 func auditSuppressions(pkgs []*lint.Package, known map[string]bool) int {
 	sites := lint.SuppressionSites(pkgs)
+	short := 0
 	for _, s := range sites {
 		fmt.Printf("%s:%d: %s: %s\n", s.Pos.Filename, s.Pos.Line, strings.Join(s.Analyzers, ","), s.Reason)
 		for _, name := range s.Analyzers {
@@ -164,7 +167,15 @@ func auditSuppressions(pkgs []*lint.Package, known map[string]bool) int {
 				fmt.Fprintf(os.Stderr, "mlqlint: %s:%d: directive names unknown analyzer %q\n", s.Pos.Filename, s.Pos.Line, name)
 			}
 		}
+		if s.ReasonTooShort() {
+			short++
+			fmt.Fprintf(os.Stderr, "mlqlint: %s:%d: suppression reason %q is too short (want >= %d words naming the waived invariant and why it holds)\n",
+				s.Pos.Filename, s.Pos.Line, s.Reason, lint.MinReasonWords)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "mlqlint: %d suppression site(s)\n", len(sites))
+	fmt.Fprintf(os.Stderr, "mlqlint: %d suppression site(s), %d with too-short reasons\n", len(sites), short)
+	if short > 0 {
+		return 1
+	}
 	return 0
 }

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mlq/internal/events"
+)
+
+// cmdBlackbox decodes a flight-recorder dump: the meta frame, every intact
+// event, and the count of CRC-damaged frames. Damage is reported, not fatal —
+// a black box recovered from a crashed process is expected to have a torn
+// tail — but it does make the command exit nonzero so scripts notice.
+func cmdBlackbox(args []string) error {
+	fs := flag.NewFlagSet("blackbox", flag.ExitOnError)
+	dumpPath := fs.String("dump", "", "flight-recorder dump file (.mlqbb)")
+	fs.Parse(args)
+	path := *dumpPath
+	if path == "" && fs.NArg() == 1 {
+		path = fs.Arg(0)
+	}
+	if path == "" {
+		return fmt.Errorf("blackbox requires -dump FILE (or a single file argument)")
+	}
+	meta, evts, crcErrs, err := events.ReadDumpFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dump:    %s\n", path)
+	fmt.Printf("seq:     %d\n", meta.Seq)
+	fmt.Printf("reason:  %s\n", meta.Reason)
+	fmt.Printf("events:  %d\n", len(evts))
+	fmt.Printf("damaged: %d frame(s)\n", crcErrs)
+	if len(evts) > 0 {
+		fmt.Println()
+		events.WriteEvents(os.Stdout, evts)
+	}
+	if crcErrs > 0 {
+		return fmt.Errorf("%d damaged frame(s) in %s", crcErrs, path)
+	}
+	return nil
+}
+
+// cmdTrace reconstructs one observation's end-to-end journey from a dump:
+// observe -> batch drain -> journal append -> transport send/receive ->
+// follower apply -> epoch publish, with per-hop lag. Without -id it lists
+// the causal IDs present in the dump so the caller can pick one.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	dumpPath := fs.String("dump", "", "flight-recorder dump file (.mlqbb)")
+	idHex := fs.String("id", "", "causal ID to trace (hex); empty lists the IDs in the dump")
+	fs.Parse(args)
+	if *dumpPath == "" {
+		return fmt.Errorf("trace requires -dump FILE")
+	}
+	if *idHex == "" && fs.NArg() == 1 {
+		*idHex = fs.Arg(0)
+	}
+	meta, evts, crcErrs, err := events.ReadDumpFile(*dumpPath)
+	if err != nil {
+		return err
+	}
+	if crcErrs > 0 {
+		fmt.Fprintf(os.Stderr, "mlqtool: warning: %d damaged frame(s) in %s; tracing the intact events\n", crcErrs, *dumpPath)
+	}
+	if *idHex == "" {
+		causes := events.Causes(evts)
+		fmt.Printf("%d traced observation(s) in %s (reason: %s)\n", len(causes), *dumpPath, meta.Reason)
+		for _, c := range causes {
+			tr := events.BuildTrace(evts, c)
+			fmt.Printf("  %016x  %d hop(s)\n", c, len(tr.Hops))
+		}
+		if len(causes) > 0 {
+			fmt.Println("\nrun `mlqtool trace -dump FILE -id ID` to reconstruct one journey")
+		}
+		return nil
+	}
+	cause, err := strconv.ParseUint(strings.TrimPrefix(*idHex, "0x"), 16, 64)
+	if err != nil {
+		return fmt.Errorf("-id %q: %w", *idHex, err)
+	}
+	tr := events.BuildTrace(evts, cause)
+	events.WriteTrace(os.Stdout, tr)
+	if len(tr.Hops) == 0 {
+		return fmt.Errorf("causal ID %016x has no events in %s", cause, *dumpPath)
+	}
+	return nil
+}

@@ -5,10 +5,17 @@
 //
 // Usage:
 //
-//	mlqtool train   -model m.mlq -data obs.csv -lo 0,0 -hi 1000,1000 [-lazy] [-mem 1843]
-//	mlqtool predict -model m.mlq -data queries.csv [-beta 1]
-//	mlqtool stats   -model m.mlq
-//	mlqtool dump    -model m.mlq
+//	mlqtool train    -model m.mlq -data obs.csv -lo 0,0 -hi 1000,1000 [-lazy] [-mem 1843]
+//	mlqtool predict  -model m.mlq -data queries.csv [-beta 1]
+//	mlqtool stats    -model m.mlq
+//	mlqtool dump     -model m.mlq
+//	mlqtool blackbox -dump crash.mlqbb
+//	mlqtool trace    -dump crash.mlqbb [-id HEX]
+//
+// blackbox and trace decode flight-recorder dumps (see internal/events):
+// blackbox prints the raw event history around a fault, trace reconstructs
+// one observation's causal journey through the feedback loop with per-hop
+// lag.
 //
 // CSV rows are "x1,...,xd,cost" for train and "x1,...,xd" for predict;
 // lines starting with '#' are skipped.
@@ -47,6 +54,10 @@ func main() {
 		err = cmdDump(os.Args[2:])
 	case "catalog":
 		err = cmdCatalog(os.Args[2:])
+	case "blackbox":
+		err = cmdBlackbox(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -58,7 +69,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: mlqtool <train|train-sh|predict|stats|dump|catalog> [flags]
+	fmt.Fprintln(os.Stderr, `usage: mlqtool <train|train-sh|predict|stats|dump|catalog|blackbox|trace> [flags]
   train    -model FILE -data CSV -lo a,b,... -hi a,b,... [-lazy] [-mem N] [-depth N] [-alpha F] [-beta N] [-gamma F]
   train-sh -model FILE -data CSV -lo a,b,... -hi a,b,... [-height] [-mem N]
   predict  -model FILE -data CSV [-beta N]
@@ -66,7 +77,9 @@ func usage() {
   dump     -model FILE
   catalog  put -catalog FILE -name UDF -cpu FILE [-io FILE]
   catalog  list -catalog FILE
-  catalog  rm -catalog FILE -name UDF`)
+  catalog  rm -catalog FILE -name UDF
+  blackbox -dump FILE.mlqbb
+  trace    -dump FILE.mlqbb [-id HEX]`)
 }
 
 // parsePoint parses a comma-separated coordinate list.

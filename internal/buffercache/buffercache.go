@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"mlq/internal/events"
 	"mlq/internal/pagestore"
 )
 
@@ -136,7 +137,8 @@ type Cache struct {
 	retryStats RetryStats
 	charged    float64 // modeled latency in IO cost units (Latency / UnitLatency)
 
-	tel *cacheTelemetry // nil unless Instrument was called
+	tel *cacheTelemetry  // nil unless Instrument was called
+	ev  *events.Recorder // causal event spine; nil = recording off
 }
 
 type entry struct {
@@ -178,6 +180,11 @@ func (c *Cache) Policy() Policy { return c.policy }
 // SetRetryPolicy installs the read retry/backoff/deadline policy. The zero
 // policy restores the default single-attempt behavior.
 func (c *Cache) SetRetryPolicy(p RetryPolicy) { c.retry = p }
+
+// SetEvents installs (or, with nil, removes) the causal event spine:
+// retry-budget exhaustion and deadline abandonment emit fault events, so a
+// flight-recorder dump shows the IO distress that preceded a trigger.
+func (c *Cache) SetEvents(rec *events.Recorder) { c.ev = rec }
 
 // Retry returns the installed retry policy.
 func (c *Cache) Retry() RetryPolicy { return c.retry }
@@ -230,6 +237,7 @@ func (c *Cache) readThrough(id pagestore.PageID) ([]byte, error) {
 			// eventually have returned.
 			c.retryStats.DeadlineExceeded++
 			c.charge(c.retry.Deadline)
+			c.ev.Emit(events.SubBufferCache, events.KindReadDeadline, 0, uint64(id), uint64(attempt))
 			return nil, fmt.Errorf("%w: page %d stalled %v against a %v deadline",
 				ErrDeadlineExceeded, id, lat, c.retry.Deadline)
 		}
@@ -241,6 +249,7 @@ func (c *Cache) readThrough(id pagestore.PageID) ([]byte, error) {
 		if attempt >= attempts {
 			if attempts > 1 {
 				c.retryStats.Exhausted++
+				c.ev.Emit(events.SubBufferCache, events.KindRetryExhausted, 0, uint64(id), uint64(attempt))
 			}
 			c.charge(lat)
 			return nil, err
@@ -250,6 +259,7 @@ func (c *Cache) readThrough(id pagestore.PageID) ([]byte, error) {
 			// give up now and charge only the time actually waited.
 			c.retryStats.DeadlineExceeded++
 			c.charge(lat)
+			c.ev.Emit(events.SubBufferCache, events.KindReadDeadline, 0, uint64(id), uint64(attempt))
 			return nil, fmt.Errorf("%w: page %d still failing after %d attempts and %v of %v budget: %v",
 				ErrDeadlineExceeded, id, attempt, lat, c.retry.Deadline, err)
 		}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mlq/internal/events"
 	"mlq/internal/geom"
 	"mlq/internal/journal"
 	"mlq/internal/quadtree"
@@ -122,6 +123,8 @@ type Publisher struct {
 	journaled   atomic.Int64 // records appended to the journal
 	journalErrs atomic.Int64 // appends that failed (journal full or IO error)
 
+	events *events.Recorder // causal event spine; nil = recording off
+
 	onPublish atomic.Pointer[func(epoch uint64, applied int64)]
 
 	admit chan struct{} // test-only writer gate; nil in production
@@ -151,6 +154,11 @@ type epochState struct {
 type observation struct {
 	p      geom.Point
 	actual float64
+	// cause is the causal ID minted for this observation's journey on the
+	// event spine (0 when no recorder is installed); mint is the recorder
+	// clock's reading at the mint, so every later hop can report lag.
+	cause uint64
+	mint  int64
 }
 
 type flushRequest struct {
@@ -182,6 +190,11 @@ type PublisherConfig struct {
 	// failures degrade gracefully (counted, never fatal). The caller owns
 	// the journal's lifecycle; Close does not close it.
 	Journal *journal.Journal
+	// Events, when non-nil, is the causal event spine: Observe mints a
+	// causal ID per accepted observation and the publisher emits a hop
+	// event at acceptance, journal append, batch drain, and epoch publish.
+	// Nil keeps every emission site at a single pointer check.
+	Events *events.Recorder
 }
 
 func (c PublisherConfig) withDefaults() PublisherConfig {
@@ -225,6 +238,7 @@ func newPublisherGated(m *MLQ, cfg PublisherConfig, admit chan struct{}) (*Publi
 		overflow:   cfg.Overflow,
 		obsTimeout: cfg.ObserveTimeout,
 		journal:    cfg.Journal,
+		events:     cfg.Events,
 		writerDone: make(chan struct{}),
 		flushReq:   make(chan flushRequest),
 		admit:      admit,
@@ -258,8 +272,15 @@ func (pub *Publisher) Observe(p geom.Point, actual float64) error {
 		return fmt.Errorf("core: cost value must be finite, got %g", actual)
 	}
 	// Copy the point: the caller may reuse its backing array after Observe
-	// returns, but the writer reads it asynchronously.
-	o := observation{p: append(geom.Point(nil), p...), actual: actual}
+	// returns, but the writer reads it asynchronously. The causal ID minted
+	// here is the thread `mlqtool trace` follows through every later hop;
+	// with no recorder both fields stay zero at the cost of one nil check.
+	o := observation{
+		p:      append(geom.Point(nil), p...),
+		actual: actual,
+		cause:  pub.events.MintID(),
+		mint:   pub.events.Now(),
+	}
 	select {
 	case <-pub.stop:
 		return ErrPublisherClosed
@@ -341,15 +362,30 @@ func (pub *Publisher) blockingEnqueue(o observation) error {
 	}
 }
 
+// Accepted describes one observation the publisher accepted, as delivered
+// to Subscribe callbacks: the 1-based sequence number that totals the
+// accepted stream, the publisher's copy of the point, and the observation's
+// identity on the causal event spine (zero when no recorder is installed),
+// which replication carries across the wire so a follower's hops land on
+// the same trace.
+type Accepted struct {
+	Seq    uint64
+	Point  geom.Point
+	Value  float64
+	Cause  uint64 // causal ID minted at Observe; 0 = untraced
+	MintNS int64  // recorder clock reading at the mint; 0 = unknown
+}
+
 // subscriber is one registered accepted-observation hook.
 type subscriber struct {
-	fn func(seq uint64, p geom.Point, actual float64)
+	fn func(acc Accepted)
 }
 
 // accepted performs the post-enqueue bookkeeping for an accepted
-// observation: counters, telemetry, the crash-safety journal, and the
-// subscriber fan-out. Sequence assignment, journal append and fan-out share
-// one critical section (see jmu) so all consumers agree on the order.
+// observation: counters, telemetry, the crash-safety journal, the
+// subscriber fan-out, and the observe/journal hops on the event spine.
+// Sequence assignment, journal append and fan-out share one critical
+// section (see jmu) so all consumers agree on the order.
 func (pub *Publisher) accepted(o observation) {
 	pub.submitted.Add(1)
 	if tel := pub.tel.Load(); tel != nil {
@@ -362,10 +398,12 @@ func (pub *Publisher) accepted(o observation) {
 	if pub.journal != nil {
 		jerr = pub.journal.Append(o.p, o.actual)
 	}
+	acc := Accepted{Seq: seq, Point: o.p, Value: o.actual, Cause: o.cause, MintNS: o.mint}
 	for _, s := range pub.subs {
-		s.fn(seq, o.p, o.actual)
+		s.fn(acc)
 	}
 	pub.jmu.Unlock()
+	pub.events.EmitHop(events.SubCore, events.KindObserve, o.cause, o.mint, 0, seq)
 	if pub.journal == nil {
 		return
 	}
@@ -382,19 +420,19 @@ func (pub *Publisher) accepted(o observation) {
 	if tel := pub.tel.Load(); tel != nil {
 		tel.journaled.Inc()
 	}
+	pub.events.EmitHop(events.SubJournal, events.KindJournalAppend, o.cause, o.mint, 0, seq)
 }
 
 // Subscribe registers fn to be called synchronously for every observation
-// the publisher accepts from now on, with a 1-based sequence number that
-// totals the publisher's accepted stream. The callback runs on the
-// observer's goroutine inside the accepted-observation critical section —
-// after the observation is enqueued and journaled, before Observe returns —
-// so callbacks for seq n and n+1 never race each other and arrive in
-// sequence order. Keep callbacks fast and non-blocking (hand off to a queue;
+// the publisher accepts from now on. The callback runs on the observer's
+// goroutine inside the accepted-observation critical section — after the
+// observation is enqueued and journaled, before Observe returns — so
+// callbacks for seq n and n+1 never race each other and arrive in sequence
+// order. Keep callbacks fast and non-blocking (hand off to a queue;
 // replication streams do): a slow subscriber backpressures every Observe.
-// The point slice is the publisher's own copy and must not be mutated.
+// Accepted.Point is the publisher's own copy and must not be mutated.
 // The returned cancel removes the subscription; it is safe to call twice.
-func (pub *Publisher) Subscribe(fn func(seq uint64, p geom.Point, actual float64)) (cancel func()) {
+func (pub *Publisher) Subscribe(fn func(acc Accepted)) (cancel func()) {
 	s := &subscriber{fn: fn}
 	pub.jmu.Lock()
 	pub.subs = append(pub.subs, s)
@@ -525,8 +563,9 @@ func (pub *Publisher) Checkpoint() error {
 		return nil
 	}
 	pub.jmu.Lock()
-	defer pub.jmu.Unlock()
-	return pub.journal.Reset()
+	err := pub.journal.Reset()
+	pub.jmu.Unlock()
+	return err
 }
 
 // Close drains the queue, publishes a final snapshot, stops the writer
@@ -558,12 +597,18 @@ func (pub *Publisher) writer(m *MLQ) {
 				// failure; record it for Flush/Close rather than dying.
 				pub.recordErr(err)
 			}
+			pub.events.EmitHop(events.SubCore, events.KindBatchDrain, o.cause, o.mint, 0, 0)
 		}
 		epoch++
 		pub.cur.Store(&epochState{snap: m.tree.Snapshot(), epoch: epoch})
-		pub.applied.Add(int64(len(batch)))
+		applied := pub.applied.Add(int64(len(batch)))
+		// The epoch-publish hop covers the whole batch, so it carries no
+		// single causal ID; traces join it by the applied watermark — the
+		// accepted-sequence high-water mark this snapshot reflects (exact
+		// under ordered ingress, which replication guarantees).
+		pub.events.Emit(events.SubCore, events.KindEpochPublish, 0, epoch, uint64(applied))
 		if fn := pub.onPublish.Load(); fn != nil {
-			(*fn)(epoch, pub.applied.Load())
+			(*fn)(epoch, applied)
 		}
 		if tel := pub.tel.Load(); tel != nil {
 			tel.publish(pub, len(batch))
@@ -659,6 +704,14 @@ func (pub *Publisher) drainErr() error {
 // dimensionality — a foreign journal) abort the replay with an error. Call
 // it on the fresh MLQ before wrapping it in a Publisher.
 func ReplayJournal(m *MLQ, path string) (applied int, truncated int64, err error) {
+	return ReplayJournalEvents(m, path, nil)
+}
+
+// ReplayJournalEvents is ReplayJournal with the event spine attached: a
+// torn tail — the journal-truncation fault — emits a journal-torn event and
+// fires the flight recorder, so the post-kill dump shows what the loop was
+// doing when the tail was lost. rec may be nil.
+func ReplayJournalEvents(m *MLQ, path string, rec *events.Recorder) (applied int, truncated int64, err error) {
 	recs, truncated, err := journal.ReplayFile(path)
 	if err != nil {
 		return 0, truncated, err
@@ -668,6 +721,10 @@ func ReplayJournal(m *MLQ, path string) (applied int, truncated int64, err error
 			return applied, truncated, fmt.Errorf("core: journal replay at record %d: %w", applied, err)
 		}
 		applied++
+	}
+	if truncated > 0 {
+		rec.Emit(events.SubJournal, events.KindJournalTorn, 0, uint64(applied), uint64(truncated))
+		rec.Trigger("journal-torn")
 	}
 	return applied, truncated, nil
 }

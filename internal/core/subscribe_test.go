@@ -29,8 +29,8 @@ func TestPublisherSubscribeStreamsAcceptedOrder(t *testing.T) {
 		v   float64
 	}
 	var streamed []got
-	cancel := pub.Subscribe(func(seq uint64, p geom.Point, v float64) {
-		streamed = append(streamed, got{seq, p, v})
+	cancel := pub.Subscribe(func(acc Accepted) {
+		streamed = append(streamed, got{acc.Seq, acc.Point, acc.Value})
 	})
 	const n = 50
 	for i := 0; i < n; i++ {
@@ -84,7 +84,7 @@ func TestPublisherSubscribeCancelStopsDelivery(t *testing.T) {
 	defer pub.Close()
 	var mu sync.Mutex
 	var count int
-	cancel := pub.Subscribe(func(uint64, geom.Point, float64) {
+	cancel := pub.Subscribe(func(Accepted) {
 		mu.Lock()
 		count++
 		mu.Unlock()

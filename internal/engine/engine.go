@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"mlq/internal/core"
+	"mlq/internal/events"
 	"mlq/internal/geom"
 	"mlq/internal/optimizer"
 )
@@ -55,6 +56,11 @@ type Predicate struct {
 	// time: the engine never reads a clock, so deadline behavior stays
 	// deterministic and replayable.
 	CostDeadline float64
+	// Events, when non-nil, is the causal event spine: a recovered UDF
+	// panic emits a fault event and fires the flight recorder, and the
+	// predicate's guards inherit the recorder for their breaker-open and
+	// censoring triggers.
+	Events *events.Recorder
 
 	evaluated int64
 	passed    int64
@@ -103,6 +109,8 @@ func (p *Predicate) exec(row Row) (ok bool, cost float64, failed bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			p.execFailures++
+			p.Events.Emit(events.SubEngine, events.KindPanic, 0, uint64(p.execFailures), 0)
+			p.Events.Trigger("udf-panic")
 			ok, cost, failed = false, 0, true
 		}
 	}()
@@ -219,6 +227,10 @@ func ExecuteQuery(table *Table, preds []*Predicate, policy OrderPolicy) (Result,
 		if p.BreakerK > 0 {
 			p.costGuard.K = p.BreakerK
 			p.selGuard.K = p.BreakerK
+		}
+		if p.Events != nil {
+			p.costGuard.Events = p.Events
+			p.selGuard.Events = p.Events
 		}
 	}
 	res := Result{Evaluations: make(map[string]int64, len(preds))}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"mlq/internal/core"
+	"mlq/internal/events"
 	"mlq/internal/geom"
 )
 
@@ -55,6 +56,11 @@ type Guard struct {
 	K int
 	// ProbeEvery overrides DefaultProbeEvery when positive.
 	ProbeEvery int
+	// Events, when non-nil, receives the guard's fault events: a breaker
+	// open and every censored observation fire the flight recorder, since
+	// both mean the feedback loop is degrading and the spine's recent
+	// history explains why.
+	Events *events.Recorder
 
 	consecutive int
 	open        bool
@@ -97,6 +103,8 @@ func (g *Guard) Feed(m core.Model, p geom.Point, actual float64) FeedResult {
 		if !g.open && g.consecutive >= g.k() {
 			g.open = true
 			g.stats.Trips++
+			g.Events.Emit(events.SubEngine, events.KindBreakerOpen, 0, uint64(g.consecutive), 0)
+			g.Events.Trigger("breaker-open")
 		}
 		return FedRejected
 	}
@@ -116,6 +124,8 @@ func (g *Guard) Feed(m core.Model, p geom.Point, actual float64) FeedResult {
 func (g *Guard) Censor() {
 	g.stats.Quarantined++
 	g.stats.Censored++
+	g.Events.Emit(events.SubEngine, events.KindCensor, 0, uint64(g.stats.Censored), 0)
+	g.Events.Trigger("deadline-censor")
 }
 
 // Stats returns the guard's counters.

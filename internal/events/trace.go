@@ -1,0 +1,165 @@
+// Trace reconstruction: given the spine's events (live snapshot or decoded
+// dump), rebuild one observation's end-to-end journey from its causal ID.
+package events
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Hop is one step of a reconstructed journey.
+type Hop struct {
+	Event Event
+	// Step is the time since the previous hop in the trace (0 for the
+	// first); Event.Lag carries the cumulative lag since mint when the
+	// emitting site knew it.
+	Step time.Duration
+}
+
+// Trace is one causal ID's reconstructed journey.
+type Trace struct {
+	Cause uint64
+	Hops  []Hop
+}
+
+// epochKinds marks the join-only hop: epoch publishes cover whole batches,
+// so they carry cause 0 and are attached to a trace by watermark instead.
+func isEpochPublish(e Event) bool { return e.Kind == KindEpochPublish }
+
+// BuildTrace filters evts (any order) down to the journey of cause: every
+// event stamped with the ID, ordered by logical clock, plus — per actor that
+// applied or accepted the record — the first epoch publish whose sequence
+// watermark covers the record's sequence, which is the moment the
+// observation became visible to readers on that replica. Returns the
+// zero Trace (no hops) when the ID appears nowhere.
+func BuildTrace(evts []Event, cause uint64) Trace {
+	tr := Trace{Cause: cause}
+	if cause == 0 {
+		return tr
+	}
+	// seqByActor: the record's sequence as seen by each actor, taken from
+	// the stamped hops (A carries the sequence on observe/journal/
+	// send/recv/apply events).
+	seqByActor := map[uint16]uint64{}
+	lastLCByActor := map[uint16]uint64{}
+	var hops []Event
+	for _, e := range evts {
+		if e.Cause != cause {
+			continue
+		}
+		hops = append(hops, e)
+		if e.A > 0 {
+			seqByActor[e.Actor] = e.A
+			if e.LC > lastLCByActor[e.Actor] {
+				lastLCByActor[e.Actor] = e.LC
+			}
+		}
+	}
+	if len(hops) == 0 {
+		return tr
+	}
+	// Join the epoch-publish hop per actor: the earliest publish after the
+	// actor's last stamped hop whose watermark (B) covers the sequence.
+	joined := map[uint16]bool{}
+	sorted := append([]Event(nil), evts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].LC < sorted[j].LC })
+	for _, e := range sorted {
+		if !isEpochPublish(e) || joined[e.Actor] {
+			continue
+		}
+		seq, ok := seqByActor[e.Actor]
+		if !ok || e.B < seq || e.LC <= lastLCByActor[e.Actor] {
+			continue
+		}
+		joined[e.Actor] = true
+		hops = append(hops, e)
+	}
+	sort.Slice(hops, func(i, j int) bool { return hops[i].LC < hops[j].LC })
+	tr.Hops = make([]Hop, len(hops))
+	for i, e := range hops {
+		var step time.Duration
+		if i > 0 && e.TS > hops[i-1].TS {
+			step = time.Duration(e.TS - hops[i-1].TS)
+		}
+		tr.Hops[i] = Hop{Event: e, Step: step}
+	}
+	return tr
+}
+
+// Causes lists every distinct nonzero causal ID in evts, ordered by the
+// logical clock of its first appearance — what `mlqtool trace` prints when
+// invoked without an ID.
+func Causes(evts []Event) []uint64 {
+	firstLC := map[uint64]uint64{}
+	for _, e := range evts {
+		if e.Cause == 0 {
+			continue
+		}
+		if lc, ok := firstLC[e.Cause]; !ok || e.LC < lc {
+			firstLC[e.Cause] = e.LC
+		}
+	}
+	out := make([]uint64, 0, len(firstLC))
+	for c := range firstLC {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return firstLC[out[i]] < firstLC[out[j]] })
+	return out
+}
+
+// actorName renders the event's actor for humans: replicas are stored as
+// index+1 so that 0 can mean "the primary publisher / not a replica".
+func actorName(a uint16) string {
+	if a == 0 {
+		return "primary"
+	}
+	return fmt.Sprintf("r%d", a-1)
+}
+
+// WriteTrace renders tr as the table `mlqtool trace` prints: one row per
+// hop with the subsystem, kind, actor, payload and both lag figures.
+func WriteTrace(w io.Writer, tr Trace) {
+	if len(tr.Hops) == 0 {
+		fmt.Fprintf(w, "cause %016x: no events\n", tr.Cause)
+		return
+	}
+	fmt.Fprintf(w, "cause %016x: %d hop(s)\n", tr.Cause, len(tr.Hops))
+	fmt.Fprintf(w, "  %-4s %-12s %-14s %-8s %12s %12s  %s\n",
+		"lc", "subsystem", "hop", "actor", "step", "since-mint", "detail")
+	for _, h := range tr.Hops {
+		e := h.Event
+		sinceMint := "-"
+		if e.Lag > 0 {
+			sinceMint = time.Duration(e.Lag).String()
+		}
+		step := "-"
+		if h.Step > 0 {
+			step = h.Step.String()
+		}
+		detail := ""
+		switch e.Kind {
+		case KindObserve, KindJournalAppend, KindSend, KindRecv, KindApply:
+			detail = fmt.Sprintf("seq=%d", e.A)
+		case KindEpochPublish:
+			detail = fmt.Sprintf("epoch=%d watermark=%d", e.A, e.B)
+		}
+		fmt.Fprintf(w, "  %-4d %-12s %-14s %-8s %12s %12s  %s\n",
+			e.LC, e.Sub, e.Kind, actorName(e.Actor), step, sinceMint, detail)
+	}
+}
+
+// WriteEvents renders evts as the flat table `mlqtool blackbox` prints.
+func WriteEvents(w io.Writer, evts []Event) {
+	fmt.Fprintf(w, "  %-6s %-12s %-16s %-8s %-18s %12s %12s\n",
+		"lc", "subsystem", "kind", "actor", "cause", "a", "b")
+	for _, e := range evts {
+		cause := "-"
+		if e.Cause != 0 {
+			cause = fmt.Sprintf("%016x", e.Cause)
+		}
+		fmt.Fprintf(w, "  %-6d %-12s %-16s %-8s %-18s %12d %12d\n",
+			e.LC, e.Sub, e.Kind, actorName(e.Actor), cause, e.A, e.B)
+	}
+}

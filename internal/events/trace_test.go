@@ -1,0 +1,123 @@
+package events
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBuildTraceFullJourney drives the canonical observation journey —
+// observe → batch drain → journal append → send → recv → apply → epoch
+// publish — with an unrelated observation interleaved as noise, and checks
+// the reconstruction end to end.
+func TestBuildTraceFullJourney(t *testing.T) {
+	clk := fakeClock()
+	r := New(Config{Clock: clk, RingSize: 64, Seed: 11})
+
+	noise := r.MintID()
+	cause := r.MintID()
+	mint := r.Now()
+
+	r.EmitHop(SubCore, KindObserve, cause, mint, 0, 5)
+	r.EmitHop(SubCore, KindObserve, noise, mint, 0, 6)
+	clk.Advance(time.Millisecond)
+	r.EmitHop(SubCore, KindBatchDrain, cause, mint, 0, 0)
+	clk.Advance(time.Millisecond)
+	r.EmitHop(SubJournal, KindJournalAppend, cause, mint, 0, 5)
+	clk.Advance(time.Millisecond)
+	r.EmitHop(SubReplica, KindSend, cause, mint, 2, 5)
+	clk.Advance(2 * time.Millisecond)
+	r.EmitHop(SubReplica, KindRecv, cause, mint, 2, 5)
+	clk.Advance(time.Millisecond)
+	r.EmitHop(SubReplica, KindApply, cause, mint, 2, 5)
+	clk.Advance(time.Millisecond)
+	// Epoch publish on the same actor (replica 1, stored as 2): covers the
+	// batch, so it has cause 0 and joins by watermark (B=6 >= seq 5).
+	r.EmitActor(SubReplica, KindEpochPublish, 0, 2, 9, 6)
+	// An earlier-watermark publish on another actor must not join.
+	r.EmitActor(SubReplica, KindEpochPublish, 0, 3, 9, 3)
+
+	tr := BuildTrace(r.Snapshot(), cause)
+	wantKinds := []Kind{KindObserve, KindBatchDrain, KindJournalAppend, KindSend, KindRecv, KindApply, KindEpochPublish}
+	if len(tr.Hops) != len(wantKinds) {
+		t.Fatalf("trace has %d hops, want %d: %+v", len(tr.Hops), len(wantKinds), tr.Hops)
+	}
+	for i, k := range wantKinds {
+		if tr.Hops[i].Event.Kind != k {
+			t.Fatalf("hop %d kind = %v, want %v", i, tr.Hops[i].Event.Kind, k)
+		}
+	}
+	// Per-hop steps come from TS deltas.
+	if tr.Hops[4].Step != 2*time.Millisecond {
+		t.Fatalf("recv step = %v, want 2ms", tr.Hops[4].Step)
+	}
+	// Cumulative lag since mint reaches the apply hop.
+	if got := tr.Hops[5].Event.Lag; got != int64(6*time.Millisecond) {
+		t.Fatalf("apply lag = %v, want 6ms", time.Duration(got))
+	}
+	// The joined epoch publish is the right one.
+	if e := tr.Hops[6].Event; e.Actor != 2 || e.B != 6 {
+		t.Fatalf("joined epoch publish = %+v", e)
+	}
+	// The noise observation stays out.
+	for _, h := range tr.Hops {
+		if h.Event.Cause == noise {
+			t.Fatal("noise cause leaked into trace")
+		}
+	}
+}
+
+func TestBuildTraceUnknownCause(t *testing.T) {
+	r := New(Config{Clock: fakeClock(), RingSize: 8})
+	r.Emit(SubCore, KindObserve, 123, 1, 0)
+	tr := BuildTrace(r.Snapshot(), 999)
+	if len(tr.Hops) != 0 {
+		t.Fatalf("unknown cause produced %d hops", len(tr.Hops))
+	}
+	if tr = BuildTrace(r.Snapshot(), 0); len(tr.Hops) != 0 {
+		t.Fatal("cause 0 must trace to nothing")
+	}
+}
+
+func TestCausesOrderedByFirstAppearance(t *testing.T) {
+	r := New(Config{Clock: fakeClock(), RingSize: 16})
+	a, b := r.MintID(), r.MintID()
+	r.Emit(SubCore, KindObserve, b, 1, 0)
+	r.Emit(SubCore, KindObserve, a, 2, 0)
+	r.Emit(SubJournal, KindJournalAppend, b, 1, 0)
+	got := Causes(r.Snapshot())
+	if len(got) != 2 || got[0] != b || got[1] != a {
+		t.Fatalf("Causes = %x, want [%x %x]", got, b, a)
+	}
+}
+
+func TestWriteTraceRendering(t *testing.T) {
+	r := New(Config{Clock: fakeClock(), RingSize: 8})
+	cause := r.MintID()
+	r.EmitHop(SubCore, KindObserve, cause, r.Now(), 0, 5)
+	tr := BuildTrace(r.Snapshot(), cause)
+	var buf bytes.Buffer
+	WriteTrace(&buf, tr)
+	out := buf.String()
+	for _, want := range []string{"1 hop(s)", "observe", "core", "seq=5", "primary"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	WriteTrace(&buf, Trace{Cause: 42})
+	if !strings.Contains(buf.String(), "no events") {
+		t.Fatalf("empty trace output: %s", buf.String())
+	}
+}
+
+func TestWriteEventsRendering(t *testing.T) {
+	var buf bytes.Buffer
+	WriteEvents(&buf, sampleEvents(3))
+	out := buf.String()
+	if !strings.Contains(out, "subsystem") || len(strings.Split(out, "\n")) < 4 {
+		t.Fatalf("events table too small:\n%s", out)
+	}
+}

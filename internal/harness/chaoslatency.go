@@ -238,11 +238,11 @@ func runChaosLatencyCell(sev float64, resilient bool, cfg ChaosLatencyConfig, op
 		st := &chaosLatencyState{u: u, mlq: mlq, src: src}
 		if resilient {
 			st.jpath = filepath.Join(dir, u.Name()+".mlqj")
-			st.jn, err = journal.Create(st.jpath)
+			st.jn, err = journal.Create(st.jpath, journal.WithEvents(opts.Events))
 			if err != nil {
 				return cell, err
 			}
-			st.pub, err = core.NewPublisher(mlq, core.PublisherConfig{Journal: st.jn})
+			st.pub, err = core.NewPublisher(mlq, core.PublisherConfig{Journal: st.jn, Events: opts.Events})
 			if err != nil {
 				return cell, err
 			}

@@ -9,6 +9,7 @@ import (
 
 	"mlq/internal/core"
 	"mlq/internal/dist"
+	"mlq/internal/events"
 	"mlq/internal/faults"
 	"mlq/internal/geom"
 	"mlq/internal/metrics"
@@ -187,6 +188,7 @@ func runChaosReplScenario(sc string, region geom.Rect, want []byte, cfg ChaosRep
 		MaxBatch:      cfg.MaxBatch,
 		InboxCapacity: cfg.InboxCapacity,
 		Telemetry:     replica.NewGroupTelemetry(opts.Telemetry),
+		Events:        opts.Events,
 	})
 	if err != nil {
 		return cell, err
@@ -201,13 +203,16 @@ func runChaosReplScenario(sc string, region geom.Rect, want []byte, cfg ChaosRep
 	// Scenario event schedule, by workload index. The partition victim is
 	// always the last replica (never the initial primary r0).
 	n := opts.Queries
+	// Mark the scenario boundary on the spine: a dump decoded later shows
+	// which fault story the surrounding events belong to.
+	opts.Events.Emit(events.SubHarness, events.KindMark, 0, uint64(n), 0)
 	victim := fmt.Sprintf("r%d", cfg.Replicas-1)
 	var downed []string
-	events := map[int]func() error{}
+	sched := map[int]func() error{}
 	switch sc {
 	case "clean":
 	case "kill-primary":
-		events[n/2] = func() error {
+		sched[n/2] = func() error {
 			old := g.PrimaryID()
 			stale := g.Handle()
 			if _, err := g.Failover(); err != nil {
@@ -217,14 +222,14 @@ func runChaosReplScenario(sc string, region geom.Rect, want []byte, cfg ChaosRep
 			return expectFenced(stale)
 		}
 	case "partition-heal":
-		events[n/4] = func() error { g.Transport().Partition(victim); return nil }
+		sched[n/4] = func() error { g.Transport().Partition(victim); return nil }
 		// The checkpoint compacts the journal while the victim is cut off,
 		// so healing alone cannot repair it — only a checkpoint resync can.
-		events[n/2] = func() error { return g.Checkpoint() }
-		events[3*n/4] = func() error { g.Transport().Heal(victim); return nil }
+		sched[n/2] = func() error { return g.Checkpoint() }
+		sched[3*n/4] = func() error { g.Transport().Heal(victim); return nil }
 	case "net-chaos":
-		events[n/3] = func() error { g.Transport().Partition(victim); return nil }
-		events[n/2] = func() error {
+		sched[n/3] = func() error { g.Transport().Partition(victim); return nil }
+		sched[n/2] = func() error {
 			old := g.PrimaryID()
 			stale := g.Handle()
 			if _, err := g.Failover(); err != nil {
@@ -233,7 +238,7 @@ func runChaosReplScenario(sc string, region geom.Rect, want []byte, cfg ChaosRep
 			downed = append(downed, old)
 			return expectFenced(stale)
 		}
-		events[2*n/3] = func() error { g.Transport().Heal(victim); return nil }
+		sched[2*n/3] = func() error { g.Transport().Heal(victim); return nil }
 	default:
 		return cell, fmt.Errorf("unknown scenario %q", sc)
 	}
@@ -241,7 +246,7 @@ func runChaosReplScenario(sc string, region geom.Rect, want []byte, cfg ChaosRep
 	var nae metrics.NAE
 	h := g.Handle()
 	for q := 0; q < n; q++ {
-		if ev, ok := events[q]; ok {
+		if ev, ok := sched[q]; ok {
 			if err := ev(); err != nil {
 				return cell, err
 			}

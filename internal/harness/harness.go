@@ -11,6 +11,7 @@ import (
 
 	"mlq/internal/core"
 	"mlq/internal/dist"
+	"mlq/internal/events"
 	"mlq/internal/geom"
 	"mlq/internal/histogram"
 	"mlq/internal/metrics"
@@ -90,6 +91,10 @@ type Options struct {
 	// Tracer, when set, records the feedback-loop stages (predict, execute,
 	// observe, compress, save) as spans. Nil disables tracing.
 	Tracer *telemetry.Tracer
+	// Events, when set, is the causal event spine + flight recorder the
+	// experiments thread through their publishers and replica groups. Nil
+	// disables recording; the experiments' results are identical either way.
+	Events *events.Recorder
 }
 
 func (o Options) withDefaults() Options {

@@ -25,6 +25,8 @@ import (
 	"os"
 	"path/filepath"
 	"syscall"
+
+	"mlq/internal/events"
 )
 
 const (
@@ -64,6 +66,7 @@ type Journal struct {
 	records int
 	max     int
 	sync    bool
+	ev      *events.Recorder
 }
 
 // Option configures Create.
@@ -76,6 +79,14 @@ func WithMaxRecords(n int) Option {
 			j.max = n
 		}
 	}
+}
+
+// WithEvents attaches the causal event spine: each successful Reset emits a
+// journal-reset event carrying the number of records the checkpoint dropped.
+// Append-level hops stay with the Publisher, which knows each observation's
+// causal ID; the journal only reports its own lifecycle.
+func WithEvents(rec *events.Recorder) Option {
+	return func(j *Journal) { j.ev = rec }
 }
 
 // WithSync makes every Append fsync, trading throughput for power-loss
@@ -225,7 +236,12 @@ func (j *Journal) Reset() error {
 	}
 	old := j.f
 	j.f = f
+	dropped := j.records
 	j.records = 0
+	// A checkpoint truncation is healthy (everything dropped is covered by
+	// the durable save that preceded it), so it gets a spine event but no
+	// flight-recorder dump.
+	j.ev.Emit(events.SubJournal, events.KindJournalReset, 0, uint64(dropped), 0)
 	if err := old.Close(); err != nil {
 		return fmt.Errorf("journal: closing pre-checkpoint file of %s: %w", j.path, err)
 	}

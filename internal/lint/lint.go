@@ -236,6 +236,17 @@ type SuppressionSite struct {
 	Reason    string         `json:"reason"`
 }
 
+// MinReasonWords is the audit floor for a suppression justification: fewer
+// than three words ("unreachable", "cannot happen") names no invariant and
+// explains nothing to the next reader, so mlqlint -suppressions flags it.
+const MinReasonWords = 3
+
+// ReasonTooShort reports whether the site's justification falls under
+// MinReasonWords.
+func (s SuppressionSite) ReasonTooShort() bool {
+	return len(strings.Fields(s.Reason)) < MinReasonWords
+}
+
 // SuppressionSites inventories every //lint:ignore directive in the loaded
 // packages, sorted by position. It is the data behind mlqlint -suppressions:
 // an auditable ledger of every invariant the repo has locally opted out of.

@@ -54,6 +54,24 @@ func TestSuppressSpanGolden(t *testing.T) {
 	checkGolden(t, NoPanic{}, pkg)
 }
 
+// TestSuppressionReasonTooShort pins the audit floor against the
+// suppressshort fixture: one- and two-word justifications are flagged,
+// exactly three words and above pass.
+func TestSuppressionReasonTooShort(t *testing.T) {
+	pkg := loadFixture(t, fixtureDir{"testdata/src/suppressshort", "mlq/internal/fixture/suppressshort"})
+	sites := SuppressionSites([]*Package{pkg})
+	if len(sites) != 4 {
+		t.Fatalf("want 4 suppression sites, got %d: %v", len(sites), sites)
+	}
+	wantShort := []bool{true, false, true, false} // file order: 1, 5, 2, 3 words
+	for i, s := range sites {
+		if got := s.ReasonTooShort(); got != wantShort[i] {
+			t.Errorf("site %d (line %d, reason %q): ReasonTooShort = %v, want %v",
+				i, s.Pos.Line, s.Reason, got, wantShort[i])
+		}
+	}
+}
+
 func TestSuppressionSitesInventory(t *testing.T) {
 	pkg := loadFixture(t, fixtureDir{"testdata/src/suppressspan", "mlq/internal/fixture/suppressspan"})
 	sites := SuppressionSites([]*Package{pkg})

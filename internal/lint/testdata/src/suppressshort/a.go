@@ -1,0 +1,24 @@
+// Package suppressshort fixes the suppression-reason audit: a //lint:ignore
+// justification under three words is flagged as too short, three or more
+// words pass. Line positions are load-bearing for suppress_test.go.
+package suppressshort
+
+func oneWord() {
+	//lint:ignore nopanic unreachable
+	panic("flagged: a single word names no invariant")
+}
+
+func fiveWords() {
+	//lint:ignore nopanic boot-time invariant violation is unrecoverable
+	panic("passes: a real justification")
+}
+
+func twoWords() {
+	//lint:ignore nopanic cannot happen
+	panic("flagged: two words explain nothing")
+}
+
+func exactlyThree() {
+	//lint:ignore nopanic documented startup invariant
+	panic("passes: exactly at the floor")
+}

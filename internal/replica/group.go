@@ -10,6 +10,7 @@ import (
 
 	"mlq/internal/catalog"
 	"mlq/internal/core"
+	"mlq/internal/events"
 	"mlq/internal/geom"
 	"mlq/internal/journal"
 )
@@ -40,6 +41,10 @@ type Config struct {
 	FetchAttempts int
 	// Telemetry, when non-nil, receives the mlq_replica_* metrics.
 	Telemetry *GroupTelemetry
+	// Events, when non-nil, is the causal event spine shared by every
+	// lineage's publisher and every follower: send/recv/apply hops land on
+	// it, and a failover fires its flight recorder.
+	Events *events.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +76,7 @@ type Group struct {
 	cfg Config
 	t   Transport
 	tel *GroupTelemetry
+	ev  *events.Recorder // causal event spine; nil = recording off
 
 	// lin is the serving lineage (nil mid-failover). linMu makes the pair
 	// (lineage value, journal file identity) consistent for fetchers: a
@@ -119,6 +125,7 @@ func New(cfg Config) (*Group, error) {
 		cfg:      cfg,
 		t:        t,
 		tel:      cfg.Telemetry,
+		ev:       cfg.Events,
 		nodes:    make(map[string]*node, cfg.Replicas),
 		ckptPath: filepath.Join(cfg.Dir, "checkpoint.mlqc"),
 	}
@@ -131,6 +138,7 @@ func New(cfg Config) (*Group, error) {
 		n := &node{
 			id:       id,
 			g:        g,
+			idx:      i,
 			role:     RoleFollower,
 			mlq:      m,
 			pending:  make(map[uint64]Record),
@@ -175,7 +183,7 @@ func (g *Group) promoteLocked(id string, acked uint64) error {
 	n.mu.Unlock()
 
 	jpath := filepath.Join(g.cfg.Dir, fmt.Sprintf("term-%04d.mlqj", term))
-	jn, err := journal.Create(jpath)
+	jn, err := journal.Create(jpath, journal.WithEvents(g.ev))
 	if err != nil {
 		return fmt.Errorf("replica: creating term %d journal: %w", term, err)
 	}
@@ -183,6 +191,7 @@ func (g *Group) promoteLocked(id string, acked uint64) error {
 		QueueCapacity: g.cfg.QueueCapacity,
 		MaxBatch:      g.cfg.MaxBatch,
 		Journal:       jn,
+		Events:        g.ev,
 	})
 	if err != nil {
 		jn.Close()
@@ -190,21 +199,30 @@ func (g *Group) promoteLocked(id string, acked uint64) error {
 	}
 
 	peers := make([]string, 0, len(g.ids)-1)
+	peerIdx := make([]int, 0, len(g.ids)-1)
 	for _, pid := range g.ids {
 		if pid != id {
 			peers = append(peers, pid)
+			peerIdx = append(peerIdx, g.nodes[pid].idx)
 		}
 	}
 	base := acked
 	tr := g.t
+	ev := g.ev
 	// Accepted-observation fan-out: runs inside the publisher's accept
 	// critical section, so stream order is exactly journal order. Send
 	// errors are the data plane's problem (drops and partitions are what
-	// journal catch-up repairs), never the accept path's.
-	pub.Subscribe(func(seq uint64, p geom.Point, v float64) {
-		rec := Record{Seq: base + seq, Term: term, Point: p, Value: v}
-		for _, pid := range peers {
+	// journal catch-up repairs), never the accept path's. The send hop is
+	// emitted per destination: the spine's replication-lag histograms
+	// measure from mint to each peer's wire.
+	pub.Subscribe(func(acc core.Accepted) {
+		rec := Record{
+			Seq: base + acc.Seq, Term: term, Point: acc.Point, Value: acc.Value,
+			Cause: acc.Cause, MintNS: acc.MintNS,
+		}
+		for i, pid := range peers {
 			_ = tr.Send(pid, Msg{Kind: KindRecord, Rec: rec})
+			ev.EmitHop(events.SubReplica, events.KindSend, rec.Cause, rec.MintNS, peerIdx[i]+1, rec.Seq)
 		}
 	})
 	// Publish watermarks: the primary's own read view plus the epoch marks
@@ -385,6 +403,10 @@ func (g *Group) Failover() (string, error) {
 	if g.tel != nil {
 		g.tel.failovers.Inc()
 	}
+	// Failover is a flight-recorder trigger: the black-box dump freezes
+	// what every subsystem was doing when the primary died.
+	g.ev.Emit(events.SubReplica, events.KindFailover, 0, old.term, g.term)
+	g.ev.Trigger("failover")
 	return best, nil
 }
 

@@ -25,18 +25,25 @@ import (
 	"sync/atomic"
 
 	"mlq/internal/core"
+	"mlq/internal/events"
 	"mlq/internal/geom"
 	"mlq/internal/quadtree"
 )
 
 // Record is one replicated observation: the model point and observed cost,
 // stamped with the group-wide sequence number and the term of the lineage
-// that accepted it.
+// that accepted it. Cause and MintNS carry the observation's identity on
+// the causal event spine across the wire, so a follower's recv/apply hops
+// land on the same trace the primary started; both are zero when no
+// recorder is installed and for records recovered via journal catch-up
+// (the journal's on-disk format does not carry them).
 type Record struct {
-	Seq   uint64
-	Term  uint64
-	Point geom.Point
-	Value float64
+	Seq    uint64
+	Term   uint64
+	Point  geom.Point
+	Value  float64
+	Cause  uint64
+	MintNS int64
 }
 
 // Typed replication errors.
@@ -104,8 +111,9 @@ type epochMark struct {
 
 // node is one group member.
 type node struct {
-	id string
-	g  *Group
+	id  string
+	g   *Group
+	idx int // ordinal within the group; idx+1 is the event-spine actor
 
 	mu      sync.Mutex
 	role    Role
@@ -193,6 +201,9 @@ func (n *node) ingest(m Msg) (gapped bool) {
 			n.fenced.Add(1)
 			return false
 		}
+		// The recv hop marks the record leaving the transport, before any
+		// dedup/fencing: wire lag, not apply lag.
+		n.g.ev.EmitHop(events.SubReplica, events.KindRecv, m.Rec.Cause, m.Rec.MintNS, n.idx+1, m.Rec.Seq)
 		return n.ingestRecordLocked(m.Rec)
 	default:
 		return false
@@ -248,12 +259,16 @@ func (n *node) applyReadyLocked() {
 		n.applied++
 		count++
 		n.applRecs.Add(1)
+		n.g.ev.EmitHop(events.SubReplica, events.KindApply, rec.Cause, rec.MintNS, n.idx+1, rec.Seq)
 	}
 	if count == 0 {
 		return
 	}
 	n.epoch++
 	n.publishViewLocked()
+	// The follower's epoch publish covers the whole applied run (cause 0);
+	// traces join it by the applied-sequence watermark in B.
+	n.g.ev.EmitActor(events.SubReplica, events.KindEpochPublish, 0, n.idx+1, n.epoch, n.applied)
 	n.advanceWatermarkLocked()
 	if n.g.tel != nil {
 		n.g.tel.appliedRecs(n.id, int64(count))

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// TestErrorTrackerRejectsNonFinite pins the poisoning boundary: no NaN or
+// Inf on either side of a pair may reach any of the tracker's series — not
+// the NAE accumulators, not the histogram, not the sample counter. The
+// overflow case (finite inputs whose difference is +Inf) must be dropped too.
+func TestErrorTrackerRejectsNonFinite(t *testing.T) {
+	r := New()
+	et := NewErrorTracker(r, L("model", "bound"))
+	pairs := [][2]float64{
+		{math.NaN(), 10},
+		{10, math.NaN()},
+		{math.Inf(1), 10},
+		{10, math.Inf(-1)},
+		{math.MaxFloat64, -math.MaxFloat64}, // finite inputs, |diff| overflows to +Inf
+	}
+	for _, p := range pairs {
+		et.Observe(p[0], p[1])
+	}
+	if got := et.samples.Value(); got != 0 {
+		t.Errorf("samples = %d after only invalid pairs, want 0", got)
+	}
+	if got := et.hist.Count(); got != 0 {
+		t.Errorf("histogram count = %d, want 0", got)
+	}
+	if got := et.absErr.Value(); got != 0 {
+		t.Errorf("abs error sum = %g, want 0", got)
+	}
+	if got := et.absActual.Value(); got != 0 {
+		t.Errorf("abs actual sum = %g, want 0", got)
+	}
+}
+
+// TestErrorTrackerSingleSampleP95 pins the one-observation quantile: every
+// quantile of a single sample is that sample's bucket bound — finite, at
+// least the error itself, and identical across p.
+func TestErrorTrackerSingleSampleP95(t *testing.T) {
+	r := New()
+	et := NewErrorTracker(r, L("model", "single"))
+	et.Observe(13, 10) // err 3, bucket (2, 4]
+	p95 := et.hist.Quantile(0.95)
+	if p95 != 4 {
+		t.Errorf("single-sample p95 = %g, want bucket upper bound 4", p95)
+	}
+	if p50 := et.hist.Quantile(0.50); p50 != p95 {
+		t.Errorf("single-sample p50 = %g != p95 = %g", p50, p95)
+	}
+	if p0 := et.hist.Quantile(0); p0 != p95 {
+		t.Errorf("single-sample p0 = %g != p95 = %g (rank must clamp to 1)", p0, p95)
+	}
+}
+
+// TestErrorTrackerBoundaryError pins the closed-upper-bound convention: an
+// error landing exactly on a power of two belongs to the bucket it bounds,
+// so the quantile reports that exact value, not the next bucket's bound.
+func TestErrorTrackerBoundaryError(t *testing.T) {
+	r := New()
+	et := NewErrorTracker(r, L("model", "edge"))
+	et.Observe(14, 10) // err exactly 4 = 2^2
+	if got := et.hist.Quantile(1); got != 4 {
+		t.Errorf("quantile of boundary error 4 = %g, want 4 (closed upper bound)", got)
+	}
+}
+
+// TestErrorTrackerExactlyFullRank pins the rank arithmetic when the quantile
+// rank lands exactly on a bucket's cumulative count: 19 of 20 samples in the
+// low bucket means ceil(0.95*20) = 19 resolves to the low bucket — the one
+// outlier must not drag p95 up — while p=1 (rank exactly total) reaches it.
+func TestErrorTrackerExactlyFullRank(t *testing.T) {
+	r := New()
+	et := NewErrorTracker(r, L("model", "full"))
+	for i := 0; i < 19; i++ {
+		et.Observe(11, 10) // err 1
+	}
+	et.Observe(1010, 10) // err 1000, far bucket
+	if got := et.hist.Quantile(0.95); got != 1 {
+		t.Errorf("p95 = %g with rank exactly on the full low bucket, want 1", got)
+	}
+	if got := et.hist.Quantile(1); got != upperBound(bucketIndex(1000)) {
+		t.Errorf("p100 = %g, want the outlier's bucket bound %g", got, upperBound(bucketIndex(1000)))
+	}
+	if got := et.samples.Value(); got != 20 {
+		t.Errorf("samples = %d, want 20", got)
+	}
+}
+
+// TestErrorTrackerNilSafe: the nil tracker is the disabled-telemetry path
+// and must absorb observations silently.
+func TestErrorTrackerNilSafe(t *testing.T) {
+	var et *ErrorTracker
+	et.Observe(1, 2) // must not panic
+	if et := NewErrorTracker(nil); et != nil {
+		t.Errorf("NewErrorTracker(nil) = %v, want nil", et)
+	}
+}

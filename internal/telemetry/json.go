@@ -15,6 +15,16 @@ type jsonHistogram struct {
 	P99   float64 `json:"p99"`
 }
 
+// jsonMeta is the scrape metadata under the "_meta" key: when the snapshot
+// was taken and how fresh the feedback loop behind it is. PublisherEpoch is
+// the highest mlq_publisher_epoch gauge in the registry (zero when no
+// publisher is instrumented) — a scraper comparing two snapshots can tell
+// "nothing changed" from "the loop is stalled" without parsing every series.
+type jsonMeta struct {
+	ScrapedAtUnixNano int64  `json:"scraped_at_unix_nano"`
+	PublisherEpoch    uint64 `json:"publisher_epoch"`
+}
+
 // WriteJSON renders the registry as a single expvar-style JSON object keyed
 // by the full series name (name{labels}): scalars for counters and gauges, a
 // {count, sum, p50, p95, p99} summary for histograms. encoding/json sorts
@@ -22,11 +32,17 @@ type jsonHistogram struct {
 // rendered as strings ("+Inf", "NaN") since JSON has no spelling for them.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	out := make(map[string]any)
+	meta := jsonMeta{ScrapedAtUnixNano: r.now().UnixNano()}
 	for _, f := range r.snapshot() {
 		for _, v := range f.sortedSeries(r) {
 			key := f.name
 			if v.sig != "" {
 				key += "{" + v.sig + "}"
+			}
+			if f.name == "mlq_publisher_epoch" && f.kind != kindHistogram {
+				if e := v.value(); e > float64(meta.PublisherEpoch) && !math.IsNaN(e) && !math.IsInf(e, 0) {
+					meta.PublisherEpoch = uint64(e)
+				}
 			}
 			if f.kind == kindHistogram {
 				_, _, count, sum := v.hist.snapshot()
@@ -47,6 +63,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			}
 		}
 	}
+	out["_meta"] = meta
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden exposition file")
@@ -135,6 +136,80 @@ func TestHistogramCumulativity(t *testing.T) {
 func positiveInf() float64 {
 	inf, _ := strconv.ParseFloat("+Inf", 64)
 	return inf
+}
+
+// TestJSONGolden pins the full /metrics.json shape byte-for-byte, including
+// the _meta scrape header: the timestamp comes from an injected FakeClock and
+// the publisher epoch is the max across the mlq_publisher_epoch series.
+func TestJSONGolden(t *testing.T) {
+	r := goldenRegistry()
+	fc := &FakeClock{}
+	fc.Set(time.Unix(1700000000, 0))
+	r.SetClock(fc)
+	r.Gauge("mlq_publisher_epoch", "generation number", L("udf", "WIN")).Set(7)
+	r.Gauge("mlq_publisher_epoch", "generation number", L("udf", "COVER")).Set(3)
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "exposition.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Errorf("JSON exposition drifted from golden (re-run with -update if intended)\ngot:\n%s\nwant:\n%s", b.Bytes(), want)
+	}
+}
+
+// TestJSONMeta checks the _meta semantics directly: the scrape timestamp
+// tracks the registry clock, and the epoch is 0 when no publisher series
+// exists.
+func TestJSONMeta(t *testing.T) {
+	r := New()
+	fc := &FakeClock{}
+	fc.Set(time.Unix(42, 0))
+	r.SetClock(fc)
+	decode := func() map[string]any {
+		t.Helper()
+		var b bytes.Buffer
+		if err := r.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(b.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		meta, ok := out["_meta"].(map[string]any)
+		if !ok {
+			t.Fatalf("no _meta object:\n%s", b.String())
+		}
+		return meta
+	}
+	meta := decode()
+	if got := int64(meta["scraped_at_unix_nano"].(float64)); got != time.Unix(42, 0).UnixNano() {
+		t.Errorf("scraped_at_unix_nano = %d, want %d", got, time.Unix(42, 0).UnixNano())
+	}
+	if got := meta["publisher_epoch"].(float64); got != 0 {
+		t.Errorf("publisher_epoch = %g, want 0 with no publisher series", got)
+	}
+	fc.Advance(time.Second)
+	r.Gauge("mlq_publisher_epoch", "generation number", L("udf", "a")).Set(12)
+	meta = decode()
+	if got := int64(meta["scraped_at_unix_nano"].(float64)); got != time.Unix(43, 0).UnixNano() {
+		t.Errorf("scraped_at_unix_nano = %d after Advance, want %d", got, time.Unix(43, 0).UnixNano())
+	}
+	if got := meta["publisher_epoch"].(float64); got != 12 {
+		t.Errorf("publisher_epoch = %g, want 12", got)
+	}
 }
 
 func TestJSONExposition(t *testing.T) {

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Label is one name=value dimension of a metric series.
@@ -159,6 +160,32 @@ type Registry struct {
 	mu        sync.Mutex
 	families  map[string]*family
 	conflicts atomic.Int64
+	clock     Clock // nil means Wall; see SetClock
+}
+
+// SetClock replaces the clock stamping the JSON exposition's scrape metadata
+// (default Wall). Tests inject a FakeClock so /metrics.json is byte-stable.
+func (r *Registry) SetClock(c Clock) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.clock = c
+	r.mu.Unlock()
+}
+
+// now reads the registry's clock (Wall when unset).
+func (r *Registry) now() time.Time {
+	if r == nil {
+		return Wall.Now()
+	}
+	r.mu.Lock()
+	c := r.clock
+	r.mu.Unlock()
+	if c == nil {
+		c = Wall
+	}
+	return c.Now()
 }
 
 // New returns an empty registry. Its only pre-registered series is
