@@ -1,7 +1,7 @@
 # Convenience targets for the MLQ reproduction.
 GO ?= go
 
-.PHONY: all build vet test race race-full bench bench-smoke bench-concurrency repro repro-quick fuzz chaos chaos-latency chaos-repl clean fmt lint lint-concurrency lint-sarif check
+.PHONY: all build vet test race race-full bench bench-smoke bench-concurrency memwall repro repro-quick fuzz chaos chaos-latency chaos-repl clean fmt lint lint-concurrency lint-sarif check
 
 all: build vet test
 
@@ -65,6 +65,15 @@ bench-smoke:
 bench-concurrency:
 	$(GO) run ./cmd/mlqbench -exp concurrency
 	$(GO) test -run=NONE -bench='PredictParallel|ChildLookup' -benchmem . ./internal/quadtree
+
+# The global memory wall: the migrating-hot-set experiment (the arbiter
+# must beat every static model/cache split of one budget — MemWall errors
+# otherwise), race coverage of the arbiter and the resizable cache, and
+# the predict-path pin proving live Resize costs the hot path nothing.
+memwall:
+	$(GO) run ./cmd/mlqbench -exp memwall
+	$(GO) test -race ./internal/budget/ ./internal/buffercache/
+	$(GO) test -run=NONE -bench 'BenchmarkPredict$$|BenchmarkPredictResize$$' -benchtime 300ms .
 
 # Regenerate every figure of the paper at full workload sizes.
 repro:

@@ -221,6 +221,33 @@ func BenchmarkPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictResize pins the memory wall's hot-path contract: a tree
+// whose budget has been moved around by live Resize calls predicts at the
+// same speed as one that never resized, because Predict never reads the
+// live limit — Resize only adjusts the limit and evicts or regrows nodes
+// at the point of the call. Must stay within noise of BenchmarkPredict.
+func BenchmarkPredictResize(b *testing.B) {
+	t := newBenchTree(b, quadtree.Eager, 92)
+	pts := randPoints(4096, 8)
+	for i := 0; i < 20000; i++ {
+		t.Insert(pts[i%len(pts)], float64(i%10000))
+	}
+	// Walk the budget down, up, and back to where BenchmarkPredict sits, so
+	// the measured tree has lived through the arbiter's whole move cycle.
+	for _, nodes := range []int{46, 138, 92} {
+		if err := t.Resize(nodes * quadtree.DefaultNodeBytes); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 4096; i++ {
+		t.Insert(pts[i%len(pts)], float64(i%10000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.PredictBeta(pts[i%len(pts)], 1)
+	}
+}
+
 // BenchmarkPredictParallel measures Predict throughput under the paper's
 // live feedback loop (Fig. 1: predict, execute, observe) for the two
 // concurrency wrappers core offers: a mutex around the model

@@ -1,0 +1,190 @@
+package budget
+
+import (
+	"fmt"
+
+	"mlq/internal/buffercache"
+	"mlq/internal/quadtree"
+)
+
+// ModelPort is the slice of a cost model the arbiter needs: a consistent
+// read of the tree and a way to move its budget. Both *core.MLQ and
+// *core.Publisher satisfy it (the Publisher's Snapshot is a free atomic
+// load, and its Resize routes through the single writer goroutine, which
+// makes it the natural port for a concurrent engine).
+type ModelPort interface {
+	Snapshot() *quadtree.Snapshot
+	Resize(newLimit int) error
+}
+
+// ModelHolder prices a quadtree cost model's bytes. Its marginals come
+// from the tree's own compression economics: ShrinkLoss says what evicting
+// the cheapest step of nodes would cost in absolute prediction error per
+// query, and the insert-counter delta says how many queries a cycle feeds
+// back. A tree with a whole step of slack under its limit prices its
+// marginal bytes at zero — they are buying nothing.
+type ModelHolder struct {
+	name  string
+	port  ModelPort
+	floor int
+
+	budget      int
+	prevInserts int64
+}
+
+// NewModelHolder adapts port as a Holder. floorBytes is clamped up to one
+// node — the tree's own hard floor.
+func NewModelHolder(name string, port ModelPort, floorBytes int) *ModelHolder {
+	snap := port.Snapshot()
+	if nb := snap.Config().NodeBytes; floorBytes < nb {
+		floorBytes = nb
+	}
+	return &ModelHolder{
+		name:        name,
+		port:        port,
+		floor:       floorBytes,
+		budget:      snap.MemoryLimit(),
+		prevInserts: snap.Inserts(),
+	}
+}
+
+// Name implements Holder.
+func (h *ModelHolder) Name() string { return h.name }
+
+// BudgetBytes implements Holder.
+func (h *ModelHolder) BudgetBytes() int { return h.budget }
+
+// FloorBytes implements Holder.
+func (h *ModelHolder) FloorBytes() int { return h.floor }
+
+// Tick implements Holder.
+func (h *ModelHolder) Tick(stepBytes int) Marginal {
+	snap := h.port.Snapshot()
+	// Follow resizes applied outside the arbiter so grants never drift
+	// from the tree's live limit.
+	h.budget = snap.MemoryLimit()
+	dIns := snap.Inserts() - h.prevInserts
+	h.prevInserts = snap.Inserts()
+	if stepBytes <= 0 || dIns <= 0 {
+		return Marginal{}
+	}
+	if snap.MemoryLimit()-snap.MemoryUsed() >= stepBytes {
+		// A whole step of slack: the marginal bytes are idle, free to
+		// give, and one more step would buy nothing yet.
+		return Marginal{}
+	}
+	// Budget-bound. The cheapest step of nodes is buying ShrinkLoss of
+	// absolute error on each of this cycle's dIns queries; one more step
+	// would buy about as much, so the gradient prices both directions.
+	grad := float64(dIns) * snap.ShrinkLoss(stepBytes) / float64(stepBytes)
+	return Marginal{Gain: grad, Loss: grad}
+}
+
+// SetBudget implements Holder by resizing the underlying tree.
+func (h *ModelHolder) SetBudget(bytes int) error {
+	if err := h.port.Resize(bytes); err != nil {
+		return err
+	}
+	h.budget = bytes
+	return nil
+}
+
+// CacheHolder prices the buffer cache's bytes. Gain comes from the ghost
+// list: each ghost hit is a physical read one more capacity window of
+// pages would have served from memory. Loss prices the LRU tail: the
+// cycle's hits spread over the cache's bytes, floored by the gain (a cache
+// thrashing hard enough to earn bytes is at least that expensive to
+// shrink). Both sides are scaled by the observed cost of a miss — one
+// clean read plus the cycle's share of charged retry/latency units — so a
+// degraded disk raises the cache's bids exactly as it raises real costs.
+type CacheHolder struct {
+	name     string
+	cache    *buffercache.Cache
+	floor    int // pages
+	pageSize int
+
+	// remainder carries the bytes of the current grant that do not fill a
+	// whole page, so arbitration conserves bytes exactly even when the
+	// step is not page-aligned.
+	remainder int
+
+	prevHits    int64
+	prevMisses  int64
+	prevGhost   int64
+	prevCharged float64
+}
+
+// NewCacheHolder adapts cache as a Holder. floorPages is clamped up to 1.
+func NewCacheHolder(name string, cache *buffercache.Cache, floorPages int) *CacheHolder {
+	if floorPages < 1 {
+		floorPages = 1
+	}
+	return &CacheHolder{
+		name:        name,
+		cache:       cache,
+		floor:       floorPages,
+		pageSize:    cache.CapacityBytes() / cache.Capacity(),
+		prevHits:    cache.Hits(),
+		prevMisses:  cache.Misses(),
+		prevGhost:   cache.GhostHits(),
+		prevCharged: cache.ChargedUnits(),
+	}
+}
+
+// Name implements Holder.
+func (h *CacheHolder) Name() string { return h.name }
+
+// BudgetBytes implements Holder.
+func (h *CacheHolder) BudgetBytes() int { return h.cache.CapacityBytes() + h.remainder }
+
+// FloorBytes implements Holder.
+func (h *CacheHolder) FloorBytes() int { return h.floor * h.pageSize }
+
+// Tick implements Holder.
+func (h *CacheHolder) Tick(stepBytes int) Marginal {
+	hits, misses := h.cache.Hits(), h.cache.Misses()
+	ghost, charged := h.cache.GhostHits(), h.cache.ChargedUnits()
+	dHits := hits - h.prevHits
+	dMiss := misses - h.prevMisses
+	dGhost := ghost - h.prevGhost
+	dCharged := charged - h.prevCharged
+	h.prevHits, h.prevMisses, h.prevGhost, h.prevCharged = hits, misses, ghost, charged
+	if stepBytes <= 0 || dHits+dMiss <= 0 {
+		return Marginal{}
+	}
+	costPerMiss := 1.0
+	if dMiss > 0 {
+		costPerMiss = (float64(dMiss) + dCharged) / float64(dMiss)
+	}
+	var m Marginal
+	// The ghost window is one capacity's worth of bytes: dGhost misses per
+	// cycle would have been hits with that many more bytes.
+	if window := h.cache.CapacityBytes(); window > 0 {
+		m.Gain = float64(dGhost) * costPerMiss / float64(window)
+	}
+	m.Loss = m.Gain
+	if cb := h.cache.CapacityBytes(); cb > 0 {
+		if tail := float64(dHits) * costPerMiss / float64(cb); tail > m.Loss {
+			m.Loss = tail
+		}
+	}
+	if h.cache.Len() < h.cache.Capacity() {
+		// The cache is not even full: its marginal pages hold nothing.
+		m.Loss = 0
+	}
+	return m
+}
+
+// SetBudget implements Holder by resizing the cache to as many whole pages
+// as the grant covers, carrying the rest as a byte remainder.
+func (h *CacheHolder) SetBudget(bytes int) error {
+	pages := bytes / h.pageSize
+	if pages < 1 {
+		return fmt.Errorf("budget: grant of %d bytes cannot hold one %d-byte page", bytes, h.pageSize)
+	}
+	if err := h.cache.Resize(pages); err != nil {
+		return err
+	}
+	h.remainder = bytes - pages*h.pageSize
+	return nil
+}

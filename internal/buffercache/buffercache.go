@@ -131,6 +131,16 @@ type Cache struct {
 	misses    int64
 	evictions int64
 	faults    int64 // physical reads that returned an error
+	resizes   int64 // capacity changes applied by Resize
+
+	// The ghost list remembers the IDs (never the data) of the last
+	// `capacity` evicted pages, ARC-B1 style. A miss on a remembered page is
+	// a ghost hit: a physical read that one more capacity window of pages
+	// would have avoided. Ghost bookkeeping never influences replacement
+	// decisions, so cache behavior is bit-identical with the list in place.
+	ghost     *list.List // evicted-page IDs, most recently evicted first
+	ghostByID map[pagestore.PageID]*list.Element
+	ghostHits int64
 
 	retry      RetryPolicy
 	latencyFor func(pagestore.PageID) time.Duration // nil = no injected latency
@@ -166,11 +176,13 @@ func NewWithPolicy(store *pagestore.Store, capacity int, policy Policy) (*Cache,
 		return nil, fmt.Errorf("buffercache: unknown policy %d", int(policy))
 	}
 	return &Cache{
-		store:    store,
-		capacity: capacity,
-		policy:   policy,
-		order:    list.New(),
-		byID:     make(map[pagestore.PageID]*list.Element, capacity),
+		store:     store,
+		capacity:  capacity,
+		policy:    policy,
+		order:     list.New(),
+		byID:      make(map[pagestore.PageID]*list.Element, capacity),
+		ghost:     list.New(),
+		ghostByID: make(map[pagestore.PageID]*list.Element, capacity),
 	}, nil
 }
 
@@ -295,6 +307,15 @@ func (c *Cache) Get(id pagestore.PageID) ([]byte, error) {
 		return nil, err
 	}
 	c.misses++
+	if el, ok := c.ghostByID[id]; ok {
+		// This physical read would have been a hit with one more capacity
+		// window of pages — the signal the memory arbiter's hit-ratio
+		// gradient is built from. Each eviction can contribute at most one
+		// ghost hit: the entry is consumed.
+		c.ghostHits++
+		c.ghost.Remove(el)
+		delete(c.ghostByID, id)
+	}
 	if c.order.Len() >= c.capacity {
 		c.evict()
 	}
@@ -315,7 +336,9 @@ func (c *Cache) evict() {
 		// simply the oldest-loaded page.
 		back := c.order.Back()
 		c.order.Remove(back)
-		delete(c.byID, back.Value.(*entry).id)
+		id := back.Value.(*entry).id
+		delete(c.byID, id)
+		c.remember(id)
 	case Clock:
 		// Sweep from the oldest end, granting one second chance to
 		// referenced pages.
@@ -329,8 +352,28 @@ func (c *Cache) evict() {
 			}
 			c.order.Remove(back)
 			delete(c.byID, e.id)
+			c.remember(e.id)
 			return
 		}
+	}
+}
+
+// remember records an evicted page ID in the ghost list, bounded to one
+// capacity window of history.
+func (c *Cache) remember(id pagestore.PageID) {
+	if el, ok := c.ghostByID[id]; ok {
+		c.ghost.Remove(el)
+	}
+	c.ghostByID[id] = c.ghost.PushFront(id)
+	c.trimGhost()
+}
+
+// trimGhost bounds the ghost list to the current capacity.
+func (c *Cache) trimGhost() {
+	for c.ghost.Len() > c.capacity {
+		back := c.ghost.Back()
+		c.ghost.Remove(back)
+		delete(c.ghostByID, back.Value.(pagestore.PageID))
 	}
 }
 
@@ -357,16 +400,62 @@ func (c *Cache) HitRatio() float64 {
 	return float64(c.hits) / float64(total)
 }
 
+// GhostHits returns how many misses landed on a page evicted within the
+// last capacity window — physical reads a bigger cache would have served
+// from memory. The ratio of ghost hits to the ghost window's byte size is
+// the cache's marginal hit-ratio gradient.
+func (c *Cache) GhostHits() int64 { return c.ghostHits }
+
 // Len returns the number of cached pages.
 func (c *Cache) Len() int { return c.order.Len() }
 
 // Capacity returns the cache capacity in pages.
 func (c *Cache) Capacity() int { return c.capacity }
 
+// CapacityBytes returns the cache capacity in bytes — capacity pages at the
+// backing store's page size — so budget arbitration and dashboards speak
+// the same unit as the model memory limits.
+func (c *Cache) CapacityBytes() int { return c.capacity * c.store.PageSize() }
+
+// Resizes returns how many times Resize changed the capacity.
+func (c *Cache) Resizes() int64 { return c.resizes }
+
+// Resize moves the cache's live capacity to the given number of pages.
+// Growing only raises the ceiling: nothing is read or dropped, and later
+// misses fill the new room. Shrinking evicts in replacement-policy order —
+// least recently used first under the default policy — until the cache
+// fits, charging each removal to the same eviction counter Get uses.
+// Hit/miss accounting is exact across the transition: lookups before and
+// after a Resize are classified and counted identically.
+func (c *Cache) Resize(pages int) error {
+	if pages < 1 {
+		return fmt.Errorf("buffercache: capacity must be >= 1 page, got %d", pages)
+	}
+	if pages == c.capacity {
+		return nil
+	}
+	old := c.capacity
+	c.capacity = pages
+	for c.order.Len() > c.capacity {
+		c.evict()
+	}
+	c.trimGhost()
+	c.resizes++
+	c.ev.Emit(events.SubBufferCache, events.KindResize, 0, uint64(old), uint64(pages))
+	if c.tel != nil {
+		c.tel.publish(c)
+	}
+	return nil
+}
+
 // Invalidate drops every cached page, as after a restart; counters persist.
+// The ghost list is dropped too: after a cold restart an early miss says
+// nothing about capacity.
 func (c *Cache) Invalidate() {
 	c.order.Init()
 	c.byID = make(map[pagestore.PageID]*list.Element, c.capacity)
+	c.ghost.Init()
+	c.ghostByID = make(map[pagestore.PageID]*list.Element, c.capacity)
 }
 
 // Meter measures the IO cost of one query: snapshot before, Delta/Cost after.

@@ -10,8 +10,11 @@ type cacheTelemetry struct {
 	misses    *telemetry.Counter
 	evictions *telemetry.Counter
 	faults    *telemetry.Counter
+	ghostHits *telemetry.Counter
+	resizes   *telemetry.Counter
 	pages     *telemetry.Gauge
 	capacity  *telemetry.Gauge
+	capBytes  *telemetry.Gauge
 	hitRatio  *telemetry.Gauge
 
 	retries   *telemetry.Counter
@@ -34,8 +37,11 @@ func (c *Cache) Instrument(reg *telemetry.Registry, labels ...telemetry.Label) {
 		misses:    reg.Counter("mlq_buffercache_misses_total", "lookups that performed a physical read", labels...),
 		evictions: reg.Counter("mlq_buffercache_evictions_total", "pages evicted to make room", labels...),
 		faults:    reg.Counter("mlq_buffercache_read_faults_total", "physical reads that returned an error", labels...),
+		ghostHits: reg.Counter("mlq_buffercache_ghost_hits_total", "misses on pages evicted within the last capacity window", labels...),
+		resizes:   reg.Counter("mlq_buffercache_resizes_total", "capacity changes applied by Resize", labels...),
 		pages:     reg.Gauge("mlq_buffercache_pages", "pages currently cached", labels...),
-		capacity:  reg.Gauge("mlq_buffercache_capacity_pages", "cache capacity in pages", labels...),
+		capacity:  reg.Gauge("mlq_buffercache_capacity_pages", "live cache capacity in pages (moves with Resize)", labels...),
+		capBytes:  reg.Gauge("mlq_buffercache_capacity_bytes", "live cache capacity in bytes at the store's page size", labels...),
 		hitRatio:  reg.Gauge("mlq_buffercache_hit_ratio", "hits / (hits + misses) over the cache's lifetime", labels...),
 
 		retries:   reg.Counter("mlq_buffercache_retries_total", "repeated physical read attempts under the retry policy", labels...),
@@ -55,8 +61,11 @@ func (tel *cacheTelemetry) publish(c *Cache) {
 	tel.misses.Store(c.misses)
 	tel.evictions.Store(c.evictions)
 	tel.faults.Store(c.faults)
+	tel.ghostHits.Store(c.ghostHits)
+	tel.resizes.Store(c.resizes)
 	tel.pages.SetInt(int64(c.order.Len()))
 	tel.capacity.SetInt(int64(c.capacity))
+	tel.capBytes.SetInt(int64(c.CapacityBytes()))
 	tel.hitRatio.Set(c.HitRatio())
 	tel.retries.Store(c.retryStats.Retries)
 	tel.exhausted.Store(c.retryStats.Exhausted)

@@ -95,6 +95,19 @@ func (m *MLQ) Tree() *quadtree.Tree { return m.tree }
 // MemoryUsed returns the model's current memory charge in bytes.
 func (m *MLQ) MemoryUsed() int { return m.tree.MemoryUsed() }
 
+// MemoryLimit returns the model's live memory budget in bytes.
+func (m *MLQ) MemoryLimit() int { return m.tree.MemoryLimit() }
+
+// Resize moves the model's live memory budget (see quadtree.Tree.Resize):
+// shrinking compresses the tree down to the new limit, growing raises the
+// ceiling. Resize time is deliberately not charged to the update-cost
+// accounting — it is budget stewardship, not feedback.
+func (m *MLQ) Resize(newLimit int) error { return m.tree.Resize(newLimit) }
+
+// Snapshot returns an immutable copy of the model's tree, the consistent
+// read a budget arbiter prices marginals against.
+func (m *MLQ) Snapshot() *quadtree.Snapshot { return m.tree.Snapshot() }
+
 // WriteTo persists the model's tree. It implements io.WriterTo.
 func (m *MLQ) WriteTo(w io.Writer) (int64, error) { return m.tree.WriteTo(w) }
 

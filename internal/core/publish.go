@@ -131,6 +131,8 @@ type Publisher struct {
 
 	writerDone chan struct{}
 	flushReq   chan flushRequest
+	resizeReq  chan resizeRequest
+	resizes    atomic.Int64 // budget changes applied by the writer
 	closeOnce  sync.Once
 	closeErr   error
 
@@ -164,6 +166,11 @@ type observation struct {
 type flushRequest struct {
 	target int64 // apply at least this many observations before replying
 	done   chan error
+}
+
+type resizeRequest struct {
+	limit int // new live memory budget for the tree, in bytes
+	done  chan error
 }
 
 // PublisherConfig tunes the writer side of a Publisher. The zero value is
@@ -241,6 +248,7 @@ func newPublisherGated(m *MLQ, cfg PublisherConfig, admit chan struct{}) (*Publi
 		events:     cfg.Events,
 		writerDone: make(chan struct{}),
 		flushReq:   make(chan flushRequest),
+		resizeReq:  make(chan resizeRequest),
 		admit:      admit,
 	}
 	pub.cur.Store(&epochState{snap: m.tree.Snapshot(), epoch: 0})
@@ -550,6 +558,34 @@ func (pub *Publisher) Flush() error {
 	}
 }
 
+// Resize routes a live memory-budget change through the writer goroutine,
+// as a command alongside the batched observes: the writer applies (and
+// publishes) any batch in flight first, moves the tree's limit — shrinking
+// compresses down to the new budget, growing raises the ceiling — and then
+// publishes the post-resize tree under its own fresh epoch. No published
+// snapshot ever mixes state from both sides of a budget change, and epochs
+// stay strictly monotonic across resizes and batches alike. Blocks until
+// the change is published; returns the tree's validation error for budgets
+// below one node, or ErrPublisherClosed after Close has begun.
+func (pub *Publisher) Resize(newLimit int) error {
+	req := resizeRequest{limit: newLimit, done: make(chan error, 1)}
+	select {
+	case pub.resizeReq <- req:
+		// The writer holds the request and always replies exactly once,
+		// even when Close races in behind it.
+		return <-req.done
+	case <-pub.writerDone:
+		return ErrPublisherClosed
+	}
+}
+
+// MemoryLimit returns the live memory budget of the published snapshot —
+// the limit the most recent batch or resize was published under.
+func (pub *Publisher) MemoryLimit() int { return pub.cur.Load().snap.MemoryLimit() }
+
+// Resizes returns how many budget changes the writer has applied.
+func (pub *Publisher) Resizes() int64 { return pub.resizes.Load() }
+
 // Checkpoint flushes the publisher, then truncates the journal: every
 // journaled observation is now reflected in the published snapshot, so a
 // durable save of the model (e.g. catalog.SaveFile of Snapshot) supersedes
@@ -669,6 +705,30 @@ func (pub *Publisher) writer(m *MLQ) {
 			}
 			//lint:ignore chanowner req.done is a cap-1 reply slot created by Flush for exactly one reply; the send can never block
 			req.done <- pub.drainErr()
+		case req := <-pub.resizeReq:
+			// A budget change is a command in the same stream as batched
+			// observes: any batch in flight publishes under its own epoch
+			// first (a no-op in the steady state, where the batch is empty
+			// between selects), then the resized tree gets a fresh epoch of
+			// its own — no snapshot straddles the change.
+			apply()
+			old := m.tree.MemoryLimit()
+			err := m.Resize(req.limit)
+			if err == nil {
+				pub.resizes.Add(1)
+				epoch++
+				pub.cur.Store(&epochState{snap: m.tree.Snapshot(), epoch: epoch})
+				pub.events.Emit(events.SubCore, events.KindResize, 0, uint64(old), uint64(req.limit))
+				if fn := pub.onPublish.Load(); fn != nil {
+					(*fn)(epoch, pub.applied.Load())
+				}
+				if tel := pub.tel.Load(); tel != nil {
+					tel.refresh(pub)
+					tel.resizes.Inc()
+				}
+			}
+			//lint:ignore chanowner req.done is a cap-1 reply slot created by Resize for exactly one reply; the send can never block
+			req.done <- err
 		case <-pub.stop:
 			// Final drain: everything accepted before Close is applied and
 			// published, so no acknowledged observation is lost.
@@ -741,6 +801,7 @@ type publisherTelemetry struct {
 	appliedC   *telemetry.Counter
 	batches    *telemetry.Counter
 	writerErrs *telemetry.Counter
+	resizes    *telemetry.Counter
 
 	dropped     *telemetry.Counter
 	rejected    *telemetry.Counter
@@ -767,6 +828,7 @@ func (pub *Publisher) Instrument(reg *telemetry.Registry, labels ...telemetry.La
 		appliedC:   reg.Counter("mlq_publisher_applied_total", "observations folded into published snapshots", labels...),
 		batches:    reg.Counter("mlq_publisher_batches_total", "batches applied and published", labels...),
 		writerErrs: reg.Counter("mlq_publisher_writer_errors_total", "tree-level insert failures on the writer goroutine", labels...),
+		resizes:    reg.Counter("mlq_publisher_resizes_total", "budget changes applied through the writer goroutine", labels...),
 
 		dropped:     reg.Counter("mlq_publisher_dropped_total", "accepted observations evicted by the drop-oldest overflow policy", labels...),
 		rejected:    reg.Counter("mlq_publisher_rejected_total", "observations shed by the reject overflow policy", labels...),
@@ -779,11 +841,18 @@ func (pub *Publisher) Instrument(reg *telemetry.Registry, labels ...telemetry.La
 // publish pushes the post-batch state into the registered metrics. Called
 // from the writer goroutine only.
 func (tel *publisherTelemetry) publish(pub *Publisher, batchLen int) {
+	tel.refresh(pub)
+	tel.appliedC.Add(int64(batchLen))
+	tel.batches.Inc()
+}
+
+// refresh re-publishes the gauges without counting a batch: the resize
+// command publishes an epoch that applied no observations. Called from the
+// writer goroutine only.
+func (tel *publisherTelemetry) refresh(pub *Publisher) {
 	st := pub.cur.Load()
 	tel.epoch.SetInt(int64(st.epoch))
 	tel.staleness.SetInt(pub.Staleness())
 	tel.queueDepth.SetInt(int64(len(pub.queue)))
 	tel.nodes.SetInt(int64(st.snap.NodeCount()))
-	tel.appliedC.Add(int64(batchLen))
-	tel.batches.Inc()
 }

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mlq/internal/geom"
+	"mlq/internal/quadtree"
+)
+
+func TestPublisherResizeThroughWriter(t *testing.T) {
+	pub, err := NewPublisher(publisherModel(t), PublisherConfig{MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		if err := pub.Observe(geom.Point{rng.Float64(), rng.Float64()}, rng.Float64()*100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pub.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := pub.Snapshot()
+	shrunk := 20 * quadtree.DefaultNodeBytes
+	if err := pub.Resize(shrunk); err != nil {
+		t.Fatal(err)
+	}
+	snap := pub.Snapshot()
+	if snap.MemoryLimit() != shrunk {
+		t.Errorf("snapshot limit %d, want %d", snap.MemoryLimit(), shrunk)
+	}
+	if snap.MemoryUsed() > shrunk {
+		t.Errorf("snapshot memory %d over new limit %d", snap.MemoryUsed(), shrunk)
+	}
+	if pub.MemoryLimit() != shrunk {
+		t.Errorf("publisher limit %d, want %d", pub.MemoryLimit(), shrunk)
+	}
+	if pub.Resizes() != 1 {
+		t.Errorf("resizes = %d, want 1", pub.Resizes())
+	}
+	// The pre-resize snapshot is immutable: still consistent with the old
+	// budget, untouched by the shrink.
+	if before.MemoryLimit() != 60*quadtree.DefaultNodeBytes {
+		t.Error("published snapshot mutated by a later resize")
+	}
+
+	if err := pub.Resize(quadtree.DefaultNodeBytes - 1); err == nil {
+		t.Error("below-floor resize accepted")
+	}
+	if pub.Resizes() != 1 {
+		t.Error("failed resize counted")
+	}
+}
+
+// TestPublisherResizeEpochsMonotonic interleaves observes, flushes and
+// resizes and requires every published snapshot to be internally consistent
+// (memory within its own limit) with strictly increasing epochs — the
+// "snapshots never straddle a budget change" guarantee.
+func TestPublisherResizeEpochsMonotonic(t *testing.T) {
+	pub, err := NewPublisher(publisherModel(t), PublisherConfig{MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	var mu sync.Mutex
+	var epochs []uint64
+	pub.OnPublish(func(epoch uint64, applied int64) {
+		mu.Lock()
+		epochs = append(epochs, epoch)
+		mu.Unlock()
+	})
+
+	rng := rand.New(rand.NewSource(2))
+	limits := []int{30, 90, 15, 60}
+	for round, lim := range limits {
+		for i := 0; i < 200; i++ {
+			if err := pub.Observe(geom.Point{rng.Float64(), rng.Float64()}, rng.Float64()*50); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := pub.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := pub.Resize(lim * quadtree.DefaultNodeBytes); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		snap := pub.Snapshot()
+		if snap.MemoryUsed() > snap.MemoryLimit() {
+			t.Fatalf("round %d: snapshot straddles the change: used %d limit %d",
+				round, snap.MemoryUsed(), snap.MemoryLimit())
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(epochs); i++ {
+		if epochs[i] != epochs[i-1]+1 {
+			t.Fatalf("epochs not strictly monotonic at %d: %d then %d", i, epochs[i-1], epochs[i])
+		}
+	}
+}
+
+func TestPublisherResizeConcurrentWithPredict(t *testing.T) {
+	pub, err := NewPublisher(publisherModel(t), PublisherConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pub.Predict(geom.Point{rng.Float64(), rng.Float64()})
+			}
+		}(int64(g))
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		if err := pub.Observe(geom.Point{rng.Float64(), rng.Float64()}, rng.Float64()*100); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 {
+			lim := (20 + rng.Intn(100)) * quadtree.DefaultNodeBytes
+			if err := pub.Resize(lim); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := pub.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublisherResizeAfterClose(t *testing.T) {
+	pub, err := NewPublisher(publisherModel(t), PublisherConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Resize(100 * quadtree.DefaultNodeBytes); !errors.Is(err, ErrPublisherClosed) {
+		t.Errorf("Resize after Close = %v, want ErrPublisherClosed", err)
+	}
+}
+
+func TestMLQResize(t *testing.T) {
+	m := publisherModel(t)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		if err := m.Observe(geom.Point{rng.Float64(), rng.Float64()}, rng.Float64()*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Resize(10 * quadtree.DefaultNodeBytes); err != nil {
+		t.Fatal(err)
+	}
+	if m.MemoryUsed() > 10*quadtree.DefaultNodeBytes || m.MemoryLimit() != 10*quadtree.DefaultNodeBytes {
+		t.Errorf("used=%d limit=%d after MLQ.Resize", m.MemoryUsed(), m.MemoryLimit())
+	}
+}

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"testing"
+
+	"mlq/internal/budget"
+	"mlq/internal/buffercache"
+	"mlq/internal/core"
+	"mlq/internal/geom"
+	"mlq/internal/geom/geomtest"
+	"mlq/internal/pagestore"
+	"mlq/internal/quadtree"
+)
+
+func arbitratedFixture(t *testing.T) (*core.MLQ, *buffercache.Cache, *budget.Arbiter) {
+	t.Helper()
+	m, err := core.NewMLQ(quadtree.Config{
+		Region:      geomtest.MustRect(geom.Point{0}, geom.Point{100}),
+		MemoryLimit: 12 * quadtree.DefaultNodeBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := pagestore.New(quadtree.DefaultNodeBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		id := s.Alloc()
+		if err := s.Write(id, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := buffercache.New(s, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arb, err := budget.New(budget.Config{StepBytes: 2 * quadtree.DefaultNodeBytes, Cooldown: -1},
+		budget.NewModelHolder("model", m, 0),
+		budget.NewCacheHolder("cache", c, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, c, arb
+}
+
+func TestExecuteQueryArbitratedValidation(t *testing.T) {
+	if _, err := ExecuteQueryArbitrated(randomTable(1, 5), nil, OrderAsGiven, nil, 10); err == nil {
+		t.Error("nil arbiter accepted")
+	}
+}
+
+func TestExecuteQueryArbitratedMatchesSemanticsAndCycles(t *testing.T) {
+	m, c, arb := arbitratedFixture(t)
+	tb := randomTable(3, 400)
+	pred := &Predicate{
+		Name: "udf",
+		Exec: func(row Row) (bool, float64) {
+			// The UDF touches a page keyed by the row, so executions drive
+			// the cache while costs drive the model.
+			if _, err := c.Get(pagestore.PageID(int(row[0]) % 64)); err != nil {
+				t.Fatal(err)
+			}
+			return row[1] < 50, 1 + row[0]
+		},
+		Point: func(row Row) geom.Point { return geom.Point{row[0]} },
+		Model: m,
+	}
+	res, err := ExecuteQueryArbitrated(tb, []*Predicate{pred}, OrderByRank, arb, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, row := range tb.Rows {
+		if row[1] < 50 {
+			want++
+		}
+	}
+	if res.Selected != want {
+		t.Errorf("Selected = %d, want %d — arbitration must not change query results", res.Selected, want)
+	}
+	st := arb.Stats()
+	if st.Cycles != 400/25 {
+		t.Errorf("arbiter ran %d cycles, want %d (every 25 of 400 rows)", st.Cycles, 400/25)
+	}
+	if got := st.TotalBytes(); got != 12*quadtree.DefaultNodeBytes+32*quadtree.DefaultNodeBytes {
+		t.Errorf("wall total %d bytes after query, arbitration leaked", got)
+	}
+}
+
+func TestExecuteQueryArbitratedEveryFloor(t *testing.T) {
+	m, _, arb := arbitratedFixture(t)
+	_ = m
+	tb := randomTable(4, 10)
+	pred := &Predicate{
+		Name: "cheap",
+		Exec: func(row Row) (bool, float64) { return true, 1 },
+	}
+	if _, err := ExecuteQueryArbitrated(tb, []*Predicate{pred}, OrderAsGiven, arb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := arb.Stats().Cycles; got != 10 {
+		t.Errorf("arbiter ran %d cycles with every=0, want one per row (10)", got)
+	}
+}

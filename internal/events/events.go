@@ -130,6 +130,10 @@ const (
 	KindTrigger
 	// KindMark: a harness-level marker (scenario boundaries and the like).
 	KindMark
+	// KindResize: a live byte-budget change — a quadtree limit moved
+	// through the publisher or a buffer cache changed capacity. A = old
+	// budget, B = new budget (bytes for models, pages for caches).
+	KindResize
 )
 
 // String names the kind for rendering and for the hop-lag histogram label.
@@ -171,6 +175,8 @@ func (k Kind) String() string {
 		return "trigger"
 	case KindMark:
 		return "mark"
+	case KindResize:
+		return "resize"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

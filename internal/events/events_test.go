@@ -242,7 +242,7 @@ func TestSubsystemAndKindStrings(t *testing.T) {
 			t.Fatalf("Subsystem(%d) has no name: %q", s, s.String())
 		}
 	}
-	for k := KindNone; k <= KindMark; k++ {
+	for k := KindNone; k <= KindResize; k++ {
 		if k.String() == "" || k.String()[0] == 'K' {
 			t.Fatalf("Kind(%d) has no name: %q", k, k.String())
 		}

@@ -240,6 +240,29 @@ func RenderMemCurve(w io.Writer, kind string, rows []MemCurveRow) {
 	t.Fprint(w)
 }
 
+// RenderMemWall prints the global-memory-wall experiment.
+func RenderMemWall(w io.Writer, rows []MemWallRow) {
+	t := Table{
+		Title: "Global memory wall: one budget split between cost model and buffer cache\n" +
+			"(migrating hot set; total = physical-read cost + |predicted-actual| cost)",
+		Header: []string{"contender", "model-bytes", "cache-pages", "io-cost",
+			"mispredict", "total", "moves", "bytes-moved"},
+	}
+	for _, r := range rows {
+		mb := fmt.Sprint(r.ModelStart)
+		cp := fmt.Sprint(r.CacheStart)
+		if r.ModelEnd != r.ModelStart || r.CacheEnd != r.CacheStart {
+			mb = fmt.Sprintf("%d>%d", r.ModelStart, r.ModelEnd)
+			cp = fmt.Sprintf("%d>%d", r.CacheStart, r.CacheEnd)
+		}
+		t.AddRow(r.Name, mb, cp,
+			fmt.Sprintf("%.1f", r.IOCost), fmt.Sprintf("%.1f", r.Mispredict),
+			fmt.Sprintf("%.1f", r.Total()),
+			fmt.Sprint(r.Moves), fmt.Sprint(r.BytesMoved))
+	}
+	t.Fprint(w)
+}
+
 // RenderCachePolicies prints the cache-policy IO-noise experiment.
 func RenderCachePolicies(w io.Writer, rows []CachePolicyRow) {
 	t := Table{

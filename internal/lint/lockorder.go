@@ -13,11 +13,15 @@ import (
 // It was derived from the PR 6 replica fleet — the group lock wraps lineage
 // reads, lineage wraps per-node state, node state wraps the publisher's
 // journal critical section, and everything may take the leaf mutexes
-// (telemetry counters, transport bookkeeping, error latches) last. lockorder
+// (telemetry counters, transport bookkeeping, error latches) last. The
+// budget arbiter's mutex sits outermost: a Cycle holds it across every
+// holder resize, which may enter the publisher's writer machinery and from
+// there any of the locks below. lockorder
 // does not enforce this list directly — it proves the observed acquisition
 // graph is acyclic, which every order-respecting program satisfies — but
 // cycle reports cite it so the fix direction is unambiguous.
 var CanonicalLockOrder = []string{
+	"budget.Arbiter.mu",
 	"replica.Group.mu",
 	"replica.Group.linMu",
 	"replica.node.mu",
@@ -34,6 +38,7 @@ var CanonicalLockOrder = []string{
 // and the replica fleet live in. Fixture packages load under the same
 // suffixes so golden tests exercise the real scoping.
 var lockOrderScope = []string{
+	"internal/budget",
 	"internal/core",
 	"internal/replica",
 	"internal/journal",

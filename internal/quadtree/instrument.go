@@ -23,6 +23,7 @@ type treeTelemetry struct {
 	deferred     *telemetry.Counter
 	compressions *telemetry.Counter
 	removed      *telemetry.Counter
+	resizes      *telemetry.Counter
 
 	tracer *telemetry.Tracer
 	labels []telemetry.Label
@@ -45,7 +46,7 @@ func (t *Tree) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer, labels 
 	tel := &treeTelemetry{
 		nodes:       reg.Gauge("mlq_quadtree_nodes", "current node count including the root", labels...),
 		memBytes:    reg.Gauge("mlq_quadtree_memory_bytes", "memory charged to the tree", labels...),
-		memLimit:    reg.Gauge("mlq_quadtree_memory_limit_bytes", "configured memory budget", labels...),
+		memLimit:    reg.Gauge("mlq_quadtree_memory_limit_bytes", "live memory budget (moves with Resize)", labels...),
 		utilization: reg.Gauge("mlq_quadtree_memory_utilization", "memory used / memory limit", labels...),
 		threshold:   reg.Gauge("mlq_quadtree_threshold_sse", "current lazy partitioning threshold th_SSE (Eq. 7)", labels...),
 		ssegQueue:   reg.Gauge("mlq_quadtree_sseg_queue_depth", "candidate-leaf queue size of the latest compression pass", labels...),
@@ -55,6 +56,7 @@ func (t *Tree) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer, labels 
 		deferred:     reg.Counter("mlq_quadtree_deferred_inserts_total", "inserts stopped early by the lazy SSE threshold", labels...),
 		compressions: reg.Counter("mlq_quadtree_compressions_total", "compression passes run", labels...),
 		removed:      reg.Counter("mlq_quadtree_removed_nodes_total", "nodes discarded by compression", labels...),
+		resizes:      reg.Counter("mlq_quadtree_resizes_total", "live-limit changes applied by Resize", labels...),
 
 		tracer: tr,
 		labels: labels,
@@ -80,6 +82,7 @@ func (tel *treeTelemetry) publish(t *Tree) {
 	tel.deferred.Store(t.deferredInserts)
 	tel.compressions.Store(t.compressions)
 	tel.removed.Store(t.removedNodes)
+	tel.resizes.Store(t.resizes)
 }
 
 // compressDone publishes after a compression pass and records it as a span.

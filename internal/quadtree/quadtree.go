@@ -194,7 +194,8 @@ type Tree struct {
 	deferredInserts int64 // inserts stopped early by the lazy SSE threshold
 	compressions    int64
 	removedNodes    int64
-	ssegQueueDepth  int // candidate-leaf queue size of the latest compression
+	resizes         int64 // live-limit changes applied by Resize
+	ssegQueueDepth  int   // candidate-leaf queue size of the latest compression
 	compressTime    time.Duration
 	childCapacity   uint32 // 2^d
 
@@ -220,7 +221,9 @@ func New(cfg Config) (*Tree, error) {
 	}, nil
 }
 
-// Config returns the tree's effective (defaulted) configuration.
+// Config returns the tree's effective (defaulted) configuration. Its
+// MemoryLimit field reports the live budget — after a Resize it differs from
+// the value the tree was constructed with.
 func (t *Tree) Config() Config { return t.cfg }
 
 // NodeCount returns the current number of nodes, including the root.

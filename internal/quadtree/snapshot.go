@@ -42,8 +42,12 @@ func (t *Tree) Snapshot() *Snapshot {
 	}
 }
 
-// Config returns the snapshot's effective configuration.
+// Config returns the snapshot's effective configuration. Its MemoryLimit
+// field is the live budget at snapshot time, after any Resize.
 func (s *Snapshot) Config() Config { return s.cfg }
+
+// MemoryLimit returns the live memory budget at snapshot time.
+func (s *Snapshot) MemoryLimit() int { return s.cfg.MemoryLimit }
 
 // NodeCount returns the number of nodes at snapshot time.
 func (s *Snapshot) NodeCount() int { return s.nodeCount }

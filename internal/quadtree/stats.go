@@ -149,11 +149,13 @@ type Stats struct {
 	Leaves          int
 	MaxDepth        int
 	MemoryBytes     int
+	MemoryLimit     int // live budget at stats time (moves with Resize)
 	Inserts         int64
 	EagerInserts    int64
 	DeferredInserts int64
 	Compressions    int64
 	RemovedNodes    int64
+	Resizes         int64
 	SSEGQueueDepth  int
 	TSSENC          float64
 }
@@ -163,11 +165,13 @@ func (t *Tree) Stats() Stats {
 	s := Stats{
 		Nodes:           t.nodeCount,
 		MemoryBytes:     t.MemoryUsed(),
+		MemoryLimit:     t.MemoryLimit(),
 		Inserts:         t.inserts,
 		EagerInserts:    t.eagerInserts,
 		DeferredInserts: t.deferredInserts,
 		Compressions:    t.compressions,
 		RemovedNodes:    t.removedNodes,
+		Resizes:         t.resizes,
 		SSEGQueueDepth:  t.ssegQueueDepth,
 		TSSENC:          t.TSSENC(),
 	}
@@ -257,8 +261,11 @@ func (t *Tree) Validate() error {
 	if count != t.nodeCount {
 		return fmt.Errorf("node count mismatch: counted %d, tracked %d", count, t.nodeCount)
 	}
-	if t.inserts > 0 && t.MemoryUsed() > t.cfg.MemoryLimit && t.nodeCount > 1 {
-		return fmt.Errorf("memory %d over limit %d after insert", t.MemoryUsed(), t.cfg.MemoryLimit)
+	// The over-limit check compares against the live limit, not the
+	// construction-time one: a Resize shrink mid-workload moves the budget
+	// and compresses, and must not read as an invariant violation.
+	if t.inserts > 0 && t.MemoryUsed() > t.MemoryLimit() && t.nodeCount > 1 {
+		return fmt.Errorf("memory %d over live limit %d after insert", t.MemoryUsed(), t.MemoryLimit())
 	}
 	return nil
 }
@@ -281,6 +288,7 @@ func (t *Tree) Clone() *Tree {
 		deferredInserts: t.deferredInserts,
 		compressions:    t.compressions,
 		removedNodes:    t.removedNodes,
+		resizes:         t.resizes,
 		ssegQueueDepth:  t.ssegQueueDepth,
 		compressTime:    t.compressTime,
 		childCapacity:   t.childCapacity,
