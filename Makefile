@@ -1,7 +1,7 @@
 # Convenience targets for the MLQ reproduction.
 GO ?= go
 
-.PHONY: all build vet test race race-full bench bench-smoke bench-concurrency memwall repro repro-quick fuzz chaos chaos-latency chaos-repl clean fmt lint lint-concurrency lint-sarif check
+.PHONY: all build vet test race race-full bench bench-smoke bench-concurrency memwall repro repro-quick fuzz chaos chaos-latency chaos-repl chaos-net clean fmt lint lint-concurrency lint-sarif check
 
 all: build vet test
 
@@ -92,6 +92,7 @@ fuzz:
 	$(GO) test -fuzz '^FuzzRecover$$' -fuzztime 30s ./internal/catalog
 	$(GO) test -fuzz '^FuzzReplay$$' -fuzztime 30s ./internal/journal
 	$(GO) test -fuzz '^FuzzTailFollow$$' -fuzztime 30s ./internal/journal
+	$(GO) test -fuzz '^FuzzWireDecode$$' -fuzztime 30s ./internal/replica/nettransport
 
 # Fault-injection sweep: the hardened feedback loop under corrupted
 # observations, UDF panics, page-read failures and torn catalog writes.
@@ -111,6 +112,16 @@ chaos-latency:
 chaos-repl:
 	$(GO) run ./cmd/mlqbench -exp chaosrepl -quick
 	$(GO) test -race ./internal/replica/
+
+# Replication chaos over real loopback sockets: reconnect/backoff, heartbeat
+# liveness, socket-level fault injection (RST, truncation, delay) and the
+# resumable bootstrap killed mid-transfer. Same convergence assertions as
+# chaos-repl, carried by the TCP transport. The fuzz pass hammers the wire
+# decoder the accept loops trust.
+chaos-net:
+	$(GO) run ./cmd/mlqbench -exp chaosnet -quick
+	$(GO) test -race ./internal/replica/...
+	$(GO) test -fuzz '^FuzzWireDecode$$' -fuzztime 10s ./internal/replica/nettransport
 
 clean:
 	$(GO) clean ./...

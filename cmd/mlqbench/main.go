@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig8, fig9, fig10, fig11, fig12, shift, nn, leo, memcurve, memwall, cache, chaos, chaoslatency, chaosrepl, ablate, concurrency (concurrency is excluded from all: its numbers are machine-dependent wall-clock throughput)")
+	exp := flag.String("exp", "all", "experiment to run: all, fig8, fig9, fig10, fig11, fig12, shift, nn, leo, memcurve, memwall, cache, chaos, chaoslatency, chaosrepl, chaosnet, ablate, concurrency (concurrency is excluded from all: its numbers are machine-dependent wall-clock throughput)")
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "shrink workloads ~10x for a fast smoke run")
 	queries := flag.Int("queries", 0, "override the test-workload length (0 = paper's values)")
@@ -366,6 +366,20 @@ func run(exp string, seed int64, quick bool, queries, mem, trials int, reg *tele
 			return err
 		}
 		harness.RenderChaosRepl(os.Stdout, rows)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := runExp("chaosnet", func() error {
+		// The same fault stories as chaosrepl, carried over real loopback
+		// sockets: reconnect/backoff, heartbeat liveness, CRC framing and the
+		// resumable snapshot bootstrap are load-bearing here.
+		rows, err := harness.ChaosNet(harness.ChaosNetConfig{}, realOpts)
+		if err != nil {
+			return err
+		}
+		harness.RenderChaosNet(os.Stdout, rows)
 		return nil
 	}); err != nil {
 		return err

@@ -134,6 +134,20 @@ const (
 	// through the publisher or a buffer cache changed capacity. A = old
 	// budget, B = new budget (bytes for models, pages for caches).
 	KindResize
+
+	// KindConnUp: a network transport link came up. A = cumulative
+	// reconnects on the link (0 for the first establishment), actor =
+	// destination replica index + 1.
+	KindConnUp
+	// KindConnDown: a network transport link went down (peer reset, write
+	// failure, liveness loss, or an administrative partition). A =
+	// heartbeats missed on the link so far, actor = destination replica
+	// index + 1.
+	KindConnDown
+	// KindBootstrap: a snapshot bootstrap transfer finished. A = chunks
+	// received (including any re-received after a full resync), B =
+	// mid-transfer resumes that continued from the last verified chunk.
+	KindBootstrap
 )
 
 // String names the kind for rendering and for the hop-lag histogram label.
@@ -177,6 +191,12 @@ func (k Kind) String() string {
 		return "mark"
 	case KindResize:
 		return "resize"
+	case KindConnUp:
+		return "conn-up"
+	case KindConnDown:
+		return "conn-down"
+	case KindBootstrap:
+		return "bootstrap"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

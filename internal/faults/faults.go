@@ -52,6 +52,20 @@ const (
 	// it after its successor — adjacent-swap reordering, the building block
 	// of arbitrary interleavings across repeated firings.
 	ReplicaReorder Site = "replica.reorder"
+	// NetReset severs a live network-transport connection mid-stream: the
+	// socket is closed under the peer, modeling a connection reset. The
+	// sender's reconnect/backoff loop re-establishes the link; whatever was
+	// in flight is lost and journal catch-up repairs it.
+	NetReset Site = "net.reset"
+	// NetTrunc damages one network transfer: a read has one byte flipped
+	// silently in flight, a write is torn to a prefix before the connection
+	// dies. Either way the receiving decoder must discard the damaged frame
+	// (CRC/length check) instead of yielding a message from it.
+	NetTrunc Site = "net.trunc"
+	// NetDelay stalls one network read by the site's configured Delay,
+	// modeling a congested or lossy link. With Burst > 1 a firing keeps the
+	// link slow for the following Burst-1 reads too.
+	NetDelay Site = "net.delay"
 )
 
 // SiteConfig controls when a site fires.
@@ -260,12 +274,27 @@ func (in *Injector) PageReadError() error {
 // latency accounting (buffercache converts it to IO cost units), keeping
 // chaos runs deterministic and fast regardless of the injected severity.
 func (in *Injector) PageReadDelay() time.Duration {
+	return in.burstDelay(PageLatency)
+}
+
+// NetReadDelay consults the NetDelay site and returns the injected stall for
+// one network read, with the same seeded jitter and burst semantics as
+// PageReadDelay. Unlike the page-latency model this delay is actually slept
+// by the chaos connection — a socket stall is real wall time to the
+// reconnect and heartbeat machinery under test — so configure it small.
+func (in *Injector) NetReadDelay() time.Duration {
+	return in.burstDelay(NetDelay)
+}
+
+// burstDelay implements the shared fire/burst/jitter logic of the latency
+// sites.
+func (in *Injector) burstDelay(site Site) time.Duration {
 	if in == nil {
 		return 0
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	st, ok := in.sites[PageLatency]
+	st, ok := in.sites[site]
 	if !ok {
 		return 0
 	}
@@ -278,7 +307,7 @@ func (in *Injector) PageReadDelay() time.Duration {
 		st.hits++
 		st.fired++
 		fire = true
-	} else if in.fireLocked(PageLatency) {
+	} else if in.fireLocked(site) {
 		fire = true
 		if st.cfg.Burst > 1 {
 			st.burstLeft = st.cfg.Burst - 1

@@ -388,3 +388,27 @@ func RenderChaosRepl(w io.Writer, rows []ChaosReplCell) {
 	}
 	t.Fprint(w)
 }
+
+// RenderChaosNet prints the networked replication chaos experiment: the
+// ChaosRepl fault stories over real loopback sockets, plus the socket
+// layer's own accounting and the resumable-bootstrap scenario.
+func RenderChaosNet(w io.Writer, rows []ChaosNetCell) {
+	t := Table{
+		Title: "Chaos replication over sockets: reconnect/backoff, heartbeat liveness, resumable bootstrap\n" +
+			"(same convergence assertions as chaosrepl, carried by the TCP transport under socket-level chaos)",
+		Header: []string{"scenario", "NAE", "acked", "lost", "failovers", "catchup",
+			"drop", "cut", "reconn", "hb-miss", "dmg-frames", "boot-chunks", "boot-resumes"},
+	}
+	for _, c := range rows {
+		t.AddRow(
+			c.Scenario, f4(c.NAE),
+			fmt.Sprintf("%d", c.Acked), fmt.Sprintf("%d", c.AckedLost),
+			fmt.Sprintf("%d", c.Failovers), fmt.Sprintf("%d", c.Catchup),
+			fmt.Sprintf("%d", c.Dropped), fmt.Sprintf("%d", c.Partitioned),
+			fmt.Sprintf("%d", c.Reconnects), fmt.Sprintf("%d", c.HeartbeatsMissed),
+			fmt.Sprintf("%d", c.FramesDamaged),
+			fmt.Sprintf("%d", c.BootstrapChunks), fmt.Sprintf("%d", c.BootstrapResumes),
+		)
+	}
+	t.Fprint(w)
+}

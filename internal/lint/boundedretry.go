@@ -189,8 +189,10 @@ func hasAttemptBound(pkg *Package, loop *ast.ForStmt) bool {
 }
 
 // hasBackoffOrDeadline reports time-budget evidence: a comparison against a
-// Duration or Time, a timer-package call, a context consultation, or a
-// select statement.
+// Duration or Time, a timer-package call, a context consultation, an I/O
+// deadline re-armed inside the body (a read loop whose every iteration
+// blocks under a net.Conn deadline cannot hot-spin — a persistent fault
+// surfaces as a timeout error, not a spin), or a select statement.
 func hasBackoffOrDeadline(pkg *Package, loop *ast.ForStmt) bool {
 	found := false
 	loopInspect(loop, func(n ast.Node) bool {
@@ -211,6 +213,9 @@ func hasBackoffOrDeadline(pkg *Package, loop *ast.ForStmt) bool {
 					found = true
 				case fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
 					(fn.Name() == "Done" || fn.Name() == "Deadline" || fn.Name() == "Err"):
+					found = true
+				case fn.Name() == "SetDeadline" || fn.Name() == "SetReadDeadline" ||
+					fn.Name() == "SetWriteDeadline":
 					found = true
 				}
 			}

@@ -16,7 +16,11 @@ import (
 // (telemetry counters, transport bookkeeping, error latches) last. The
 // budget arbiter's mutex sits outermost: a Cycle holds it across every
 // holder resize, which may enter the publisher's writer machinery and from
-// there any of the locks below. lockorder
+// there any of the locks below. The socket transport's locks nest inside
+// the publisher's accept critical section (the stream fan-out sends under
+// jmu): its table lock wraps the per-endpoint bootstrap state (snapshot
+// install) and per-endpoint inbox state (re-register), with the per-link
+// connection state and the jitter stream as leaves. lockorder
 // does not enforce this list directly — it proves the observed acquisition
 // graph is acyclic, which every order-respecting program satisfies — but
 // cycle reports cite it so the fix direction is unambiguous.
@@ -30,6 +34,11 @@ var CanonicalLockOrder = []string{
 	"replica.Group.ckptMu",
 	"replica.Group.applyErrMu",
 	"replica.MemTransport.mu",
+	"nettransport.NetTransport.mu",
+	"nettransport.bootState.mu",
+	"nettransport.endpoint.mu",
+	"nettransport.connMgr.mu",
+	"nettransport.NetTransport.rngMu",
 	"replica.GroupTelemetry.mu",
 }
 
@@ -41,6 +50,7 @@ var lockOrderScope = []string{
 	"internal/budget",
 	"internal/core",
 	"internal/replica",
+	"internal/replica/nettransport",
 	"internal/journal",
 	"internal/telemetry",
 	"internal/buffercache",

@@ -228,6 +228,24 @@ func StreamReconnectPaced(tick, stop chan struct{}, apply func(Record)) error {
 	}
 }
 
+// SetReadDeadline re-arms an I/O deadline each pass.
+func (*conn) SetReadDeadline(t time.Time) error { return nil }
+
+// DeadlineArmedReadLoop re-arms a per-read deadline every iteration (the
+// socket-transport frame pump shape): each pass blocks until bytes arrive
+// or the deadline expires as an error, so a persistent fault terminates the
+// loop instead of spinning it. Compliant via the deadline call.
+func DeadlineArmedReadLoop(c *conn, apply func(Record)) {
+	for {
+		_ = c.SetReadDeadline(time.Now().Add(time.Second))
+		rec, err := c.recv()
+		if err != nil {
+			continue // damaged frame: skip it, the stream stays aligned
+		}
+		apply(rec)
+	}
+}
+
 // JustifiedSpin violates the rule but carries a justified suppression.
 func JustifiedSpin() {
 	//lint:ignore boundedretry fixture: simulated wait loop, fault cleared by test harness

@@ -1,0 +1,18 @@
+package replica_test
+
+import (
+	"testing"
+
+	"mlq/internal/replica"
+	"mlq/internal/replica/transporttest"
+)
+
+// TestMemTransportConformance runs the shared Transport contract suite
+// against the canonical in-process implementation. nettransport runs the
+// same suite over real sockets; a semantic drift between the two shows up
+// here first.
+func TestMemTransportConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T) replica.Transport {
+		return replica.NewMemTransport(nil)
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -524,6 +525,33 @@ func (g *Group) Converge() error {
 		}
 	}
 	return nil
+}
+
+// Snapshot returns the raw bytes a cold follower needs to bootstrap: the
+// durable catalog checkpoint file plus the serving lineage's journal suffix.
+// It is the structural implementation of nettransport.SnapshotSource — the
+// snapshot-shipping RPC chunks exactly this pair over the wire. The journal
+// is read while the publisher may still be appending; the copy is a valid
+// prefix (the journal format tolerates a torn tail), and whatever it misses
+// the stream or a later catch-up delivers.
+func (g *Group) Snapshot() (ckpt, jnl []byte, err error) {
+	g.ckptMu.Lock()
+	ckpt, err = os.ReadFile(g.ckptPath)
+	g.ckptMu.Unlock()
+	if err != nil {
+		return nil, nil, fmt.Errorf("replica: reading checkpoint for bootstrap: %w", err)
+	}
+	g.linMu.RLock()
+	defer g.linMu.RUnlock()
+	lin := g.lin.Load()
+	if lin == nil {
+		return nil, nil, ErrNoPrimary
+	}
+	jnl, err = os.ReadFile(lin.jpath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("replica: reading journal for bootstrap: %w", err)
+	}
+	return ckpt, jnl, nil
 }
 
 // fetch serves a follower's catch-up request against the serving lineage's

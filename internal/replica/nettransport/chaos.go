@@ -1,0 +1,79 @@
+package nettransport
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"mlq/internal/faults"
+)
+
+// ChaosListener wraps an endpoint's listener so every accepted connection
+// runs through the socket-level fault plane: seeded resets, byte-level
+// damage, and delay bursts from the shared faults.Injector, at the
+// net.{reset,trunc,delay} sites. Administrative Partition/Heal stay on the
+// transport itself; the listener handles only the probabilistic chaos.
+type ChaosListener struct {
+	net.Listener
+	inj *faults.Injector
+}
+
+// NewChaosListener wraps ln. A nil injector never fires, so the wrap is
+// harmless on a clean run.
+func NewChaosListener(ln net.Listener, inj *faults.Injector) *ChaosListener {
+	return &ChaosListener{Listener: ln, inj: inj}
+}
+
+// Accept wraps the accepted connection in the chaos plane.
+func (l *ChaosListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &chaosConn{Conn: c, inj: l.inj}, nil
+}
+
+// chaosConn injects faults on the accept side of a connection, which is
+// enough to damage both directions: its reads corrupt client→server
+// traffic in flight, its writes tear server→client traffic, and a reset
+// from either path kills the socket under both peers.
+type chaosConn struct {
+	net.Conn
+	inj *faults.Injector
+}
+
+var errInjectedReset = fmt.Errorf("nettransport: injected connection reset")
+
+// Read delays by the injector's burst schedule, dies on an injected reset,
+// and flips one byte of delivered data on an injected truncation — silent
+// in-flight corruption the decoder must catch by CRC and skip.
+func (c *chaosConn) Read(p []byte) (int, error) {
+	if d := c.inj.NetReadDelay(); d > 0 {
+		time.Sleep(d)
+	}
+	if c.inj.Fire(faults.NetReset) {
+		_ = c.Conn.Close()
+		return 0, errInjectedReset
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 && c.inj.Fire(faults.NetTrunc) {
+		p[n/2] ^= 0x10
+	}
+	return n, err
+}
+
+// Write dies on an injected reset, and on an injected truncation tears the
+// write: only a prefix reaches the wire before the connection dies, leaving
+// a partial frame the peer's framer discards.
+func (c *chaosConn) Write(p []byte) (int, error) {
+	if c.inj.Fire(faults.NetReset) {
+		_ = c.Conn.Close()
+		return 0, errInjectedReset
+	}
+	if len(p) > 1 && c.inj.Fire(faults.NetTrunc) {
+		n, _ := c.Conn.Write(p[:(len(p)+1)/2])
+		_ = c.Conn.Close()
+		return n, fmt.Errorf("nettransport: injected torn write")
+	}
+	return c.Conn.Write(p)
+}

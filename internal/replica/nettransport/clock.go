@@ -1,0 +1,98 @@
+package nettransport
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the transport's injected time source: reconnect backoff, barrier
+// watchdogs and heartbeat cadence all wait through After, so tests drive the
+// whole retry machinery with a FakeClock instead of wall-clock sleeps. Read
+// deadlines on sockets are anchored at Now.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+// wall is the production clock.
+type wall struct{}
+
+func (wall) Now() time.Time                         { return time.Now() }
+func (wall) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Wall is the production Clock.
+var Wall Clock = wall{}
+
+// FakeClock is a manually advanced Clock for deterministic tests: After
+// registers a timer that fires when Advance moves the clock past its
+// deadline. Safe for concurrent use.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []fakeTimer
+}
+
+type fakeTimer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock starts a fake clock at an arbitrary fixed origin.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After implements Clock. A non-positive d fires immediately.
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	at := c.now.Add(d)
+	if d <= 0 {
+		//lint:ignore chanowner capacity-1 channel written exactly once: an immediate fire never blocks
+		ch <- at
+		return ch
+	}
+	c.timers = append(c.timers, fakeTimer{at: at, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward, firing every timer whose deadline is
+// reached, in deadline order.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	var due []fakeTimer
+	keep := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.at.After(c.now) {
+			due = append(due, t)
+		} else {
+			keep = append(keep, t)
+		}
+	}
+	c.timers = keep
+	now := c.now
+	c.mu.Unlock()
+	sort.Slice(due, func(i, j int) bool { return due[i].at.Before(due[j].at) })
+	for _, t := range due {
+		//lint:ignore chanowner capacity-1 channel written exactly once: a timer fires once and is removed from the list first
+		t.ch <- now
+	}
+}
+
+// Pending reports how many timers are waiting, so tests can advance until
+// the machinery under test has parked.
+func (c *FakeClock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}

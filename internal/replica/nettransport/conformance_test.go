@@ -1,0 +1,23 @@
+package nettransport_test
+
+import (
+	"testing"
+	"time"
+
+	"mlq/internal/replica"
+	"mlq/internal/replica/nettransport"
+	"mlq/internal/replica/transporttest"
+)
+
+// TestNetTransportConformance runs the shared Transport contract suite over
+// real loopback sockets: the socket implementation must be observationally
+// interchangeable with MemTransport wherever the Group relies on it.
+func TestNetTransportConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T) replica.Transport {
+		return nettransport.New(nettransport.Config{
+			Seed:           42,
+			HeartbeatEvery: 20 * time.Millisecond,
+			BarrierTimeout: 2 * time.Second,
+		})
+	})
+}

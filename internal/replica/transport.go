@@ -44,9 +44,16 @@ var ErrPartitioned = fmt.Errorf("replica: destination is partitioned away")
 
 // Transport carries the replication stream from the primary to followers.
 // MemTransport is the canonical in-process implementation and the chaos
-// fault plane; a network transport implements the same contract (Partition
-// and Heal become administrative link controls, FlushHeld a no-op where
-// nothing is held back).
+// fault plane; nettransport.NetTransport carries the same contract over
+// real sockets (Partition and Heal become administrative link cuts).
+//
+// FlushHeld is a contract point, not a hint: after FlushHeld(to) returns,
+// nothing the transport was voluntarily holding back for that destination —
+// a reorder hold-back slot, a buffered-but-unwritten outbound frame — may
+// still be parked inside the transport. Everything must be either delivered,
+// on the wire, or counted as a loss (Dropped/Overflowed). The group's
+// flush-then-barrier-then-assert drain pattern (Failover, Converge) relies
+// on it on every implementation; transporttest.Run enforces it.
 type Transport interface {
 	// Register creates (or replaces) the destination's inbox and returns
 	// its receive side. The replica group owns the receive loop.
@@ -82,6 +89,18 @@ var _ Transport = (*MemTransport)(nil)
 func NewBarrierMsg() (Msg, chan struct{}) {
 	done := make(chan struct{})
 	return Msg{Kind: kindBarrier, barrier: done}, done
+}
+
+// BarrierChan returns the drain channel of a barrier message (ok false for
+// data-plane messages). Receive loops outside this package — the transport
+// conformance suite, custom pumps over an external transport — need it to
+// honor the barrier contract: close the channel once everything enqueued
+// before the marker has been processed.
+func (m Msg) BarrierChan() (chan struct{}, bool) {
+	if m.Kind != kindBarrier || m.barrier == nil {
+		return nil, false
+	}
+	return m.barrier, true
 }
 
 // TransportStats is the transport's cumulative delivery accounting.
